@@ -1,0 +1,173 @@
+package reis
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation. Each benchmark executes the corresponding experiment
+// runner and reports the headline quantity the paper quotes as a
+// custom benchmark metric, so `go test -bench=. -benchmem` regenerates
+// the full evaluation.
+//
+// BENCH_SCALE semantics: workloads run at catalog size divided by the
+// scale constant below; device latencies are costed at the paper's
+// full dataset sizes (see internal/experiments).
+
+import (
+	"testing"
+
+	"reis/internal/experiments"
+)
+
+// benchScale divides the catalog workload sizes. 16 keeps the full
+// suite within a few minutes while leaving thousands of vectors per
+// dataset.
+const benchScale = 16
+
+func BenchmarkFig2RAGBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunRAGBreakdown(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.System == "CPU flat" && r.Dataset == "wiki_en" {
+				b.ReportMetric(100*r.Stages.Fractions().DatasetLoad, "wiki_en_load_%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig3RAGBreakdownBQ(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunRAGBreakdown(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.System == "CPU+BQ" && r.Dataset == "wiki_en" {
+				b.ReportMetric(100*r.Stages.Fractions().DatasetLoad, "wiki_en_BQ_load_%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig5AlgorithmComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunFig5(benchScale * 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var bestBQIVF float64
+		for _, p := range pts {
+			if p.Algorithm == "BQ IVF" && p.NormQPS > bestBQIVF {
+				bestBQIVF = p.NormQPS
+			}
+		}
+		b.ReportMetric(bestBQIVF, "BQ-IVF_peak_normQPS")
+	}
+}
+
+func BenchmarkFig7Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig7(benchScale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg, maxS, _, _ := experiments.SummarizeFig7(rows)
+		b.ReportMetric(avg, "avg_speedup_x")
+		b.ReportMetric(maxS, "max_speedup_x")
+	}
+}
+
+func BenchmarkFig8EnergyEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig7(benchScale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, avgW, maxW := experiments.SummarizeFig7(rows)
+		b.ReportMetric(avgW, "avg_QPSperW_x")
+		b.ReportMetric(maxW, "max_QPSperW_x")
+	}
+}
+
+func BenchmarkTable4EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunRAGBreakdown(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var reisTotal, cpuTotal float64
+		for _, r := range rows {
+			if r.Dataset == "wiki_en" {
+				switch r.System {
+				case "REIS-SSD1":
+					reisTotal = r.Stages.Total()
+				case "CPU+BQ":
+					cpuTotal = r.Stages.Total()
+				}
+			}
+		}
+		if reisTotal > 0 {
+			b.ReportMetric(cpuTotal/reisTotal, "wiki_en_e2e_speedup_x")
+		}
+	}
+}
+
+func BenchmarkFig9Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig9(benchScale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var dfGain float64
+		var n float64
+		for _, r := range rows {
+			if r.NoOpt > 0 {
+				dfGain += r.DF / r.NoOpt
+				n++
+			}
+		}
+		b.ReportMetric(dfGain/n, "avg_DF_gain_x")
+	}
+}
+
+func BenchmarkREISASIC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunASIC(benchScale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r.Slowdown
+		}
+		b.ReportMetric(sum/float64(len(rows)), "avg_ASIC_slowdown_x")
+	}
+}
+
+func BenchmarkFig10VersusICE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig10(benchScale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r.SpeedupICE
+		}
+		b.ReportMetric(sum/float64(len(rows)), "avg_speedup_vs_ICE_x")
+	}
+}
+
+func BenchmarkFig11VersusNDSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig11(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r.SpeedupND
+		}
+		b.ReportMetric(sum/float64(len(rows)), "avg_speedup_vs_ND_x")
+	}
+}

@@ -1,0 +1,94 @@
+// Command reisbench regenerates the paper's evaluation. Each
+// experiment is addressed by the paper artifact it reproduces:
+//
+//	reisbench -exp fig7 -scale 16
+//	reisbench -exp all
+//
+// Experiments: fig2 (RAG breakdown, flat), fig3 (RAG breakdown, BQ),
+// table4 (end-to-end), fig5 (ANNS algorithms on CPU), fig7 (throughput
+// vs CPU-Real), fig8 (energy efficiency; printed with fig7), fig9
+// (optimization sensitivity), asic (Sec 6.3.1), fig10 (vs ICE), fig11
+// (vs NDSearch).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"reis/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig2|fig3|table4|fig5|fig7|fig8|fig9|asic|fig10|fig11|all)")
+	scale := flag.Int("scale", 16, "workload scale divisor (larger = smaller functional datasets)")
+	flag.Parse()
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"fig2", "fig5", "fig7", "fig9", "asic", "fig10", "fig11"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := run(id, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "reisbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(id string, scale int) error {
+	switch id {
+	case "fig2", "fig3", "table4":
+		rows, err := experiments.RunRAGBreakdown(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatRAG(rows))
+	case "fig5":
+		pts, err := experiments.RunFig5(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig5(pts))
+	case "fig7", "fig8":
+		rows, err := experiments.RunFig7(scale, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig7(rows))
+		avg, maxS, avgW, maxW := experiments.SummarizeFig7(rows)
+		fmt.Printf("summary: speedup avg %.1fx max %.1fx (paper: 13x / 112x); QPS/W avg %.1fx max %.1fx (paper: 55x / 157x)\n",
+			avg, maxS, avgW, maxW)
+	case "fig9":
+		rows, err := experiments.RunFig9(scale, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig9(rows))
+	case "asic":
+		rows, err := experiments.RunASIC(scale, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatASIC(rows))
+	case "fig10":
+		rows, err := experiments.RunFig10(scale, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig10(rows))
+	case "fig11":
+		rows, err := experiments.RunFig11(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig11(rows))
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

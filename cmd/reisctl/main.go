@@ -1,0 +1,88 @@
+// Command reisctl demonstrates the REIS host API (Table 1) against a
+// simulated device: it generates a synthetic corpus, deploys it with
+// IVF_Deploy, issues IVF_Search commands, and prints the retrieved
+// document chunks with per-query device statistics.
+//
+//	reisctl -n 4000 -queries 5 -k 3 -nprobe 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"reis/internal/ann"
+	"reis/internal/dataset"
+	"reis/internal/reis"
+	"reis/internal/ssd"
+)
+
+func main() {
+	n := flag.Int("n", 4000, "database entries")
+	dim := flag.Int("dim", 256, "embedding dimensionality")
+	queries := flag.Int("queries", 5, "queries to issue")
+	k := flag.Int("k", 3, "documents per query")
+	nprobe := flag.Int("nprobe", 8, "IVF clusters probed")
+	device := flag.String("device", "ssd1", "device preset (ssd1|ssd2)")
+	flag.Parse()
+
+	cfg := ssd.SSD1()
+	if *device == "ssd2" {
+		cfg = ssd.SSD2()
+	}
+	cfg.Geo.BlocksPerPlane = 8
+	cfg.Geo.PagesPerBlock = 16
+
+	log.Printf("generating %d x %d-dim corpus...", *n, *dim)
+	data := dataset.Generate(dataset.Config{
+		Name: "reisctl", N: *n, Dim: *dim, Clusters: 32,
+		Queries: *queries, DocBytes: 512, Seed: 1,
+	})
+	cents, assign := ann.KMeans(data.Vectors, ann.KMeansConfig{K: 32, Seed: 1})
+
+	engine, err := reis.New(cfg, int64(*n)*int64(*dim)*16+64<<20, reis.AllOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("deploying database on %s (%d planes, %d channels)...",
+		cfg.Name, cfg.Geo.Planes(), cfg.Geo.Channels)
+	if _, err := engine.Submit(reis.HostCommand{
+		Opcode: reis.OpcodeIVFDeploy,
+		Deploy: &reis.DeployConfig{
+			ID: 1, Vectors: data.Vectors, Docs: data.Docs, DocSlotBytes: 512,
+			Centroids: cents, Assign: assign,
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	resp, err := engine.Submit(reis.HostCommand{
+		Opcode: reis.OpcodeIVFSearch, DBID: 1,
+		Queries: data.Queries, K: *k, NProbe: *nprobe,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, _ := engine.DB(1)
+	for qi, results := range resp.Results {
+		fmt.Printf("query %d:\n", qi)
+		for rank, r := range results {
+			header := r.Doc
+			if len(header) > 48 {
+				header = header[:48]
+			}
+			fmt.Printf("  #%d id=%-6d dist=%-8.0f %q\n", rank+1, r.ID, r.Dist, header)
+		}
+	}
+	st := resp.Stats
+	fmt.Printf("\nbatch device stats: %d pages sensed (%d coarse, %d fine), %d entries scanned, %d TTL survivors, %d doc pages\n",
+		st.CoarsePages+st.FinePages, st.CoarsePages, st.FinePages,
+		st.EntriesScanned, st.Survivors, st.DocPages)
+	_, one, err := engine.IVFSearch(1, data.Queries[0], *k, reis.SearchOptions{NProbe: *nprobe})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bd := engine.Latency(db, one, reis.UnitScale())
+	fmt.Printf("modeled per-query latency on %s: %v (IBC %v, coarse %v, fine %v, rerank %v, docs %v), %.1f uJ\n",
+		cfg.Name, bd.Total, bd.IBC, bd.Coarse, bd.Fine, bd.Rerank, bd.Docs, bd.EnergyJ*1e6)
+}

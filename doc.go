@@ -1,0 +1,12 @@
+// Package reis is the root of the REIS reproduction: a retrieval
+// system for Retrieval-Augmented Generation with In-Storage Processing
+// (ISCA 2025), rebuilt as a Go library with a functional NAND-flash /
+// SSD simulation substrate.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// module map); runnable entry points are cmd/reisbench (regenerates
+// every table and figure of the paper), cmd/reisctl (interactive
+// deploy/search against a simulated device), and the examples/
+// directory. The root-level benchmarks in bench_test.go drive the same
+// experiment runners through `go test -bench`.
+package reis

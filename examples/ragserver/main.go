@@ -1,0 +1,122 @@
+// Ragserver: an HTTP retrieval service backed by the in-storage
+// engine — the shape of the serving tier a RAG pipeline would put in
+// front of REIS.
+//
+//	go run ./examples/ragserver -addr :8080
+//	curl 'localhost:8080/search?q=17&k=3'      (q = sample query index)
+//	curl 'localhost:8080/stats'
+//
+// Because the device is simulated, queries are addressed by index into
+// a held-out sample set rather than by free text (there is no encoder
+// model in this repository).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"reis/internal/ann"
+	"reis/internal/dataset"
+	"reis/internal/reis"
+	"reis/internal/ssd"
+)
+
+type server struct {
+	mu     sync.Mutex // the simulated device is single-queue
+	engine *reis.Engine
+	db     *reis.Database
+	data   *dataset.Dataset
+
+	queries int64
+	stats   reis.QueryStats
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	n := flag.Int("n", 8000, "corpus size")
+	flag.Parse()
+
+	data := dataset.Generate(dataset.Config{
+		Name: "ragserver", N: *n, Dim: 384, Clusters: 48,
+		Queries: 256, DocBytes: 768, Seed: 21,
+	})
+	cents, assign := ann.KMeans(data.Vectors, ann.KMeansConfig{K: 48, Seed: 21})
+	cfg := ssd.SSD2()
+	cfg.Geo.BlocksPerPlane = 8
+	cfg.Geo.PagesPerBlock = 16
+	engine, err := reis.New(cfg, int64(*n)*384*16+128<<20, reis.AllOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := engine.IVFDeploy(reis.DeployConfig{
+		ID: 1, Vectors: data.Vectors, Docs: data.Docs, DocSlotBytes: 1024,
+		Centroids: cents, Assign: assign,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{engine: engine, db: db, data: data}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/stats", s.handleStats)
+	log.Printf("ragserver: %d docs deployed on %s; listening on %s", *n, cfg.Name, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	qIdx, err := strconv.Atoi(r.URL.Query().Get("q"))
+	if err != nil || qIdx < 0 || qIdx >= len(s.data.Queries) {
+		http.Error(w, "q must be a sample-query index", http.StatusBadRequest)
+		return
+	}
+	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+	if k <= 0 {
+		k = 5
+	}
+	s.mu.Lock()
+	results, st, err := s.engine.IVFSearch(1, s.data.Queries[qIdx], k, reis.SearchOptions{NProbe: 6})
+	if err == nil {
+		s.queries++
+		s.stats.Add(st)
+	}
+	bd := s.engine.Latency(s.db, st, reis.UnitScale())
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	type hit struct {
+		ID   int     `json:"id"`
+		Dist float32 `json:"dist"`
+		Doc  string  `json:"doc"`
+	}
+	out := struct {
+		Hits      []hit  `json:"hits"`
+		DeviceLat string `json:"device_latency"`
+	}{DeviceLat: bd.Total.String()}
+	for _, res := range results {
+		out.Hits = append(out.Hits, hit{ID: res.ID, Dist: res.Dist, Doc: string(res.Doc[:64])})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(struct {
+		Queries int64           `json:"queries"`
+		Device  reis.QueryStats `json:"device_totals"`
+	}{s.queries, s.stats}); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+// Tuning: sweep the recall/latency trade-off of the in-storage IVF
+// search — the calibration loop behind the paper's "sweeping the
+// accuracy of IVF from 0.98 down to 0.9 Recall@10".
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reis/internal/ann"
+	"reis/internal/dataset"
+	"reis/internal/reis"
+	"reis/internal/ssd"
+)
+
+func main() {
+	// QueryNoise 0.6 puts queries between topics so the sweep actually
+	// trades recall for probes (easy queries saturate at nprobe=1).
+	data := dataset.Generate(dataset.Config{
+		Name: "tuning", N: 4000, Dim: 256, Clusters: 32,
+		Queries: 24, DocBytes: 256, QueryNoise: 0.6, Seed: 33,
+	})
+	// Index with more cells than generator topics (as a sqrt(N)-sized
+	// nlist would) so true neighbors straddle cell boundaries and the
+	// recall/probe trade-off is visible.
+	cents, assign := ann.KMeans(data.Vectors, ann.KMeansConfig{K: 96, Seed: 33})
+	cfg := ssd.SSD1()
+	cfg.Geo.BlocksPerPlane = 8
+	cfg.Geo.PagesPerBlock = 16
+	engine, err := reis.New(cfg, 512<<20, reis.AllOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := engine.IVFDeploy(reis.DeployConfig{
+		ID: 1, Vectors: data.Vectors, Docs: data.Docs, DocSlotBytes: 256,
+		Centroids: cents, Assign: assign,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("nprobe  recall@10  scanned  survivors  device-latency")
+	for _, nprobe := range []int{1, 2, 4, 8, 16, 32, 96} {
+		got := make([][]int, len(data.Queries))
+		var agg reis.QueryStats
+		for qi, q := range data.Queries {
+			res, st, err := engine.IVFSearch(1, q, 10, reis.SearchOptions{NProbe: nprobe, SkipDocs: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ids := make([]int, len(res))
+			for i, r := range res {
+				ids[i] = r.ID
+			}
+			got[qi] = ids
+			agg.Add(st)
+		}
+		recall := dataset.Recall(data.GroundTruth, got, 10)
+		// Mean per-query stats for the latency model.
+		n := len(data.Queries)
+		agg.EntriesScanned /= n
+		agg.Survivors /= n
+		agg.CoarsePages /= n
+		agg.FinePages /= n
+		agg.CoarseEntries /= n
+		agg.RerankCount /= n
+		agg.SortedEntries /= n
+		bd := engine.Latency(db, agg, reis.UnitScale())
+		fmt.Printf("%5d %9.3f %8d %10d %14v\n",
+			nprobe, recall, agg.EntriesScanned, agg.Survivors, bd.Total)
+	}
+
+	// And the automatic calibration the experiments use:
+	for _, target := range []float64{0.90, 0.95} {
+		nprobe, err := engine.CalibrateNProbe(1, data.Queries, data.GroundTruth, 10, target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("calibrated nprobe for Recall@10 >= %.2f: %d\n", target, nprobe)
+	}
+}

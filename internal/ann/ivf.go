@@ -1,0 +1,249 @@
+package ann
+
+import (
+	"fmt"
+
+	"reis/internal/vecmath"
+)
+
+// IVFMode selects the precision the fine-grained IVF scan runs in.
+type IVFMode int
+
+const (
+	// IVFFloat scans full-precision float32 vectors.
+	IVFFloat IVFMode = iota
+	// IVFBinary scans binary-quantized vectors with Hamming distance
+	// and reranks the survivors with INT8 — the configuration REIS
+	// executes in storage.
+	IVFBinary
+)
+
+// IVFConfig parameterizes index construction.
+type IVFConfig struct {
+	NList    int     // number of clusters (FAISS nlist)
+	Mode     IVFMode // scan precision
+	Seed     uint64
+	MaxIters int // k-means iterations
+	// RerankFactor applies in IVFBinary mode (default 10).
+	RerankFactor int
+}
+
+// IVF is the Inverted File index (Sec 2.2, Sec 4.2): k-means clusters
+// with a coarse centroid search followed by a fine scan of the nprobe
+// closest clusters.
+type IVF struct {
+	mode      IVFMode
+	dim       int
+	centroids [][]float32
+	// lists[c] holds the database IDs assigned to cluster c.
+	lists [][]int
+
+	vectors [][]float32 // retained for float mode and reranking
+	codes   [][]uint64  // binary mode
+	int8s   [][]int8
+	params  vecmath.Int8Params
+
+	rerankFactor int
+}
+
+// NewIVF trains an IVF index over vectors.
+func NewIVF(vectors [][]float32, cfg IVFConfig) *IVF {
+	if len(vectors) == 0 {
+		panic("ann: NewIVF on empty input")
+	}
+	if cfg.NList <= 0 {
+		// FAISS rule of thumb: ~sqrt(N) to 4*sqrt(N) clusters.
+		cfg.NList = max(1, isqrt(len(vectors)))
+	}
+	if cfg.RerankFactor == 0 {
+		cfg.RerankFactor = 10
+	}
+	centroids, assign := KMeans(vectors, KMeansConfig{
+		K: cfg.NList, Seed: cfg.Seed, MaxIters: cfg.MaxIters,
+	})
+	idx := &IVF{
+		mode:         cfg.Mode,
+		dim:          len(vectors[0]),
+		centroids:    centroids,
+		lists:        make([][]int, len(centroids)),
+		vectors:      vectors,
+		rerankFactor: cfg.RerankFactor,
+	}
+	for i, c := range assign {
+		idx.lists[c] = append(idx.lists[c], i)
+	}
+	if cfg.Mode == IVFBinary {
+		idx.params = vecmath.ComputeInt8Params(vectors)
+		idx.codes = make([][]uint64, len(vectors))
+		idx.int8s = make([][]int8, len(vectors))
+		for i, v := range vectors {
+			idx.codes[i] = vecmath.BinaryQuantize(v, nil)
+			idx.int8s[i] = idx.params.Int8Quantize(v, nil)
+		}
+	}
+	return idx
+}
+
+func isqrt(n int) int {
+	x := 1
+	for x*x < n {
+		x++
+	}
+	return x
+}
+
+// NList returns the number of clusters.
+func (idx *IVF) NList() int { return len(idx.centroids) }
+
+// Centroids returns the trained cluster centroids (not copied).
+func (idx *IVF) Centroids() [][]float32 { return idx.centroids }
+
+// Lists returns the inverted lists (not copied).
+func (idx *IVF) Lists() [][]int { return idx.lists }
+
+// Search implements Searcher with the index's default nprobe of 1.
+func (idx *IVF) Search(query []float32, k int) []Result {
+	return idx.SearchNProbe(query, k, 1)
+}
+
+// SearchNProbe performs a coarse search over centroids, then a fine
+// scan of the nprobe closest clusters.
+func (idx *IVF) SearchNProbe(query []float32, k, nprobe int) []Result {
+	if len(query) != idx.dim {
+		panic(fmt.Sprintf("ann: IVF query dim %d != index dim %d", len(query), idx.dim))
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > len(idx.centroids) {
+		nprobe = len(idx.centroids)
+	}
+	probes := idx.CoarseSearch(query, nprobe)
+	switch idx.mode {
+	case IVFFloat:
+		return idx.fineFloat(query, probes, k)
+	case IVFBinary:
+		return idx.fineBinary(query, probes, k)
+	default:
+		panic(fmt.Sprintf("ann: unknown IVF mode %d", idx.mode))
+	}
+}
+
+// CoarseSearch returns the indices of the nprobe centroids closest to
+// query, closest first.
+func (idx *IVF) CoarseSearch(query []float32, nprobe int) []int {
+	rs := make([]Result, len(idx.centroids))
+	for c, cent := range idx.centroids {
+		rs[c] = Result{ID: c, Dist: vecmath.L2Squared(query, cent)}
+	}
+	top := TopK(rs, nprobe)
+	out := make([]int, len(top))
+	for i, r := range top {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func (idx *IVF) fineFloat(query []float32, probes []int, k int) []Result {
+	var rs []Result
+	for _, c := range probes {
+		for _, id := range idx.lists[c] {
+			rs = append(rs, Result{ID: id, Dist: vecmath.L2Squared(query, idx.vectors[id])})
+		}
+	}
+	return TopK(rs, k)
+}
+
+func (idx *IVF) fineBinary(query []float32, probes []int, k int) []Result {
+	qCode := vecmath.BinaryQuantize(query, nil)
+	var rs []Result
+	for _, c := range probes {
+		for _, id := range idx.lists[c] {
+			rs = append(rs, Result{ID: id, Dist: float32(vecmath.Hamming(qCode, idx.codes[id]))})
+		}
+	}
+	cut := k * idx.rerankFactor
+	if cut > len(rs) {
+		cut = len(rs)
+	}
+	cands := TopK(rs, cut)
+	q8 := idx.params.Int8Quantize(query, nil)
+	out := make([]Result, len(cands))
+	for i, c := range cands {
+		out[i] = Result{ID: c.ID, Dist: float32(vecmath.L2SquaredInt8(q8, idx.int8s[c.ID]))}
+	}
+	return TopK(out, k)
+}
+
+// CandidatesScanned reports how many database vectors a fine scan with
+// the given probes would touch — the work metric used by the timing
+// models.
+func (idx *IVF) CandidatesScanned(probes []int) int {
+	n := 0
+	for _, c := range probes {
+		n += len(idx.lists[c])
+	}
+	return n
+}
+
+// CalibrateNProbe returns the smallest nprobe whose Recall@k against
+// groundTruth meets target, mirroring the paper's accuracy sweep
+// ("sweeping the accuracy of IVF from 0.98 down to 0.9 Recall@10").
+// It returns NList (full scan) if the target is never reached.
+func (idx *IVF) CalibrateNProbe(queries [][]float32, groundTruth [][]int, k int, target float64) int {
+	for nprobe := 1; nprobe <= len(idx.centroids); nprobe = growProbe(nprobe) {
+		got := make([][]int, len(queries))
+		for q, qv := range queries {
+			rs := idx.SearchNProbe(qv, k, nprobe)
+			ids := make([]int, len(rs))
+			for i, r := range rs {
+				ids[i] = r.ID
+			}
+			got[q] = ids
+		}
+		if recallOf(groundTruth, got, k) >= target {
+			return nprobe
+		}
+	}
+	return len(idx.centroids)
+}
+
+func growProbe(p int) int {
+	if p < 8 {
+		return p + 1
+	}
+	return p + p/4
+}
+
+// recallOf mirrors dataset.Recall without importing it (avoids a
+// dependency cycle in tests that exercise both packages).
+func recallOf(gt, got [][]int, k int) float64 {
+	if len(gt) == 0 {
+		return 0
+	}
+	var total float64
+	for q := range gt {
+		want := gt[q]
+		if len(want) > k {
+			want = want[:k]
+		}
+		have := got[q]
+		if len(have) > k {
+			have = have[:k]
+		}
+		set := make(map[int]struct{}, len(have))
+		for _, id := range have {
+			set[id] = struct{}{}
+		}
+		hits := 0
+		for _, id := range want {
+			if _, ok := set[id]; ok {
+				hits++
+			}
+		}
+		if len(want) > 0 {
+			total += float64(hits) / float64(len(want))
+		}
+	}
+	return total / float64(len(gt))
+}

@@ -1,0 +1,177 @@
+// Package ann implements the host-side Approximate Nearest Neighbor
+// Search algorithms the REIS paper evaluates and compares against:
+// exhaustive (flat) search, the Inverted File algorithm (IVF) that REIS
+// adopts, Hierarchical Navigable Small World graphs (HNSW),
+// Locality-Sensitive Hashing (LSH), and Product Quantization (PQ), each
+// optionally combined with Binary Quantization and INT8 reranking.
+//
+// The selection kernel is quickselect (Hoare's FIND), the same kernel
+// the paper runs on the SSD's embedded cores (Sec 4.3.1).
+package ann
+
+import "sort"
+
+// Result is a single search hit. Dist is the distance in whatever
+// metric the producing index uses (lower is better).
+type Result struct {
+	ID   int
+	Dist float32
+}
+
+// Quickselect partially sorts rs so that the k smallest-distance
+// entries occupy rs[:k] (in arbitrary order), using Hoare's FIND with
+// median-of-three pivoting. It runs in O(n) expected time and is the
+// selection kernel modeled for the SSD embedded cores.
+// If k >= len(rs) the slice is left as is.
+func Quickselect(rs []Result, k int) {
+	if k <= 0 || k >= len(rs) {
+		return
+	}
+	lo, hi := 0, len(rs)-1
+	for lo < hi {
+		// Hoare partition: rs[lo..p] <= pivot <= rs[p+1..hi]. The pivot
+		// is not placed at a final position, so recurse on whichever
+		// side straddles index k-1 (inclusive on the left half).
+		p := partition(rs, lo, hi)
+		if p < k-1 {
+			lo = p + 1
+		} else {
+			hi = p
+		}
+	}
+}
+
+func partition(rs []Result, lo, hi int) int {
+	// Median-of-three pivot to avoid quadratic behaviour on sorted
+	// input.
+	mid := lo + (hi-lo)/2
+	if rs[mid].Dist < rs[lo].Dist {
+		rs[mid], rs[lo] = rs[lo], rs[mid]
+	}
+	if rs[hi].Dist < rs[lo].Dist {
+		rs[hi], rs[lo] = rs[lo], rs[hi]
+	}
+	if rs[hi].Dist < rs[mid].Dist {
+		rs[hi], rs[mid] = rs[mid], rs[hi]
+	}
+	pivot := rs[mid].Dist
+	i, j := lo, hi
+	for {
+		for rs[i].Dist < pivot {
+			i++
+		}
+		for rs[j].Dist > pivot {
+			j--
+		}
+		if i >= j {
+			return j
+		}
+		rs[i], rs[j] = rs[j], rs[i]
+		i++
+		j--
+	}
+}
+
+// TopK returns the k smallest-distance results sorted ascending by
+// distance (ties broken by ID for determinism). rs is modified.
+func TopK(rs []Result, k int) []Result {
+	if k > len(rs) {
+		k = len(rs)
+	}
+	Quickselect(rs, k)
+	out := rs[:k]
+	SortResults(out)
+	return out
+}
+
+// SortResults sorts ascending by distance, breaking ties by ID. This
+// is the quicksort step the paper runs after the final selection
+// (Sec 4.3.1).
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Dist != rs[j].Dist {
+			return rs[i].Dist < rs[j].Dist
+		}
+		return rs[i].ID < rs[j].ID
+	})
+}
+
+// BoundedList maintains the k best (smallest-distance) results seen so
+// far using a binary max-heap, for streaming candidate generation.
+// The zero value is not usable; construct with NewBoundedList.
+type BoundedList struct {
+	k    int
+	heap []Result // max-heap by Dist
+}
+
+// NewBoundedList returns a list that retains the k best results.
+func NewBoundedList(k int) *BoundedList {
+	if k <= 0 {
+		panic("ann: NewBoundedList k must be positive")
+	}
+	return &BoundedList{k: k, heap: make([]Result, 0, k)}
+}
+
+// Push offers a candidate.
+func (b *BoundedList) Push(r Result) {
+	if len(b.heap) < b.k {
+		b.heap = append(b.heap, r)
+		b.up(len(b.heap) - 1)
+		return
+	}
+	if r.Dist >= b.heap[0].Dist {
+		return
+	}
+	b.heap[0] = r
+	b.down(0)
+}
+
+// Worst returns the current k-th best distance, or +inf semantics via
+// ok=false when fewer than k results are held.
+func (b *BoundedList) Worst() (Result, bool) {
+	if len(b.heap) < b.k {
+		return Result{}, false
+	}
+	return b.heap[0], true
+}
+
+// Len returns the number of results currently held.
+func (b *BoundedList) Len() int { return len(b.heap) }
+
+// Results returns the retained results sorted ascending by distance.
+func (b *BoundedList) Results() []Result {
+	out := make([]Result, len(b.heap))
+	copy(out, b.heap)
+	SortResults(out)
+	return out
+}
+
+func (b *BoundedList) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if b.heap[parent].Dist >= b.heap[i].Dist {
+			return
+		}
+		b.heap[parent], b.heap[i] = b.heap[i], b.heap[parent]
+		i = parent
+	}
+}
+
+func (b *BoundedList) down(i int) {
+	n := len(b.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && b.heap[l].Dist > b.heap[largest].Dist {
+			largest = l
+		}
+		if r < n && b.heap[r].Dist > b.heap[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		b.heap[i], b.heap[largest] = b.heap[largest], b.heap[i]
+		i = largest
+	}
+}

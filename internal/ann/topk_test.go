@@ -1,0 +1,223 @@
+package ann
+
+import (
+	"testing"
+	"testing/quick"
+
+	"reis/internal/xrand"
+)
+
+func randResults(r *xrand.RNG, n int) []Result {
+	rs := make([]Result, n)
+	for i := range rs {
+		rs[i] = Result{ID: i, Dist: r.Float32()}
+	}
+	return rs
+}
+
+func TestQuickselectPartitions(t *testing.T) {
+	r := xrand.New(1)
+	for _, n := range []int{1, 2, 10, 100, 1000} {
+		for _, k := range []int{1, 2, n / 2, n - 1, n} {
+			if k <= 0 || k > n {
+				continue
+			}
+			rs := randResults(r, n)
+			Quickselect(rs, k)
+			var maxLeft, minRight float32 = -1, 2
+			for i := 0; i < k; i++ {
+				if rs[i].Dist > maxLeft {
+					maxLeft = rs[i].Dist
+				}
+			}
+			for i := k; i < n; i++ {
+				if rs[i].Dist < minRight {
+					minRight = rs[i].Dist
+				}
+			}
+			if n > k && maxLeft > minRight {
+				t.Fatalf("n=%d k=%d: left max %v > right min %v", n, k, maxLeft, minRight)
+			}
+		}
+	}
+}
+
+func TestQuickselectPreservesMultiset(t *testing.T) {
+	r := xrand.New(2)
+	rs := randResults(r, 500)
+	var before float64
+	for _, x := range rs {
+		before += float64(x.Dist)
+	}
+	Quickselect(rs, 100)
+	var after float64
+	for _, x := range rs {
+		after += float64(x.Dist)
+	}
+	if before != after {
+		t.Fatalf("multiset changed: %v != %v", before, after)
+	}
+}
+
+func TestQuickselectSortedInput(t *testing.T) {
+	rs := make([]Result, 1000)
+	for i := range rs {
+		rs[i] = Result{ID: i, Dist: float32(i)}
+	}
+	Quickselect(rs, 10)
+	for i := 0; i < 10; i++ {
+		if rs[i].Dist >= 10 {
+			t.Fatalf("sorted input: element %d has dist %v", i, rs[i].Dist)
+		}
+	}
+}
+
+func TestQuickselectDuplicates(t *testing.T) {
+	rs := make([]Result, 100)
+	for i := range rs {
+		rs[i] = Result{ID: i, Dist: float32(i % 3)}
+	}
+	Quickselect(rs, 40)
+	for i := 0; i < 34; i++ { // 34 zeros exist
+		if rs[i].Dist > 1 {
+			t.Fatalf("duplicate handling: pos %d dist %v", i, rs[i].Dist)
+		}
+	}
+}
+
+func TestQuickselectEdgeCases(t *testing.T) {
+	Quickselect(nil, 1)               // must not panic
+	Quickselect([]Result{{1, 0}}, 0)  // k=0
+	Quickselect([]Result{{1, 0}}, 5)  // k > len
+	Quickselect([]Result{{1, 0}}, -1) // negative k
+}
+
+func TestTopKSorted(t *testing.T) {
+	r := xrand.New(3)
+	rs := randResults(r, 200)
+	top := TopK(rs, 20)
+	if len(top) != 20 {
+		t.Fatalf("len = %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Dist < top[i-1].Dist {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestTopKMatchesFullSort(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := xrand.New(uint64(seed))
+		n := 50 + r.Intn(200)
+		k := 1 + r.Intn(n)
+		rs := randResults(r, n)
+		full := make([]Result, n)
+		copy(full, rs)
+		SortResults(full)
+		top := TopK(rs, k)
+		for i := 0; i < k; i++ {
+			if top[i] != full[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKClampsK(t *testing.T) {
+	rs := []Result{{1, 0.5}, {2, 0.1}}
+	top := TopK(rs, 10)
+	if len(top) != 2 || top[0].ID != 2 {
+		t.Fatalf("TopK = %v", top)
+	}
+}
+
+func TestSortResultsTieBreak(t *testing.T) {
+	rs := []Result{{5, 1}, {2, 1}, {9, 0}}
+	SortResults(rs)
+	if rs[0].ID != 9 || rs[1].ID != 2 || rs[2].ID != 5 {
+		t.Fatalf("tie break wrong: %v", rs)
+	}
+}
+
+func TestBoundedListKeepsBest(t *testing.T) {
+	b := NewBoundedList(3)
+	for i := 10; i > 0; i-- {
+		b.Push(Result{ID: i, Dist: float32(i)})
+	}
+	got := b.Results()
+	if len(got) != 3 || got[0].ID != 1 || got[1].ID != 2 || got[2].ID != 3 {
+		t.Fatalf("Results = %v", got)
+	}
+}
+
+func TestBoundedListWorst(t *testing.T) {
+	b := NewBoundedList(2)
+	if _, ok := b.Worst(); ok {
+		t.Fatal("Worst ok before full")
+	}
+	b.Push(Result{1, 1})
+	b.Push(Result{2, 2})
+	w, ok := b.Worst()
+	if !ok || w.Dist != 2 {
+		t.Fatalf("Worst = %v ok=%v", w, ok)
+	}
+	b.Push(Result{3, 0.5})
+	w, _ = b.Worst()
+	if w.Dist != 1 {
+		t.Fatalf("Worst after push = %v", w)
+	}
+}
+
+func TestBoundedListRejectsWorse(t *testing.T) {
+	b := NewBoundedList(1)
+	b.Push(Result{1, 1})
+	b.Push(Result{2, 5})
+	got := b.Results()
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("Results = %v", got)
+	}
+}
+
+func TestBoundedListMatchesFullSort(t *testing.T) {
+	r := xrand.New(4)
+	rs := randResults(r, 300)
+	b := NewBoundedList(25)
+	for _, x := range rs {
+		b.Push(x)
+	}
+	full := make([]Result, len(rs))
+	copy(full, rs)
+	SortResults(full)
+	got := b.Results()
+	for i := 0; i < 25; i++ {
+		if got[i].ID != full[i].ID {
+			t.Fatalf("mismatch at %d: %v vs %v", i, got[i], full[i])
+		}
+	}
+}
+
+func TestBoundedListPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewBoundedList(0)
+}
+
+func BenchmarkQuickselect10kTop100(b *testing.B) {
+	r := xrand.New(5)
+	base := randResults(r, 10000)
+	work := make([]Result, len(base))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, base)
+		Quickselect(work, 100)
+	}
+}

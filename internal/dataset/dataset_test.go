@@ -1,0 +1,265 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"reis/internal/vecmath"
+)
+
+func small(t *testing.T) *Dataset {
+	t.Helper()
+	return Generate(Config{Name: "test", N: 500, Dim: 64, Clusters: 10, Queries: 20, K: 10, Seed: 1})
+}
+
+func TestGenerateShapes(t *testing.T) {
+	d := small(t)
+	if d.Len() != 500 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if len(d.Docs) != 500 || len(d.Queries) != 20 || len(d.GroundTruth) != 20 {
+		t.Fatalf("bad shapes: docs=%d queries=%d gt=%d", len(d.Docs), len(d.Queries), len(d.GroundTruth))
+	}
+	for _, v := range d.Vectors {
+		if len(v) != 64 {
+			t.Fatalf("vector dim %d", len(v))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := small(t)
+	b := small(t)
+	for i := range a.Vectors {
+		for j := range a.Vectors[i] {
+			if a.Vectors[i][j] != b.Vectors[i][j] {
+				t.Fatalf("vectors differ at [%d][%d]", i, j)
+			}
+		}
+	}
+	for q := range a.GroundTruth {
+		for k := range a.GroundTruth[q] {
+			if a.GroundTruth[q][k] != b.GroundTruth[q][k] {
+				t.Fatalf("ground truth differs at query %d", q)
+			}
+		}
+	}
+}
+
+func TestVectorsAreUnitNorm(t *testing.T) {
+	d := small(t)
+	for i, v := range d.Vectors {
+		if n := vecmath.Norm(v); math.Abs(float64(n)-1) > 1e-5 {
+			t.Fatalf("vector %d norm %v", i, n)
+		}
+	}
+	for i, v := range d.Queries {
+		if n := vecmath.Norm(v); math.Abs(float64(n)-1) > 1e-5 {
+			t.Fatalf("query %d norm %v", i, n)
+		}
+	}
+}
+
+func TestDocsAreDistinctAndSized(t *testing.T) {
+	d := Generate(Config{Name: "x", N: 100, Dim: 16, Queries: 1, DocBytes: 512, Seed: 2})
+	seen := map[string]bool{}
+	for i, doc := range d.Docs {
+		if len(doc) != 512 {
+			t.Fatalf("doc %d size %d", i, len(doc))
+		}
+		key := string(doc[:32])
+		if seen[key] {
+			t.Fatalf("duplicate doc header %q", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestDocHeaderEncodesID(t *testing.T) {
+	d := Generate(Config{Name: "hdr", N: 10, Dim: 8, Queries: 1, Seed: 3})
+	if !bytes.Contains(d.Docs[7], []byte("doc=7")) {
+		t.Fatalf("doc 7 header missing id: %q", d.Docs[7][:40])
+	}
+}
+
+func TestExactTopKOrdering(t *testing.T) {
+	vs := [][]float32{{0, 0}, {1, 0}, {2, 0}, {3, 0}}
+	got := ExactTopK(vs, []float32{0.1, 0}, 3)
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExactTopK = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExactTopKClampsK(t *testing.T) {
+	vs := [][]float32{{0}, {1}}
+	got := ExactTopK(vs, []float32{0}, 10)
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+}
+
+func TestExactTopKTieBreaksByIndex(t *testing.T) {
+	vs := [][]float32{{1, 0}, {1, 0}, {0, 1}}
+	got := ExactTopK(vs, []float32{1, 0}, 2)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("tie break wrong: %v", got)
+	}
+}
+
+func TestGroundTruthMatchesExactSearch(t *testing.T) {
+	d := small(t)
+	for q, qv := range d.Queries {
+		want := ExactTopK(d.Vectors, qv, d.GroundTruthK)
+		for i := range want {
+			if d.GroundTruth[q][i] != want[i] {
+				t.Fatalf("query %d ground truth mismatch", q)
+			}
+		}
+	}
+}
+
+func TestRecallPerfect(t *testing.T) {
+	gt := [][]int{{1, 2, 3}, {4, 5, 6}}
+	if r := Recall(gt, gt, 3); r != 1 {
+		t.Fatalf("Recall = %v, want 1", r)
+	}
+}
+
+func TestRecallZero(t *testing.T) {
+	gt := [][]int{{1, 2, 3}}
+	got := [][]int{{7, 8, 9}}
+	if r := Recall(gt, got, 3); r != 0 {
+		t.Fatalf("Recall = %v, want 0", r)
+	}
+}
+
+func TestRecallPartial(t *testing.T) {
+	gt := [][]int{{1, 2, 3, 4}}
+	got := [][]int{{1, 2, 99, 98}}
+	if r := Recall(gt, got, 4); r != 0.5 {
+		t.Fatalf("Recall = %v, want 0.5", r)
+	}
+}
+
+func TestRecallRespectsKCut(t *testing.T) {
+	gt := [][]int{{1, 2, 3, 4, 5}}
+	got := [][]int{{1, 9, 9, 9, 2}} // the 2 is past k=2 cut in retrieved
+	if r := Recall(gt, got, 2); r != 0.5 {
+		t.Fatalf("Recall@2 = %v, want 0.5", r)
+	}
+}
+
+func TestRecallOrderInsensitiveWithinK(t *testing.T) {
+	gt := [][]int{{1, 2, 3}}
+	got := [][]int{{3, 1, 2}}
+	if r := Recall(gt, got, 3); r != 1 {
+		t.Fatalf("Recall = %v, want 1", r)
+	}
+}
+
+func TestRecallEmptyInputs(t *testing.T) {
+	if r := Recall(nil, nil, 10); r != 0 {
+		t.Fatalf("Recall(nil) = %v", r)
+	}
+}
+
+func TestRecallPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Recall([][]int{{1}}, nil, 1)
+}
+
+func TestQueriesAreNearDatabase(t *testing.T) {
+	// Each query is a perturbation of some database vector, so its
+	// nearest neighbor should be substantially closer than a random
+	// vector would be (distance < sqrt(2) for unit vectors).
+	d := small(t)
+	for q, qv := range d.Queries {
+		nn := d.GroundTruth[q][0]
+		dist := vecmath.L2Squared(qv, d.Vectors[nn])
+		if dist >= 2.0 {
+			t.Fatalf("query %d nearest neighbor distance^2 %v is not better than orthogonal", q, dist)
+		}
+	}
+}
+
+func TestClusterStructureExists(t *testing.T) {
+	// With strong clustering, the average distance to the assigned
+	// cluster's other members must be far below the global average —
+	// this is the property IVF exploits.
+	d := Generate(Config{Name: "c", N: 400, Dim: 64, Clusters: 8, Queries: 1, ClusterStd: 0.2, Seed: 4})
+	// Compute mean pairwise distance of a sample vs mean nearest-
+	// neighbor distance.
+	var nnSum, randSum float64
+	for i := 0; i < 50; i++ {
+		nn := ExactTopK(d.Vectors, d.Vectors[i], 2)[1] // skip self
+		nnSum += float64(vecmath.L2Squared(d.Vectors[i], d.Vectors[nn]))
+		randSum += float64(vecmath.L2Squared(d.Vectors[i], d.Vectors[(i+200)%400]))
+	}
+	if nnSum*4 > randSum {
+		t.Fatalf("no cluster structure: nn avg %v vs random avg %v", nnSum/50, randSum/50)
+	}
+}
+
+func TestCatalogLoad(t *testing.T) {
+	for name := range Catalog {
+		d := Load(name, 64)
+		if d.Len() < 256 {
+			t.Errorf("%s: too few entries %d", name, d.Len())
+		}
+		if d.Name != name {
+			t.Errorf("%s: name %q", name, d.Name)
+		}
+		if d.Dim != Catalog[name].Dim {
+			t.Errorf("%s: dim %d want %d", name, d.Dim, Catalog[name].Dim)
+		}
+	}
+}
+
+func TestCatalogOrdering(t *testing.T) {
+	// The scaled sizes must preserve the paper's dataset-size ordering.
+	order := []string{"NQ", "HotpotQA", "wiki_en", "wiki_full"}
+	for i := 1; i < len(order); i++ {
+		a, b := Catalog[order[i-1]], Catalog[order[i]]
+		if a.ScaledEntries >= b.ScaledEntries {
+			t.Errorf("scaled ordering violated: %s(%d) >= %s(%d)", a.Name, a.ScaledEntries, b.Name, b.ScaledEntries)
+		}
+		if a.PaperEntries >= b.PaperEntries {
+			t.Errorf("paper ordering violated: %s >= %s", a.Name, b.Name)
+		}
+	}
+}
+
+func TestLoadPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Load("nope", 1)
+}
+
+func TestLoadPanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Load("NQ", 0)
+}
+
+func TestSeedForStable(t *testing.T) {
+	if seedFor("NQ") != seedFor("NQ") {
+		t.Fatal("seedFor not deterministic")
+	}
+	if seedFor("NQ") == seedFor("HotpotQA") {
+		t.Fatal("seedFor collision across names")
+	}
+}

@@ -1,0 +1,252 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Sec 6). Each RunFigN function executes the
+// corresponding workload functionally on the simulated devices and
+// returns the rows/series the paper reports; cmd/reisbench prints them
+// and the root-level benchmarks time them.
+//
+// Scaling: workloads run functionally at catalog scale (Sec "Load"),
+// and device latencies are costed at the paper's full dataset sizes
+// through reis.Scale (fine scale = paper entries / functional entries;
+// coarse scale = paper nlist / functional nlist). Normalized results —
+// who wins and by roughly what factor — are the reproduction target,
+// not absolute QPS.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"reis/internal/ann"
+	"reis/internal/dataset"
+	"reis/internal/host"
+	"reis/internal/reis"
+	"reis/internal/ssd"
+)
+
+// PaperNList is the cluster count the paper uses for its IVF indexes
+// (Fig 5: nlist = 16384).
+const PaperNList = 16384
+
+// QueryBatch is the number of queries a retrieval session serves
+// before the dataset is evicted; CPU-Real amortizes dataset loading
+// over this batch (Sec 3.2 discusses why batching cannot grow without
+// bound across domain-specific databases).
+const QueryBatch = 1000
+
+// SurvivorRate is the full-scale distance-filter pass rate (the paper
+// filters ~99% of candidates, Sec 4.3.3).
+const SurvivorRate = 0.01
+
+// RecallTargets are the Recall@10 operating points of Figs 7, 8, 10.
+var RecallTargets = []float64{0.98, 0.94, 0.90}
+
+// Workload bundles a functional dataset with its IVF indexing
+// information and the scale factors to the paper's full size.
+type Workload struct {
+	Name      string
+	Data      *dataset.Dataset
+	Desc      dataset.Descriptor
+	Centroids [][]float32
+	Assign    []int
+
+	// ScaleFine is paper entries / functional entries (applies to
+	// whole-database scans).
+	ScaleFine float64
+	// ScaleCoarse is paper nlist / functional nlist.
+	ScaleCoarse float64
+	// ClusterRatio is paper cluster size / functional cluster size.
+	// IVF fine scans extrapolate by this ratio: at full scale the
+	// paper's index keeps nlist = 16384, so a fixed nprobe scans
+	// nprobe * (paperN / 16384) entries regardless of how the
+	// functional run was scaled.
+	ClusterRatio float64
+}
+
+// LoadWorkload builds the named catalog workload at the given scale
+// divisor and trains its IVF clustering (the offline indexing stage).
+func LoadWorkload(name string, scale int) *Workload {
+	desc, ok := dataset.Catalog[name]
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown dataset %q", name))
+	}
+	data := dataset.Load(name, scale)
+	// nlist follows the generator's topic count but never drops below
+	// sqrt(N): tiny cluster counts would force near-full scans at any
+	// recall target, which no full-scale deployment would use.
+	nlist := max(8, max(desc.Clusters/scale, isqrt(data.Len())))
+	cents, assign := ann.KMeans(data.Vectors, ann.KMeansConfig{
+		K: nlist, Seed: 0x1df, SampleLimit: 8192,
+	})
+	paperCluster := float64(desc.PaperEntries) / float64(PaperNList)
+	ourCluster := float64(data.Len()) / float64(len(cents))
+	return &Workload{
+		Name:         name,
+		Data:         data,
+		Desc:         desc,
+		Centroids:    cents,
+		Assign:       assign,
+		ScaleFine:    float64(desc.PaperEntries) / float64(data.Len()),
+		ScaleCoarse:  float64(PaperNList) / float64(len(cents)),
+		ClusterRatio: paperCluster / ourCluster,
+	}
+}
+
+// ScaleBF returns the reis.Scale for costing a brute-force query at
+// paper size: the scan covers the whole database, so it magnifies
+// linearly.
+func (w *Workload) ScaleBF() reis.Scale {
+	return reis.Scale{Fine: w.ScaleFine, Coarse: w.ScaleCoarse, SurvivorRate: SurvivorRate}
+}
+
+// ScaleIVF returns the reis.Scale for costing an IVF query at paper
+// size. The fine scan covers nprobe clusters of ClusterRatio-times
+// larger size, and nprobe itself grows with the square root of the
+// nlist ratio: keeping nprobe fixed (scan ∝ ClusterRatio) is too
+// optimistic at 16384 cells, while keeping the scanned *fraction*
+// fixed (scan ∝ N) is too pessimistic — sqrt sits between the two
+// extremes and matches how practitioners retune nprobe when nlist
+// grows (FAISS guidelines scale both with sqrt(N)).
+func (w *Workload) ScaleIVF() reis.Scale {
+	fine := w.ClusterRatio * sqrtF(w.ScaleCoarse)
+	if w.Desc.DocBytes == 0 {
+		// Billion-scale pure-ANNS datasets (SIFT/DEEP): the functional
+		// run already probes a far larger fraction of cells (tens of
+		// percent) than any full-scale deployment would (<1%), so the
+		// nprobe-growth term would double-count; cluster-size scaling
+		// alone is already conservative for REIS there.
+		fine = w.ClusterRatio
+	}
+	return reis.Scale{Fine: fine, Coarse: w.ScaleCoarse, SurvivorRate: SurvivorRate}
+}
+
+func sqrtF(x float64) float64 {
+	if x < 1 {
+		return 1
+	}
+	return math.Sqrt(x)
+}
+
+// PaperN returns the full-scale entry count.
+func (w *Workload) PaperN() int64 { return w.Desc.PaperEntries }
+
+// Setup is a deployed REIS engine over a workload.
+type Setup struct {
+	Engine *reis.Engine
+	DB     *reis.Database
+	W      *Workload
+}
+
+// NewSetup deploys the workload on a fresh engine of the given
+// configuration and options.
+func NewSetup(cfg ssd.Config, w *Workload, opts reis.Options) (*Setup, error) {
+	// Shrink per-plane capacity to what the workload needs (keeps the
+	// functional simulation light without touching parallelism). Eight
+	// blocks per plane leave room for the four block-aligned regions
+	// of a deployment; WithCapacityFor grows it if the data demands.
+	need := int64(w.Data.Len()) * int64(w.Data.Dim*3)
+	cfg.Geo.BlocksPerPlane = 8
+	cfg.Geo.PagesPerBlock = 16
+	e, err := reis.New(cfg, need*4+64<<20, opts)
+	if err != nil {
+		return nil, err
+	}
+	db, err := e.IVFDeploy(reis.DeployConfig{
+		ID: 1, Vectors: w.Data.Vectors, Docs: w.Data.Docs,
+		DocSlotBytes: docSlot(w.Data), Centroids: w.Centroids, Assign: w.Assign,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Setup{Engine: e, DB: db, W: w}, nil
+}
+
+func docSlot(d *dataset.Dataset) int {
+	slot := 256
+	for _, doc := range d.Docs[:1] {
+		for slot < len(doc) {
+			slot *= 2
+		}
+	}
+	return slot
+}
+
+// RunBF executes every workload query as an in-storage brute-force
+// search and returns the mean per-query latency breakdown at paper
+// scale plus the mean stats.
+func (s *Setup) RunBF(k int) (reis.Breakdown, reis.QueryStats, error) {
+	return s.run(k, s.W.ScaleBF(), func(q []float32) ([]reis.DocResult, reis.QueryStats, error) {
+		return s.Engine.Search(1, q, k, reis.SearchOptions{})
+	})
+}
+
+// RunIVF executes every query at the given nprobe.
+func (s *Setup) RunIVF(k, nprobe int) (reis.Breakdown, reis.QueryStats, error) {
+	return s.run(k, s.W.ScaleIVF(), func(q []float32) ([]reis.DocResult, reis.QueryStats, error) {
+		return s.Engine.IVFSearch(1, q, k, reis.SearchOptions{NProbe: nprobe})
+	})
+}
+
+func (s *Setup) run(k int, sc reis.Scale, f func(q []float32) ([]reis.DocResult, reis.QueryStats, error)) (reis.Breakdown, reis.QueryStats, error) {
+	var totalSec float64
+	var b reis.Breakdown
+	var agg reis.QueryStats
+	n := len(s.W.Data.Queries)
+	for _, q := range s.W.Data.Queries {
+		_, st, err := f(q)
+		if err != nil {
+			return reis.Breakdown{}, reis.QueryStats{}, err
+		}
+		bd := s.Engine.Latency(s.DB, st, sc)
+		totalSec += bd.Total.Seconds()
+		b = bd // keep the last breakdown's proportions
+		agg.Add(st)
+	}
+	b.Total = time.Duration(totalSec / float64(n) * float64(time.Second))
+	return b, meanStats(agg, n), nil
+}
+
+func meanStats(agg reis.QueryStats, n int) reis.QueryStats {
+	if n <= 1 {
+		return agg
+	}
+	agg.CoarseWaves /= n
+	agg.FineWaves /= n
+	agg.CoarsePages /= n
+	agg.FinePages /= n
+	agg.EntriesScanned /= n
+	agg.Survivors /= n
+	agg.TTLBytes /= int64(n)
+	agg.RerankCount /= n
+	agg.RerankPages /= n
+	agg.RerankWaves /= n
+	agg.DocPages /= n
+	agg.DocBytes /= int64(n)
+	agg.IBCBroadcasts /= n
+	agg.SelectInput /= n
+	agg.SortedEntries /= n
+	agg.CoarseEntries /= n
+	return agg
+}
+
+// NProbeFor calibrates nprobe for a Recall@10 target on this setup.
+func (s *Setup) NProbeFor(target float64) (int, error) {
+	return s.Engine.CalibrateNProbe(1, s.W.Data.Queries, s.W.Data.GroundTruth, 10, target)
+}
+
+// CPUQPS returns the Fig 7 CPU-Real throughput for this workload:
+// BQ dataset loading at paper size amortized over QueryBatch queries,
+// plus the per-query BQ scan of `candidates` full-scale candidates.
+func CPUQPS(b *host.Baseline, w *Workload, candidates float64, coarse float64) float64 {
+	bytes := host.DatasetBytesBQ(int(w.PaperN()), w.Data.Dim, w.Desc.DocBytes)
+	load := b.LoadSeconds(bytes, true)
+	search := b.ScanSecondsBQ(int(candidates), w.Data.Dim, 100) +
+		b.ScanSecondsF32(int(coarse), w.Data.Dim)
+	return b.QPS(QueryBatch, load, search)
+}
+
+// FineCandidates returns the full-scale fine-scan candidate count of a
+// mean stats record under the given scale.
+func FineCandidates(st reis.QueryStats, fineScale float64) float64 {
+	return float64(st.EntriesScanned-st.CoarseEntries) * fineScale
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tests run at heavy scale divisors so the functional workloads stay
+// small; the benchmark harness runs the same code at lower divisors.
+const testScale = 64
+
+func TestLoadWorkload(t *testing.T) {
+	w := LoadWorkload("NQ", testScale)
+	if w.Data.Len() == 0 || len(w.Centroids) == 0 {
+		t.Fatal("empty workload")
+	}
+	if len(w.Assign) != w.Data.Len() {
+		t.Fatal("assignment length mismatch")
+	}
+	if w.ScaleFine <= 1 {
+		t.Fatalf("ScaleFine = %v, expected > 1 for scaled-down run", w.ScaleFine)
+	}
+	if w.ScaleCoarse <= 1 {
+		t.Fatalf("ScaleCoarse = %v", w.ScaleCoarse)
+	}
+}
+
+func TestRunFig7ShapeHolds(t *testing.T) {
+	rows, err := RunFig7(testScale, []string{"NQ", "wiki_en"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*(1+len(RecallTargets)) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Headline claims: REIS beats CPU-Real on every dataset/mode.
+		if r.SSD1 <= 1 {
+			t.Errorf("%s/%s: SSD1 speedup %.2f <= 1", r.Dataset, r.Mode, r.SSD1)
+		}
+		// SSD2 must beat SSD1 (2x channels, 1.7x bandwidth, 2x planes).
+		if r.SSD2 <= r.SSD1 {
+			t.Errorf("%s/%s: SSD2 %.2f <= SSD1 %.2f", r.Dataset, r.Mode, r.SSD2, r.SSD1)
+		}
+		// Energy efficiency gains exceed throughput gains (the SSD
+		// draws ~30x less power).
+		if r.SSD1QPSW <= r.SSD1 {
+			t.Errorf("%s/%s: QPS/W gain %.2f <= QPS gain %.2f", r.Dataset, r.Mode, r.SSD1QPSW, r.SSD1)
+		}
+	}
+	avg, maxS, avgW, maxW := SummarizeFig7(rows)
+	t.Logf("speedup avg %.1fx max %.1fx (paper: 13x/112x); QPS/W avg %.1fx max %.1fx (paper: 55x/157x)",
+		avg, maxS, avgW, maxW)
+	if avg < 2 {
+		t.Errorf("average speedup %.2f too low to reproduce the paper's shape", avg)
+	}
+	out := FormatFig7(rows)
+	if !strings.Contains(out, "wiki_en") {
+		t.Error("formatted output missing dataset")
+	}
+}
+
+func TestRunFig9OptimizationOrdering(t *testing.T) {
+	rows, err := RunFig9(testScale, []float64{0.94, 0.90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.DF < r.NoOpt {
+			t.Errorf("%s@%.2f: +DF (%.2f) below No-OPT (%.2f)", r.SSD, r.Recall, r.DF, r.NoOpt)
+		}
+		if r.DFPL < r.DF*0.95 {
+			t.Errorf("%s@%.2f: +PL (%.2f) below +DF (%.2f)", r.SSD, r.Recall, r.DFPL, r.DF)
+		}
+		if r.Full < r.DFPL*0.95 {
+			t.Errorf("%s@%.2f: +MPIBC (%.2f) below +PL (%.2f)", r.SSD, r.Recall, r.Full, r.DFPL)
+		}
+		// DF must be the dominant optimization (paper: 4.7-5.7x of the
+		// total stack's gain).
+		dfGain := r.DF / r.NoOpt
+		restGain := r.Full / r.DF
+		if dfGain < restGain {
+			t.Errorf("%s@%.2f: DF gain %.2f not dominant vs rest %.2f", r.SSD, r.Recall, dfGain, restGain)
+		}
+	}
+	if out := FormatFig9(rows); !strings.Contains(out, "NO-OPT") {
+		t.Error("format missing header")
+	}
+}
+
+func TestRunASICSlowdownBand(t *testing.T) {
+	rows, err := RunASIC(testScale, []string{"wiki_en"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Slowdown < 1.5 {
+			t.Errorf("%s/%s@%.2f: ASIC slowdown %.2f < 1.5", r.Dataset, r.SSD, r.Recall, r.Slowdown)
+		}
+	}
+	t.Log(FormatASIC(rows))
+}
+
+func TestRunFig10REISWins(t *testing.T) {
+	rows, err := RunFig10(testScale, []string{"HotpotQA"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bfICE float64
+	for _, r := range rows {
+		if r.SpeedupICE <= 1 {
+			t.Errorf("%s/%s/%s: not faster than ICE (%.2f)", r.Dataset, r.Mode, r.SSD, r.SpeedupICE)
+		}
+		// ICE is slower than ICE-ESP, so the speedup over ICE is larger.
+		if r.SpeedupICE <= r.SpeedupICEESP {
+			t.Errorf("speedup over ICE (%.2f) not above ICE-ESP (%.2f)", r.SpeedupICE, r.SpeedupICEESP)
+		}
+		if r.Mode == "BF" && r.SSD == "REIS-SSD1" {
+			bfICE = r.SpeedupICE
+		}
+	}
+	// Paper: BF speedup over ICE greater than 10x.
+	if bfICE < 5 {
+		t.Errorf("BF speedup over ICE %.2f, paper reports > 10x", bfICE)
+	}
+	t.Log(FormatFig10(rows))
+}
+
+func TestRunFig11REISWins(t *testing.T) {
+	rows, err := RunFig11(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SpeedupND <= 0.5 {
+			t.Errorf("%s: speedup over NDSearch %.2f collapsed", r.Dataset, r.SpeedupND)
+		}
+	}
+	t.Log(FormatFig11(rows))
+}
+
+func TestRunFig5Shape(t *testing.T) {
+	pts, err := RunFig5(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := map[string]float64{}
+	bestQPS := map[string]float64{}
+	for _, p := range pts {
+		if p.Recall > best[p.Algorithm] {
+			best[p.Algorithm] = p.Recall
+		}
+		if p.NormQPS > bestQPS[p.Algorithm] {
+			bestQPS[p.Algorithm] = p.NormQPS
+		}
+	}
+	// Paper observations: IVF and HNSW reach high recall; BQ IVF is
+	// much faster than exhaustive search; LSH is the weakest.
+	if best["IVF"] < 0.9 {
+		t.Errorf("IVF best recall %.2f < 0.9", best["IVF"])
+	}
+	if best["HNSW"] < 0.9 {
+		t.Errorf("HNSW best recall %.2f < 0.9", best["HNSW"])
+	}
+	if bestQPS["BQ IVF"] < 1 {
+		t.Errorf("BQ IVF never beat exhaustive search (%.2f)", bestQPS["BQ IVF"])
+	}
+	if best["LSH"] >= best["IVF"] && bestQPS["LSH"] >= bestQPS["BQ IVF"] {
+		t.Error("LSH unexpectedly dominant")
+	}
+	t.Log(FormatFig5(pts))
+}
+
+func TestRunRAGBreakdown(t *testing.T) {
+	rows, err := RunRAGBreakdown(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]RAGRow{}
+	for _, r := range rows {
+		byKey[r.Dataset+"/"+r.System] = r
+	}
+	// Fig 2 shape: wiki_en flat is loading-dominated.
+	we := byKey["wiki_en/CPU flat"].Stages.Fractions()
+	if we.DatasetLoad < 0.6 {
+		t.Errorf("wiki_en flat loading fraction %.2f (paper 0.84)", we.DatasetLoad)
+	}
+	// Fig 3 shape: BQ reduces loading share but wiki_en stays bound.
+	bq := byKey["wiki_en/CPU+BQ"].Stages.Fractions()
+	if bq.DatasetLoad >= we.DatasetLoad {
+		t.Error("BQ did not reduce loading share")
+	}
+	if bq.DatasetLoad < 0.4 {
+		t.Errorf("wiki_en BQ loading fraction %.2f (paper 0.67)", bq.DatasetLoad)
+	}
+	// Table 4 shape: REIS is generation-dominated and faster overall.
+	reisRow := byKey["wiki_en/REIS-SSD1"]
+	if f := reisRow.Stages.Fractions(); f.Generation < 0.7 {
+		t.Errorf("REIS generation fraction %.2f (paper 0.92)", f.Generation)
+	}
+	if reisRow.Stages.Total() >= byKey["wiki_en/CPU+BQ"].Stages.Total() {
+		t.Error("REIS end-to-end not faster than CPU+BQ")
+	}
+	t.Log(FormatRAG(rows))
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"reis/internal/host"
+	"reis/internal/reis"
+	"reis/internal/ssd"
+)
+
+// Fig7Row is one bar group of Fig 7 (throughput) and Fig 8 (energy
+// efficiency): one dataset x search mode, with REIS-SSD1, REIS-SSD2
+// and No-I/O normalized to CPU-Real.
+type Fig7Row struct {
+	Dataset string
+	Mode    string // "BF" or "IVF@0.98" etc.
+
+	CPUQPS   float64 // absolute, queries/s
+	NoIO     float64 // normalized QPS
+	SSD1     float64
+	SSD2     float64
+	SSD1QPSW float64 // normalized QPS/W (Fig 8)
+	SSD2QPSW float64
+}
+
+// Fig7Datasets are the evaluation datasets of Figs 7/8/10.
+var Fig7Datasets = []string{"NQ", "HotpotQA", "wiki_en", "wiki_full"}
+
+// RunFig7 regenerates Figs 7 and 8 at the given functional scale
+// divisor. It returns one row per dataset x mode.
+func RunFig7(scale int, datasets []string) ([]Fig7Row, error) {
+	if datasets == nil {
+		datasets = Fig7Datasets
+	}
+	cpu := host.NewBaseline(host.CPUReal())
+	noio := host.NewBaseline(host.CPUReal())
+	noio.NoIO = true
+
+	var rows []Fig7Row
+	for _, name := range datasets {
+		w := LoadWorkload(name, scale)
+		s1, err := NewSetup(ssd.SSD1(), w, reis.AllOptions())
+		if err != nil {
+			return nil, err
+		}
+		s2, err := NewSetup(ssd.SSD2(), w, reis.AllOptions())
+		if err != nil {
+			return nil, err
+		}
+
+		// Brute force.
+		b1, st1, err := s1.RunBF(10)
+		if err != nil {
+			return nil, err
+		}
+		b2, _, err := s2.RunBF(10)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, makeRow(w, "BF", w.ScaleFine, cpu, noio, b1, b2, st1))
+
+		// IVF at each recall target.
+		for _, target := range RecallTargets {
+			nprobe, err := s1.NProbeFor(target)
+			if err != nil {
+				return nil, err
+			}
+			b1, st, err := s1.RunIVF(10, nprobe)
+			if err != nil {
+				return nil, err
+			}
+			b2, _, err := s2.RunIVF(10, nprobe)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, makeRow(w, fmt.Sprintf("IVF@%.2f", target), w.ScaleIVF().Fine, cpu, noio, b1, b2, st))
+		}
+	}
+	return rows, nil
+}
+
+func makeRow(w *Workload, mode string, fineScale float64, cpu, noio *host.Baseline, b1, b2 reis.Breakdown, st reis.QueryStats) Fig7Row {
+	fineCands := FineCandidates(st, fineScale)
+	coarse := float64(st.CoarseEntries) * w.ScaleCoarse
+	cpuQPS := CPUQPS(cpu, w, fineCands, coarse)
+	noioQPS := CPUQPS(noio, w, fineCands, coarse)
+
+	q1 := 1 / b1.Total.Seconds()
+	q2 := 1 / b2.Total.Seconds()
+	cpuQPSW := cpuQPS / cpu.CPU.ActiveWatts
+	return Fig7Row{
+		Dataset:  w.Name,
+		Mode:     mode,
+		CPUQPS:   cpuQPS,
+		NoIO:     noioQPS / cpuQPS,
+		SSD1:     q1 / cpuQPS,
+		SSD2:     q2 / cpuQPS,
+		SSD1QPSW: q1 / b1.AvgWatts / cpuQPSW,
+		SSD2QPSW: q2 / b2.AvgWatts / cpuQPSW,
+	}
+}
+
+// FormatFig7 renders the rows as the paper's figure series.
+func FormatFig7(rows []Fig7Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig 7: throughput normalized to CPU-Real (and Fig 8: QPS/W)\n")
+	fmt.Fprintf(&sb, "%-10s %-9s %9s %8s %8s %8s | %9s %9s\n",
+		"dataset", "mode", "CPU(QPS)", "No-I/O", "SSD1", "SSD2", "SSD1 Q/W", "SSD2 Q/W")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %-9s %9.2f %8.2f %8.2f %8.2f | %9.2f %9.2f\n",
+			r.Dataset, r.Mode, r.CPUQPS, r.NoIO, r.SSD1, r.SSD2, r.SSD1QPSW, r.SSD2QPSW)
+	}
+	return sb.String()
+}
+
+// SummarizeFig7 reports the aggregates the paper quotes: average and
+// maximum REIS speedup and energy-efficiency gain over CPU-Real.
+func SummarizeFig7(rows []Fig7Row) (avgSpeedup, maxSpeedup, avgQPSW, maxQPSW float64) {
+	var n float64
+	for _, r := range rows {
+		for _, v := range []float64{r.SSD1, r.SSD2} {
+			avgSpeedup += v
+			if v > maxSpeedup {
+				maxSpeedup = v
+			}
+			n++
+		}
+		for _, v := range []float64{r.SSD1QPSW, r.SSD2QPSW} {
+			avgQPSW += v
+			if v > maxQPSW {
+				maxQPSW = v
+			}
+		}
+	}
+	return avgSpeedup / n, maxSpeedup, avgQPSW / n, maxQPSW
+}

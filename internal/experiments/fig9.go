@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"reis/internal/host"
+	"reis/internal/reis"
+	"reis/internal/ssd"
+)
+
+// Fig9Row is one point of the Fig 9 sensitivity study: normalized QPS
+// of each optimization stack at one recall target on wiki_full.
+type Fig9Row struct {
+	SSD    string
+	Recall float64
+	NoOpt  float64 // normalized to CPU-Real
+	DF     float64 // +distance filtering
+	DFPL   float64 // +pipelining
+	Full   float64 // +MPIBC
+}
+
+// Fig9Recalls are the sweep points of Fig 9.
+var Fig9Recalls = []float64{0.98, 0.96, 0.94, 0.92, 0.90}
+
+// RunFig9 regenerates the Fig 9 sensitivity sweep on wiki_full.
+func RunFig9(scale int, recalls []float64) ([]Fig9Row, error) {
+	if recalls == nil {
+		recalls = Fig9Recalls
+	}
+	w := LoadWorkload("wiki_full", scale)
+	cpu := host.NewBaseline(host.CPUReal())
+
+	stacks := []struct {
+		name string
+		opts reis.Options
+	}{
+		{"NoOpt", reis.Options{}},
+		{"DF", reis.Options{DistanceFilter: true}},
+		{"DFPL", reis.Options{DistanceFilter: true, Pipelining: true}},
+		{"Full", reis.AllOptions()},
+	}
+
+	var rows []Fig9Row
+	for _, cfg := range []ssd.Config{ssd.SSD1(), ssd.SSD2()} {
+		setups := make([]*Setup, len(stacks))
+		for i, stk := range stacks {
+			s, err := NewSetup(cfg, w, stk.opts)
+			if err != nil {
+				return nil, err
+			}
+			setups[i] = s
+		}
+		for _, target := range recalls {
+			row := Fig9Row{SSD: cfg.Name, Recall: target}
+			vals := []*float64{&row.NoOpt, &row.DF, &row.DFPL, &row.Full}
+			for i, s := range setups {
+				nprobe, err := s.NProbeFor(target)
+				if err != nil {
+					return nil, err
+				}
+				b, st, err := s.RunIVF(10, nprobe)
+				if err != nil {
+					return nil, err
+				}
+				cpuQPS := CPUQPS(cpu, w, FineCandidates(st, w.ScaleIVF().Fine), float64(st.CoarseEntries)*w.ScaleCoarse)
+				*vals[i] = (1 / b.Total.Seconds()) / cpuQPS
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatFig9 renders the sensitivity sweep.
+func FormatFig9(rows []Fig9Row) string {
+	var sb strings.Builder
+	sb.WriteString("Fig 9: optimization sensitivity on wiki_full (QPS normalized to CPU-Real)\n")
+	fmt.Fprintf(&sb, "%-10s %-7s %8s %8s %8s %8s\n", "SSD", "recall", "NO-OPT", "+DF", "+PL", "+MPIBC")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %-7.2f %8.2f %8.2f %8.2f %8.2f\n",
+			r.SSD, r.Recall, r.NoOpt, r.DF, r.DFPL, r.Full)
+	}
+	return sb.String()
+}
+
+// ASICRow is the Sec 6.3.1 comparison: REIS versus the REIS-ASIC
+// variant that replaces ESP with controller-side ECC.
+type ASICRow struct {
+	Dataset  string
+	SSD      string
+	Recall   float64
+	Slowdown float64 // ASIC latency / REIS latency
+}
+
+// RunASIC regenerates the Sec 6.3.1 REIS-ASIC comparison.
+func RunASIC(scale int, datasets []string) ([]ASICRow, error) {
+	if datasets == nil {
+		datasets = Fig7Datasets
+	}
+	var rows []ASICRow
+	for _, name := range datasets {
+		w := LoadWorkload(name, scale)
+		for _, cfg := range []ssd.Config{ssd.SSD1(), ssd.SSD2()} {
+			s, err := NewSetup(cfg, w, reis.AllOptions())
+			if err != nil {
+				return nil, err
+			}
+			for _, target := range RecallTargets {
+				nprobe, err := s.NProbeFor(target)
+				if err != nil {
+					return nil, err
+				}
+				_, st, err := s.RunIVF(10, nprobe)
+				if err != nil {
+					return nil, err
+				}
+				sc := w.ScaleIVF()
+				reisL := s.Engine.Latency(s.DB, st, sc).Total
+				asicL := s.Engine.ASICLatency(s.DB, st, sc).Total
+				rows = append(rows, ASICRow{
+					Dataset: name, SSD: cfg.Name, Recall: target,
+					Slowdown: float64(asicL) / float64(reisL),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatASIC renders the REIS-ASIC comparison.
+func FormatASIC(rows []ASICRow) string {
+	var sb strings.Builder
+	sb.WriteString("Sec 6.3.1: REIS-ASIC slowdown vs REIS (paper: 4.1-5.0x SSD1, 3.9-6.5x SSD2)\n")
+	fmt.Fprintf(&sb, "%-10s %-10s %-7s %9s\n", "dataset", "SSD", "recall", "slowdown")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %-10s %-7.2f %8.2fx\n", r.Dataset, r.SSD, r.Recall, r.Slowdown)
+	}
+	return sb.String()
+}

@@ -1,0 +1,133 @@
+package flash
+
+import "fmt"
+
+// Opcode enumerates the NAND flash command-set extensions of Table 2,
+// plus the conventional read/program commands they extend. The die
+// control logic is a finite-state machine (Sec 4.4.2): commands arrive
+// from the controller and drive the peripheral logic.
+type Opcode int
+
+const (
+	// OpReadPage is the conventional page read (sense into the page
+	// buffer).
+	OpReadPage Opcode = iota
+	// OpIBC broadcasts a copy of the query embedding into the page
+	// buffer (Table 2: "IBC Q_EMB").
+	OpIBC
+	// OpXOR performs the XOR between latches of a plane
+	// (Table 2: "XOR ADR_P").
+	OpXOR
+	// OpGenDist computes the distance for one database embedding slot
+	// (Table 2: "GEN_DIST EADR").
+	OpGenDist
+	// OpReadTTL transfers a TTL entry for an embedding to the SSD DRAM
+	// (Table 2: "RD_TTL EADR").
+	OpReadTTL
+)
+
+// String implements fmt.Stringer.
+func (o Opcode) String() string {
+	switch o {
+	case OpReadPage:
+		return "READ_PAGE"
+	case OpIBC:
+		return "IBC"
+	case OpXOR:
+		return "XOR"
+	case OpGenDist:
+		return "GEN_DIST"
+	case OpReadTTL:
+		return "RD_TTL"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Command is one command issued to a die's control logic.
+type Command struct {
+	Op    Opcode
+	Addr  Address  // OpReadPage
+	Plane int      // OpXOR, OpGenDist, OpReadTTL: global plane index
+	Mini  MiniPage // OpGenDist, OpReadTTL
+	// Query and SlotBytes apply to OpIBC.
+	Query     []byte
+	SlotBytes int
+	// EntryBytes applies to OpReadTTL: the size of the transferred TTL
+	// entry.
+	EntryBytes int
+}
+
+// DieFSM validates and executes Table 2 commands against a device.
+// It enforces the protocol ordering the die control logic requires:
+// GEN_DIST is only legal after an XOR on the same plane, and XOR is
+// only legal after both an IBC and a page read have populated the
+// latches.
+type DieFSM struct {
+	dev *Device
+	// per-plane protocol state
+	haveIBC  []bool
+	haveRead []bool
+	haveXOR  []bool
+}
+
+// NewDieFSM wraps dev with protocol checking.
+func NewDieFSM(dev *Device) *DieFSM {
+	n := dev.Geo.Planes()
+	return &DieFSM{
+		dev:      dev,
+		haveIBC:  make([]bool, n),
+		haveRead: make([]bool, n),
+		haveXOR:  make([]bool, n),
+	}
+}
+
+// Execute runs one command. For OpGenDist it returns the computed
+// distance; other commands return 0.
+func (f *DieFSM) Execute(cmd Command) (int, error) {
+	switch cmd.Op {
+	case OpReadPage:
+		if err := f.dev.ReadPage(cmd.Addr); err != nil {
+			return 0, err
+		}
+		p := cmd.Addr.PlaneIndex(f.dev.Geo)
+		f.haveRead[p] = true
+		f.haveXOR[p] = false
+		return 0, nil
+	case OpIBC:
+		if cmd.Plane < 0 || cmd.Plane >= f.dev.Geo.Planes() {
+			return 0, fmt.Errorf("flash: IBC invalid plane %d", cmd.Plane)
+		}
+		if err := f.dev.LoadCache(cmd.Plane, cmd.Query, cmd.SlotBytes); err != nil {
+			return 0, err
+		}
+		f.haveIBC[cmd.Plane] = true
+		f.haveXOR[cmd.Plane] = false
+		return 0, nil
+	case OpXOR:
+		if !f.haveIBC[cmd.Plane] {
+			return 0, fmt.Errorf("flash: XOR on plane %d before IBC", cmd.Plane)
+		}
+		if !f.haveRead[cmd.Plane] {
+			return 0, fmt.Errorf("flash: XOR on plane %d before page read", cmd.Plane)
+		}
+		if err := f.dev.XORLatches(cmd.Plane); err != nil {
+			return 0, err
+		}
+		f.haveXOR[cmd.Plane] = true
+		return 0, nil
+	case OpGenDist:
+		if !f.haveXOR[cmd.Plane] {
+			return 0, fmt.Errorf("flash: GEN_DIST on plane %d before XOR", cmd.Plane)
+		}
+		return f.dev.CountSlotBits(cmd.Plane, cmd.SlotBytes, cmd.Mini.Slot)
+	case OpReadTTL:
+		if cmd.EntryBytes <= 0 {
+			return 0, fmt.Errorf("flash: RD_TTL with non-positive entry size")
+		}
+		f.dev.TransferOut(cmd.Plane, cmd.EntryBytes)
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("flash: unknown opcode %d", cmd.Op)
+	}
+}

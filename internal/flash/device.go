@@ -1,0 +1,396 @@
+package flash
+
+import (
+	"fmt"
+
+	"reis/internal/xrand"
+)
+
+// Stats accumulates device event counts; the SSD and REIS layers turn
+// these into latency and energy using Params.
+type Stats struct {
+	PageReads       int64
+	PageReadsByMode [3]int64
+	PagePrograms    int64
+	BlockErases     int64
+	LatchXORs       int64
+	BitCounts       int64
+	PassFailChecks  int64
+	IBCLoads        int64
+	// BytesOut counts bytes transferred from dies to the controller,
+	// per channel.
+	BytesOut []int64
+	// BytesIn counts bytes transferred into dies (programs, IBC), per
+	// channel.
+	BytesIn []int64
+	// BitErrorsInjected counts raw bit flips applied on non-ESP reads
+	// without ECC.
+	BitErrorsInjected int64
+	// ECCCorrections counts raw flips fixed by the controller ECC on
+	// the conventional read path.
+	ECCCorrections int64
+}
+
+// TotalBytesOut sums the per-channel outbound byte counts.
+func (s *Stats) TotalBytesOut() int64 {
+	var t int64
+	for _, b := range s.BytesOut {
+		t += b
+	}
+	return t
+}
+
+// Device is a functional NAND flash array.
+type Device struct {
+	Geo    Geometry
+	Params Params
+
+	planes []*Plane
+	// blockMode[planeIdx][block] is the cell mode each block was last
+	// programmed in (soft partitioning).
+	blockMode [][]CellMode
+
+	// ECCBypass disables error injection entirely; REIS relies on
+	// SLC-ESP having zero raw BER instead, so this stays false in the
+	// evaluated configurations.
+	ECCBypass bool
+
+	Stats Stats
+	rng   *xrand.RNG
+}
+
+// Plane models one flash plane: its pages (lazily allocated), OOB
+// areas, and the three page-buffer latches.
+type Plane struct {
+	geo   Geometry
+	pages map[int][]byte // page index within plane -> user data
+	oobs  map[int][]byte // page index within plane -> OOB data
+
+	// Sensing, Data and Cache latches (Sec 2.3 items 10-12). Sized
+	// PageBytes+OOBBytes: a page read loads OOB alongside user data
+	// (Sec 4.1.3).
+	Sensing []byte
+	Data    []byte
+	Cache   []byte
+}
+
+// NewDevice allocates a device with the given geometry and parameters.
+func NewDevice(geo Geometry, params Params) (*Device, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		Geo:    geo,
+		Params: params,
+		planes: make([]*Plane, geo.Planes()),
+		rng:    xrand.New(0xf1a5),
+	}
+	d.Stats.BytesOut = make([]int64, geo.Channels)
+	d.Stats.BytesIn = make([]int64, geo.Channels)
+	latchLen := geo.PageBytes + geo.OOBBytes
+	for i := range d.planes {
+		d.planes[i] = &Plane{
+			geo:     geo,
+			pages:   make(map[int][]byte),
+			oobs:    make(map[int][]byte),
+			Sensing: make([]byte, latchLen),
+			Data:    make([]byte, latchLen),
+			Cache:   make([]byte, latchLen),
+		}
+	}
+	d.blockMode = make([][]CellMode, geo.Planes())
+	for i := range d.blockMode {
+		d.blockMode[i] = make([]CellMode, geo.BlocksPerPlane)
+		for b := range d.blockMode[i] {
+			d.blockMode[i][b] = ModeTLC
+		}
+	}
+	return d, nil
+}
+
+// Plane returns the plane at the global index.
+func (d *Device) Plane(idx int) *Plane {
+	return d.planes[idx]
+}
+
+// SetBlockMode soft-partitions: marks a block's cell mode before
+// programming (Sec 4.1.2 hybrid SSD design).
+func (d *Device) SetBlockMode(a Address, m CellMode) error {
+	if !a.Valid(d.Geo) {
+		return fmt.Errorf("flash: SetBlockMode invalid address %v", a)
+	}
+	d.blockMode[a.PlaneIndex(d.Geo)][a.Block] = m
+	return nil
+}
+
+// BlockMode reports the cell mode of the block containing a.
+func (d *Device) BlockMode(a Address) CellMode {
+	return d.blockMode[a.PlaneIndex(d.Geo)][a.Block]
+}
+
+// Program writes user data and OOB bytes to a page. data may be
+// shorter than the page; the rest reads back as 0xFF (erased cells).
+func (d *Device) Program(a Address, data, oob []byte) error {
+	if !a.Valid(d.Geo) {
+		return fmt.Errorf("flash: Program invalid address %v", a)
+	}
+	if len(data) > d.Geo.PageBytes {
+		return fmt.Errorf("flash: Program data %d bytes exceeds page size %d", len(data), d.Geo.PageBytes)
+	}
+	if len(oob) > d.Geo.OOBBytes {
+		return fmt.Errorf("flash: Program OOB %d bytes exceeds OOB size %d", len(oob), d.Geo.OOBBytes)
+	}
+	p := d.planes[a.PlaneIndex(d.Geo)]
+	idx := a.PageIndex(d.Geo)
+	page := make([]byte, d.Geo.PageBytes)
+	for i := range page {
+		page[i] = 0xFF
+	}
+	copy(page, data)
+	p.pages[idx] = page
+	ob := make([]byte, d.Geo.OOBBytes)
+	for i := range ob {
+		ob[i] = 0xFF
+	}
+	copy(ob, oob)
+	p.oobs[idx] = ob
+	d.Stats.PagePrograms++
+	d.Stats.BytesIn[a.Channel] += int64(len(data) + len(oob))
+	return nil
+}
+
+// EraseBlock resets every page in the block to the erased state.
+func (d *Device) EraseBlock(a Address) error {
+	if !a.Valid(d.Geo) {
+		return fmt.Errorf("flash: EraseBlock invalid address %v", a)
+	}
+	p := d.planes[a.PlaneIndex(d.Geo)]
+	base := a.Block * d.Geo.PagesPerBlock
+	for pg := 0; pg < d.Geo.PagesPerBlock; pg++ {
+		delete(p.pages, base+pg)
+		delete(p.oobs, base+pg)
+	}
+	d.Stats.BlockErases++
+	return nil
+}
+
+// ReadPage senses a page (user data + OOB) into the plane's sensing
+// latch. If the block's cell mode has a nonzero raw BER and ECCBypass
+// is false, errors are injected into the latch contents, modeling what
+// in-plane computation would see without controller ECC.
+func (d *Device) ReadPage(a Address) error {
+	if !a.Valid(d.Geo) {
+		return fmt.Errorf("flash: ReadPage invalid address %v", a)
+	}
+	pl := d.planes[a.PlaneIndex(d.Geo)]
+	idx := a.PageIndex(d.Geo)
+	page, ok := pl.pages[idx]
+	if !ok {
+		// Erased page: all ones.
+		for i := range pl.Sensing {
+			pl.Sensing[i] = 0xFF
+		}
+		d.countRead(a)
+		return nil
+	}
+	copy(pl.Sensing, page)
+	copy(pl.Sensing[d.Geo.PageBytes:], pl.oobs[idx])
+	mode := d.BlockMode(a)
+	if ber := d.Params.RawBER(mode); ber > 0 && !d.ECCBypass {
+		d.injectErrors(pl.Sensing, ber)
+	}
+	d.countRead(a)
+	return nil
+}
+
+func (d *Device) countRead(a Address) {
+	d.Stats.PageReads++
+	d.Stats.PageReadsByMode[d.BlockMode(a)]++
+}
+
+// injectErrors flips each bit with probability ber, using a binomial
+// draw over the buffer for efficiency at realistic BERs.
+func (d *Device) injectErrors(buf []byte, ber float64) {
+	bitsTotal := len(buf) * 8
+	expected := ber * float64(bitsTotal)
+	// Poisson-approximate the flip count.
+	n := int(expected)
+	if d.rng.Float64() < expected-float64(n) {
+		n++
+	}
+	for i := 0; i < n; i++ {
+		bit := d.rng.Intn(bitsTotal)
+		buf[bit>>3] ^= 1 << uint(bit&7)
+		d.Stats.BitErrorsInjected++
+	}
+}
+
+// ReadPageInto reads a page through the conventional controller path:
+// sense, stream over the channel, then ECC-correct using the OOB parity
+// (Sec 2.3). Raw bit errors therefore never reach the caller — unlike
+// the in-latch computation path (ReadPage + latch ops), which is why
+// REIS needs the zero-BER SLC-ESP partition for embeddings. Corrected
+// flips are counted in Stats.ECCCorrections.
+func (d *Device) ReadPageInto(a Address, data, oob []byte) ([]byte, []byte, error) {
+	if err := d.ReadPage(a); err != nil {
+		return nil, nil, err
+	}
+	pl := d.planes[a.PlaneIndex(d.Geo)]
+	if cap(data) < d.Geo.PageBytes {
+		data = make([]byte, d.Geo.PageBytes)
+	}
+	data = data[:d.Geo.PageBytes]
+	copy(data, pl.Sensing[:d.Geo.PageBytes])
+	if cap(oob) < d.Geo.OOBBytes {
+		oob = make([]byte, d.Geo.OOBBytes)
+	}
+	oob = oob[:d.Geo.OOBBytes]
+	copy(oob, pl.Sensing[d.Geo.PageBytes:])
+	d.Stats.BytesOut[a.Channel] += int64(d.Geo.PageBytes + d.Geo.OOBBytes)
+	// ECC correction: restore the programmed content, counting the
+	// raw flips the decoder had to fix.
+	idx := a.PageIndex(d.Geo)
+	if page, ok := pl.pages[idx]; ok {
+		d.Stats.ECCCorrections += int64(diffBits(data, page) + diffBits(oob, pl.oobs[idx]))
+		copy(data, page)
+		copy(oob, pl.oobs[idx])
+	}
+	return data, oob, nil
+}
+
+func diffBits(a, b []byte) int {
+	n := 0
+	for i := range a {
+		n += popcountByte(a[i] ^ b[i])
+	}
+	return n
+}
+
+// LoadCache performs Input Broadcasting (IBC): fills the plane's cache
+// latch with repeated copies of pattern, aligned to slot boundaries of
+// slotBytes, so the subsequent XOR compares the query against every
+// embedding slot in a page (Sec 4.3.2 step 1).
+func (d *Device) LoadCache(planeIdx int, pattern []byte, slotBytes int) error {
+	if planeIdx < 0 || planeIdx >= len(d.planes) {
+		return fmt.Errorf("flash: LoadCache invalid plane %d", planeIdx)
+	}
+	if slotBytes <= 0 || len(pattern) > slotBytes {
+		return fmt.Errorf("flash: LoadCache pattern %dB exceeds slot %dB", len(pattern), slotBytes)
+	}
+	pl := d.planes[planeIdx]
+	for i := range pl.Cache {
+		pl.Cache[i] = 0
+	}
+	for off := 0; off+slotBytes <= d.Geo.PageBytes; off += slotBytes {
+		copy(pl.Cache[off:off+slotBytes], pattern)
+	}
+	d.Stats.IBCLoads++
+	d.Stats.BytesIn[planeIdx/(d.Geo.DiesPerChannel*d.Geo.PlanesPerDie)] += int64(len(pattern))
+	return nil
+}
+
+// XORLatches computes Data = Sensing XOR Cache over the user-data
+// region of the plane's latches (Table 2 "XOR"). OOB bytes are copied
+// through unchanged so linkage metadata stays readable.
+func (d *Device) XORLatches(planeIdx int) error {
+	if planeIdx < 0 || planeIdx >= len(d.planes) {
+		return fmt.Errorf("flash: XORLatches invalid plane %d", planeIdx)
+	}
+	pl := d.planes[planeIdx]
+	for i := 0; i < d.Geo.PageBytes; i++ {
+		pl.Data[i] = pl.Sensing[i] ^ pl.Cache[i]
+	}
+	copy(pl.Data[d.Geo.PageBytes:], pl.Sensing[d.Geo.PageBytes:])
+	d.Stats.LatchXORs++
+	return nil
+}
+
+// CountSlotBits runs the fail-bit counter over one slot of the data
+// latch, returning the popcount — the Hamming distance when the cache
+// held the query and the sensing latch held database embeddings
+// (Table 2 "GEN_DIST").
+func (d *Device) CountSlotBits(planeIdx, slotBytes, slot int) (int, error) {
+	if planeIdx < 0 || planeIdx >= len(d.planes) {
+		return 0, fmt.Errorf("flash: CountSlotBits invalid plane %d", planeIdx)
+	}
+	lo := slot * slotBytes
+	hi := lo + slotBytes
+	if lo < 0 || hi > d.Geo.PageBytes {
+		return 0, fmt.Errorf("flash: CountSlotBits slot %d out of page", slot)
+	}
+	pl := d.planes[planeIdx]
+	n := 0
+	for _, b := range pl.Data[lo:hi] {
+		n += popcountByte(b)
+	}
+	d.Stats.BitCounts++
+	return n, nil
+}
+
+var popTable [256]int
+
+func init() {
+	for i := range popTable {
+		v, n := i, 0
+		for v != 0 {
+			n += v & 1
+			v >>= 1
+		}
+		popTable[i] = n
+	}
+}
+
+func popcountByte(b byte) int { return popTable[b] }
+
+// PassFail applies the pass/fail comparator: it reports whether value
+// is at or below threshold (Sec 4.3.3 distance filtering).
+func (d *Device) PassFail(value, threshold int) bool {
+	d.Stats.PassFailChecks++
+	return value <= threshold
+}
+
+// ReadOOBSlot returns a copy of bytes [off, off+n) of the OOB region
+// currently in the plane's sensing latch — how the engine picks up
+// DADR/RADR for each embedding after a page read.
+func (d *Device) ReadOOBSlot(planeIdx, off, n int) ([]byte, error) {
+	if planeIdx < 0 || planeIdx >= len(d.planes) {
+		return nil, fmt.Errorf("flash: ReadOOBSlot invalid plane %d", planeIdx)
+	}
+	if off < 0 || off+n > d.Geo.OOBBytes {
+		return nil, fmt.Errorf("flash: ReadOOBSlot range [%d,%d) out of OOB", off, off+n)
+	}
+	pl := d.planes[planeIdx]
+	out := make([]byte, n)
+	copy(out, pl.Sensing[d.Geo.PageBytes+off:d.Geo.PageBytes+off+n])
+	return out, nil
+}
+
+// TransferOut accounts an outbound transfer of n bytes on the
+// channel serving planeIdx (TTL entries moving to controller DRAM).
+func (d *Device) TransferOut(planeIdx, n int) {
+	ch := planeIdx / (d.Geo.DiesPerChannel * d.Geo.PlanesPerDie)
+	d.Stats.BytesOut[ch] += int64(n)
+}
+
+// SlotData returns a copy of the given slot of the plane's sensing
+// latch user data (used to pull the raw embedding, EMB, into a TTL
+// entry).
+func (d *Device) SlotData(planeIdx, slotBytes, slot int) ([]byte, error) {
+	lo := slot * slotBytes
+	hi := lo + slotBytes
+	if planeIdx < 0 || planeIdx >= len(d.planes) || lo < 0 || hi > d.Geo.PageBytes {
+		return nil, fmt.Errorf("flash: SlotData invalid plane %d slot %d", planeIdx, slot)
+	}
+	pl := d.planes[planeIdx]
+	out := make([]byte, slotBytes)
+	copy(out, pl.Sensing[lo:hi])
+	return out, nil
+}
+
+// ResetStats zeroes all counters.
+func (d *Device) ResetStats() {
+	d.Stats = Stats{
+		BytesOut: make([]int64, d.Geo.Channels),
+		BytesIn:  make([]int64, d.Geo.Channels),
+	}
+}

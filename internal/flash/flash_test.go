@@ -1,0 +1,564 @@
+package flash
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"reis/internal/vecmath"
+	"reis/internal/xrand"
+)
+
+func testGeo() Geometry {
+	return Geometry{
+		Channels:         2,
+		DiesPerChannel:   2,
+		PlanesPerDie:     2,
+		BlocksPerPlane:   4,
+		PagesPerBlock:    8,
+		PageBytes:        2048,
+		OOBBytes:         128,
+		ChannelBandwidth: 1.2e9,
+	}
+}
+
+func testDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(testGeo(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGeometryValidate(t *testing.T) {
+	g := testGeo()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := g
+	bad.Channels = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+}
+
+func TestGeometryDerived(t *testing.T) {
+	g := testGeo()
+	if g.Planes() != 8 {
+		t.Fatalf("Planes = %d", g.Planes())
+	}
+	if g.Dies() != 4 {
+		t.Fatalf("Dies = %d", g.Dies())
+	}
+	if g.PagesPerPlane() != 32 {
+		t.Fatalf("PagesPerPlane = %d", g.PagesPerPlane())
+	}
+	if g.TotalPages() != 256 {
+		t.Fatalf("TotalPages = %d", g.TotalPages())
+	}
+	if g.Capacity() != 256*2048 {
+		t.Fatalf("Capacity = %d", g.Capacity())
+	}
+	if g.InternalBandwidth() != 2.4e9 {
+		t.Fatalf("InternalBandwidth = %v", g.InternalBandwidth())
+	}
+}
+
+func TestAddressLinearRoundTrip(t *testing.T) {
+	g := testGeo()
+	f := func(raw uint32) bool {
+		idx := int(raw) % g.TotalPages()
+		a := AddressFromLinear(g, idx)
+		return a.Valid(g) && a.LinearIndex(g) == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressPlaneMajorContiguity(t *testing.T) {
+	// Consecutive linear indices within a plane must be consecutive
+	// pages of that plane — what coarse-grained access relies on.
+	g := testGeo()
+	a := AddressFromLinear(g, 0)
+	b := AddressFromLinear(g, 1)
+	if a.PlaneIndex(g) != b.PlaneIndex(g) {
+		t.Fatal("adjacent linear indices crossed planes")
+	}
+	if b.PageIndex(g) != a.PageIndex(g)+1 {
+		t.Fatal("adjacent linear indices not adjacent pages")
+	}
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	d := testDevice(t)
+	a := Address{Channel: 1, Die: 0, Plane: 1, Block: 2, Page: 3}
+	data := bytes.Repeat([]byte{0xAB}, 100)
+	oob := []byte{1, 2, 3, 4}
+	if err := d.Program(a, data, oob); err != nil {
+		t.Fatal(err)
+	}
+	gotData, gotOOB, err := d.ReadPageInto(a, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotData[:100], data) {
+		t.Fatal("data mismatch")
+	}
+	if gotData[100] != 0xFF {
+		t.Fatal("unwritten data bytes not erased-state")
+	}
+	if !bytes.Equal(gotOOB[:4], oob) {
+		t.Fatal("OOB mismatch")
+	}
+}
+
+func TestProgramRejectsOversize(t *testing.T) {
+	d := testDevice(t)
+	a := Address{}
+	if err := d.Program(a, make([]byte, 4096), nil); err == nil {
+		t.Fatal("oversized data accepted")
+	}
+	if err := d.Program(a, nil, make([]byte, 4096)); err == nil {
+		t.Fatal("oversized OOB accepted")
+	}
+	if err := d.Program(Address{Channel: 99}, nil, nil); err == nil {
+		t.Fatal("invalid address accepted")
+	}
+}
+
+func TestEraseBlock(t *testing.T) {
+	d := testDevice(t)
+	a := Address{Block: 1, Page: 0}
+	if err := d.Program(a, []byte{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EraseBlock(a); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := d.ReadPageInto(a, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 0xFF {
+		t.Fatal("page not erased")
+	}
+	if d.Stats.BlockErases != 1 {
+		t.Fatalf("BlockErases = %d", d.Stats.BlockErases)
+	}
+}
+
+func TestCellModePartitioning(t *testing.T) {
+	d := testDevice(t)
+	a := Address{Block: 0}
+	if d.BlockMode(a) != ModeTLC {
+		t.Fatal("default mode not TLC")
+	}
+	if err := d.SetBlockMode(a, ModeSLCESP); err != nil {
+		t.Fatal(err)
+	}
+	if d.BlockMode(a) != ModeSLCESP {
+		t.Fatal("mode not updated")
+	}
+	// Other blocks unaffected.
+	if d.BlockMode(Address{Block: 1}) != ModeTLC {
+		t.Fatal("other block mode changed")
+	}
+}
+
+func TestSLCESPReadsAreErrorFree(t *testing.T) {
+	d := testDevice(t)
+	a := Address{Block: 0, Page: 0}
+	if err := d.SetBlockMode(a, ModeSLCESP); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 2048)
+	r := xrand.New(1)
+	for i := range payload {
+		payload[i] = byte(r.Uint64())
+	}
+	if err := d.Program(a, payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		data, _, err := d.ReadPageInto(a, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, payload) {
+			t.Fatalf("SLC-ESP read %d corrupted", i)
+		}
+	}
+	if d.Stats.BitErrorsInjected != 0 {
+		t.Fatalf("BitErrorsInjected = %d on SLC-ESP", d.Stats.BitErrorsInjected)
+	}
+}
+
+func TestTLCLatchPathSeesRawErrors(t *testing.T) {
+	// The in-latch computation path (ReadPage + SlotData) has no ECC:
+	// raw TLC bit errors must be visible there. This is the failure
+	// mode that forces REIS onto the SLC-ESP partition.
+	d := testDevice(t)
+	a := Address{Block: 0, Page: 0} // default TLC, BER 5e-4
+	payload := make([]byte, 2048)
+	if err := d.Program(a, payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	flips := 0
+	plane := a.PlaneIndex(d.Geo)
+	for i := 0; i < 50; i++ {
+		if err := d.ReadPage(a); err != nil {
+			t.Fatal(err)
+		}
+		slot, err := d.SlotData(plane, 2048, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range slot {
+			flips += popcountByte(b)
+		}
+	}
+	// Expected flips: 50 reads * 2048*8 bits * 5e-4 = ~410.
+	if flips == 0 {
+		t.Fatal("TLC latch-path reads showed no bit errors")
+	}
+	if d.Stats.BitErrorsInjected == 0 {
+		t.Fatal("BitErrorsInjected not counted")
+	}
+}
+
+func TestTLCControllerPathIsECCCorrected(t *testing.T) {
+	// The conventional read path must return exactly the programmed
+	// bytes (controller ECC), while counting the corrections.
+	d := testDevice(t)
+	a := Address{Block: 0, Page: 0}
+	payload := bytes.Repeat([]byte{0x5A}, 2048)
+	if err := d.Program(a, payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		data, _, err := d.ReadPageInto(a, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, payload) {
+			t.Fatalf("read %d: controller path returned corrupted data", i)
+		}
+	}
+	if d.Stats.ECCCorrections == 0 {
+		t.Fatal("ECCCorrections not counted on TLC reads")
+	}
+}
+
+func TestECCBypassSuppressesErrors(t *testing.T) {
+	d := testDevice(t)
+	d.ECCBypass = true
+	a := Address{Block: 0, Page: 0}
+	payload := make([]byte, 512)
+	if err := d.Program(a, payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		data, _, err := d.ReadPageInto(a, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range data[:512] {
+			if b != 0 {
+				t.Fatal("bypass still injected errors")
+			}
+		}
+	}
+}
+
+func TestIBCFillsAllSlots(t *testing.T) {
+	d := testDevice(t)
+	pattern := []byte{0xDE, 0xAD}
+	if err := d.LoadCache(3, pattern, 4); err != nil {
+		t.Fatal(err)
+	}
+	pl := d.Plane(3)
+	for off := 0; off+4 <= d.Geo.PageBytes; off += 4 {
+		if pl.Cache[off] != 0xDE || pl.Cache[off+1] != 0xAD {
+			t.Fatalf("slot at %d not filled", off)
+		}
+		if pl.Cache[off+2] != 0 || pl.Cache[off+3] != 0 {
+			t.Fatalf("slot padding at %d not zero", off)
+		}
+	}
+	if d.Stats.IBCLoads != 1 {
+		t.Fatalf("IBCLoads = %d", d.Stats.IBCLoads)
+	}
+}
+
+func TestXORComputesHammingDistance(t *testing.T) {
+	// End-to-end latch flow: program two binary embeddings into a
+	// page, IBC a query, XOR, fail-bit count each slot — result must
+	// equal vecmath.Hamming.
+	d := testDevice(t)
+	r := xrand.New(2)
+	dim := 256 // 32 bytes per embedding
+	slotBytes := 32
+	q := make([]float32, dim)
+	e0 := make([]float32, dim)
+	e1 := make([]float32, dim)
+	for i := 0; i < dim; i++ {
+		q[i] = float32(r.NormFloat64())
+		e0[i] = float32(r.NormFloat64())
+		e1[i] = float32(r.NormFloat64())
+	}
+	qc := vecmath.BinaryQuantize(q, nil)
+	c0 := vecmath.BinaryQuantize(e0, nil)
+	c1 := vecmath.BinaryQuantize(e1, nil)
+
+	page := make([]byte, 0, 64)
+	page = append(page, vecmath.PackBinaryBytes(c0, nil)...)
+	page = append(page, vecmath.PackBinaryBytes(c1, nil)...)
+	a := Address{Block: 0, Page: 0}
+	if err := d.SetBlockMode(a, ModeSLCESP); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Program(a, page, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	plane := a.PlaneIndex(d.Geo)
+	if err := d.LoadCache(plane, vecmath.PackBinaryBytes(qc, nil), slotBytes); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadPage(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.XORLatches(plane); err != nil {
+		t.Fatal(err)
+	}
+	d0, err := d.CountSlotBits(plane, slotBytes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := d.CountSlotBits(plane, slotBytes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0 != vecmath.Hamming(qc, c0) {
+		t.Fatalf("slot 0 distance %d != %d", d0, vecmath.Hamming(qc, c0))
+	}
+	if d1 != vecmath.Hamming(qc, c1) {
+		t.Fatalf("slot 1 distance %d != %d", d1, vecmath.Hamming(qc, c1))
+	}
+}
+
+func TestXORPreservesOOB(t *testing.T) {
+	d := testDevice(t)
+	a := Address{Block: 0, Page: 0}
+	if err := d.Program(a, []byte{0xFF}, []byte{0x42, 0x43}); err != nil {
+		t.Fatal(err)
+	}
+	plane := a.PlaneIndex(d.Geo)
+	if err := d.LoadCache(plane, []byte{0xFF}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadPage(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.XORLatches(plane); err != nil {
+		t.Fatal(err)
+	}
+	oob, err := d.ReadOOBSlot(plane, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oob[0] != 0x42 || oob[1] != 0x43 {
+		t.Fatalf("OOB corrupted by XOR: %v", oob)
+	}
+}
+
+func TestPassFail(t *testing.T) {
+	d := testDevice(t)
+	if !d.PassFail(5, 5) {
+		t.Fatal("5 <= 5 failed")
+	}
+	if d.PassFail(6, 5) {
+		t.Fatal("6 <= 5 passed")
+	}
+	if d.Stats.PassFailChecks != 2 {
+		t.Fatalf("PassFailChecks = %d", d.Stats.PassFailChecks)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	d := testDevice(t)
+	a := Address{Block: 0, Page: 0}
+	if err := d.SetBlockMode(a, ModeSLCESP); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Program(a, []byte{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.ReadPageInto(a, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats.PageReads != 1 || d.Stats.PageReadsByMode[ModeSLCESP] != 1 {
+		t.Fatalf("read counters wrong: %+v", d.Stats)
+	}
+	if d.Stats.BytesOut[0] == 0 {
+		t.Fatal("BytesOut not counted")
+	}
+	d.TransferOut(0, 100)
+	if d.Stats.BytesOut[0] < 100 {
+		t.Fatal("TransferOut not counted")
+	}
+	d.ResetStats()
+	if d.Stats.PageReads != 0 || d.Stats.TotalBytesOut() != 0 {
+		t.Fatal("ResetStats incomplete")
+	}
+}
+
+func TestParamsLatencies(t *testing.T) {
+	p := DefaultParams()
+	if p.ReadLatency(ModeSLCESP) >= p.ReadLatency(ModeTLC) {
+		t.Fatal("SLC-ESP read not faster than TLC")
+	}
+	if p.ReadLatency(ModeSLCESP).Microseconds() != 22 { // 22.5us truncated
+		t.Fatalf("tR(ESP) = %v, want 22.5us", p.ReadLatency(ModeSLCESP))
+	}
+	if p.ProgramLatency(ModeTLC) <= p.ProgramLatency(ModeSLC) {
+		t.Fatal("TLC program not slower")
+	}
+	if p.RawBER(ModeSLCESP) != 0 {
+		t.Fatal("SLC-ESP BER must be zero")
+	}
+	if p.RawBER(ModeTLC) <= p.RawBER(ModeSLC) {
+		t.Fatal("TLC BER not higher than SLC")
+	}
+}
+
+func TestCellModeDensity(t *testing.T) {
+	if ModeTLC.Density() != 3 || ModeSLC.Density() != 1 || ModeSLCESP.Density() != 1 {
+		t.Fatal("density wrong")
+	}
+}
+
+func TestCommandSetProtocolOrdering(t *testing.T) {
+	d := testDevice(t)
+	fsm := NewDieFSM(d)
+	a := Address{Block: 0, Page: 0}
+	if err := d.Program(a, []byte{1, 2, 3, 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	plane := a.PlaneIndex(d.Geo)
+
+	// XOR before IBC must fail.
+	if _, err := fsm.Execute(Command{Op: OpXOR, Plane: plane}); err == nil {
+		t.Fatal("XOR before IBC accepted")
+	}
+	// GEN_DIST before XOR must fail.
+	if _, err := fsm.Execute(Command{Op: OpGenDist, Plane: plane, SlotBytes: 4}); err == nil {
+		t.Fatal("GEN_DIST before XOR accepted")
+	}
+	// Proper sequence.
+	if _, err := fsm.Execute(Command{Op: OpIBC, Plane: plane, Query: []byte{1, 2, 3, 4}, SlotBytes: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsm.Execute(Command{Op: OpReadPage, Addr: a}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsm.Execute(Command{Op: OpXOR, Plane: plane}); err != nil {
+		t.Fatal(err)
+	}
+	dist, err := fsm.Execute(Command{Op: OpGenDist, Plane: plane, SlotBytes: 4, Mini: MiniPage{Slot: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist != 0 { // page data equals query -> zero distance
+		t.Fatalf("self distance = %d", dist)
+	}
+	if _, err := fsm.Execute(Command{Op: OpReadTTL, Plane: plane, EntryBytes: 16}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandSetReadInvalidatesXOR(t *testing.T) {
+	d := testDevice(t)
+	fsm := NewDieFSM(d)
+	a := Address{Block: 0, Page: 0}
+	if err := d.Program(a, []byte{0xF0, 0, 0, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	plane := a.PlaneIndex(d.Geo)
+	mustExec(t, fsm, Command{Op: OpIBC, Plane: plane, Query: []byte{0xF0}, SlotBytes: 4})
+	mustExec(t, fsm, Command{Op: OpReadPage, Addr: a})
+	mustExec(t, fsm, Command{Op: OpXOR, Plane: plane})
+	// A new page read invalidates the XOR result.
+	mustExec(t, fsm, Command{Op: OpReadPage, Addr: a})
+	if _, err := fsm.Execute(Command{Op: OpGenDist, Plane: plane, SlotBytes: 4}); err == nil {
+		t.Fatal("GEN_DIST after stale XOR accepted")
+	}
+}
+
+func mustExec(t *testing.T, fsm *DieFSM, cmd Command) {
+	t.Helper()
+	if _, err := fsm.Execute(cmd); err != nil {
+		t.Fatalf("%v: %v", cmd.Op, err)
+	}
+}
+
+func TestCommandSetRejectsUnknown(t *testing.T) {
+	d := testDevice(t)
+	fsm := NewDieFSM(d)
+	if _, err := fsm.Execute(Command{Op: Opcode(99)}); err == nil {
+		t.Fatal("unknown opcode accepted")
+	}
+	if _, err := fsm.Execute(Command{Op: OpReadTTL, Plane: 0, EntryBytes: 0}); err == nil {
+		t.Fatal("RD_TTL with zero entry accepted")
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	for op, want := range map[Opcode]string{
+		OpReadPage: "READ_PAGE", OpIBC: "IBC", OpXOR: "XOR",
+		OpGenDist: "GEN_DIST", OpReadTTL: "RD_TTL",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %s", op, op.String())
+		}
+	}
+}
+
+func TestReadErasedPage(t *testing.T) {
+	d := testDevice(t)
+	data, oob, err := d.ReadPageInto(Address{Block: 3, Page: 7}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range data {
+		if b != 0xFF {
+			t.Fatal("erased page not all-ones")
+		}
+	}
+	for _, b := range oob {
+		if b != 0xFF {
+			t.Fatal("erased OOB not all-ones")
+		}
+	}
+}
+
+func TestSlotDataReturnsEmbedding(t *testing.T) {
+	d := testDevice(t)
+	a := Address{Block: 0, Page: 0}
+	page := append(bytes.Repeat([]byte{0x11}, 8), bytes.Repeat([]byte{0x22}, 8)...)
+	if err := d.Program(a, page, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadPage(a); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := d.SlotData(a.PlaneIndex(d.Geo), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1[0] != 0x22 {
+		t.Fatalf("slot 1 = %x", s1[0])
+	}
+}

@@ -1,0 +1,140 @@
+// Package flash models the NAND flash subsystem of a modern SSD at the
+// level of detail the REIS paper depends on: channels, dies, planes,
+// blocks and pages with Out-Of-Band (OOB) areas; the page-buffer
+// latches (sensing, data, cache); the peripheral fail-bit counter and
+// pass/fail checker; SLC (with Enhanced SLC Programming) and TLC cell
+// modes with their differing read latency and raw bit-error rates; and
+// the vendor command-set extensions of Table 2 (IBC, XOR, GEN_DIST,
+// RD_TTL).
+//
+// The model is functional: pages store real bytes, latch operations
+// compute real XORs and popcounts, so distances produced by the REIS
+// engine are exact. Latency and energy are accounted from per-event
+// parameters (Params) taken from the paper's sources (Flash-Cosmos
+// characterization, ISSCC datasheets), the same methodology the paper
+// uses.
+package flash
+
+import "fmt"
+
+// Geometry describes the physical organization of the NAND subsystem.
+type Geometry struct {
+	Channels       int
+	DiesPerChannel int
+	PlanesPerDie   int
+	BlocksPerPlane int
+	PagesPerBlock  int
+	// PageBytes is the user-data size of a flash page (16 KiB on the
+	// modeled devices).
+	PageBytes int
+	// OOBBytes is the spare (out-of-band) area per page; the paper
+	// cites 2208 bytes for a 16 KiB page.
+	OOBBytes int
+	// ChannelBandwidth is the per-channel transfer rate in bytes/s.
+	ChannelBandwidth float64
+}
+
+// Validate reports whether every field is positive.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Channels <= 0, g.DiesPerChannel <= 0, g.PlanesPerDie <= 0,
+		g.BlocksPerPlane <= 0, g.PagesPerBlock <= 0, g.PageBytes <= 0,
+		g.OOBBytes < 0, g.ChannelBandwidth <= 0:
+		return fmt.Errorf("flash: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// Planes returns the total number of planes in the device — the unit
+// of parallel computation for the REIS ANNS engine.
+func (g Geometry) Planes() int {
+	return g.Channels * g.DiesPerChannel * g.PlanesPerDie
+}
+
+// Dies returns the total number of dies.
+func (g Geometry) Dies() int { return g.Channels * g.DiesPerChannel }
+
+// PagesPerPlane returns the number of pages a plane holds.
+func (g Geometry) PagesPerPlane() int { return g.BlocksPerPlane * g.PagesPerBlock }
+
+// TotalPages returns the number of pages in the device.
+func (g Geometry) TotalPages() int { return g.Planes() * g.PagesPerPlane() }
+
+// Capacity returns the user-data capacity in bytes.
+func (g Geometry) Capacity() int64 {
+	return int64(g.TotalPages()) * int64(g.PageBytes)
+}
+
+// InternalBandwidth returns the aggregate channel bandwidth in
+// bytes/s (e.g. "9.6 GB/s for an 8-channel system with 1.2 GB/s per
+// channel" in Sec 4.3.2).
+func (g Geometry) InternalBandwidth() float64 {
+	return float64(g.Channels) * g.ChannelBandwidth
+}
+
+// Address identifies one physical page.
+type Address struct {
+	Channel int
+	Die     int // within channel
+	Plane   int // within die
+	Block   int // within plane
+	Page    int // within block
+}
+
+// Valid reports whether a lies inside g.
+func (a Address) Valid(g Geometry) bool {
+	return a.Channel >= 0 && a.Channel < g.Channels &&
+		a.Die >= 0 && a.Die < g.DiesPerChannel &&
+		a.Plane >= 0 && a.Plane < g.PlanesPerDie &&
+		a.Block >= 0 && a.Block < g.BlocksPerPlane &&
+		a.Page >= 0 && a.Page < g.PagesPerBlock
+}
+
+// PlaneIndex returns the global plane index of a in [0, g.Planes()).
+func (a Address) PlaneIndex(g Geometry) int {
+	return (a.Channel*g.DiesPerChannel+a.Die)*g.PlanesPerDie + a.Plane
+}
+
+// PageIndex returns the page offset within its plane.
+func (a Address) PageIndex(g Geometry) int {
+	return a.Block*g.PagesPerBlock + a.Page
+}
+
+// LinearIndex returns a unique index for the page across the device,
+// ordered plane-major so that consecutive indices within a plane are
+// consecutive pages (the layout coarse-grained access relies on).
+func (a Address) LinearIndex(g Geometry) int {
+	return a.PlaneIndex(g)*g.PagesPerPlane() + a.PageIndex(g)
+}
+
+// AddressFromLinear inverts LinearIndex.
+func AddressFromLinear(g Geometry, idx int) Address {
+	perPlane := g.PagesPerPlane()
+	plane := idx / perPlane
+	page := idx % perPlane
+	return Address{
+		Channel: plane / (g.DiesPerChannel * g.PlanesPerDie),
+		Die:     (plane / g.PlanesPerDie) % g.DiesPerChannel,
+		Plane:   plane % g.PlanesPerDie,
+		Block:   page / g.PagesPerBlock,
+		Page:    page % g.PagesPerBlock,
+	}
+}
+
+// String implements fmt.Stringer.
+func (a Address) String() string {
+	return fmt.Sprintf("ch%d/die%d/pl%d/blk%d/pg%d", a.Channel, a.Die, a.Plane, a.Block, a.Page)
+}
+
+// MiniPage addresses a sub-page slot holding one embedding
+// (Sec 4.3.2, "Fine-grained Embedding Access"): the physical page
+// address plus a slot offset.
+type MiniPage struct {
+	Page Address
+	Slot int
+}
+
+// String implements fmt.Stringer.
+func (m MiniPage) String() string {
+	return fmt.Sprintf("%s+%d", m.Page, m.Slot)
+}

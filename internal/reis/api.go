@@ -1,0 +1,95 @@
+package reis
+
+import "fmt"
+
+// The NVM command set reserves opcodes 80h-FFh for vendor-specific
+// commands (Sec 4.4.1); REIS claims four of them for the Table 1 API.
+const (
+	OpcodeDBDeploy  uint8 = 0x80
+	OpcodeIVFDeploy uint8 = 0x81
+	OpcodeSearch    uint8 = 0x82
+	OpcodeIVFSearch uint8 = 0x83
+)
+
+// HostCommand is one vendor-specific NVMe command as the host driver
+// would submit it. Exactly one payload field matching the opcode must
+// be populated.
+type HostCommand struct {
+	Opcode uint8
+
+	// Deploy carries DB_Deploy / IVF_Deploy parameters.
+	Deploy *DeployConfig
+
+	// Search parameters (Search / IVF_Search). Queries are processed
+	// as one batch, matching the batched Q operand of Table 1.
+	DBID    int
+	Queries [][]float32
+	K       int
+	// TargetRecall is IVF_Search's accuracy operand R; the device
+	// resolves it to a calibrated nprobe if NProbe is zero.
+	TargetRecall float64
+	NProbe       int
+	Opt          SearchOptions
+}
+
+// HostResponse is the completion the device returns.
+type HostResponse struct {
+	// Done mirrors the paper's done signal raised once document
+	// chunks are identified.
+	Done bool
+	// Results[i] are the retrieved documents for Queries[i].
+	Results [][]DocResult
+	// Stats aggregates the device events of the whole batch.
+	Stats QueryStats
+}
+
+// Submit executes one host command against the engine, dispatching on
+// the vendor opcode exactly as the controller firmware would.
+func (e *Engine) Submit(cmd HostCommand) (HostResponse, error) {
+	switch cmd.Opcode {
+	case OpcodeDBDeploy:
+		if cmd.Deploy == nil {
+			return HostResponse{}, fmt.Errorf("reis: DB_Deploy without payload")
+		}
+		_, err := e.Deploy(*cmd.Deploy)
+		return HostResponse{Done: err == nil}, err
+	case OpcodeIVFDeploy:
+		if cmd.Deploy == nil {
+			return HostResponse{}, fmt.Errorf("reis: IVF_Deploy without payload")
+		}
+		_, err := e.IVFDeploy(*cmd.Deploy)
+		return HostResponse{Done: err == nil}, err
+	case OpcodeSearch, OpcodeIVFSearch:
+		return e.submitSearch(cmd)
+	default:
+		return HostResponse{}, fmt.Errorf("reis: unknown vendor opcode %#x", cmd.Opcode)
+	}
+}
+
+func (e *Engine) submitSearch(cmd HostCommand) (HostResponse, error) {
+	if len(cmd.Queries) == 0 {
+		return HostResponse{}, fmt.Errorf("reis: search with no queries")
+	}
+	opt := cmd.Opt
+	opt.NProbe = cmd.NProbe
+	resp := HostResponse{Results: make([][]DocResult, len(cmd.Queries))}
+	for i, q := range cmd.Queries {
+		var (
+			res []DocResult
+			st  QueryStats
+			err error
+		)
+		if cmd.Opcode == OpcodeSearch {
+			res, st, err = e.Search(cmd.DBID, q, cmd.K, opt)
+		} else {
+			res, st, err = e.IVFSearch(cmd.DBID, q, cmd.K, opt)
+		}
+		if err != nil {
+			return resp, err
+		}
+		resp.Results[i] = res
+		resp.Stats.Add(st)
+	}
+	resp.Done = true
+	return resp, nil
+}

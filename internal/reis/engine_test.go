@@ -1,0 +1,489 @@
+package reis
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"reis/internal/ann"
+	"reis/internal/dataset"
+	"reis/internal/ssd"
+)
+
+// testCfg shrinks SSD1 so unit tests stay fast while preserving the
+// channel/die/plane structure.
+func testCfg() ssd.Config {
+	cfg := ssd.SSD1()
+	cfg.Geo.Channels = 2
+	cfg.Geo.DiesPerChannel = 2
+	cfg.Geo.PlanesPerDie = 2
+	cfg.Geo.BlocksPerPlane = 32
+	cfg.Geo.PagesPerBlock = 16
+	cfg.Geo.PageBytes = 4096
+	cfg.Geo.OOBBytes = 1024
+	return cfg
+}
+
+var testData = dataset.Generate(dataset.Config{
+	Name: "reis-test", N: 1200, Dim: 128, Clusters: 16, Queries: 24, K: 10,
+	DocBytes: 256, Seed: 42,
+})
+
+func newEngine(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	e, err := New(testCfg(), 64<<20, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func deployFlat(t *testing.T, e *Engine, id int) *Database {
+	t.Helper()
+	db, err := e.Deploy(DeployConfig{
+		ID: id, Vectors: testData.Vectors, Docs: testData.Docs, DocSlotBytes: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func deployIVF(t *testing.T, e *Engine, id, nlist int) *Database {
+	t.Helper()
+	cents, assign := ann.KMeans(testData.Vectors, ann.KMeansConfig{K: nlist, Seed: 9})
+	db, err := e.IVFDeploy(DeployConfig{
+		ID: id, Vectors: testData.Vectors, Docs: testData.Docs, DocSlotBytes: 256,
+		Centroids: cents, Assign: assign,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func recallOf(t *testing.T, search func(q []float32) []DocResult) float64 {
+	t.Helper()
+	got := make([][]int, len(testData.Queries))
+	for qi, q := range testData.Queries {
+		res := search(q)
+		ids := make([]int, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+		}
+		got[qi] = ids
+	}
+	return dataset.Recall(testData.GroundTruth, got, 10)
+}
+
+func TestDeployLayout(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	db := deployFlat(t, e, 1)
+	if db.N != testData.Len() || db.Dim != 128 {
+		t.Fatalf("db shape %d/%d", db.N, db.Dim)
+	}
+	rec := db.Record()
+	if rec.Embeddings.Pages() == 0 || rec.Documents.Pages() == 0 || rec.Int8s.Pages() == 0 {
+		t.Fatal("missing regions")
+	}
+	if rec.Centroids.Pages() != 0 {
+		t.Fatal("flat deploy created centroid region")
+	}
+	// slot math: 128-dim binary = 16B -> 256 fit in the 4096B page but
+	// the 1024B OOB limits linkage to 1024/9 = 113 slots.
+	if db.embPerPage != 113 {
+		t.Fatalf("embPerPage = %d", db.embPerPage)
+	}
+	if db.docsPerPage != 16 {
+		t.Fatalf("docsPerPage = %d", db.docsPerPage)
+	}
+}
+
+func TestDeployRejectsBadInput(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	if _, err := e.Deploy(DeployConfig{ID: 1}); err == nil {
+		t.Fatal("empty deploy accepted")
+	}
+	if _, err := e.Deploy(DeployConfig{ID: 1, Vectors: testData.Vectors, Docs: testData.Docs[:5]}); err == nil {
+		t.Fatal("mismatched docs accepted")
+	}
+	deployFlat(t, e, 1)
+	if _, err := e.Deploy(DeployConfig{ID: 1, Vectors: testData.Vectors, Docs: testData.Docs, DocSlotBytes: 256}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	big := [][]byte{bytes.Repeat([]byte{1}, 9000)}
+	if _, err := e.Deploy(DeployConfig{ID: 2, Vectors: testData.Vectors[:1], Docs: big, DocSlotBytes: 256}); err == nil {
+		t.Fatal("oversized doc accepted")
+	}
+}
+
+func TestIVFDeployRequiresClusterInfo(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	if _, err := e.IVFDeploy(DeployConfig{ID: 1, Vectors: testData.Vectors, Docs: testData.Docs}); err == nil {
+		t.Fatal("IVF deploy without cluster info accepted")
+	}
+}
+
+func TestBruteForceSearchRecall(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	r := recallOf(t, func(q []float32) []DocResult {
+		res, _, err := e.Search(1, q, 10, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	})
+	if r < 0.85 {
+		t.Fatalf("in-storage BF recall = %v, want >= 0.85 (BQ+rerank)", r)
+	}
+	t.Logf("in-storage brute-force Recall@10 = %.3f", r)
+}
+
+func TestSearchReturnsLinkedDocuments(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	res, _, err := e.Search(1, testData.Queries[0], 5, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for _, r := range res {
+		want := testData.Docs[r.ID]
+		if !bytes.Equal(r.Doc[:len(want)], want) {
+			t.Fatalf("doc for id %d does not match source", r.ID)
+		}
+		if !bytes.Contains(r.Doc, []byte(fmt.Sprintf("doc=%d", r.ID))) {
+			t.Fatalf("doc header does not encode id %d", r.ID)
+		}
+	}
+	// Results sorted by reranked distance.
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestIVFSearchRecallIncreasesWithNProbe(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployIVF(t, e, 1, 16)
+	var prev float64
+	for _, nprobe := range []int{1, 4, 16} {
+		r := recallOf(t, func(q []float32) []DocResult {
+			res, _, err := e.IVFSearch(1, q, 10, SearchOptions{NProbe: nprobe, SkipDocs: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		})
+		if r+1e-9 < prev {
+			t.Fatalf("recall fell with nprobe=%d: %v < %v", nprobe, r, prev)
+		}
+		prev = r
+		t.Logf("nprobe=%d recall=%.3f", nprobe, r)
+	}
+	if prev < 0.85 {
+		t.Fatalf("full-probe IVF recall = %v", prev)
+	}
+}
+
+func TestIVFSearchMatchesBruteForceAtFullProbe(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	deployIVF(t, e, 2, 8)
+	for _, q := range testData.Queries[:4] {
+		bf, _, err := e.Search(1, q, 10, SearchOptions{SkipDocs: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ivf, _, err := e.IVFSearch(2, q, 10, SearchOptions{NProbe: 8, SkipDocs: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfIDs := map[int]bool{}
+		for _, r := range bf {
+			bfIDs[r.ID] = true
+		}
+		match := 0
+		for _, r := range ivf {
+			if bfIDs[r.ID] {
+				match++
+			}
+		}
+		if match < 8 {
+			t.Fatalf("full-probe IVF found %d/10 of BF results", match)
+		}
+	}
+}
+
+func TestDistanceFilteringPreservesRecall(t *testing.T) {
+	on := newEngine(t, AllOptions())
+	deployFlat(t, on, 1)
+	offOpts := AllOptions()
+	offOpts.DistanceFilter = false
+	off := newEngine(t, offOpts)
+	deployFlat(t, off, 1)
+	rOn := recallOf(t, func(q []float32) []DocResult {
+		res, _, _ := on.Search(1, q, 10, SearchOptions{SkipDocs: true})
+		return res
+	})
+	rOff := recallOf(t, func(q []float32) []DocResult {
+		res, _, _ := off.Search(1, q, 10, SearchOptions{SkipDocs: true})
+		return res
+	})
+	if rOff-rOn > 0.03 {
+		t.Fatalf("distance filtering cost too much recall: %.3f -> %.3f", rOff, rOn)
+	}
+	t.Logf("recall DF-off %.3f, DF-on %.3f", rOff, rOn)
+}
+
+func TestDistanceFilteringReducesSurvivors(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	db := deployFlat(t, e, 1)
+	_, stOn, err := e.Search(1, testData.Queries[0], 10, SearchOptions{SkipDocs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Opts.DistanceFilter = false
+	_, stOff, err := e.Search(1, testData.Queries[0], 10, SearchOptions{SkipDocs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stOff.Survivors != db.N {
+		t.Fatalf("without DF survivors = %d, want %d", stOff.Survivors, db.N)
+	}
+	if stOn.Survivors*5 > stOff.Survivors {
+		t.Fatalf("DF only filtered to %d of %d", stOn.Survivors, stOff.Survivors)
+	}
+	t.Logf("survivors: DF-on %d / DF-off %d (%.1f%%)", stOn.Survivors, stOff.Survivors,
+		100*float64(stOn.Survivors)/float64(stOff.Survivors))
+}
+
+func TestQueryStatsShape(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployIVF(t, e, 1, 16)
+	_, st, err := e.IVFSearch(1, testData.Queries[0], 10, SearchOptions{NProbe: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CoarsePages == 0 || st.FinePages == 0 {
+		t.Fatalf("pages not counted: %+v", st)
+	}
+	if st.EntriesScanned == 0 || st.Survivors == 0 {
+		t.Fatalf("entries not counted: %+v", st)
+	}
+	if st.IBCBroadcasts != e.SSD.Cfg.Geo.Planes() {
+		t.Fatalf("IBC broadcasts = %d, want %d", st.IBCBroadcasts, e.SSD.Cfg.Geo.Planes())
+	}
+	if st.RerankCount == 0 || st.DocPages == 0 || st.DocBytes == 0 {
+		t.Fatalf("tail stages not counted: %+v", st)
+	}
+	// IVF must scan far fewer entries than the whole database.
+	if st.EntriesScanned >= testData.Len() {
+		t.Fatalf("IVF nprobe=4 scanned the whole database: %d", st.EntriesScanned)
+	}
+}
+
+func TestScanUsesAllPlanes(t *testing.T) {
+	// With parallelism-first placement a brute-force scan must touch
+	// every plane nearly evenly: waves == ceil(pages/planes).
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	_, st, err := e.Search(1, testData.Queries[0], 10, SearchOptions{SkipDocs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planes := e.SSD.Cfg.Geo.Planes()
+	wantWaves := (st.FinePages + planes - 1) / planes
+	if st.FineWaves != wantWaves {
+		t.Fatalf("waves = %d, want %d (pages %d over %d planes)",
+			st.FineWaves, wantWaves, st.FinePages, planes)
+	}
+}
+
+func TestMetadataFiltering(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	tags := make([]uint8, testData.Len())
+	for i := range tags {
+		tags[i] = uint8(testData.ClusterOf[i] % 4)
+	}
+	_, err := e.Deploy(DeployConfig{
+		ID: 1, Vectors: testData.Vectors, Docs: testData.Docs, DocSlotBytes: 256,
+		MetaTags: tags,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Request the tag of the query's true nearest neighbor so matching
+	// entries exist near the query (distance filtering removes far
+	// candidates regardless of tag).
+	want := tags[testData.GroundTruth[0][0]]
+	res, _, err := e.Search(1, testData.Queries[0], 10, SearchOptions{MetaTag: &want, SkipDocs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("filtered search returned nothing")
+	}
+	for _, r := range res {
+		if tags[r.ID] != want {
+			t.Fatalf("result %d has tag %d, want %d", r.ID, tags[r.ID], want)
+		}
+	}
+}
+
+func TestCalibrateNProbeMonotone(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployIVF(t, e, 1, 16)
+	np90, err := e.CalibrateNProbe(1, testData.Queries, testData.GroundTruth, 10, 0.80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np98, err := e.CalibrateNProbe(1, testData.Queries, testData.GroundTruth, 10, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np98 < np90 {
+		t.Fatalf("nprobe(0.95)=%d < nprobe(0.80)=%d", np98, np90)
+	}
+	t.Logf("calibrated nprobe: 0.80->%d, 0.95->%d", np90, np98)
+}
+
+func TestHostAPIDeployAndSearch(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	cents, assign := ann.KMeans(testData.Vectors, ann.KMeansConfig{K: 8, Seed: 3})
+	resp, err := e.Submit(HostCommand{
+		Opcode: OpcodeIVFDeploy,
+		Deploy: &DeployConfig{
+			ID: 7, Vectors: testData.Vectors, Docs: testData.Docs, DocSlotBytes: 256,
+			Centroids: cents, Assign: assign,
+		},
+	})
+	if err != nil || !resp.Done {
+		t.Fatalf("deploy failed: %v", err)
+	}
+	resp, err = e.Submit(HostCommand{
+		Opcode: OpcodeIVFSearch, DBID: 7, Queries: testData.Queries[:3], K: 5, NProbe: 8,
+	})
+	if err != nil || !resp.Done {
+		t.Fatalf("search failed: %v", err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("results for %d queries", len(resp.Results))
+	}
+	for _, rs := range resp.Results {
+		if len(rs) != 5 {
+			t.Fatalf("query returned %d docs", len(rs))
+		}
+		for _, r := range rs {
+			if len(r.Doc) == 0 {
+				t.Fatal("empty document returned")
+			}
+		}
+	}
+	if resp.Stats.FinePages == 0 {
+		t.Fatal("batch stats not aggregated")
+	}
+}
+
+func TestHostAPIErrors(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	if _, err := e.Submit(HostCommand{Opcode: 0x42}); err == nil {
+		t.Fatal("unknown opcode accepted")
+	}
+	if _, err := e.Submit(HostCommand{Opcode: OpcodeDBDeploy}); err == nil {
+		t.Fatal("deploy without payload accepted")
+	}
+	if _, err := e.Submit(HostCommand{Opcode: OpcodeSearch, DBID: 1}); err == nil {
+		t.Fatal("search without queries accepted")
+	}
+	if _, _, err := e.Search(99, testData.Queries[0], 5, SearchOptions{}); err == nil {
+		t.Fatal("search on unknown database accepted")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	if _, _, err := e.Search(1, make([]float32, 7), 5, SearchOptions{}); err == nil {
+		t.Fatal("wrong-dim query accepted")
+	}
+	if _, _, err := e.Search(1, testData.Queries[0], 0, SearchOptions{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := e.IVFSearch(1, testData.Queries[0], 5, SearchOptions{}); err == nil {
+		t.Fatal("IVF search on flat database accepted")
+	}
+}
+
+func TestEmbeddingsLandInSLCESPBlocks(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	db := deployFlat(t, e, 1)
+	geo := e.SSD.Cfg.Geo
+	for i := 0; i < db.rec.Embeddings.Pages(); i++ {
+		a, err := db.rec.Embeddings.AddressOf(geo, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.SSD.Dev.BlockMode(a); got.String() != "SLC-ESP" {
+			t.Fatalf("embedding page %d in %v block", i, got)
+		}
+	}
+	for i := 0; i < db.rec.Documents.Pages(); i++ {
+		a, err := db.rec.Documents.AddressOf(geo, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.SSD.Dev.BlockMode(a); got.String() != "TLC" {
+			t.Fatalf("document page %d in %v block", i, got)
+		}
+	}
+}
+
+func TestPageFTLFlushedAfterDeploy(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	if n := e.SSD.FTL.Entries(); n != 0 {
+		t.Fatalf("page-level FTL still holds %d entries after deploy", n)
+	}
+}
+
+func TestQuickselectTTL(t *testing.T) {
+	es := make([]TTLEntry, 100)
+	for i := range es {
+		es[i] = TTLEntry{Dist: (i * 37) % 101, Pos: i}
+	}
+	quickselectTTL(es, 10)
+	max10 := 0
+	for i := 0; i < 10; i++ {
+		if es[i].Dist > max10 {
+			max10 = es[i].Dist
+		}
+	}
+	for i := 10; i < len(es); i++ {
+		if es[i].Dist < max10 {
+			t.Fatalf("entry %d (dist %d) smaller than left partition max %d", i, es[i].Dist, max10)
+		}
+	}
+}
+
+func TestMultipleDatabasesCoexist(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	deployIVF(t, e, 2, 8)
+	r1, _, err := e.Search(1, testData.Queries[0], 5, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := e.IVFSearch(2, testData.Queries[0], 5, SearchOptions{NProbe: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same data deployed twice: top result should agree.
+	if r1[0].ID != r2[0].ID {
+		t.Fatalf("top results differ across databases: %d vs %d", r1[0].ID, r2[0].ID)
+	}
+}

@@ -1,0 +1,498 @@
+package reis
+
+import (
+	"fmt"
+	"sort"
+
+	"reis/internal/flash"
+	"reis/internal/ssd"
+	"reis/internal/vecmath"
+)
+
+// TTLEntry is one Temporal Top List record (Sec 4.2.1, structure C in
+// Fig 4): the distance, the embedding's mini-page position, and the
+// linkage addresses picked up from the OOB area during the scan.
+type TTLEntry struct {
+	Dist int
+	Pos  int // embedding position in the binary region (mini-page address)
+	DADR uint32
+	RADR uint32
+	Tag  uint8
+}
+
+// QueryStats counts the device events of one query; the timing and
+// energy models consume it.
+type QueryStats struct {
+	// CoarseWaves/FineWaves are the maximum pages any single plane
+	// read during the phase (the parallel critical path).
+	CoarseWaves int
+	FineWaves   int
+	// CoarsePages/FinePages are total pages sensed.
+	CoarsePages int
+	FinePages   int
+	// EntriesScanned is the number of embedding slots distance-checked.
+	EntriesScanned int
+	// Survivors is the number of TTL entries transferred to controller
+	// DRAM (after distance filtering, if enabled).
+	Survivors int
+	// TTLBytes is the total bytes those entries occupied on channels.
+	TTLBytes int64
+	// RerankCount / RerankPages cover the INT8 rescoring stage.
+	RerankCount int
+	RerankPages int
+	RerankWaves int
+	// DocPages/DocBytes cover document retrieval.
+	DocPages int
+	DocBytes int64
+	// IBCBroadcasts counts query broadcasts (one per plane without
+	// MPIBC, one per die with it — timing handles the distinction;
+	// this is the functional count of LoadCache operations).
+	IBCBroadcasts int
+	// SelectInput is the number of entries fed to quickselect.
+	SelectInput int
+	// SortedEntries is the number of entries quicksorted at the end.
+	SortedEntries int
+	// CoarseEntries is the number of TTL-C (centroid) entries produced
+	// by the coarse phase; Survivors - CoarseEntries are fine-scan
+	// survivors.
+	CoarseEntries int
+}
+
+// Add accumulates other into s (for batch reporting).
+func (s *QueryStats) Add(o QueryStats) {
+	s.CoarseWaves += o.CoarseWaves
+	s.FineWaves += o.FineWaves
+	s.CoarsePages += o.CoarsePages
+	s.FinePages += o.FinePages
+	s.EntriesScanned += o.EntriesScanned
+	s.Survivors += o.Survivors
+	s.TTLBytes += o.TTLBytes
+	s.RerankCount += o.RerankCount
+	s.RerankPages += o.RerankPages
+	s.RerankWaves += o.RerankWaves
+	s.DocPages += o.DocPages
+	s.DocBytes += o.DocBytes
+	s.IBCBroadcasts += o.IBCBroadcasts
+	s.SelectInput += o.SelectInput
+	s.SortedEntries += o.SortedEntries
+	s.CoarseEntries += o.CoarseEntries
+}
+
+// DocResult is one retrieved document chunk.
+type DocResult struct {
+	// ID is the original database entry id (decoded from DADR).
+	ID int
+	// Dist is the reranked INT8 squared-L2 distance.
+	Dist float32
+	// Doc is the document chunk content.
+	Doc []byte
+}
+
+// RerankFactor is the candidate-widening multiple before INT8
+// rescoring: the paper selects the "10k embeddings closest to the
+// query" before reranking to top-k (Sec 4.3.2 step 6).
+const RerankFactor = 10
+
+// SearchOptions modify a single query.
+type SearchOptions struct {
+	// NProbe is the number of IVF clusters scanned (IVF_Search only).
+	NProbe int
+	// MetaTag, when non-nil, enables metadata filtering (Sec 7.1):
+	// only embeddings whose OOB tag equals *MetaTag are considered.
+	MetaTag *uint8
+	// SkipDocs skips the document-retrieval stage (pure-ANNS
+	// benchmarks like SIFT/DEEP).
+	SkipDocs bool
+}
+
+// Search implements the Search() API command (Table 1): brute-force
+// in-storage scan of the whole binary region, rerank, and document
+// retrieval.
+func (e *Engine) Search(dbID int, query []float32, k int, opt SearchOptions) ([]DocResult, QueryStats, error) {
+	db, err := e.DB(dbID)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	if err := db.checkQuery(query, k); err != nil {
+		return nil, QueryStats{}, err
+	}
+	var st QueryStats
+	qPacked := vecmath.PackBinaryBytes(vecmath.BinaryQuantize(query, nil), nil)
+	if err := e.broadcast(db, qPacked, &st); err != nil {
+		return nil, st, err
+	}
+	entries, waves, pages, err := e.scanRange(db, db.rec.Embeddings, 0, db.regionSlots-1, qPacked, e.Opts.DistanceFilter, opt.MetaTag, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	st.FineWaves += waves
+	st.FinePages += pages
+	res, err := e.finish(db, query, entries, k, opt, &st)
+	return res, st, err
+}
+
+// IVFSearch implements the IVF_Search() API command (Table 1):
+// coarse centroid search, fine scan of the NProbe nearest clusters,
+// rerank, and document retrieval.
+func (e *Engine) IVFSearch(dbID int, query []float32, k int, opt SearchOptions) ([]DocResult, QueryStats, error) {
+	db, err := e.DB(dbID)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	if db.rivf == nil {
+		return nil, QueryStats{}, fmt.Errorf("reis: database %d was not deployed with IVF_Deploy", dbID)
+	}
+	if err := db.checkQuery(query, k); err != nil {
+		return nil, QueryStats{}, err
+	}
+	nprobe := opt.NProbe
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > len(db.rivf) {
+		nprobe = len(db.rivf)
+	}
+	var st QueryStats
+	qPacked := vecmath.PackBinaryBytes(vecmath.BinaryQuantize(query, nil), nil)
+	if err := e.broadcast(db, qPacked, &st); err != nil {
+		return nil, st, err
+	}
+
+	// Coarse-grained search over the centroid region (TTL-C).
+	nlist := len(db.rivf)
+	// Distance filtering does not apply to the coarse scan: TTL-C must
+	// rank every centroid so the nprobe nearest clusters are exact
+	// (Sec 4.3.1 describes DF for database embeddings only).
+	cents, waves, pages, err := e.scanRange(db, db.rec.Centroids, 0, nlist-1, qPacked, false, nil, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	st.CoarseWaves = waves
+	st.CoarsePages = pages
+	st.CoarseEntries = len(cents)
+	st.SelectInput += len(cents)
+	sort.Slice(cents, func(a, b int) bool {
+		if cents[a].Dist != cents[b].Dist {
+			return cents[a].Dist < cents[b].Dist
+		}
+		return cents[a].Pos < cents[b].Pos
+	})
+	if nprobe > len(cents) {
+		nprobe = len(cents)
+	}
+
+	// Fine-grained search inside the selected clusters (TTL-E).
+	var entries []TTLEntry
+	for _, c := range cents[:nprobe] {
+		ent := db.rivf[c.Pos]
+		if ent.First < 0 {
+			continue // empty cluster
+		}
+		es, w, p, err := e.scanRange(db, db.rec.Embeddings, ent.First, ent.Last, qPacked, e.Opts.DistanceFilter, opt.MetaTag, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		st.FineWaves += w
+		st.FinePages += p
+		entries = append(entries, es...)
+	}
+	res, err := e.finish(db, query, entries, k, opt, &st)
+	return res, st, err
+}
+
+func (db *Database) checkQuery(query []float32, k int) error {
+	if len(query) != db.Dim {
+		return fmt.Errorf("reis: query dim %d != database dim %d", len(query), db.Dim)
+	}
+	if k <= 0 {
+		return fmt.Errorf("reis: non-positive k %d", k)
+	}
+	return nil
+}
+
+// broadcast performs Input Broadcasting: one IBC command per plane
+// (the MPIBC timing optimization does not change the functional
+// behaviour, only the latency model).
+func (e *Engine) broadcast(db *Database, qPacked []byte, st *QueryStats) error {
+	planes := e.SSD.Cfg.Geo.Planes()
+	for p := 0; p < planes; p++ {
+		if _, err := e.FSM.Execute(flash.Command{
+			Op: flash.OpIBC, Plane: p, Query: qPacked, SlotBytes: db.slotBytes,
+		}); err != nil {
+			return err
+		}
+		st.IBCBroadcasts++
+	}
+	return nil
+}
+
+// scanRange executes the in-plane distance computation over embedding
+// positions [first, last] of a slotted SLC region: page read, latch
+// XOR, per-slot fail-bit count, optional pass/fail distance filtering,
+// and TTL transfer of survivors. It returns the surviving entries plus
+// the wave count (max pages on one plane) and total pages sensed.
+func (e *Engine) scanRange(db *Database, region ssd.Region, first, last int, qPacked []byte, filter bool, metaTag *uint8, st *QueryStats) ([]TTLEntry, int, int, error) {
+	geo := e.SSD.Cfg.Geo
+	planes := geo.Planes()
+	firstPage := first / db.embPerPage
+	lastPage := last / db.embPerPage
+
+	entrySize := db.ttlEntryBytes()
+	var entries []TTLEntry
+	pagesPerPlane := make([]int, planes)
+	totalPages := 0
+
+	for p := firstPage; p <= lastPage; p++ {
+		addr, err := region.AddressOf(geo, p)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		plane := addr.PlaneIndex(geo)
+		if _, err := e.FSM.Execute(flash.Command{Op: flash.OpReadPage, Addr: addr}); err != nil {
+			return nil, 0, 0, err
+		}
+		if _, err := e.FSM.Execute(flash.Command{Op: flash.OpXOR, Plane: plane}); err != nil {
+			return nil, 0, 0, err
+		}
+		pagesPerPlane[plane]++
+		totalPages++
+
+		loSlot, hiSlot := 0, db.embPerPage-1
+		if p == firstPage {
+			loSlot = first % db.embPerPage
+		}
+		if p == lastPage {
+			hiSlot = last % db.embPerPage
+		}
+		for s := loSlot; s <= hiSlot; s++ {
+			dist, err := e.FSM.Execute(flash.Command{
+				Op: flash.OpGenDist, Plane: plane, SlotBytes: db.slotBytes,
+				Mini: flash.MiniPage{Page: addr, Slot: s},
+			})
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			oob, err := e.SSD.Dev.ReadOOBSlot(plane, s*oobBytesPerSlot, oobBytesPerSlot)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			dadr, radr, tag := decodeLinkage(oob)
+			if dadr == InvalidDADR {
+				continue // cluster-alignment padding slot
+			}
+			st.EntriesScanned++
+			if filter && !e.SSD.Dev.PassFail(dist, db.filterThreshold) {
+				continue
+			}
+			if metaTag != nil && tag != *metaTag {
+				continue
+			}
+			if _, err := e.FSM.Execute(flash.Command{
+				Op: flash.OpReadTTL, Plane: plane, EntryBytes: entrySize,
+			}); err != nil {
+				return nil, 0, 0, err
+			}
+			st.Survivors++
+			st.TTLBytes += int64(entrySize)
+			entries = append(entries, TTLEntry{
+				Dist: dist, Pos: p*db.embPerPage + s, DADR: dadr, RADR: radr, Tag: tag,
+			})
+		}
+	}
+	waves := 0
+	for _, n := range pagesPerPlane {
+		if n > waves {
+			waves = n
+		}
+	}
+	return entries, waves, totalPages, nil
+}
+
+// ttlEntryBytes is the on-channel size of one TTL entry: DIST (2B) +
+// EMB (slotBytes) + EADR mini-page address (4B) + DADR (4B) + RADR
+// (4B) + TAG (1B).
+func (db *Database) ttlEntryBytes() int { return 2 + db.slotBytes + 4 + 4 + 4 + 1 }
+
+// finish runs the controller-side pipeline tail: quickselect to the
+// rerank pool, INT8 rescoring, quicksort, and document retrieval
+// (steps 5-9 of Fig 6).
+func (e *Engine) finish(db *Database, query []float32, entries []TTLEntry, k int, opt SearchOptions, st *QueryStats) ([]DocResult, error) {
+	st.SelectInput += len(entries)
+	pool := k * RerankFactor
+	if pool > len(entries) {
+		pool = len(entries)
+	}
+	quickselectTTL(entries, pool)
+	cands := entries[:pool]
+
+	// Rerank: fetch INT8 embeddings by RADR, grouped by page so each
+	// page is sensed once.
+	q8 := db.params.Int8Quantize(query, nil)
+	byPage := make(map[int][]int) // page -> candidate indices
+	for i, c := range cands {
+		byPage[int(c.RADR)/db.int8PerPage] = append(byPage[int(c.RADR)/db.int8PerPage], i)
+	}
+	geo := e.SSD.Cfg.Geo
+	rerankPlanePages := make(map[int]int)
+	reranked := make([]DocResult, 0, len(cands))
+	for page, idxs := range byPage {
+		addr, err := db.rec.Int8s.AddressOf(geo, page)
+		if err != nil {
+			return nil, err
+		}
+		data, _, err := e.SSD.Dev.ReadPageInto(addr, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		st.RerankPages++
+		rerankPlanePages[addr.PlaneIndex(geo)]++
+		for _, i := range idxs {
+			c := cands[i]
+			slot := int(c.RADR) % db.int8PerPage
+			emb := vecmath.UnpackInt8Bytes(data[slot*db.int8Bytes:(slot+1)*db.int8Bytes], nil)
+			d := vecmath.L2SquaredInt8(q8, emb)
+			reranked = append(reranked, DocResult{ID: int(c.DADR), Dist: float32(d)})
+		}
+	}
+	for _, n := range rerankPlanePages {
+		if n > st.RerankWaves {
+			st.RerankWaves = n
+		}
+	}
+	st.RerankCount += len(cands)
+
+	// Quicksort the reranked pool, keep top-k.
+	sort.Slice(reranked, func(a, b int) bool {
+		if reranked[a].Dist != reranked[b].Dist {
+			return reranked[a].Dist < reranked[b].Dist
+		}
+		return reranked[a].ID < reranked[b].ID
+	})
+	st.SortedEntries += len(reranked)
+	if k < len(reranked) {
+		reranked = reranked[:k]
+	}
+
+	if opt.SkipDocs {
+		return reranked, nil
+	}
+
+	// Document identification and retrieval (step 9): group DADRs by
+	// document page.
+	docPages := make(map[int][]int)
+	for i, r := range reranked {
+		docPages[r.ID/db.docsPerPage] = append(docPages[r.ID/db.docsPerPage], i)
+	}
+	for page, idxs := range docPages {
+		addr, err := db.rec.Documents.AddressOf(geo, page)
+		if err != nil {
+			return nil, err
+		}
+		data, _, err := e.SSD.Dev.ReadPageInto(addr, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		st.DocPages++
+		for _, i := range idxs {
+			slot := reranked[i].ID % db.docsPerPage
+			doc := make([]byte, db.docBytes)
+			copy(doc, data[slot*db.docBytes:(slot+1)*db.docBytes])
+			reranked[i].Doc = doc
+			st.DocBytes += int64(db.docBytes)
+		}
+	}
+	return reranked, nil
+}
+
+// quickselectTTL partitions entries so the k smallest distances occupy
+// entries[:k] — the quickselect kernel the embedded core runs.
+func quickselectTTL(es []TTLEntry, k int) {
+	if k <= 0 || k >= len(es) {
+		return
+	}
+	lo, hi := 0, len(es)-1
+	for lo < hi {
+		p := partitionTTL(es, lo, hi)
+		if p < k-1 {
+			lo = p + 1
+		} else {
+			hi = p
+		}
+	}
+}
+
+func partitionTTL(es []TTLEntry, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if es[mid].Dist < es[lo].Dist {
+		es[mid], es[lo] = es[lo], es[mid]
+	}
+	if es[hi].Dist < es[lo].Dist {
+		es[hi], es[lo] = es[lo], es[hi]
+	}
+	if es[hi].Dist < es[mid].Dist {
+		es[hi], es[mid] = es[mid], es[hi]
+	}
+	pivot := es[mid].Dist
+	i, j := lo, hi
+	for {
+		for es[i].Dist < pivot {
+			i++
+		}
+		for es[j].Dist > pivot {
+			j--
+		}
+		if i >= j {
+			return j
+		}
+		es[i], es[j] = es[j], es[i]
+		i++
+		j--
+	}
+}
+
+// CalibrateNProbe finds the smallest nprobe meeting the Recall@k
+// target against ground truth, mirroring the paper's accuracy sweep.
+func (e *Engine) CalibrateNProbe(dbID int, queries [][]float32, groundTruth [][]int, k int, target float64) (int, error) {
+	db, err := e.DB(dbID)
+	if err != nil {
+		return 0, err
+	}
+	nlist := len(db.rivf)
+	if nlist == 0 {
+		return 0, fmt.Errorf("reis: database %d is not IVF-deployed", dbID)
+	}
+	for nprobe := 1; nprobe <= nlist; nprobe = growProbe(nprobe) {
+		hits, total := 0, 0
+		for qi, q := range queries {
+			res, _, err := e.IVFSearch(dbID, q, k, SearchOptions{NProbe: nprobe, SkipDocs: true})
+			if err != nil {
+				return 0, err
+			}
+			got := make(map[int]struct{}, len(res))
+			for _, r := range res {
+				got[r.ID] = struct{}{}
+			}
+			gt := groundTruth[qi]
+			if len(gt) > k {
+				gt = gt[:k]
+			}
+			for _, id := range gt {
+				if _, ok := got[id]; ok {
+					hits++
+				}
+			}
+			total += len(gt)
+		}
+		if total > 0 && float64(hits)/float64(total) >= target {
+			return nprobe, nil
+		}
+	}
+	return nlist, nil
+}
+
+func growProbe(p int) int {
+	if p < 8 {
+		return p + 1
+	}
+	return p + p/4
+}

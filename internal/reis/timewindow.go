@@ -1,0 +1,122 @@
+package reis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TimeSeriesDB implements the continuously-updated-database extension
+// of Sec 7.1: REIS "(i) periodically creates new databases to store
+// new information at a predefined frequency, (ii) treats each
+// sub-database as a normal database tagged with an individual
+// timestamp, (iii) maintains an entry for each database in the
+// internal DRAM including the database address and the timestamp".
+// A windowed query searches only the sub-databases whose timestamps
+// fall inside the requested range and merges their results.
+type TimeSeriesDB struct {
+	engine *Engine
+	baseID int
+	// snapshots are kept sorted by timestamp.
+	snapshots []snapshot
+}
+
+type snapshot struct {
+	Timestamp int64
+	DBID      int
+	// offset maps this snapshot's local entry ids back to the caller's
+	// global id space.
+	offset int
+	n      int
+}
+
+// NewTimeSeriesDB manages timestamped sub-databases on the engine,
+// allocating database ids starting at baseID.
+func NewTimeSeriesDB(e *Engine, baseID int) *TimeSeriesDB {
+	return &TimeSeriesDB{engine: e, baseID: baseID}
+}
+
+// AddSnapshot deploys a new sub-database holding the entries ingested
+// at the given timestamp. globalOffset positions the snapshot's
+// entries in the caller's id space (results return global ids).
+// Timestamps must be strictly increasing.
+func (t *TimeSeriesDB) AddSnapshot(ts int64, cfg DeployConfig, globalOffset int) error {
+	if len(t.snapshots) > 0 && ts <= t.snapshots[len(t.snapshots)-1].Timestamp {
+		return fmt.Errorf("reis: snapshot timestamp %d not increasing", ts)
+	}
+	cfg.ID = t.baseID + len(t.snapshots)
+	var err error
+	if len(cfg.Centroids) > 0 {
+		_, err = t.engine.IVFDeploy(cfg)
+	} else {
+		_, err = t.engine.Deploy(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	t.snapshots = append(t.snapshots, snapshot{
+		Timestamp: ts, DBID: cfg.ID, offset: globalOffset, n: len(cfg.Vectors),
+	})
+	return nil
+}
+
+// Snapshots returns the number of deployed sub-databases.
+func (t *TimeSeriesDB) Snapshots() int { return len(t.snapshots) }
+
+// SearchWindow retrieves the top-k documents among the sub-databases
+// whose timestamps lie in [from, to]. Result IDs are global. Stats
+// aggregate across the searched sub-databases.
+func (t *TimeSeriesDB) SearchWindow(query []float32, k int, from, to int64, opt SearchOptions) ([]DocResult, QueryStats, error) {
+	var merged []DocResult
+	var agg QueryStats
+	searched := 0
+	for _, s := range t.snapshots {
+		if s.Timestamp < from || s.Timestamp > to {
+			continue
+		}
+		searched++
+		db, err := t.engine.DB(s.DBID)
+		if err != nil {
+			return nil, agg, err
+		}
+		var (
+			res []DocResult
+			st  QueryStats
+		)
+		if db.rivf != nil {
+			res, st, err = t.engine.IVFSearch(s.DBID, query, k, opt)
+		} else {
+			res, st, err = t.engine.Search(s.DBID, query, k, opt)
+		}
+		if err != nil {
+			return nil, agg, err
+		}
+		agg.Add(st)
+		// INT8 distances are in units of each sub-database's own
+		// quantization scale squared; convert to float units so the
+		// merge compares like with like.
+		scale2 := db.params.Scale * db.params.Scale
+		for _, r := range res {
+			r.ID += s.offset
+			r.Dist *= scale2
+			merged = append(merged, r)
+		}
+	}
+	if searched == 0 {
+		return nil, agg, fmt.Errorf("reis: no sub-database in window [%d, %d]", from, to)
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].Dist != merged[b].Dist {
+			return merged[a].Dist < merged[b].Dist
+		}
+		return merged[a].ID < merged[b].ID
+	})
+	if k < len(merged) {
+		merged = merged[:k]
+	}
+	return merged, agg, nil
+}
+
+// DRAMFootprint returns the controller-DRAM bytes for the snapshot
+// index: timestamp (8B) + database id (4B) per entry, on top of the
+// R-DB records the sub-databases already own.
+func (t *TimeSeriesDB) DRAMFootprint() int64 { return int64(len(t.snapshots)) * 12 }

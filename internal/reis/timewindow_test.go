@@ -1,0 +1,116 @@
+package reis
+
+import (
+	"testing"
+)
+
+func buildTimeSeries(t *testing.T) (*Engine, *TimeSeriesDB, int) {
+	t.Helper()
+	e := newEngine(t, AllOptions())
+	ts := NewTimeSeriesDB(e, 10)
+	// Three hourly snapshots, each a disjoint third of the corpus.
+	third := testData.Len() / 3
+	for i := 0; i < 3; i++ {
+		lo, hi := i*third, (i+1)*third
+		err := ts.AddSnapshot(int64(1000+i*3600), DeployConfig{
+			Vectors: testData.Vectors[lo:hi], Docs: testData.Docs[lo:hi], DocSlotBytes: 256,
+		}, lo)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e, ts, third
+}
+
+func TestTimeSeriesSnapshotCount(t *testing.T) {
+	_, ts, _ := buildTimeSeries(t)
+	if ts.Snapshots() != 3 {
+		t.Fatalf("snapshots = %d", ts.Snapshots())
+	}
+	if ts.DRAMFootprint() != 36 {
+		t.Fatalf("footprint = %d", ts.DRAMFootprint())
+	}
+}
+
+func TestTimeSeriesRejectsNonMonotonic(t *testing.T) {
+	_, ts, _ := buildTimeSeries(t)
+	err := ts.AddSnapshot(500, DeployConfig{
+		Vectors: testData.Vectors[:10], Docs: testData.Docs[:10], DocSlotBytes: 256,
+	}, 0)
+	if err == nil {
+		t.Fatal("non-monotonic timestamp accepted")
+	}
+}
+
+func TestTimeSeriesWindowRestrictsResults(t *testing.T) {
+	_, ts, third := buildTimeSeries(t)
+	q := testData.Queries[0]
+	// Window covering only the second snapshot: all result ids must be
+	// from [third, 2*third).
+	res, _, err := ts.SearchWindow(q, 5, 1000+3600, 1000+3600, SearchOptions{SkipDocs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range res {
+		if r.ID < third || r.ID >= 2*third {
+			t.Fatalf("result id %d outside snapshot window", r.ID)
+		}
+	}
+}
+
+func TestTimeSeriesFullWindowMatchesGlobalSearch(t *testing.T) {
+	// Searching all snapshots should approximate a single database
+	// over the union (same BQ+rerank function, merged top-k).
+	e, ts, _ := buildTimeSeries(t)
+	full := testData.Len() / 3 * 3
+	if _, err := e.Deploy(DeployConfig{
+		ID: 99, Vectors: testData.Vectors[:full], Docs: testData.Docs[:full], DocSlotBytes: 256,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range testData.Queries[:6] {
+		windowed, _, err := ts.SearchWindow(q, 10, 0, 1<<62, SearchOptions{SkipDocs: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		global, _, err := e.Search(99, q, 10, SearchOptions{SkipDocs: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gids := map[int]bool{}
+		for _, r := range global {
+			gids[r.ID] = true
+		}
+		match := 0
+		for _, r := range windowed {
+			if gids[r.ID] {
+				match++
+			}
+		}
+		if match < 8 {
+			t.Fatalf("query %d: windowed union matches global on only %d/10", qi, match)
+		}
+	}
+}
+
+func TestTimeSeriesEmptyWindowErrors(t *testing.T) {
+	_, ts, _ := buildTimeSeries(t)
+	if _, _, err := ts.SearchWindow(testData.Queries[0], 5, 0, 10, SearchOptions{}); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}
+
+func TestTimeSeriesStatsAggregate(t *testing.T) {
+	_, ts, _ := buildTimeSeries(t)
+	_, st, err := ts.SearchWindow(testData.Queries[0], 5, 0, 1<<62, SearchOptions{SkipDocs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three sub-databases searched: three full IBC broadcasts.
+	if st.IBCBroadcasts == 0 || st.FinePages == 0 {
+		t.Fatalf("stats not aggregated: %+v", st)
+	}
+}

@@ -1,0 +1,178 @@
+package reis
+
+import (
+	"testing"
+
+	"reis/internal/ssd"
+)
+
+// fullGeoCfg keeps the preset's full channel/die/plane structure (the
+// quantity the timing shapes depend on) but shrinks per-plane capacity
+// so tests stay fast.
+func fullGeoCfg(preset ssd.Config) ssd.Config {
+	preset.Geo.BlocksPerPlane = 4
+	preset.Geo.PagesPerBlock = 16
+	return preset
+}
+
+// statsFor runs one IVF query on an engine with the given options and
+// config and returns the engine, database and stats.
+func statsFor(t *testing.T, cfg ssd.Config, opts Options) (*Engine, *Database, QueryStats) {
+	t.Helper()
+	e, err := New(cfg, 256<<20, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := deployIVF(t, e, 1, 16)
+	_, st, err := e.IVFSearch(1, testData.Queries[0], 10, SearchOptions{NProbe: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, db, st
+}
+
+// paperScale approximates the ratio between the paper's datasets and
+// our functional test workload, so the latency model operates in the
+// regime where the paper's effects (transfer-boundedness without DF,
+// pipeline overlap) appear.
+var paperScale = Scale{Fine: 4096, Coarse: 4096, SurvivorRate: 0.01}
+
+func TestLatencyPositiveAndDecomposed(t *testing.T) {
+	e, db, st := statsFor(t, fullGeoCfg(ssd.SSD1()), AllOptions())
+	b := e.Latency(db, st, UnitScale())
+	if b.Total <= 0 {
+		t.Fatalf("total latency %v", b.Total)
+	}
+	sum := b.IBC + b.Coarse + b.Fine + b.Rerank + b.Docs
+	if sum != b.Total {
+		t.Fatalf("breakdown does not sum: %v != %v", sum, b.Total)
+	}
+	if b.EnergyJ <= 0 || b.AvgWatts <= 0 {
+		t.Fatalf("energy %v watts %v", b.EnergyJ, b.AvgWatts)
+	}
+}
+
+func TestDistanceFilterReducesLatency(t *testing.T) {
+	// Without DF, every scanned embedding becomes a TTL entry and the
+	// channels saturate; with DF the scan is read-bound. The paper
+	// reports 4.7-5.7x (Fig 9).
+	on, dbOn, stOn := statsFor(t, fullGeoCfg(ssd.SSD1()), AllOptions())
+	offOpts := AllOptions()
+	offOpts.DistanceFilter = false
+	off, dbOff, stOff := statsFor(t, fullGeoCfg(ssd.SSD1()), offOpts)
+	lOn := on.Latency(dbOn, stOn, paperScale).Total
+	lOff := off.Latency(dbOff, stOff, paperScale).Total
+	if float64(lOff) < 2*float64(lOn) {
+		t.Fatalf("DF speedup only %.2fx (on %v, off %v), want >= 2x",
+			float64(lOff)/float64(lOn), lOn, lOff)
+	}
+	t.Logf("DF speedup at paper scale: %.2fx (paper: 4.7-5.7x)", float64(lOff)/float64(lOn))
+}
+
+func TestPipeliningReducesLatency(t *testing.T) {
+	plOpts := AllOptions()
+	noPlOpts := AllOptions()
+	noPlOpts.Pipelining = false
+	pl, dbPl, stPl := statsFor(t, fullGeoCfg(ssd.SSD2()), plOpts)
+	nopl, dbNo, stNo := statsFor(t, fullGeoCfg(ssd.SSD2()), noPlOpts)
+	lPl := pl.Latency(dbPl, stPl, paperScale).Total
+	lNo := nopl.Latency(dbNo, stNo, paperScale).Total
+	if lPl >= lNo {
+		t.Fatalf("PL did not reduce latency: %v >= %v", lPl, lNo)
+	}
+	t.Logf("PL speedup: %.2fx", float64(lNo)/float64(lPl))
+}
+
+func TestMPIBCReducesLatency(t *testing.T) {
+	cfg := fullGeoCfg(ssd.SSD2()) // 4 planes/die: largest MPIBC effect
+	mp, dbMp, stMp := statsFor(t, cfg, AllOptions())
+	noOpts := AllOptions()
+	noOpts.MPIBC = false
+	no, dbNo, stNo := statsFor(t, cfg, noOpts)
+	lMp := mp.Latency(dbMp, stMp, UnitScale()).IBC
+	lNo := no.Latency(dbNo, stNo, UnitScale()).IBC
+	if lMp >= lNo {
+		t.Fatalf("MPIBC did not reduce IBC time: %v >= %v", lMp, lNo)
+	}
+	planes := cfg.Geo.PlanesPerDie
+	if got := float64(lNo) / float64(lMp); got < float64(planes)*0.9 {
+		t.Fatalf("MPIBC gain %.2fx, want ~%dx (planes/die)", got, planes)
+	}
+}
+
+func TestAllOptimizationsBeatNoOpt(t *testing.T) {
+	full, dbF, stF := statsFor(t, fullGeoCfg(ssd.SSD1()), AllOptions())
+	noopt, dbN, stN := statsFor(t, fullGeoCfg(ssd.SSD1()), Options{})
+	lF := full.Latency(dbF, stF, paperScale).Total
+	lN := noopt.Latency(dbN, stN, paperScale).Total
+	if float64(lN) < 2*float64(lF) {
+		t.Fatalf("full REIS only %.2fx over No-OPT", float64(lN)/float64(lF))
+	}
+	t.Logf("No-OPT/full speedup at paper scale: %.2fx", float64(lN)/float64(lF))
+}
+
+func TestSSD2FasterThanSSD1(t *testing.T) {
+	e1, db1, st1 := statsFor(t, fullGeoCfg(ssd.SSD1()), AllOptions())
+	e2, db2, st2 := statsFor(t, fullGeoCfg(ssd.SSD2()), AllOptions())
+	l1 := e1.Latency(db1, st1, paperScale).Total
+	l2 := e2.Latency(db2, st2, paperScale).Total
+	if l2 >= l1 {
+		t.Fatalf("SSD2 %v not faster than SSD1 %v", l2, l1)
+	}
+	t.Logf("SSD2 over SSD1: %.2fx (paper: 2.6x avg)", float64(l1)/float64(l2))
+}
+
+func TestASICSlower(t *testing.T) {
+	e, db, st := statsFor(t, fullGeoCfg(ssd.SSD1()), AllOptions())
+	reisL := e.Latency(db, st, paperScale).Total
+	asicL := e.ASICLatency(db, st, paperScale).Total
+	if float64(asicL) < 2*float64(reisL) {
+		t.Fatalf("REIS-ASIC only %.2fx slower", float64(asicL)/float64(reisL))
+	}
+	t.Logf("ASIC slowdown: %.2fx (paper: 4.1-6.5x)", float64(asicL)/float64(reisL))
+}
+
+func TestScaleMonotonic(t *testing.T) {
+	e, db, st := statsFor(t, fullGeoCfg(ssd.SSD1()), AllOptions())
+	// Scales chosen so the scan grows past one wave per plane each
+	// step (sub-plane workloads legitimately cost the same).
+	var prev int64
+	for _, scale := range []float64{1, 256, 2048, 16384} {
+		l := int64(e.Latency(db, st, UniformScale(scale)).Total)
+		if l <= prev {
+			t.Fatalf("latency not increasing with scale %v: %d <= %d", scale, l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestEnergyScalesWithWork(t *testing.T) {
+	e, db, st := statsFor(t, fullGeoCfg(ssd.SSD1()), AllOptions())
+	e1 := e.Latency(db, st, UnitScale()).EnergyJ
+	e64 := e.Latency(db, st, UniformScale(64)).EnergyJ
+	if e64 <= e1 {
+		t.Fatalf("energy did not grow with scale: %v <= %v", e64, e1)
+	}
+}
+
+func TestCoarseScaleIndependent(t *testing.T) {
+	// Scaling only the fine phase must not change the coarse phase.
+	e, db, st := statsFor(t, fullGeoCfg(ssd.SSD1()), AllOptions())
+	a := e.Latency(db, st, Scale{Fine: 1, Coarse: 1})
+	b := e.Latency(db, st, Scale{Fine: 100, Coarse: 1})
+	if a.Coarse != b.Coarse {
+		t.Fatalf("coarse changed with fine scale: %v vs %v", a.Coarse, b.Coarse)
+	}
+	if b.Fine <= a.Fine {
+		t.Fatalf("fine did not grow: %v <= %v", b.Fine, a.Fine)
+	}
+}
+
+func TestCeilF(t *testing.T) {
+	cases := map[float64]int{0.1: 1, 1: 1, 1.5: 2, 2: 2, 0: 0}
+	for in, want := range cases {
+		if got := ceilF(in); got != want {
+			t.Errorf("ceilF(%v) = %d, want %d", in, got, want)
+		}
+	}
+}

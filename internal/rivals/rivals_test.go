@@ -1,0 +1,89 @@
+package rivals
+
+import (
+	"testing"
+
+	"reis/internal/ssd"
+)
+
+func TestICEReadAmplification(t *testing.T) {
+	if got := ICE().ReadAmplification(); got != 32 {
+		t.Fatalf("ICE read amp = %v, want 32 (4-bit x 8x encoding)", got)
+	}
+	if got := ICEESP().ReadAmplification(); got != 4 {
+		t.Fatalf("ICE-ESP read amp = %v, want 4", got)
+	}
+	eightBit := ICEConfig{PrecisionBits: 8, EncodingOverhead: 32}
+	if got := eightBit.ReadAmplification(); got != 256 {
+		t.Fatalf("8-bit read amp = %v", got)
+	}
+}
+
+func TestICELatencyGrowsWithPages(t *testing.T) {
+	cfg := ssd.SSD1()
+	l1 := ICE().Latency(cfg, 1000, 100, 143)
+	l2 := ICE().Latency(cfg, 2000, 100, 143)
+	if l2 <= l1 {
+		t.Fatalf("latency did not grow: %v <= %v", l1, l2)
+	}
+}
+
+func TestICESlowerThanICEESP(t *testing.T) {
+	cfg := ssd.SSD1()
+	ice := ICE().Latency(cfg, 5000, 1000, 143)
+	esp := ICEESP().Latency(cfg, 5000, 1000, 143)
+	if ice <= esp {
+		t.Fatalf("ICE %v not slower than ICE-ESP %v", ice, esp)
+	}
+	ratio := float64(ice) / float64(esp)
+	if ratio < 4 || ratio > 12 {
+		t.Fatalf("ICE/ICE-ESP ratio %v, want ~8x (encoding overhead)", ratio)
+	}
+}
+
+func TestICEEnergyGrowsWithWork(t *testing.T) {
+	cfg := ssd.SSD1()
+	l := ICE().Latency(cfg, 1000, 100, 143)
+	e1 := ICE().Energy(cfg, 1000, l)
+	e2 := ICE().Energy(cfg, 2000, l)
+	if e2 <= e1 {
+		t.Fatal("energy did not grow with pages")
+	}
+}
+
+func TestNDSearchLatencyGrowsWithHops(t *testing.T) {
+	cfg := ssd.SSD1()
+	nd := NDSearch()
+	l1 := nd.Latency(cfg, 1000)
+	l2 := nd.Latency(cfg, 4000)
+	if l2 <= l1 {
+		t.Fatalf("latency did not grow: %v <= %v", l1, l2)
+	}
+}
+
+func TestNDSearchConflictsHurt(t *testing.T) {
+	cfg := ssd.SSD1()
+	smooth := NDSearchConfig{BeamWidth: 64, DieConflictFactor: 1.0}
+	rough := NDSearchConfig{BeamWidth: 64, DieConflictFactor: 0.25}
+	if rough.Latency(cfg, 10000) <= smooth.Latency(cfg, 10000) {
+		t.Fatal("conflicts did not increase latency")
+	}
+}
+
+func TestNDSearchParallelismCappedByDies(t *testing.T) {
+	cfg := ssd.SSD1() // 128 dies
+	wide := NDSearchConfig{BeamWidth: 100000, DieConflictFactor: 1.0}
+	capped := NDSearchConfig{BeamWidth: cfg.Geo.Dies(), DieConflictFactor: 1.0}
+	if wide.Latency(cfg, 1e6) != capped.Latency(cfg, 1e6) {
+		t.Fatal("beam parallelism not capped by die count")
+	}
+}
+
+func TestNDSearchEnergy(t *testing.T) {
+	cfg := ssd.SSD1()
+	nd := NDSearch()
+	l := nd.Latency(cfg, 1000)
+	if nd.Energy(cfg, 1000, l) <= 0 {
+		t.Fatal("non-positive energy")
+	}
+}

@@ -1,0 +1,152 @@
+// Package ssd models the SSD that hosts the REIS engine: the flash
+// device plus the SSD controller (embedded cores, internal DRAM), the
+// Flash Translation Layer in both its conventional page-level form and
+// REIS's coarse-grained form (Sec 4.1.4), and the parallelism-first
+// page allocator that stripes embeddings across planes (Sec 4.1.1).
+//
+// Two configurations reproduce Table 3 of the paper: REIS-SSD1 models
+// a cost-oriented device (Samsung PM9A3-class) and REIS-SSD2 a
+// performance-oriented device (Micron 9400-class).
+package ssd
+
+import (
+	"math"
+	"time"
+
+	"reis/internal/flash"
+)
+
+// Config describes one SSD configuration (Table 3).
+type Config struct {
+	Name string
+	Geo  flash.Geometry
+	// Flash carries per-event NAND latency/energy parameters.
+	Flash flash.Params
+
+	// Embedded controller cores (Arm Cortex-R8 class).
+	Cores   int
+	CoreGHz float64
+	// REISCores is how many cores REIS may use for its kernels; the
+	// paper reserves one, leaving the rest for FTL and host I/O
+	// (Sec 4.3.4, Sec 7.2).
+	REISCores int
+
+	// DRAMBytes is the controller's internal DRAM (0.1% of capacity by
+	// rule of thumb).
+	DRAMBytes int64
+
+	// HostReadBandwidth is the sequential read bandwidth seen by the
+	// host (bytes/s) — what a CPU baseline gets when loading a dataset.
+	HostReadBandwidth float64
+	// HostWriteBandwidth is the sequential write bandwidth (bytes/s).
+	HostWriteBandwidth float64
+
+	// ActivePower is the device's active power draw in watts; the
+	// paper reports SSDs draw ~29.7x less power than the CPU baseline.
+	ActivePower float64
+	// IdlePower is the device idle power in watts.
+	IdlePower float64
+
+	// Kernel cost constants for the embedded cores, expressed as
+	// nanoseconds per element on one core. Derived from Zsim-style
+	// estimates of quickselect/quicksort/dot-product inner loops on a
+	// Cortex-R8 at 1.5 GHz (a handful of instructions per element,
+	// DRAM-bound streaming).
+	QuickselectNsPerElem float64
+	QuicksortNsPerElem   float64 // multiplied by log2(n)
+	RerankNsPerDim       float64
+	// DRAMAccessNs is the average controller DRAM access latency used
+	// for TTL updates.
+	DRAMAccessNs float64
+}
+
+// SSD1 returns the cost-oriented configuration (REIS-SSD1, Table 3):
+// 8 channels, 16 dies/channel, 2 planes/die, 1.2 GB/s per channel.
+func SSD1() Config {
+	geo := flash.Geometry{
+		Channels:         8,
+		DiesPerChannel:   16,
+		PlanesPerDie:     2,
+		BlocksPerPlane:   64, // scaled; grown on demand by WithCapacityFor
+		PagesPerBlock:    64,
+		PageBytes:        16 * 1024,
+		OOBBytes:         2208,
+		ChannelBandwidth: 1.2e9,
+	}
+	p := flash.DefaultParams()
+	p.DieInputBandwidth = geo.ChannelBandwidth
+	return Config{
+		Name:                 "REIS-SSD1",
+		Geo:                  geo,
+		Flash:                p,
+		Cores:                4,
+		CoreGHz:              1.5,
+		REISCores:            1,
+		DRAMBytes:            1 << 30,
+		HostReadBandwidth:    6.9e9, // PM9A3 seq read
+		HostWriteBandwidth:   4.1e9,
+		ActivePower:          12.0,
+		IdlePower:            5.0,
+		QuickselectNsPerElem: 6,
+		QuicksortNsPerElem:   8,
+		RerankNsPerDim:       1.2,
+		// TTL inserts stream to DRAM; the per-entry cost is the entry
+		// size over DRAM bandwidth (~31-143B at ~6.4 GB/s), not a full
+		// random-access latency.
+		DRAMAccessNs: 5,
+	}
+}
+
+// SSD2 returns the performance-oriented configuration (REIS-SSD2,
+// Table 3): 16 channels, 8 dies/channel, 4 planes/die, 2.0 GB/s per
+// channel.
+func SSD2() Config {
+	cfg := SSD1()
+	cfg.Name = "REIS-SSD2"
+	cfg.Geo.Channels = 16
+	cfg.Geo.DiesPerChannel = 8
+	cfg.Geo.PlanesPerDie = 4
+	cfg.Geo.ChannelBandwidth = 2.0e9
+	cfg.Flash.DieInputBandwidth = cfg.Geo.ChannelBandwidth
+	cfg.HostReadBandwidth = 7.0e9 // Micron 9400 seq read
+	cfg.HostWriteBandwidth = 7.0e9
+	cfg.ActivePower = 14.0
+	return cfg
+}
+
+// WithCapacityFor returns a copy of cfg whose geometry holds at least
+// bytes of user data, growing BlocksPerPlane as needed. Channel, die
+// and plane counts — the quantities that determine parallelism — are
+// never changed.
+func (c Config) WithCapacityFor(bytes int64) Config {
+	out := c
+	for out.Geo.Capacity() < bytes {
+		out.Geo.BlocksPerPlane *= 2
+	}
+	return out
+}
+
+// CoreCycleNs returns the duration of one core cycle in nanoseconds.
+func (c Config) CoreCycleNs() float64 { return 1 / c.CoreGHz }
+
+// QuickselectTime models selecting the best elements from n TTL
+// entries on one embedded core.
+func (c Config) QuickselectTime(n int) time.Duration {
+	return time.Duration(float64(n) * c.QuickselectNsPerElem * float64(time.Nanosecond))
+}
+
+// QuicksortTime models sorting n entries on one embedded core.
+func (c Config) QuicksortTime(n int) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	return time.Duration(float64(n) * log2(float64(n)) * c.QuicksortNsPerElem * float64(time.Nanosecond))
+}
+
+// RerankTime models INT8 distance recomputation for n candidates of
+// the given dimensionality on one embedded core.
+func (c Config) RerankTime(n, dim int) time.Duration {
+	return time.Duration(float64(n) * float64(dim) * c.RerankNsPerDim * float64(time.Nanosecond))
+}
+
+func log2(x float64) float64 { return math.Log2(x) }

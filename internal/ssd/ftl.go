@@ -1,0 +1,194 @@
+package ssd
+
+import (
+	"fmt"
+
+	"reis/internal/flash"
+)
+
+// PageFTL is a conventional page-level Flash Translation Layer: a full
+// logical-to-physical page map held in controller DRAM. Its DRAM
+// footprint is what coarse-grained access eliminates (Sec 4.1.4: "a
+// 1TB vector database ... originally demands 1GB for page-level FTL").
+type PageFTL struct {
+	geo flash.Geometry
+	l2p map[int64]flash.Address
+	// Translations counts map lookups, the overhead coarse-grained
+	// access avoids on sequential scans.
+	Translations int64
+}
+
+// NewPageFTL returns an empty page-level FTL for the geometry.
+func NewPageFTL(geo flash.Geometry) *PageFTL {
+	return &PageFTL{geo: geo, l2p: make(map[int64]flash.Address)}
+}
+
+// Map binds a logical page number to a physical address.
+func (f *PageFTL) Map(lpn int64, a flash.Address) error {
+	if !a.Valid(f.geo) {
+		return fmt.Errorf("ssd: FTL map to invalid address %v", a)
+	}
+	f.l2p[lpn] = a
+	return nil
+}
+
+// Translate resolves a logical page number.
+func (f *PageFTL) Translate(lpn int64) (flash.Address, error) {
+	f.Translations++
+	a, ok := f.l2p[lpn]
+	if !ok {
+		return flash.Address{}, fmt.Errorf("ssd: unmapped LPN %d", lpn)
+	}
+	return a, nil
+}
+
+// Entries returns the number of live mappings.
+func (f *PageFTL) Entries() int { return len(f.l2p) }
+
+// DRAMFootprint returns the bytes of controller DRAM the mapping table
+// occupies (8 bytes per entry: 4B LPN offset + 4B PPA, the standard
+// estimate behind the 0.1% DRAM rule).
+func (f *PageFTL) DRAMFootprint() int64 { return int64(len(f.l2p)) * 8 }
+
+// Drop removes all mappings in [lo, hi) — what REIS does when flushing
+// page-level metadata after database deployment (Sec 4.1.4).
+func (f *PageFTL) Drop(lo, hi int64) {
+	for lpn := lo; lpn < hi; lpn++ {
+		delete(f.l2p, lpn)
+	}
+}
+
+// Region is a physically contiguous, plane-striped extent of pages —
+// the unit of coarse-grained access. Page i of a region lives on plane
+// (i mod planes) at page offset StartStripe + i/planes within that
+// plane, which simultaneously
+//
+//   - stripes consecutive embeddings across all planes
+//     (Parallelism-First Page Allocation, Sec 4.1.1), and
+//   - lets the controller derive any page's physical address by
+//     arithmetic instead of an FTL lookup (Sec 4.1.4).
+type Region struct {
+	// StartStripe is the first page offset (within every plane) that
+	// the region occupies.
+	StartStripe int
+	// PageCount is the number of pages in the region.
+	PageCount int
+}
+
+// Pages returns the page count of the region.
+func (r Region) Pages() int { return r.PageCount }
+
+// Stripes returns how many page offsets the region spans per plane.
+func (r Region) Stripes(planes int) int {
+	if r.PageCount == 0 {
+		return 0
+	}
+	return (r.PageCount + planes - 1) / planes
+}
+
+// EndStripe returns the first stripe after the region.
+func (r Region) EndStripe(planes int) int { return r.StartStripe + r.Stripes(planes) }
+
+// AddressOf resolves page i of the region under the geometry by pure
+// arithmetic (no mapping table).
+func (r Region) AddressOf(g flash.Geometry, i int) (flash.Address, error) {
+	if i < 0 || i >= r.PageCount {
+		return flash.Address{}, fmt.Errorf("ssd: page %d outside region of %d pages", i, r.PageCount)
+	}
+	planes := g.Planes()
+	plane := i % planes
+	off := r.StartStripe + i/planes
+	if off >= g.PagesPerPlane() {
+		return flash.Address{}, fmt.Errorf("ssd: region page %d exceeds plane capacity", i)
+	}
+	return flash.AddressFromLinear(g, plane*g.PagesPerPlane()+off), nil
+}
+
+// PagesOnPlane returns how many of the region's pages live on the
+// given plane — the per-plane wave count the timing model uses.
+func (r Region) PagesOnPlane(planes, plane int) int {
+	full := r.PageCount / planes
+	if plane < r.PageCount%planes {
+		return full + 1
+	}
+	return full
+}
+
+// DBRecord is one R-DB entry (Sec 4.1.4, structure A in Fig 4): the
+// database signature plus the bounds of its regions.
+type DBRecord struct {
+	ID         int
+	Embeddings Region
+	Documents  Region
+	// Extra regions used by the IVF layout (Sec 4.2.1).
+	Centroids Region
+	Int8s     Region
+}
+
+func (r DBRecord) regions() []Region {
+	return []Region{r.Embeddings, r.Documents, r.Centroids, r.Int8s}
+}
+
+// RDB is the coarse-grained address table kept in controller DRAM: one
+// small record per deployed database replaces the page-level FTL for
+// those regions.
+type RDB struct {
+	geo     flash.Geometry
+	records map[int]DBRecord
+	// Translations counts coarse lookups for comparison against
+	// PageFTL.Translations.
+	Translations int64
+}
+
+// NewRDB returns an empty R-DB for the geometry.
+func NewRDB(geo flash.Geometry) *RDB {
+	return &RDB{geo: geo, records: make(map[int]DBRecord)}
+}
+
+// Register stores a database record; it fails if the id exists or the
+// regions' stripe ranges overlap an existing database.
+func (r *RDB) Register(rec DBRecord) error {
+	if _, ok := r.records[rec.ID]; ok {
+		return fmt.Errorf("ssd: database %d already deployed", rec.ID)
+	}
+	planes := r.geo.Planes()
+	for _, other := range r.records {
+		for _, ra := range rec.regions() {
+			if ra.PageCount == 0 {
+				continue
+			}
+			for _, rb := range other.regions() {
+				if rb.PageCount == 0 {
+					continue
+				}
+				if ra.StartStripe < rb.EndStripe(planes) && rb.StartStripe < ra.EndStripe(planes) {
+					return fmt.Errorf("ssd: database %d regions overlap database %d", rec.ID, other.ID)
+				}
+			}
+		}
+	}
+	r.records[rec.ID] = rec
+	return nil
+}
+
+// Lookup returns the record for a database id.
+func (r *RDB) Lookup(id int) (DBRecord, error) {
+	r.Translations++
+	rec, ok := r.records[id]
+	if !ok {
+		return DBRecord{}, fmt.Errorf("ssd: unknown database %d", id)
+	}
+	return rec, nil
+}
+
+// Remove deletes a record.
+func (r *RDB) Remove(id int) { delete(r.records, id) }
+
+// Len returns the number of deployed databases.
+func (r *RDB) Len() int { return len(r.records) }
+
+// DRAMFootprint returns the bytes of DRAM the R-DB occupies: an
+// integer id plus first/last addresses for four regions per record
+// (the paper quotes 21 bytes for its three-field layout; the IVF
+// extension brings ours to 36).
+func (r *RDB) DRAMFootprint() int64 { return int64(len(r.records)) * 36 }

@@ -1,0 +1,118 @@
+package ssd
+
+import (
+	"fmt"
+
+	"reis/internal/flash"
+)
+
+// SSD combines the flash device with the controller-side structures:
+// FTL, R-DB, the region allocator, and maintenance bookkeeping.
+type SSD struct {
+	Cfg Config
+	Dev *flash.Device
+	FTL *PageFTL
+	RDB *RDB
+
+	// nextStripe is the allocation cursor, in page offsets within each
+	// plane. Allocation is block-aligned so soft partitioning never
+	// mixes cell modes inside a block.
+	nextStripe int
+
+	// Maintenance counters (Sec 7.2).
+	GCRuns       int64
+	RefreshRuns  int64
+	WearLevelOps int64
+}
+
+// New builds an SSD with capacity grown to hold at least capacityHint
+// bytes (0 keeps the preset geometry).
+func New(cfg Config, capacityHint int64) (*SSD, error) {
+	if capacityHint > 0 {
+		cfg = cfg.WithCapacityFor(capacityHint)
+	}
+	dev, err := flash.NewDevice(cfg.Geo, cfg.Flash)
+	if err != nil {
+		return nil, err
+	}
+	return &SSD{
+		Cfg: cfg,
+		Dev: dev,
+		FTL: NewPageFTL(cfg.Geo),
+		RDB: NewRDB(cfg.Geo),
+	}, nil
+}
+
+// AllocateRegion reserves a plane-striped, block-aligned region of
+// pages pages and marks every block it touches with the given cell
+// mode, implementing the soft partitioning of the hybrid SSD design
+// (Sec 4.1.2). Block alignment guarantees no block ever mixes SLC-ESP
+// and TLC data.
+func (s *SSD) AllocateRegion(pages int, mode flash.CellMode) (Region, error) {
+	if pages <= 0 {
+		return Region{}, fmt.Errorf("ssd: AllocateRegion with %d pages", pages)
+	}
+	planes := s.Cfg.Geo.Planes()
+	stripes := (pages + planes - 1) / planes
+	// Round the cursor and extent to block boundaries.
+	ppb := s.Cfg.Geo.PagesPerBlock
+	start := s.nextStripe
+	if rem := start % ppb; rem != 0 {
+		start += ppb - rem
+	}
+	endStripe := start + stripes
+	if rem := endStripe % ppb; rem != 0 {
+		endStripe += ppb - rem
+	}
+	if endStripe > s.Cfg.Geo.PagesPerPlane() {
+		return Region{}, fmt.Errorf("ssd: out of space: need stripes [%d,%d), have %d",
+			start, endStripe, s.Cfg.Geo.PagesPerPlane())
+	}
+	// Mark cell mode for every touched block on every plane.
+	for blk := start / ppb; blk < endStripe/ppb; blk++ {
+		for ch := 0; ch < s.Cfg.Geo.Channels; ch++ {
+			for die := 0; die < s.Cfg.Geo.DiesPerChannel; die++ {
+				for pl := 0; pl < s.Cfg.Geo.PlanesPerDie; pl++ {
+					a := flash.Address{Channel: ch, Die: die, Plane: pl, Block: blk}
+					if err := s.Dev.SetBlockMode(a, mode); err != nil {
+						return Region{}, err
+					}
+				}
+			}
+		}
+	}
+	s.nextStripe = endStripe
+	return Region{StartStripe: start, PageCount: pages}, nil
+}
+
+// FreeStripes reports the number of unallocated stripes remaining.
+func (s *SSD) FreeStripes() int { return s.Cfg.Geo.PagesPerPlane() - s.nextStripe }
+
+// WriteRegionPage programs page i of a region with data and OOB bytes.
+func (s *SSD) WriteRegionPage(r Region, i int, data, oob []byte) error {
+	a, err := r.AddressOf(s.Cfg.Geo, i)
+	if err != nil {
+		return err
+	}
+	return s.Dev.Program(a, data, oob)
+}
+
+// ReadRegionPage reads page i of a region through the conventional
+// path (sense + channel transfer).
+func (s *SSD) ReadRegionPage(r Region, i int) (data, oob []byte, err error) {
+	a, err := r.AddressOf(s.Cfg.Geo, i)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.Dev.ReadPageInto(a, nil, nil)
+}
+
+// RunMaintenance models the background tasks of Sec 7.2 (GC, refresh,
+// wear leveling): it only bumps counters — REIS confines them to the
+// non-REIS cores, so they do not interact with query timing — but the
+// counters let tests assert the device stays manageable.
+func (s *SSD) RunMaintenance() {
+	s.GCRuns++
+	s.RefreshRuns++
+	s.WearLevelOps++
+}

@@ -1,0 +1,312 @@
+package ssd
+
+import (
+	"bytes"
+	"testing"
+
+	"reis/internal/flash"
+)
+
+// tinyCfg shrinks SSD1 for unit tests while keeping its parallelism
+// structure intact.
+func tinyCfg() Config {
+	cfg := SSD1()
+	cfg.Geo.Channels = 2
+	cfg.Geo.DiesPerChannel = 2
+	cfg.Geo.PlanesPerDie = 2
+	cfg.Geo.BlocksPerPlane = 8
+	cfg.Geo.PagesPerBlock = 4
+	cfg.Geo.PageBytes = 2048
+	cfg.Geo.OOBBytes = 128
+	return cfg
+}
+
+func newTestSSD(t *testing.T) *SSD {
+	t.Helper()
+	s, err := New(tinyCfg(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPresetConfigsMatchTable3(t *testing.T) {
+	s1, s2 := SSD1(), SSD2()
+	if s1.Geo.Channels != 8 || s1.Geo.DiesPerChannel != 16 || s1.Geo.PlanesPerDie != 2 {
+		t.Fatalf("SSD1 geometry wrong: %+v", s1.Geo)
+	}
+	if s1.Geo.ChannelBandwidth != 1.2e9 {
+		t.Fatalf("SSD1 channel bandwidth %v", s1.Geo.ChannelBandwidth)
+	}
+	if s2.Geo.Channels != 16 || s2.Geo.DiesPerChannel != 8 || s2.Geo.PlanesPerDie != 4 {
+		t.Fatalf("SSD2 geometry wrong: %+v", s2.Geo)
+	}
+	if s2.Geo.ChannelBandwidth != 2.0e9 {
+		t.Fatalf("SSD2 channel bandwidth %v", s2.Geo.ChannelBandwidth)
+	}
+	// SSD2 has 2x channels and more planes (Sec 6.1 observation 3).
+	if s2.Geo.Planes() <= s1.Geo.Planes() {
+		t.Fatal("SSD2 not more parallel than SSD1")
+	}
+	if s1.Cores != 4 || s1.REISCores != 1 {
+		t.Fatalf("SSD1 core config wrong: %d/%d", s1.Cores, s1.REISCores)
+	}
+}
+
+func TestWithCapacityFor(t *testing.T) {
+	cfg := tinyCfg()
+	need := cfg.Geo.Capacity() * 5
+	grown := cfg.WithCapacityFor(need)
+	if grown.Geo.Capacity() < need {
+		t.Fatalf("capacity %d < %d", grown.Geo.Capacity(), need)
+	}
+	// Parallelism structure untouched.
+	if grown.Geo.Channels != cfg.Geo.Channels || grown.Geo.PlanesPerDie != cfg.Geo.PlanesPerDie {
+		t.Fatal("WithCapacityFor changed parallelism")
+	}
+}
+
+func TestKernelCostModels(t *testing.T) {
+	cfg := SSD1()
+	if cfg.QuickselectTime(0) != 0 {
+		t.Fatal("quickselect of nothing costs time")
+	}
+	if cfg.QuickselectTime(2000) <= cfg.QuickselectTime(1000) {
+		t.Fatal("quickselect not monotonic")
+	}
+	if cfg.QuicksortTime(1) != 0 {
+		t.Fatal("sorting one element costs time")
+	}
+	// n log n growth: sorting 4x the elements costs more than 4x.
+	if cfg.QuicksortTime(4096) <= 4*cfg.QuicksortTime(1024) {
+		t.Fatal("quicksort not superlinear")
+	}
+	ratio := float64(cfg.RerankTime(100, 1024)) / float64(cfg.RerankTime(1, 1024))
+	if ratio < 99 || ratio > 101 {
+		t.Fatalf("rerank not linear in n: ratio %v", ratio)
+	}
+}
+
+func TestPageFTLMapTranslate(t *testing.T) {
+	s := newTestSSD(t)
+	a := flash.Address{Channel: 1, Die: 0, Plane: 1, Block: 2, Page: 3}
+	if err := s.FTL.Map(42, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.FTL.Translate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("Translate = %v, want %v", got, a)
+	}
+	if _, err := s.FTL.Translate(43); err == nil {
+		t.Fatal("unmapped LPN resolved")
+	}
+	if s.FTL.Translations != 2 {
+		t.Fatalf("Translations = %d", s.FTL.Translations)
+	}
+}
+
+func TestPageFTLFootprintAndDrop(t *testing.T) {
+	s := newTestSSD(t)
+	for i := int64(0); i < 100; i++ {
+		if err := s.FTL.Map(i, flash.AddressFromLinear(s.Cfg.Geo, int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.FTL.DRAMFootprint() != 800 {
+		t.Fatalf("footprint = %d", s.FTL.DRAMFootprint())
+	}
+	s.FTL.Drop(0, 50)
+	if s.FTL.Entries() != 50 {
+		t.Fatalf("entries after drop = %d", s.FTL.Entries())
+	}
+}
+
+func TestCoarseGrainedFootprintAdvantage(t *testing.T) {
+	// The R-DB record for a whole database must be orders of magnitude
+	// smaller than the page-level FTL it replaces (Sec 4.1.4).
+	s := newTestSSD(t)
+	pages := 200
+	for i := int64(0); i < int64(pages); i++ {
+		if err := s.FTL.Map(i, flash.AddressFromLinear(s.Cfg.Geo, int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := DBRecord{ID: 1, Embeddings: Region{0, 100}, Documents: Region{13, 100}}
+	if err := s.RDB.Register(rec); err != nil {
+		t.Fatal(err)
+	}
+	if s.RDB.DRAMFootprint() >= s.FTL.DRAMFootprint()/10 {
+		t.Fatalf("R-DB %dB not far below FTL %dB", s.RDB.DRAMFootprint(), s.FTL.DRAMFootprint())
+	}
+}
+
+func TestRegionAddressingStripesAcrossPlanes(t *testing.T) {
+	s := newTestSSD(t)
+	planes := s.Cfg.Geo.Planes() // 8
+	r := Region{StartStripe: 0, PageCount: 3 * planes}
+	seen := make(map[int]int)
+	for i := 0; i < planes; i++ {
+		a, err := r.AddressOf(s.Cfg.Geo, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[a.PlaneIndex(s.Cfg.Geo)]++
+	}
+	// The first `planes` pages must land on `planes` distinct planes.
+	if len(seen) != planes {
+		t.Fatalf("first wave used %d planes, want %d", len(seen), planes)
+	}
+}
+
+func TestRegionAddressOfArithmetic(t *testing.T) {
+	s := newTestSSD(t)
+	planes := s.Cfg.Geo.Planes()
+	r := Region{StartStripe: 4, PageCount: 2*planes + 3}
+	// Page planes+1 must be on plane 1 at stripe 5.
+	a, err := r.AddressOf(s.Cfg.Geo, planes+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PlaneIndex(s.Cfg.Geo) != 1 {
+		t.Fatalf("plane = %d", a.PlaneIndex(s.Cfg.Geo))
+	}
+	if a.PageIndex(s.Cfg.Geo) != 5 {
+		t.Fatalf("page offset = %d", a.PageIndex(s.Cfg.Geo))
+	}
+	if _, err := r.AddressOf(s.Cfg.Geo, r.PageCount); err == nil {
+		t.Fatal("out-of-region page resolved")
+	}
+}
+
+func TestRegionPagesOnPlane(t *testing.T) {
+	r := Region{StartStripe: 0, PageCount: 10}
+	planes := 4
+	total := 0
+	for p := 0; p < planes; p++ {
+		total += r.PagesOnPlane(planes, p)
+	}
+	if total != 10 {
+		t.Fatalf("per-plane pages sum to %d", total)
+	}
+	if r.PagesOnPlane(planes, 0) != 3 || r.PagesOnPlane(planes, 3) != 2 {
+		t.Fatalf("wave distribution wrong: %d, %d", r.PagesOnPlane(planes, 0), r.PagesOnPlane(planes, 3))
+	}
+}
+
+func TestRDBRejectsOverlapAndDuplicates(t *testing.T) {
+	s := newTestSSD(t)
+	a := DBRecord{ID: 1, Embeddings: Region{0, 8}}
+	if err := s.RDB.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RDB.Register(DBRecord{ID: 1, Embeddings: Region{100, 8}}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if err := s.RDB.Register(DBRecord{ID: 2, Documents: Region{0, 8}}); err == nil {
+		t.Fatal("overlapping region accepted")
+	}
+	if err := s.RDB.Register(DBRecord{ID: 3, Embeddings: Region{8, 8}}); err != nil {
+		t.Fatalf("disjoint region rejected: %v", err)
+	}
+	if s.RDB.Len() != 2 {
+		t.Fatalf("Len = %d", s.RDB.Len())
+	}
+	s.RDB.Remove(1)
+	if _, err := s.RDB.Lookup(1); err == nil {
+		t.Fatal("removed database resolved")
+	}
+}
+
+func TestAllocateRegionBlockAlignedModes(t *testing.T) {
+	s := newTestSSD(t)
+	emb, err := s.AllocateRegion(10, flash.ModeSLCESP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := s.AllocateRegion(10, flash.ModeTLC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify every embedding page is in an SLC-ESP block and every
+	// document page in a TLC block.
+	for i := 0; i < emb.Pages(); i++ {
+		a, err := emb.AddressOf(s.Cfg.Geo, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Dev.BlockMode(a) != flash.ModeSLCESP {
+			t.Fatalf("embedding page %d in %v block", i, s.Dev.BlockMode(a))
+		}
+	}
+	for i := 0; i < doc.Pages(); i++ {
+		a, err := doc.AddressOf(s.Cfg.Geo, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Dev.BlockMode(a) != flash.ModeTLC {
+			t.Fatalf("document page %d in %v block", i, s.Dev.BlockMode(a))
+		}
+	}
+	// Regions must not share stripes.
+	planes := s.Cfg.Geo.Planes()
+	if emb.EndStripe(planes) > doc.StartStripe {
+		t.Fatal("regions overlap")
+	}
+}
+
+func TestAllocateRegionExhaustion(t *testing.T) {
+	s := newTestSSD(t)
+	totalPages := s.Cfg.Geo.TotalPages()
+	if _, err := s.AllocateRegion(totalPages*2, flash.ModeTLC); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	if _, err := s.AllocateRegion(0, flash.ModeTLC); err == nil {
+		t.Fatal("zero allocation accepted")
+	}
+}
+
+func TestWriteReadRegionPage(t *testing.T) {
+	s := newTestSSD(t)
+	r, err := s.AllocateRegion(16, flash.ModeSLCESP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("embedding page payload")
+	oob := []byte{0xAA, 0xBB}
+	if err := s.WriteRegionPage(r, 7, payload, oob); err != nil {
+		t.Fatal(err)
+	}
+	data, gotOOB, err := s.ReadRegionPage(r, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data[:len(payload)], payload) {
+		t.Fatal("payload mismatch")
+	}
+	if gotOOB[0] != 0xAA || gotOOB[1] != 0xBB {
+		t.Fatal("OOB mismatch")
+	}
+}
+
+func TestMaintenanceCounters(t *testing.T) {
+	s := newTestSSD(t)
+	s.RunMaintenance()
+	s.RunMaintenance()
+	if s.GCRuns != 2 || s.RefreshRuns != 2 || s.WearLevelOps != 2 {
+		t.Fatalf("maintenance counters: %d %d %d", s.GCRuns, s.RefreshRuns, s.WearLevelOps)
+	}
+}
+
+func TestFreeStripesDecreases(t *testing.T) {
+	s := newTestSSD(t)
+	before := s.FreeStripes()
+	if _, err := s.AllocateRegion(8, flash.ModeTLC); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeStripes() >= before {
+		t.Fatal("FreeStripes did not decrease")
+	}
+}

@@ -1,0 +1,301 @@
+// Package vecmath implements the vector kernels used by every retrieval
+// component in this repository: float32 distance computations for exact
+// search, binary quantization with Hamming distance for the in-storage
+// ANNS engine (Sec 4.3 of the REIS paper), and INT8 quantization with
+// integer dot products for the reranking step (Sec 4.3.2).
+//
+// Embeddings are represented in three precisions:
+//
+//   - []float32  — full precision, used by host baselines and ground truth
+//   - []uint64   — binary quantized (1 bit/dim, packed), used in-plane
+//   - []int8     — INT8 quantized, used for reranking
+//
+// Binary quantization follows the standard sign rule (bit i is 1 iff
+// component i > 0), giving the 32x compression the paper cites.
+package vecmath
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// WordsPerVector returns the number of uint64 words needed to store a
+// binary-quantized vector of dim dimensions.
+func WordsPerVector(dim int) int { return (dim + 63) / 64 }
+
+// L2Squared returns the squared Euclidean distance between a and b.
+// It panics if the lengths differ.
+func L2Squared(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: L2Squared dimension mismatch %d != %d", len(a), len(b)))
+	}
+	var sum float32
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// Dot returns the inner product of a and b.
+// It panics if the lengths differ.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: Dot dimension mismatch %d != %d", len(a), len(b)))
+	}
+	var sum float32
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float32) float32 {
+	var sum float32
+	for _, x := range v {
+		sum += x * x
+	}
+	return float32(math.Sqrt(float64(sum)))
+}
+
+// Normalize scales v in place to unit norm. A zero vector is left
+// unchanged.
+func Normalize(v []float32) {
+	n := Norm(v)
+	if n == 0 {
+		return
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// BinaryQuantize packs the sign bits of v into dst (bit i set iff
+// v[i] > 0) and returns dst. If dst is nil or too short a new slice is
+// allocated. The trailing bits of the final word are zero.
+func BinaryQuantize(v []float32, dst []uint64) []uint64 {
+	words := WordsPerVector(len(v))
+	if cap(dst) < words {
+		dst = make([]uint64, words)
+	}
+	dst = dst[:words]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, x := range v {
+		if x > 0 {
+			dst[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	return dst
+}
+
+// Hamming returns the Hamming distance between two packed binary
+// vectors. This is the operation REIS performs with the in-plane XOR
+// between latches plus the fail-bit counter.
+// It panics if the lengths differ.
+func Hamming(a, b []uint64) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: Hamming length mismatch %d != %d", len(a), len(b)))
+	}
+	d := 0
+	for i := range a {
+		d += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return d
+}
+
+// PopCount returns the number of set bits in v.
+func PopCount(v []uint64) int {
+	n := 0
+	for _, w := range v {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Int8Params hold the affine quantization parameters used to convert a
+// float32 embedding to INT8 and to interpret INT8 distances. A single
+// symmetric scale is used per dataset, matching the rerank scheme the
+// paper adopts from Cohere-style INT8 embeddings.
+type Int8Params struct {
+	// Scale maps int8 value q back to float via q * Scale.
+	Scale float32
+}
+
+// ComputeInt8Params derives a symmetric scale covering the maximum
+// absolute component over the sample of vectors.
+func ComputeInt8Params(sample [][]float32) Int8Params {
+	var maxAbs float32
+	for _, v := range sample {
+		for _, x := range v {
+			a := x
+			if a < 0 {
+				a = -a
+			}
+			if a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	return Int8Params{Scale: maxAbs / 127}
+}
+
+// Int8Quantize converts v to INT8 under p, writing into dst (allocated
+// if nil or too short) and returning it. Values are clamped to
+// [-127, 127].
+func (p Int8Params) Int8Quantize(v []float32, dst []int8) []int8 {
+	if cap(dst) < len(v) {
+		dst = make([]int8, len(v))
+	}
+	dst = dst[:len(v)]
+	inv := 1 / p.Scale
+	for i, x := range v {
+		q := math.Round(float64(x * inv))
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		dst[i] = int8(q)
+	}
+	return dst
+}
+
+// DotInt8 returns the integer inner product of a and b, the kernel the
+// embedded SSD controller core runs during reranking.
+// It panics if the lengths differ.
+func DotInt8(a, b []int8) int32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: DotInt8 dimension mismatch %d != %d", len(a), len(b)))
+	}
+	var sum int32
+	for i := range a {
+		sum += int32(a[i]) * int32(b[i])
+	}
+	return sum
+}
+
+// L2SquaredInt8 returns the squared Euclidean distance between two INT8
+// vectors as an int32.
+func L2SquaredInt8(a, b []int8) int32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: L2SquaredInt8 dimension mismatch %d != %d", len(a), len(b)))
+	}
+	var sum int32
+	for i := range a {
+		d := int32(a[i]) - int32(b[i])
+		sum += d * d
+	}
+	return sum
+}
+
+// PackBinaryBytes serializes a packed binary vector into bytes in
+// little-endian word order; this is the on-flash layout of the binary
+// embedding region.
+func PackBinaryBytes(v []uint64, dst []byte) []byte {
+	need := len(v) * 8
+	if cap(dst) < need {
+		dst = make([]byte, need)
+	}
+	dst = dst[:need]
+	for i, w := range v {
+		off := i * 8
+		dst[off+0] = byte(w)
+		dst[off+1] = byte(w >> 8)
+		dst[off+2] = byte(w >> 16)
+		dst[off+3] = byte(w >> 24)
+		dst[off+4] = byte(w >> 32)
+		dst[off+5] = byte(w >> 40)
+		dst[off+6] = byte(w >> 48)
+		dst[off+7] = byte(w >> 56)
+	}
+	return dst
+}
+
+// UnpackBinaryBytes deserializes bytes produced by PackBinaryBytes.
+// len(b) must be a multiple of 8.
+func UnpackBinaryBytes(b []byte, dst []uint64) []uint64 {
+	if len(b)%8 != 0 {
+		panic("vecmath: UnpackBinaryBytes length not a multiple of 8")
+	}
+	words := len(b) / 8
+	if cap(dst) < words {
+		dst = make([]uint64, words)
+	}
+	dst = dst[:words]
+	for i := range dst {
+		off := i * 8
+		dst[i] = uint64(b[off]) | uint64(b[off+1])<<8 | uint64(b[off+2])<<16 |
+			uint64(b[off+3])<<24 | uint64(b[off+4])<<32 | uint64(b[off+5])<<40 |
+			uint64(b[off+6])<<48 | uint64(b[off+7])<<56
+	}
+	return dst
+}
+
+// PackInt8Bytes serializes an INT8 vector (two's complement bytes).
+func PackInt8Bytes(v []int8, dst []byte) []byte {
+	if cap(dst) < len(v) {
+		dst = make([]byte, len(v))
+	}
+	dst = dst[:len(v)]
+	for i, x := range v {
+		dst[i] = byte(x)
+	}
+	return dst
+}
+
+// UnpackInt8Bytes deserializes bytes produced by PackInt8Bytes.
+func UnpackInt8Bytes(b []byte, dst []int8) []int8 {
+	if cap(dst) < len(b) {
+		dst = make([]int8, len(b))
+	}
+	dst = dst[:len(b)]
+	for i, x := range b {
+		dst[i] = int8(x)
+	}
+	return dst
+}
+
+// PackFloat32Bytes serializes a float32 vector (IEEE-754 little endian).
+func PackFloat32Bytes(v []float32, dst []byte) []byte {
+	need := len(v) * 4
+	if cap(dst) < need {
+		dst = make([]byte, need)
+	}
+	dst = dst[:need]
+	for i, x := range v {
+		u := math.Float32bits(x)
+		off := i * 4
+		dst[off+0] = byte(u)
+		dst[off+1] = byte(u >> 8)
+		dst[off+2] = byte(u >> 16)
+		dst[off+3] = byte(u >> 24)
+	}
+	return dst
+}
+
+// UnpackFloat32Bytes deserializes bytes produced by PackFloat32Bytes.
+// len(b) must be a multiple of 4.
+func UnpackFloat32Bytes(b []byte, dst []float32) []float32 {
+	if len(b)%4 != 0 {
+		panic("vecmath: UnpackFloat32Bytes length not a multiple of 4")
+	}
+	n := len(b) / 4
+	if cap(dst) < n {
+		dst = make([]float32, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		off := i * 4
+		u := uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+		dst[i] = math.Float32frombits(u)
+	}
+	return dst
+}
