@@ -11,15 +11,92 @@ package reis
 // full dataset sizes (see internal/experiments).
 
 import (
+	"fmt"
 	"testing"
 
+	"reis/internal/ann"
+	"reis/internal/dataset"
 	"reis/internal/experiments"
+	"reis/internal/reis"
+	"reis/internal/ssd"
 )
 
 // benchScale divides the catalog workload sizes. 16 keeps the full
 // suite within a few minutes while leaving thousands of vectors per
 // dataset.
 const benchScale = 16
+
+// throughputSetup deploys the quickstart-scale workload (2000 x
+// 256-dim, full REIS-SSD1 plane parallelism) used by the batched-vs-
+// sequential throughput benchmarks.
+func throughputSetup(b *testing.B) (*reis.Engine, *reis.Database, [][]float32) {
+	b.Helper()
+	data := dataset.Generate(dataset.Config{
+		Name: "throughput", N: 2000, Dim: 256, Clusters: 20,
+		Queries: 64, DocBytes: 512, Seed: 7,
+	})
+	cents, assign := ann.KMeans(data.Vectors, ann.KMeansConfig{K: 20, Seed: 7})
+	cfg := ssd.SSD1()
+	cfg.Geo.BlocksPerPlane = 8
+	cfg.Geo.PagesPerBlock = 16
+	engine, err := reis.New(cfg, 256<<20, reis.AllOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := engine.IVFDeploy(reis.DeployConfig{
+		ID: 1, Vectors: data.Vectors, Docs: data.Docs, DocSlotBytes: 512,
+		Centroids: cents, Assign: assign,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	db, err := engine.DB(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return engine, db, data.Queries
+}
+
+// BenchmarkSearchThroughput sweeps the admission batch size and
+// reports wall-clock queries/sec of the functional simulation plus the
+// timing model's batch QPS. Batch size 1 is the sequential baseline
+// (one Search call per query); larger batches go through SearchBatch.
+func BenchmarkSearchThroughput(b *testing.B) {
+	engine, db, queries := throughputSetup(b)
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			// Every sub-benchmark rotates through the same query list,
+			// so qps across batch sizes compares identical workloads.
+			qs := make([][]float32, batch)
+			var sts []reis.QueryStats
+			b.ResetTimer()
+			served := 0
+			for i := 0; i < b.N; i++ {
+				for j := range qs {
+					qs[j] = queries[(i*batch+j)%len(queries)]
+				}
+				if batch == 1 {
+					_, st, err := engine.Search(1, qs[0], 10, reis.SearchOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					sts = []reis.QueryStats{st}
+					served++
+				} else {
+					var err error
+					_, sts, err = engine.SearchBatch(1, qs, 10, reis.SearchOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					served += batch
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(served)/b.Elapsed().Seconds(), "qps")
+			bd := engine.BatchLatency(db, sts, reis.UnitScale())
+			b.ReportMetric(bd.QPS, "model_qps")
+		})
+	}
+}
 
 func BenchmarkFig2RAGBreakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {

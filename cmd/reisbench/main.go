@@ -8,7 +8,7 @@
 // table4 (end-to-end), fig5 (ANNS algorithms on CPU), fig7 (throughput
 // vs CPU-Real), fig8 (energy efficiency; printed with fig7), fig9
 // (optimization sensitivity), asic (Sec 6.3.1), fig10 (vs ICE), fig11
-// (vs NDSearch).
+// (vs NDSearch), throughput (batched vs sequential query admission).
 package main
 
 import (
@@ -22,13 +22,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2|fig3|table4|fig5|fig7|fig8|fig9|asic|fig10|fig11|all)")
+	exp := flag.String("exp", "all", "experiment id (fig2|fig3|table4|fig5|fig7|fig8|fig9|asic|fig10|fig11|throughput|all)")
 	scale := flag.Int("scale", 16, "workload scale divisor (larger = smaller functional datasets)")
 	flag.Parse()
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"fig2", "fig5", "fig7", "fig9", "asic", "fig10", "fig11"}
+		ids = []string{"fig2", "fig5", "fig7", "fig9", "asic", "fig10", "fig11", "throughput"}
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -87,6 +87,12 @@ func run(id string, scale int) error {
 			return err
 		}
 		fmt.Print(experiments.FormatFig11(rows))
+	case "throughput":
+		rows, err := experiments.RunThroughput(scale, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatThroughput(rows))
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

@@ -78,11 +78,13 @@ func main() {
 	fmt.Printf("\nbatch device stats: %d pages sensed (%d coarse, %d fine), %d entries scanned, %d TTL survivors, %d doc pages\n",
 		st.CoarsePages+st.FinePages, st.CoarsePages, st.FinePages,
 		st.EntriesScanned, st.Survivors, st.DocPages)
-	_, one, err := engine.IVFSearch(1, data.Queries[0], *k, reis.SearchOptions{NProbe: *nprobe})
-	if err != nil {
-		log.Fatal(err)
-	}
-	bd := engine.Latency(db, one, reis.UnitScale())
+	// The Submit above served the batch through the concurrent plane
+	// pipeline and returned per-query device events; cost them with
+	// the single-query and batch-overlap timing models.
+	bd := engine.Latency(db, resp.QueryStats[0], reis.UnitScale())
 	fmt.Printf("modeled per-query latency on %s: %v (IBC %v, coarse %v, fine %v, rerank %v, docs %v), %.1f uJ\n",
 		cfg.Name, bd.Total, bd.IBC, bd.Coarse, bd.Fine, bd.Rerank, bd.Docs, bd.EnergyJ*1e6)
+	bb := engine.BatchLatency(db, resp.QueryStats, reis.UnitScale())
+	fmt.Printf("batched admission: %d queries in %v makespan (%.0f QPS, %.2fx over one-at-a-time)\n",
+		bb.Queries, bb.Makespan, bb.QPS, bb.Serial.Seconds()/bb.Makespan.Seconds())
 }

@@ -1,0 +1,3 @@
+module reis
+
+go 1.24

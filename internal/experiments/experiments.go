@@ -173,37 +173,44 @@ func docSlot(d *dataset.Dataset) int {
 
 // RunBF executes every workload query as an in-storage brute-force
 // search and returns the mean per-query latency breakdown at paper
-// scale plus the mean stats.
+// scale plus the mean stats. Queries are admitted as one batch through
+// SearchBatch — per-query results and device events are bit-identical
+// to sequential admission, so figure reproductions are unchanged while
+// the functional simulation runs concurrently across planes.
 func (s *Setup) RunBF(k int) (reis.Breakdown, reis.QueryStats, error) {
-	return s.run(k, s.W.ScaleBF(), func(q []float32) ([]reis.DocResult, reis.QueryStats, error) {
-		return s.Engine.Search(1, q, k, reis.SearchOptions{})
-	})
+	return s.run(k, s.W.ScaleBF(), false, reis.SearchOptions{})
 }
 
-// RunIVF executes every query at the given nprobe.
+// RunIVF executes every query at the given nprobe, batched.
 func (s *Setup) RunIVF(k, nprobe int) (reis.Breakdown, reis.QueryStats, error) {
-	return s.run(k, s.W.ScaleIVF(), func(q []float32) ([]reis.DocResult, reis.QueryStats, error) {
-		return s.Engine.IVFSearch(1, q, k, reis.SearchOptions{NProbe: nprobe})
-	})
+	return s.run(k, s.W.ScaleIVF(), true, reis.SearchOptions{NProbe: nprobe})
 }
 
-func (s *Setup) run(k int, sc reis.Scale, f func(q []float32) ([]reis.DocResult, reis.QueryStats, error)) (reis.Breakdown, reis.QueryStats, error) {
+func (s *Setup) run(k int, sc reis.Scale, ivf bool, opt reis.SearchOptions) (reis.Breakdown, reis.QueryStats, error) {
+	queries := s.W.Data.Queries
+	var (
+		sts []reis.QueryStats
+		err error
+	)
+	if ivf {
+		_, sts, err = s.Engine.IVFSearchBatch(1, queries, k, opt)
+	} else {
+		_, sts, err = s.Engine.SearchBatch(1, queries, k, opt)
+	}
+	if err != nil {
+		return reis.Breakdown{}, reis.QueryStats{}, err
+	}
 	var totalSec float64
 	var b reis.Breakdown
 	var agg reis.QueryStats
-	n := len(s.W.Data.Queries)
-	for _, q := range s.W.Data.Queries {
-		_, st, err := f(q)
-		if err != nil {
-			return reis.Breakdown{}, reis.QueryStats{}, err
-		}
+	for _, st := range sts {
 		bd := s.Engine.Latency(s.DB, st, sc)
 		totalSec += bd.Total.Seconds()
 		b = bd // keep the last breakdown's proportions
 		agg.Add(st)
 	}
-	b.Total = time.Duration(totalSec / float64(n) * float64(time.Second))
-	return b, meanStats(agg, n), nil
+	b.Total = time.Duration(totalSec / float64(len(sts)) * float64(time.Second))
+	return b, meanStats(agg, len(sts)), nil
 }
 
 func meanStats(agg reis.QueryStats, n int) reis.QueryStats {

@@ -183,24 +183,33 @@ func TestRunRAGBreakdown(t *testing.T) {
 	for _, r := range rows {
 		byKey[r.Dataset+"/"+r.System] = r
 	}
-	// Fig 2 shape: wiki_en flat is loading-dominated.
-	we := byKey["wiki_en/CPU flat"].Stages.Fractions()
-	if we.DatasetLoad < 0.6 {
-		t.Errorf("wiki_en flat loading fraction %.2f (paper 0.84)", we.DatasetLoad)
+	if raceEnabled {
+		// The CPU-baseline stage proportions compare modeled I/O time
+		// against kernels calibrated on this machine; the race
+		// detector slows the kernels ~15x and distorts every fraction,
+		// so only the structural assertions below run.
+		t.Log("race detector active: skipping calibrated stage-fraction assertions")
+	} else {
+		// Fig 2 shape: wiki_en flat is loading-dominated.
+		we := byKey["wiki_en/CPU flat"].Stages.Fractions()
+		if we.DatasetLoad < 0.6 {
+			t.Errorf("wiki_en flat loading fraction %.2f (paper 0.84)", we.DatasetLoad)
+		}
+		// Fig 3 shape: BQ reduces loading share but wiki_en stays bound.
+		bq := byKey["wiki_en/CPU+BQ"].Stages.Fractions()
+		if bq.DatasetLoad >= we.DatasetLoad {
+			t.Error("BQ did not reduce loading share")
+		}
+		if bq.DatasetLoad < 0.4 {
+			t.Errorf("wiki_en BQ loading fraction %.2f (paper 0.67)", bq.DatasetLoad)
+		}
+		// Table 4 shape: REIS is generation-dominated and faster overall.
+		reisRow := byKey["wiki_en/REIS-SSD1"]
+		if f := reisRow.Stages.Fractions(); f.Generation < 0.7 {
+			t.Errorf("REIS generation fraction %.2f (paper 0.92)", f.Generation)
+		}
 	}
-	// Fig 3 shape: BQ reduces loading share but wiki_en stays bound.
-	bq := byKey["wiki_en/CPU+BQ"].Stages.Fractions()
-	if bq.DatasetLoad >= we.DatasetLoad {
-		t.Error("BQ did not reduce loading share")
-	}
-	if bq.DatasetLoad < 0.4 {
-		t.Errorf("wiki_en BQ loading fraction %.2f (paper 0.67)", bq.DatasetLoad)
-	}
-	// Table 4 shape: REIS is generation-dominated and faster overall.
 	reisRow := byKey["wiki_en/REIS-SSD1"]
-	if f := reisRow.Stages.Fractions(); f.Generation < 0.7 {
-		t.Errorf("REIS generation fraction %.2f (paper 0.92)", f.Generation)
-	}
 	if reisRow.Stages.Total() >= byKey["wiki_en/CPU+BQ"].Stages.Total() {
 		t.Error("REIS end-to-end not faster than CPU+BQ")
 	}

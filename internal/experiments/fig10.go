@@ -142,9 +142,7 @@ func RunFig11(scale int) ([]Fig11Row, error) {
 // runSkipDocs mirrors RunIVF without the document-retrieval stage
 // (SIFT/DEEP are pure-ANNS benchmarks, as in NDSearch's evaluation).
 func (s *Setup) runSkipDocs(k, nprobe int) (reis.Breakdown, reis.QueryStats, error) {
-	return s.run(k, s.W.ScaleIVF(), func(q []float32) ([]reis.DocResult, reis.QueryStats, error) {
-		return s.Engine.IVFSearch(1, q, k, reis.SearchOptions{NProbe: nprobe, SkipDocs: true})
-	})
+	return s.run(k, s.W.ScaleIVF(), true, reis.SearchOptions{NProbe: nprobe, SkipDocs: true})
 }
 
 // measureHNSWHops builds an HNSW graph over the dataset and measures

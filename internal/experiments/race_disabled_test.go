@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this run
+// (see race_enabled_test.go).
+const raceEnabled = false

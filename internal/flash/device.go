@@ -1,53 +1,66 @@
 package flash
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"reis/internal/xrand"
 )
 
 // Stats accumulates device event counts; the SSD and REIS layers turn
-// these into latency and energy using Params.
+// these into latency and energy using Params. All counters are atomic
+// so concurrent per-plane operations (one scan task per plane, as the
+// REIS engine dispatches them) can account events without a global
+// device lock. Read them with Load(); Reset with ResetStats.
 type Stats struct {
-	PageReads       int64
-	PageReadsByMode [3]int64
-	PagePrograms    int64
-	BlockErases     int64
-	LatchXORs       int64
-	BitCounts       int64
-	PassFailChecks  int64
-	IBCLoads        int64
+	PageReads       atomic.Int64
+	PageReadsByMode [3]atomic.Int64
+	PagePrograms    atomic.Int64
+	BlockErases     atomic.Int64
+	LatchXORs       atomic.Int64
+	BitCounts       atomic.Int64
+	PassFailChecks  atomic.Int64
+	IBCLoads        atomic.Int64
 	// BytesOut counts bytes transferred from dies to the controller,
 	// per channel.
-	BytesOut []int64
+	BytesOut []atomic.Int64
 	// BytesIn counts bytes transferred into dies (programs, IBC), per
 	// channel.
-	BytesIn []int64
+	BytesIn []atomic.Int64
 	// BitErrorsInjected counts raw bit flips applied on non-ESP reads
 	// without ECC.
-	BitErrorsInjected int64
+	BitErrorsInjected atomic.Int64
 	// ECCCorrections counts raw flips fixed by the controller ECC on
 	// the conventional read path.
-	ECCCorrections int64
+	ECCCorrections atomic.Int64
 }
 
 // TotalBytesOut sums the per-channel outbound byte counts.
 func (s *Stats) TotalBytesOut() int64 {
 	var t int64
-	for _, b := range s.BytesOut {
-		t += b
+	for i := range s.BytesOut {
+		t += s.BytesOut[i].Load()
 	}
 	return t
 }
 
-// Device is a functional NAND flash array.
+// Device is a functional NAND flash array. Operations that touch a
+// single plane (reads, latch ops, OOB access) are safe to run
+// concurrently on *different* planes: each plane carries its own lock,
+// and the shared counters are atomic. Operations on the same plane
+// must be externally ordered — the REIS engine guarantees this by
+// dispatching at most one scan task per plane at a time.
 type Device struct {
 	Geo    Geometry
 	Params Params
 
 	planes []*Plane
 	// blockMode[planeIdx][block] is the cell mode each block was last
-	// programmed in (soft partitioning).
+	// programmed in (soft partitioning). Written only during
+	// deployment; queries read it concurrently.
 	blockMode [][]CellMode
 
 	// ECCBypass disables error injection entirely; REIS relies on
@@ -56,12 +69,19 @@ type Device struct {
 	ECCBypass bool
 
 	Stats Stats
+	// rng drives raw-bit-error injection; rngMu serializes draws so
+	// concurrent TLC reads on different planes stay race-free.
 	rng   *xrand.RNG
+	rngMu sync.Mutex
 }
 
 // Plane models one flash plane: its pages (lazily allocated), OOB
-// areas, and the three page-buffer latches.
+// areas, and the three page-buffer latches. The mutex guards the maps
+// and the latch contents; every Device per-plane operation takes it,
+// so concurrent operations on distinct planes never share mutable
+// state.
 type Plane struct {
+	mu    sync.Mutex
 	geo   Geometry
 	pages map[int][]byte // page index within plane -> user data
 	oobs  map[int][]byte // page index within plane -> OOB data
@@ -72,6 +92,12 @@ type Plane struct {
 	Sensing []byte
 	Data    []byte
 	Cache   []byte
+
+	// senseFlips is the number of bits of the sensing latch that
+	// differ from the programmed content after the last sense (raw
+	// errors flipped an odd number of times) — the correction count
+	// the controller ECC reports without re-diffing the page.
+	senseFlips int
 }
 
 // NewDevice allocates a device with the given geometry and parameters.
@@ -85,8 +111,8 @@ func NewDevice(geo Geometry, params Params) (*Device, error) {
 		planes: make([]*Plane, geo.Planes()),
 		rng:    xrand.New(0xf1a5),
 	}
-	d.Stats.BytesOut = make([]int64, geo.Channels)
-	d.Stats.BytesIn = make([]int64, geo.Channels)
+	d.Stats.BytesOut = make([]atomic.Int64, geo.Channels)
+	d.Stats.BytesIn = make([]atomic.Int64, geo.Channels)
 	latchLen := geo.PageBytes + geo.OOBBytes
 	for i := range d.planes {
 		d.planes[i] = &Plane{
@@ -147,15 +173,17 @@ func (d *Device) Program(a Address, data, oob []byte) error {
 		page[i] = 0xFF
 	}
 	copy(page, data)
-	p.pages[idx] = page
 	ob := make([]byte, d.Geo.OOBBytes)
 	for i := range ob {
 		ob[i] = 0xFF
 	}
 	copy(ob, oob)
+	p.mu.Lock()
+	p.pages[idx] = page
 	p.oobs[idx] = ob
-	d.Stats.PagePrograms++
-	d.Stats.BytesIn[a.Channel] += int64(len(data) + len(oob))
+	p.mu.Unlock()
+	d.Stats.PagePrograms.Add(1)
+	d.Stats.BytesIn[a.Channel].Add(int64(len(data) + len(oob)))
 	return nil
 }
 
@@ -166,11 +194,13 @@ func (d *Device) EraseBlock(a Address) error {
 	}
 	p := d.planes[a.PlaneIndex(d.Geo)]
 	base := a.Block * d.Geo.PagesPerBlock
+	p.mu.Lock()
 	for pg := 0; pg < d.Geo.PagesPerBlock; pg++ {
 		delete(p.pages, base+pg)
 		delete(p.oobs, base+pg)
 	}
-	d.Stats.BlockErases++
+	p.mu.Unlock()
+	d.Stats.BlockErases.Add(1)
 	return nil
 }
 
@@ -183,6 +213,16 @@ func (d *Device) ReadPage(a Address) error {
 		return fmt.Errorf("flash: ReadPage invalid address %v", a)
 	}
 	pl := d.planes[a.PlaneIndex(d.Geo)]
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	d.senseLocked(a, pl)
+	return nil
+}
+
+// senseLocked performs the array sense into pl's sensing latch; the
+// caller holds pl.mu.
+func (d *Device) senseLocked(a Address, pl *Plane) {
+	pl.senseFlips = 0
 	idx := a.PageIndex(d.Geo)
 	page, ok := pl.pages[idx]
 	if !ok {
@@ -191,38 +231,48 @@ func (d *Device) ReadPage(a Address) error {
 			pl.Sensing[i] = 0xFF
 		}
 		d.countRead(a)
-		return nil
+		return
 	}
 	copy(pl.Sensing, page)
 	copy(pl.Sensing[d.Geo.PageBytes:], pl.oobs[idx])
 	mode := d.BlockMode(a)
 	if ber := d.Params.RawBER(mode); ber > 0 && !d.ECCBypass {
-		d.injectErrors(pl.Sensing, ber)
+		pl.senseFlips = d.injectErrors(pl.Sensing, ber)
 	}
 	d.countRead(a)
-	return nil
 }
 
 func (d *Device) countRead(a Address) {
-	d.Stats.PageReads++
-	d.Stats.PageReadsByMode[d.BlockMode(a)]++
+	d.Stats.PageReads.Add(1)
+	d.Stats.PageReadsByMode[d.BlockMode(a)].Add(1)
 }
 
 // injectErrors flips each bit with probability ber, using a binomial
-// draw over the buffer for efficiency at realistic BERs.
-func (d *Device) injectErrors(buf []byte, ber float64) {
+// draw over the buffer for efficiency at realistic BERs. It returns
+// the number of bits that ended up differing from the original
+// content (a bit hit an even number of times cancels physically).
+func (d *Device) injectErrors(buf []byte, ber float64) int {
 	bitsTotal := len(buf) * 8
 	expected := ber * float64(bitsTotal)
+	d.rngMu.Lock()
 	// Poisson-approximate the flip count.
 	n := int(expected)
 	if d.rng.Float64() < expected-float64(n) {
 		n++
 	}
+	flipped := make(map[int]struct{}, n)
 	for i := 0; i < n; i++ {
 		bit := d.rng.Intn(bitsTotal)
 		buf[bit>>3] ^= 1 << uint(bit&7)
-		d.Stats.BitErrorsInjected++
+		if _, ok := flipped[bit]; ok {
+			delete(flipped, bit)
+		} else {
+			flipped[bit] = struct{}{}
+		}
 	}
+	d.rngMu.Unlock()
+	d.Stats.BitErrorsInjected.Add(int64(n))
+	return len(flipped)
 }
 
 // ReadPageInto reads a page through the conventional controller path:
@@ -232,10 +282,12 @@ func (d *Device) injectErrors(buf []byte, ber float64) {
 // REIS needs the zero-BER SLC-ESP partition for embeddings. Corrected
 // flips are counted in Stats.ECCCorrections.
 func (d *Device) ReadPageInto(a Address, data, oob []byte) ([]byte, []byte, error) {
-	if err := d.ReadPage(a); err != nil {
-		return nil, nil, err
+	if !a.Valid(d.Geo) {
+		return nil, nil, fmt.Errorf("flash: ReadPage invalid address %v", a)
 	}
 	pl := d.planes[a.PlaneIndex(d.Geo)]
+	pl.mu.Lock()
+	d.senseLocked(a, pl)
 	if cap(data) < d.Geo.PageBytes {
 		data = make([]byte, d.Geo.PageBytes)
 	}
@@ -246,24 +298,18 @@ func (d *Device) ReadPageInto(a Address, data, oob []byte) ([]byte, []byte, erro
 	}
 	oob = oob[:d.Geo.OOBBytes]
 	copy(oob, pl.Sensing[d.Geo.PageBytes:])
-	d.Stats.BytesOut[a.Channel] += int64(d.Geo.PageBytes + d.Geo.OOBBytes)
 	// ECC correction: restore the programmed content, counting the
-	// raw flips the decoder had to fix.
+	// raw flips the decoder had to fix (recorded at injection time, so
+	// the page need not be re-diffed).
 	idx := a.PageIndex(d.Geo)
-	if page, ok := pl.pages[idx]; ok {
-		d.Stats.ECCCorrections += int64(diffBits(data, page) + diffBits(oob, pl.oobs[idx]))
+	if page, ok := pl.pages[idx]; ok && pl.senseFlips > 0 {
+		d.Stats.ECCCorrections.Add(int64(pl.senseFlips))
 		copy(data, page)
 		copy(oob, pl.oobs[idx])
 	}
+	pl.mu.Unlock()
+	d.Stats.BytesOut[a.Channel].Add(int64(d.Geo.PageBytes + d.Geo.OOBBytes))
 	return data, oob, nil
-}
-
-func diffBits(a, b []byte) int {
-	n := 0
-	for i := range a {
-		n += popcountByte(a[i] ^ b[i])
-	}
-	return n
 }
 
 // LoadCache performs Input Broadcasting (IBC): fills the plane's cache
@@ -278,14 +324,26 @@ func (d *Device) LoadCache(planeIdx int, pattern []byte, slotBytes int) error {
 		return fmt.Errorf("flash: LoadCache pattern %dB exceeds slot %dB", len(pattern), slotBytes)
 	}
 	pl := d.planes[planeIdx]
-	for i := range pl.Cache {
+	pl.mu.Lock()
+	// The slot fill overwrites [0, filled); only the page tail and the
+	// OOB area of the latch need explicit zeroing.
+	filled := d.Geo.PageBytes - d.Geo.PageBytes%slotBytes
+	for i := filled; i < len(pl.Cache); i++ {
 		pl.Cache[i] = 0
+	}
+	if len(pattern) < slotBytes {
+		// Pattern shorter than the slot: the copy below leaves slot
+		// padding untouched, so clear the filled area first.
+		for i := 0; i < filled; i++ {
+			pl.Cache[i] = 0
+		}
 	}
 	for off := 0; off+slotBytes <= d.Geo.PageBytes; off += slotBytes {
 		copy(pl.Cache[off:off+slotBytes], pattern)
 	}
-	d.Stats.IBCLoads++
-	d.Stats.BytesIn[planeIdx/(d.Geo.DiesPerChannel*d.Geo.PlanesPerDie)] += int64(len(pattern))
+	pl.mu.Unlock()
+	d.Stats.IBCLoads.Add(1)
+	d.Stats.BytesIn[planeIdx/(d.Geo.DiesPerChannel*d.Geo.PlanesPerDie)].Add(int64(len(pattern)))
 	return nil
 }
 
@@ -297,11 +355,19 @@ func (d *Device) XORLatches(planeIdx int) error {
 		return fmt.Errorf("flash: XORLatches invalid plane %d", planeIdx)
 	}
 	pl := d.planes[planeIdx]
-	for i := 0; i < d.Geo.PageBytes; i++ {
+	pl.mu.Lock()
+	n := d.Geo.PageBytes
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(pl.Data[i:],
+			binary.LittleEndian.Uint64(pl.Sensing[i:])^binary.LittleEndian.Uint64(pl.Cache[i:]))
+	}
+	for ; i < n; i++ {
 		pl.Data[i] = pl.Sensing[i] ^ pl.Cache[i]
 	}
-	copy(pl.Data[d.Geo.PageBytes:], pl.Sensing[d.Geo.PageBytes:])
-	d.Stats.LatchXORs++
+	copy(pl.Data[n:], pl.Sensing[n:])
+	pl.mu.Unlock()
+	d.Stats.LatchXORs.Add(1)
 	return nil
 }
 
@@ -319,11 +385,18 @@ func (d *Device) CountSlotBits(planeIdx, slotBytes, slot int) (int, error) {
 		return 0, fmt.Errorf("flash: CountSlotBits slot %d out of page", slot)
 	}
 	pl := d.planes[planeIdx]
+	pl.mu.Lock()
 	n := 0
-	for _, b := range pl.Data[lo:hi] {
-		n += popcountByte(b)
+	data := pl.Data[lo:hi]
+	i := 0
+	for ; i+8 <= len(data); i += 8 {
+		n += bits.OnesCount64(binary.LittleEndian.Uint64(data[i:]))
 	}
-	d.Stats.BitCounts++
+	for ; i < len(data); i++ {
+		n += popcountByte(data[i])
+	}
+	pl.mu.Unlock()
+	d.Stats.BitCounts.Add(1)
 	return n, nil
 }
 
@@ -345,7 +418,7 @@ func popcountByte(b byte) int { return popTable[b] }
 // PassFail applies the pass/fail comparator: it reports whether value
 // is at or below threshold (Sec 4.3.3 distance filtering).
 func (d *Device) PassFail(value, threshold int) bool {
-	d.Stats.PassFailChecks++
+	d.Stats.PassFailChecks.Add(1)
 	return value <= threshold
 }
 
@@ -361,15 +434,36 @@ func (d *Device) ReadOOBSlot(planeIdx, off, n int) ([]byte, error) {
 	}
 	pl := d.planes[planeIdx]
 	out := make([]byte, n)
+	pl.mu.Lock()
 	copy(out, pl.Sensing[d.Geo.PageBytes+off:d.Geo.PageBytes+off+n])
+	pl.mu.Unlock()
 	return out, nil
+}
+
+// ReadOOB copies the whole OOB region currently in the plane's
+// sensing latch into buf (grown if needed) — one latch access per
+// page instead of one per slot when the engine walks a page's linkage
+// records.
+func (d *Device) ReadOOB(planeIdx int, buf []byte) ([]byte, error) {
+	if planeIdx < 0 || planeIdx >= len(d.planes) {
+		return nil, fmt.Errorf("flash: ReadOOB invalid plane %d", planeIdx)
+	}
+	if cap(buf) < d.Geo.OOBBytes {
+		buf = make([]byte, d.Geo.OOBBytes)
+	}
+	buf = buf[:d.Geo.OOBBytes]
+	pl := d.planes[planeIdx]
+	pl.mu.Lock()
+	copy(buf, pl.Sensing[d.Geo.PageBytes:])
+	pl.mu.Unlock()
+	return buf, nil
 }
 
 // TransferOut accounts an outbound transfer of n bytes on the
 // channel serving planeIdx (TTL entries moving to controller DRAM).
 func (d *Device) TransferOut(planeIdx, n int) {
 	ch := planeIdx / (d.Geo.DiesPerChannel * d.Geo.PlanesPerDie)
-	d.Stats.BytesOut[ch] += int64(n)
+	d.Stats.BytesOut[ch].Add(int64(n))
 }
 
 // SlotData returns a copy of the given slot of the plane's sensing
@@ -383,14 +477,30 @@ func (d *Device) SlotData(planeIdx, slotBytes, slot int) ([]byte, error) {
 	}
 	pl := d.planes[planeIdx]
 	out := make([]byte, slotBytes)
+	pl.mu.Lock()
 	copy(out, pl.Sensing[lo:hi])
+	pl.mu.Unlock()
 	return out, nil
 }
 
 // ResetStats zeroes all counters.
 func (d *Device) ResetStats() {
-	d.Stats = Stats{
-		BytesOut: make([]int64, d.Geo.Channels),
-		BytesIn:  make([]int64, d.Geo.Channels),
+	d.Stats.PageReads.Store(0)
+	for i := range d.Stats.PageReadsByMode {
+		d.Stats.PageReadsByMode[i].Store(0)
 	}
+	d.Stats.PagePrograms.Store(0)
+	d.Stats.BlockErases.Store(0)
+	d.Stats.LatchXORs.Store(0)
+	d.Stats.BitCounts.Store(0)
+	d.Stats.PassFailChecks.Store(0)
+	d.Stats.IBCLoads.Store(0)
+	for i := range d.Stats.BytesOut {
+		d.Stats.BytesOut[i].Store(0)
+	}
+	for i := range d.Stats.BytesIn {
+		d.Stats.BytesIn[i].Store(0)
+	}
+	d.Stats.BitErrorsInjected.Store(0)
+	d.Stats.ECCCorrections.Store(0)
 }

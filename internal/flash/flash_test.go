@@ -144,8 +144,8 @@ func TestEraseBlock(t *testing.T) {
 	if data[0] != 0xFF {
 		t.Fatal("page not erased")
 	}
-	if d.Stats.BlockErases != 1 {
-		t.Fatalf("BlockErases = %d", d.Stats.BlockErases)
+	if d.Stats.BlockErases.Load() != 1 {
+		t.Fatalf("BlockErases = %d", d.Stats.BlockErases.Load())
 	}
 }
 
@@ -190,8 +190,8 @@ func TestSLCESPReadsAreErrorFree(t *testing.T) {
 			t.Fatalf("SLC-ESP read %d corrupted", i)
 		}
 	}
-	if d.Stats.BitErrorsInjected != 0 {
-		t.Fatalf("BitErrorsInjected = %d on SLC-ESP", d.Stats.BitErrorsInjected)
+	if d.Stats.BitErrorsInjected.Load() != 0 {
+		t.Fatalf("BitErrorsInjected = %d on SLC-ESP", d.Stats.BitErrorsInjected.Load())
 	}
 }
 
@@ -223,7 +223,7 @@ func TestTLCLatchPathSeesRawErrors(t *testing.T) {
 	if flips == 0 {
 		t.Fatal("TLC latch-path reads showed no bit errors")
 	}
-	if d.Stats.BitErrorsInjected == 0 {
+	if d.Stats.BitErrorsInjected.Load() == 0 {
 		t.Fatal("BitErrorsInjected not counted")
 	}
 }
@@ -246,7 +246,7 @@ func TestTLCControllerPathIsECCCorrected(t *testing.T) {
 			t.Fatalf("read %d: controller path returned corrupted data", i)
 		}
 	}
-	if d.Stats.ECCCorrections == 0 {
+	if d.Stats.ECCCorrections.Load() == 0 {
 		t.Fatal("ECCCorrections not counted on TLC reads")
 	}
 }
@@ -287,8 +287,8 @@ func TestIBCFillsAllSlots(t *testing.T) {
 			t.Fatalf("slot padding at %d not zero", off)
 		}
 	}
-	if d.Stats.IBCLoads != 1 {
-		t.Fatalf("IBCLoads = %d", d.Stats.IBCLoads)
+	if d.Stats.IBCLoads.Load() != 1 {
+		t.Fatalf("IBCLoads = %d", d.Stats.IBCLoads.Load())
 	}
 }
 
@@ -382,8 +382,8 @@ func TestPassFail(t *testing.T) {
 	if d.PassFail(6, 5) {
 		t.Fatal("6 <= 5 passed")
 	}
-	if d.Stats.PassFailChecks != 2 {
-		t.Fatalf("PassFailChecks = %d", d.Stats.PassFailChecks)
+	if d.Stats.PassFailChecks.Load() != 2 {
+		t.Fatalf("PassFailChecks = %d", d.Stats.PassFailChecks.Load())
 	}
 }
 
@@ -399,18 +399,19 @@ func TestStatsCounting(t *testing.T) {
 	if _, _, err := d.ReadPageInto(a, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if d.Stats.PageReads != 1 || d.Stats.PageReadsByMode[ModeSLCESP] != 1 {
-		t.Fatalf("read counters wrong: %+v", d.Stats)
+	if d.Stats.PageReads.Load() != 1 || d.Stats.PageReadsByMode[ModeSLCESP].Load() != 1 {
+		t.Fatalf("read counters wrong: reads=%d byMode=%d",
+			d.Stats.PageReads.Load(), d.Stats.PageReadsByMode[ModeSLCESP].Load())
 	}
-	if d.Stats.BytesOut[0] == 0 {
+	if d.Stats.BytesOut[0].Load() == 0 {
 		t.Fatal("BytesOut not counted")
 	}
 	d.TransferOut(0, 100)
-	if d.Stats.BytesOut[0] < 100 {
+	if d.Stats.BytesOut[0].Load() < 100 {
 		t.Fatal("TransferOut not counted")
 	}
 	d.ResetStats()
-	if d.Stats.PageReads != 0 || d.Stats.TotalBytesOut() != 0 {
+	if d.Stats.PageReads.Load() != 0 || d.Stats.TotalBytesOut() != 0 {
 		t.Fatal("ResetStats incomplete")
 	}
 }

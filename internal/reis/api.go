@@ -39,6 +39,9 @@ type HostResponse struct {
 	Done bool
 	// Results[i] are the retrieved documents for Queries[i].
 	Results [][]DocResult
+	// QueryStats[i] are the device events of Queries[i]; feed them to
+	// Latency / BatchLatency for per-query and batch service costing.
+	QueryStats []QueryStats
 	// Stats aggregates the device events of the whole batch.
 	Stats QueryStats
 }
@@ -66,30 +69,32 @@ func (e *Engine) Submit(cmd HostCommand) (HostResponse, error) {
 	}
 }
 
+// submitSearch serves Search/IVF_Search commands through the batched
+// execution path: the whole Q operand is admitted at once and its
+// plane tasks overlap across queries, exactly as the controller
+// firmware would schedule them.
 func (e *Engine) submitSearch(cmd HostCommand) (HostResponse, error) {
 	if len(cmd.Queries) == 0 {
 		return HostResponse{}, fmt.Errorf("reis: search with no queries")
 	}
 	opt := cmd.Opt
 	opt.NProbe = cmd.NProbe
-	resp := HostResponse{Results: make([][]DocResult, len(cmd.Queries))}
-	for i, q := range cmd.Queries {
-		var (
-			res []DocResult
-			st  QueryStats
-			err error
-		)
-		if cmd.Opcode == OpcodeSearch {
-			res, st, err = e.Search(cmd.DBID, q, cmd.K, opt)
-		} else {
-			res, st, err = e.IVFSearch(cmd.DBID, q, cmd.K, opt)
-		}
-		if err != nil {
-			return resp, err
-		}
-		resp.Results[i] = res
+	var (
+		results [][]DocResult
+		sts     []QueryStats
+		err     error
+	)
+	if cmd.Opcode == OpcodeSearch {
+		results, sts, err = e.SearchBatch(cmd.DBID, cmd.Queries, cmd.K, opt)
+	} else {
+		results, sts, err = e.IVFSearchBatch(cmd.DBID, cmd.Queries, cmd.K, opt)
+	}
+	if err != nil {
+		return HostResponse{}, err
+	}
+	resp := HostResponse{Done: true, Results: results, QueryStats: sts}
+	for _, st := range sts {
 		resp.Stats.Add(st)
 	}
-	resp.Done = true
 	return resp, nil
 }

@@ -1,0 +1,292 @@
+package reis
+
+import (
+	"fmt"
+	"sort"
+
+	"reis/internal/ssd"
+	"reis/internal/vecmath"
+)
+
+// This file implements batched query admission: the engine accepts a
+// slice of queries and schedules their per-plane scan tasks through
+// the same per-die worker pool single queries use. Two things make the
+// batch faster than one-query-at-a-time submission while keeping
+// results bit-identical:
+//
+//   - A plane only receives an IBC broadcast for queries it actually
+//     scans, instead of every query flooding every plane. At small
+//     region sizes the all-plane broadcast dominates single-query
+//     service; the per-plane schedule eliminates it.
+//   - Each plane processes its share of every query back to back
+//     (query-major order) with no global barrier per query, so device
+//     time is occupied continuously — the overlap BatchLatency costs
+//     with the channel-occupancy model.
+//
+// Determinism: per-plane work lists are built in (query, segment)
+// order and executed in that order by the plane's die worker, and
+// per-query partial results are merged in segment order then position
+// order — the exact order the sequential path produces.
+
+// scanSeg is one contiguous slot range [First, Last] of a region
+// scanned for one query (a whole flat region, or one IVF cluster).
+type scanSeg struct {
+	first, last int
+}
+
+// segScan is the merged outcome of one query's scan of one segment.
+type segScan struct {
+	entries   []TTLEntry
+	waves     int
+	pages     int
+	scanned   int
+	survivors int
+	ttlBytes  int64
+}
+
+// queryScan is one query's outcome of a batch scan phase.
+type queryScan struct {
+	segs []segScan
+	// ibcPlanes is the number of planes that received this query's
+	// broadcast during the phase.
+	ibcPlanes int
+}
+
+// batchScan executes one scan phase (coarse or fine) for a whole query
+// batch: segs[qi] lists the slot ranges query qi must scan in region.
+// Work is split into per-plane tasks dispatched to the die worker
+// pool; each plane broadcasts a query's embedding into its cache latch
+// once and then scans all of that query's segments resident on the
+// plane before moving to the next query.
+func (e *Engine) batchScan(db *Database, region ssd.Region, packed [][]byte, segs [][]scanSeg, filter bool, metaTag *uint8) ([]queryScan, error) {
+	planes := e.SSD.Cfg.Geo.Planes()
+	type workItem struct {
+		qi, si, vi  int
+		view        ssd.PlaneView
+		first, last int
+	}
+	planeWork := make([][]workItem, planes)
+	grid := make([][][]planeScan, len(packed)) // [query][segment][plane view]
+	out := make([]queryScan, len(packed))
+	for qi := range packed {
+		grid[qi] = make([][]planeScan, len(segs[qi]))
+		touched := make(map[int]struct{})
+		for si, sg := range segs[qi] {
+			views := region.PlaneViews(planes, sg.first/db.embPerPage, sg.last/db.embPerPage)
+			grid[qi][si] = make([]planeScan, len(views))
+			for vi, v := range views {
+				planeWork[v.Plane] = append(planeWork[v.Plane], workItem{
+					qi: qi, si: si, vi: vi, view: v, first: sg.first, last: sg.last,
+				})
+				touched[v.Plane] = struct{}{}
+			}
+		}
+		out[qi].ibcPlanes = len(touched)
+	}
+
+	var tasks []planeTask
+	for p, items := range planeWork {
+		if len(items) == 0 {
+			continue
+		}
+		tasks = append(tasks, planeTask{plane: p, run: func() error {
+			curQ := -1
+			for _, it := range items {
+				if it.qi != curQ {
+					// One broadcast per query per plane: the cache
+					// latch must hold this query before its XORs.
+					if err := e.ibcPlane(db, p, packed[it.qi]); err != nil {
+						return err
+					}
+					curQ = it.qi
+				}
+				ps, err := e.scanPlane(db, region, it.view, it.first, it.last, filter, metaTag)
+				if err != nil {
+					return err
+				}
+				grid[it.qi][it.si][it.vi] = ps
+			}
+			return nil
+		}})
+	}
+	if err := e.pool.run(tasks); err != nil {
+		return nil, err
+	}
+
+	for qi := range packed {
+		out[qi].segs = make([]segScan, len(grid[qi]))
+		for si, results := range grid[qi] {
+			s := &out[qi].segs[si]
+			var acc QueryStats
+			s.waves, s.pages = mergeScanStats(results, &acc)
+			s.scanned, s.survivors, s.ttlBytes = acc.EntriesScanned, acc.Survivors, acc.TTLBytes
+			s.entries = mergeEntriesByPos(results)
+		}
+	}
+	return out, nil
+}
+
+// packBatch validates the batch and binary-quantizes every query.
+func packBatch(db *Database, queries [][]float32, k int) ([][]byte, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("reis: empty query batch")
+	}
+	packed := make([][]byte, len(queries))
+	for i, q := range queries {
+		if err := db.checkQuery(q, k); err != nil {
+			return nil, err
+		}
+		packed[i] = vecmath.PackBinaryBytes(vecmath.BinaryQuantize(q, nil), nil)
+	}
+	return packed, nil
+}
+
+// SearchBatch implements the batched Q operand of the Search() API
+// command (Table 1): it admits a slice of queries and schedules their
+// brute-force scans concurrently across planes. Results[i] and
+// Stats[i] are bit-identical to what Search(dbID, queries[i], k, opt)
+// returns for the scan, rerank and document stages; only the IBC
+// broadcast count differs (the batch broadcasts a query only to planes
+// that scan it).
+func (e *Engine) SearchBatch(dbID int, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
+	db, err := e.DB(dbID)
+	if err != nil {
+		return nil, nil, err
+	}
+	packed, err := packBatch(db, queries, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	segs := make([][]scanSeg, len(queries))
+	for i := range segs {
+		segs[i] = []scanSeg{{first: 0, last: db.regionSlots - 1}}
+	}
+	scans, err := e.batchScan(db, db.rec.Embeddings, packed, segs, e.Opts.DistanceFilter, opt.MetaTag)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	results := make([][]DocResult, len(queries))
+	sts := make([]QueryStats, len(queries))
+	for qi := range queries {
+		st := &sts[qi]
+		st.IBCBroadcasts += scans[qi].ibcPlanes
+		entries := foldSegs(scans[qi].segs, st)
+		res, err := e.finish(db, queries[qi], entries, k, opt, st)
+		if err != nil {
+			return nil, nil, err
+		}
+		results[qi] = res
+	}
+	return results, sts, nil
+}
+
+// IVFSearchBatch implements the batched Q operand of IVF_Search(): a
+// coarse centroid phase for the whole batch, a controller-side cluster
+// selection per query, then a fine phase scanning every query's probed
+// clusters, all scheduled through the per-die worker pool. Results are
+// bit-identical to per-query IVFSearch calls.
+func (e *Engine) IVFSearchBatch(dbID int, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
+	db, err := e.DB(dbID)
+	if err != nil {
+		return nil, nil, err
+	}
+	if db.rivf == nil {
+		return nil, nil, fmt.Errorf("reis: database %d was not deployed with IVF_Deploy", dbID)
+	}
+	packed, err := packBatch(db, queries, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	nlist := len(db.rivf)
+	nprobe := opt.NProbe
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > nlist {
+		nprobe = nlist
+	}
+
+	// Coarse phase: every query ranks the whole centroid region.
+	// Distance filtering does not apply to the coarse scan (TTL-C must
+	// rank every centroid, Sec 4.3.1).
+	coarseSegs := make([][]scanSeg, len(queries))
+	for i := range coarseSegs {
+		coarseSegs[i] = []scanSeg{{first: 0, last: nlist - 1}}
+	}
+	coarse, err := e.batchScan(db, db.rec.Centroids, packed, coarseSegs, false, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Controller phase: per query, select the nprobe nearest clusters
+	// and derive the fine-scan segments.
+	sts := make([]QueryStats, len(queries))
+	fineSegs := make([][]scanSeg, len(queries))
+	for qi := range queries {
+		st := &sts[qi]
+		st.IBCBroadcasts += coarse[qi].ibcPlanes
+		seg := coarse[qi].segs[0]
+		st.CoarseWaves = seg.waves
+		st.CoarsePages = seg.pages
+		st.EntriesScanned += seg.scanned
+		st.Survivors += seg.survivors
+		st.TTLBytes += seg.ttlBytes
+		cents := seg.entries
+		st.CoarseEntries = len(cents)
+		st.SelectInput += len(cents)
+		sort.Slice(cents, func(a, b int) bool {
+			if cents[a].Dist != cents[b].Dist {
+				return cents[a].Dist < cents[b].Dist
+			}
+			return cents[a].Pos < cents[b].Pos
+		})
+		np := nprobe
+		if np > len(cents) {
+			np = len(cents)
+		}
+		for _, c := range cents[:np] {
+			ent := db.rivf[c.Pos]
+			if ent.First < 0 {
+				continue // empty cluster
+			}
+			fineSegs[qi] = append(fineSegs[qi], scanSeg{first: ent.First, last: ent.Last})
+		}
+	}
+
+	// Fine phase: scan every query's probed clusters.
+	fine, err := e.batchScan(db, db.rec.Embeddings, packed, fineSegs, e.Opts.DistanceFilter, opt.MetaTag)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	results := make([][]DocResult, len(queries))
+	for qi := range queries {
+		st := &sts[qi]
+		st.IBCBroadcasts += fine[qi].ibcPlanes
+		entries := foldSegs(fine[qi].segs, st)
+		res, err := e.finish(db, queries[qi], entries, k, opt, st)
+		if err != nil {
+			return nil, nil, err
+		}
+		results[qi] = res
+	}
+	return results, sts, nil
+}
+
+// foldSegs accumulates a query's fine-phase segment outcomes into st
+// (mirroring the sequential per-cluster loop, which sums waves and
+// pages segment by segment) and concatenates the entries in segment
+// order.
+func foldSegs(segs []segScan, st *QueryStats) []TTLEntry {
+	var entries []TTLEntry
+	for _, seg := range segs {
+		st.FineWaves += seg.waves
+		st.FinePages += seg.pages
+		st.EntriesScanned += seg.scanned
+		st.Survivors += seg.survivors
+		st.TTLBytes += seg.ttlBytes
+		entries = append(entries, seg.entries...)
+	}
+	return entries
+}

@@ -1,0 +1,208 @@
+package reis
+
+import (
+	"bytes"
+	"testing"
+)
+
+// assertSameResults fails unless batch results equal per-query
+// sequential results bit for bit (IDs, distances, document bytes).
+func assertSameResults(t *testing.T, mode string, seq, batch [][]DocResult) {
+	t.Helper()
+	if len(seq) != len(batch) {
+		t.Fatalf("%s: %d batch results for %d queries", mode, len(batch), len(seq))
+	}
+	for qi := range seq {
+		if len(seq[qi]) != len(batch[qi]) {
+			t.Fatalf("%s query %d: %d results, sequential %d", mode, qi, len(batch[qi]), len(seq[qi]))
+		}
+		for i := range seq[qi] {
+			s, b := seq[qi][i], batch[qi][i]
+			if s.ID != b.ID || s.Dist != b.Dist || !bytes.Equal(s.Doc, b.Doc) {
+				t.Fatalf("%s query %d result %d differs: seq{id=%d dist=%v} batch{id=%d dist=%v}",
+					mode, qi, i, s.ID, s.Dist, b.ID, b.Dist)
+			}
+		}
+	}
+}
+
+func TestSearchBatchMatchesSequentialFlat(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	queries := testData.Queries
+	opt := SearchOptions{}
+
+	seq := make([][]DocResult, len(queries))
+	seqStats := make([]QueryStats, len(queries))
+	for qi, q := range queries {
+		res, st, err := e.Search(1, q, 10, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[qi], seqStats[qi] = res, st
+	}
+	batch, sts, err := e.SearchBatch(1, queries, 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "flat", seq, batch)
+
+	// Device event counts must match the sequential path stage for
+	// stage; only the broadcast count may differ (the batch skips
+	// planes that scan nothing).
+	for qi := range queries {
+		s, b := seqStats[qi], sts[qi]
+		if s.FineWaves != b.FineWaves || s.FinePages != b.FinePages ||
+			s.EntriesScanned != b.EntriesScanned || s.Survivors != b.Survivors ||
+			s.TTLBytes != b.TTLBytes || s.RerankCount != b.RerankCount ||
+			s.DocPages != b.DocPages || s.DocBytes != b.DocBytes ||
+			s.SelectInput != b.SelectInput || s.SortedEntries != b.SortedEntries {
+			t.Fatalf("query %d stats diverge: seq %+v batch %+v", qi, s, b)
+		}
+		if b.IBCBroadcasts > s.IBCBroadcasts {
+			t.Fatalf("query %d: batch broadcast %d planes, sequential only %d",
+				qi, b.IBCBroadcasts, s.IBCBroadcasts)
+		}
+	}
+}
+
+func TestSearchBatchMatchesSequentialFiltered(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	tags := make([]uint8, testData.Len())
+	for i := range tags {
+		tags[i] = uint8(testData.ClusterOf[i] % 4)
+	}
+	if _, err := e.Deploy(DeployConfig{
+		ID: 1, Vectors: testData.Vectors, Docs: testData.Docs, DocSlotBytes: 256,
+		MetaTags: tags,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := tags[testData.GroundTruth[0][0]]
+	opt := SearchOptions{MetaTag: &want, SkipDocs: true}
+	queries := testData.Queries[:8]
+
+	seq := make([][]DocResult, len(queries))
+	for qi, q := range queries {
+		res, _, err := e.Search(1, q, 10, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[qi] = res
+	}
+	batch, _, err := e.SearchBatch(1, queries, 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "filtered", seq, batch)
+	for qi := range batch {
+		for _, r := range batch[qi] {
+			if tags[r.ID] != want {
+				t.Fatalf("query %d returned tag %d, want %d", qi, tags[r.ID], want)
+			}
+		}
+	}
+}
+
+func TestIVFSearchBatchMatchesSequential(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployIVF(t, e, 1, 16)
+	queries := testData.Queries
+	for _, nprobe := range []int{1, 4} {
+		opt := SearchOptions{NProbe: nprobe}
+		seq := make([][]DocResult, len(queries))
+		seqStats := make([]QueryStats, len(queries))
+		for qi, q := range queries {
+			res, st, err := e.IVFSearch(1, q, 10, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq[qi], seqStats[qi] = res, st
+		}
+		batch, sts, err := e.IVFSearchBatch(1, queries, 10, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResults(t, "ivf", seq, batch)
+		for qi := range queries {
+			s, b := seqStats[qi], sts[qi]
+			if s.CoarseWaves != b.CoarseWaves || s.CoarsePages != b.CoarsePages ||
+				s.CoarseEntries != b.CoarseEntries || s.FineWaves != b.FineWaves ||
+				s.FinePages != b.FinePages || s.EntriesScanned != b.EntriesScanned ||
+				s.Survivors != b.Survivors || s.RerankCount != b.RerankCount {
+				t.Fatalf("nprobe=%d query %d stats diverge:\nseq   %+v\nbatch %+v", nprobe, qi, s, b)
+			}
+		}
+	}
+}
+
+func TestSearchBatchDeterministic(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployIVF(t, e, 1, 16)
+	opt := SearchOptions{NProbe: 4}
+	a, ast, err := e.IVFSearchBatch(1, testData.Queries, 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, bst, err := e.IVFSearchBatch(1, testData.Queries, 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "repeat", a, b)
+	for qi := range ast {
+		if ast[qi] != bst[qi] {
+			t.Fatalf("query %d stats changed across identical batches", qi)
+		}
+	}
+}
+
+func TestSearchBatchValidation(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	if _, _, err := e.SearchBatch(1, nil, 10, SearchOptions{}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, _, err := e.SearchBatch(99, testData.Queries[:1], 10, SearchOptions{}); err == nil {
+		t.Fatal("unknown database accepted")
+	}
+	if _, _, err := e.SearchBatch(1, [][]float32{make([]float32, 7)}, 10, SearchOptions{}); err == nil {
+		t.Fatal("wrong-dim query accepted")
+	}
+	if _, _, err := e.IVFSearchBatch(1, testData.Queries[:1], 10, SearchOptions{}); err == nil {
+		t.Fatal("IVF batch on flat database accepted")
+	}
+}
+
+func TestBatchLatencyOverlap(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	db := deployIVF(t, e, 1, 16)
+	_, sts, err := e.IVFSearchBatch(1, testData.Queries, 10, SearchOptions{NProbe: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := e.BatchLatency(db, sts, UnitScale())
+	if b.Queries != len(sts) {
+		t.Fatalf("Queries = %d", b.Queries)
+	}
+	if b.Makespan <= 0 || b.Serial <= 0 {
+		t.Fatalf("non-positive times: %+v", b)
+	}
+	if b.Makespan > b.Serial {
+		t.Fatalf("batch makespan %v exceeds serial %v", b.Makespan, b.Serial)
+	}
+	for _, busy := range []struct {
+		name string
+		d    float64
+	}{{"plane", b.PlaneBusy.Seconds()}, {"channel", b.ChannelBusy.Seconds()}, {"core", b.CoreBusy.Seconds()}} {
+		if busy.d > b.Makespan.Seconds() {
+			t.Fatalf("%s busy exceeds makespan: %+v", busy.name, b)
+		}
+	}
+	serialQPS := float64(b.Queries) / b.Serial.Seconds()
+	if b.QPS < serialQPS {
+		t.Fatalf("batch QPS %.1f below serial %.1f", b.QPS, serialQPS)
+	}
+	if b.EnergyJ <= 0 {
+		t.Fatalf("non-positive energy: %v", b.EnergyJ)
+	}
+}

@@ -147,10 +147,10 @@ func TestECCCorrectionsAccumulateOnTLCReads(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if e.SSD.Dev.Stats.ECCCorrections == 0 {
+	if e.SSD.Dev.Stats.ECCCorrections.Load() == 0 {
 		t.Fatal("no ECC corrections recorded on TLC reads")
 	}
-	if e.SSD.Dev.Stats.BitErrorsInjected == 0 {
+	if e.SSD.Dev.Stats.BitErrorsInjected.Load() == 0 {
 		t.Fatal("no raw errors injected at all")
 	}
 }
@@ -167,11 +167,12 @@ func TestSLCScanInjectsNoErrors(t *testing.T) {
 	// SkipDocs leaves only SLC scans plus TLC rerank reads; rerank
 	// reads go through ECC, so any injected errors must equal the
 	// corrected ones — none may have leaked into latch computation.
-	st := e.SSD.Dev.Stats
+	injected := e.SSD.Dev.Stats.BitErrorsInjected.Load()
+	corrected := e.SSD.Dev.Stats.ECCCorrections.Load()
 	// A bit flipped twice in one read cancels physically, so the
 	// correction count may trail the injection count by a handful.
-	if st.BitErrorsInjected-st.ECCCorrections > st.BitErrorsInjected/50 {
+	if injected-corrected > injected/50 {
 		t.Fatalf("raw errors leaked into computation: injected %d, corrected %d",
-			st.BitErrorsInjected, st.ECCCorrections)
+			injected, corrected)
 	}
 }

@@ -58,6 +58,10 @@ type Engine struct {
 	FSM  *flash.DieFSM
 	Opts Options
 
+	// pool dispatches per-plane scan work onto one worker per die,
+	// mirroring the device's channel/die parallelism.
+	pool *planePool
+
 	dbs map[int]*Database
 }
 
@@ -119,6 +123,7 @@ func New(cfg ssd.Config, capacityHint int64, opts Options) (*Engine, error) {
 		SSD:  dev,
 		FSM:  flash.NewDieFSM(dev.Dev),
 		Opts: opts,
+		pool: newPlanePool(dev.Cfg.Geo),
 		dbs:  make(map[int]*Database),
 	}, nil
 }

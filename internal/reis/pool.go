@@ -1,0 +1,79 @@
+package reis
+
+import (
+	"sync"
+
+	"reis/internal/flash"
+)
+
+// planeTask is one unit of per-plane device work: an IBC broadcast, a
+// plane's share of a scan, or a whole per-query plane program in batch
+// mode. The plane index routes the task to its die's worker.
+type planeTask struct {
+	plane int
+	run   func() error
+}
+
+// planePool dispatches per-plane tasks onto one worker per simulated
+// die (channels x dies/channel workers, sized from the SSD geometry).
+// That mirrors the hardware: planes of one die share control logic and
+// execute commands one at a time, while different dies run fully in
+// parallel.
+//
+// Determinism: tasks that touch the same plane always map to the same
+// worker and are executed in submission order, so the per-plane
+// command sequence — and therefore every latch content, distance and
+// counter a task observes — is independent of goroutine scheduling.
+type planePool struct {
+	planesPerDie int
+	workers      int
+}
+
+func newPlanePool(geo flash.Geometry) *planePool {
+	return &planePool{planesPerDie: geo.PlanesPerDie, workers: geo.Dies()}
+}
+
+// workerOf returns the worker (die) index serving a global plane index.
+func (p *planePool) workerOf(plane int) int { return plane / p.planesPerDie }
+
+// run executes the tasks and waits for completion. Tasks are grouped
+// by worker preserving submission order; one goroutine serves each
+// worker with pending tasks. The first error of the lowest-numbered
+// worker is returned; a worker stops at its first error.
+func (p *planePool) run(tasks []planeTask) error {
+	switch len(tasks) {
+	case 0:
+		return nil
+	case 1:
+		return tasks[0].run()
+	}
+	queues := make([][]planeTask, p.workers)
+	for _, t := range tasks {
+		w := p.workerOf(t.plane)
+		queues[w] = append(queues[w], t)
+	}
+	errs := make([]error, p.workers)
+	var wg sync.WaitGroup
+	for w, q := range queues {
+		if len(q) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, q []planeTask) {
+			defer wg.Done()
+			for _, t := range q {
+				if err := t.run(); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

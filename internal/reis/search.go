@@ -121,7 +121,7 @@ func (e *Engine) Search(dbID int, query []float32, k int, opt SearchOptions) ([]
 	if err := e.broadcast(db, qPacked, &st); err != nil {
 		return nil, st, err
 	}
-	entries, waves, pages, err := e.scanRange(db, db.rec.Embeddings, 0, db.regionSlots-1, qPacked, e.Opts.DistanceFilter, opt.MetaTag, &st)
+	entries, waves, pages, err := e.scanRange(db, db.rec.Embeddings, 0, db.regionSlots-1, e.Opts.DistanceFilter, opt.MetaTag, &st)
 	if err != nil {
 		return nil, st, err
 	}
@@ -163,7 +163,7 @@ func (e *Engine) IVFSearch(dbID int, query []float32, k int, opt SearchOptions) 
 	// Distance filtering does not apply to the coarse scan: TTL-C must
 	// rank every centroid so the nprobe nearest clusters are exact
 	// (Sec 4.3.1 describes DF for database embeddings only).
-	cents, waves, pages, err := e.scanRange(db, db.rec.Centroids, 0, nlist-1, qPacked, false, nil, &st)
+	cents, waves, pages, err := e.scanRange(db, db.rec.Centroids, 0, nlist-1, false, nil, &st)
 	if err != nil {
 		return nil, st, err
 	}
@@ -188,7 +188,7 @@ func (e *Engine) IVFSearch(dbID int, query []float32, k int, opt SearchOptions) 
 		if ent.First < 0 {
 			continue // empty cluster
 		}
-		es, w, p, err := e.scanRange(db, db.rec.Embeddings, ent.First, ent.Last, qPacked, e.Opts.DistanceFilter, opt.MetaTag, &st)
+		es, w, p, err := e.scanRange(db, db.rec.Embeddings, ent.First, ent.Last, e.Opts.DistanceFilter, opt.MetaTag, &st)
 		if err != nil {
 			return nil, st, err
 		}
@@ -210,52 +210,77 @@ func (db *Database) checkQuery(query []float32, k int) error {
 	return nil
 }
 
-// broadcast performs Input Broadcasting: one IBC command per plane
-// (the MPIBC timing optimization does not change the functional
-// behaviour, only the latency model).
+// broadcast performs Input Broadcasting: one IBC command per plane,
+// dispatched concurrently through the per-die worker pool (the MPIBC
+// timing optimization does not change the functional behaviour, only
+// the latency model).
 func (e *Engine) broadcast(db *Database, qPacked []byte, st *QueryStats) error {
 	planes := e.SSD.Cfg.Geo.Planes()
+	tasks := make([]planeTask, planes)
 	for p := 0; p < planes; p++ {
-		if _, err := e.FSM.Execute(flash.Command{
-			Op: flash.OpIBC, Plane: p, Query: qPacked, SlotBytes: db.slotBytes,
-		}); err != nil {
-			return err
-		}
-		st.IBCBroadcasts++
+		tasks[p] = planeTask{plane: p, run: func() error {
+			return e.ibcPlane(db, p, qPacked)
+		}}
 	}
+	if err := e.pool.run(tasks); err != nil {
+		return err
+	}
+	st.IBCBroadcasts += planes
 	return nil
 }
 
-// scanRange executes the in-plane distance computation over embedding
-// positions [first, last] of a slotted SLC region: page read, latch
-// XOR, per-slot fail-bit count, optional pass/fail distance filtering,
-// and TTL transfer of survivors. It returns the surviving entries plus
-// the wave count (max pages on one plane) and total pages sensed.
-func (e *Engine) scanRange(db *Database, region ssd.Region, first, last int, qPacked []byte, filter bool, metaTag *uint8, st *QueryStats) ([]TTLEntry, int, int, error) {
+// ibcPlane broadcasts the packed query into one plane's cache latch.
+func (e *Engine) ibcPlane(db *Database, plane int, qPacked []byte) error {
+	_, err := e.FSM.Execute(flash.Command{
+		Op: flash.OpIBC, Plane: plane, Query: qPacked, SlotBytes: db.slotBytes,
+	})
+	return err
+}
+
+// planeScan accumulates one per-plane scan task's output: the
+// surviving entries (ascending by position) plus the event counts the
+// task may not write into the shared QueryStats directly.
+type planeScan struct {
+	entries   []TTLEntry
+	pages     int
+	scanned   int
+	survivors int
+	ttlBytes  int64
+}
+
+// scanPlane executes the in-plane distance computation over one
+// plane's view of a slotted SLC region: page read, latch XOR, per-slot
+// fail-bit count, optional pass/fail distance filtering, and TTL
+// transfer of survivors. first/last bound the slot positions of the
+// overall scan; only this plane's pages are touched, so concurrent
+// scanPlane calls on different planes share no mutable device state.
+func (e *Engine) scanPlane(db *Database, region ssd.Region, view ssd.PlaneView, first, last int, filter bool, metaTag *uint8) (planeScan, error) {
 	geo := e.SSD.Cfg.Geo
-	planes := geo.Planes()
 	firstPage := first / db.embPerPage
 	lastPage := last / db.embPerPage
-
 	entrySize := db.ttlEntryBytes()
-	var entries []TTLEntry
-	pagesPerPlane := make([]int, planes)
-	totalPages := 0
+	var ps planeScan
+	var oobBuf []byte
 
-	for p := firstPage; p <= lastPage; p++ {
+	for _, p := range view.PageIdxs {
 		addr, err := region.AddressOf(geo, p)
 		if err != nil {
-			return nil, 0, 0, err
+			return ps, err
 		}
 		plane := addr.PlaneIndex(geo)
 		if _, err := e.FSM.Execute(flash.Command{Op: flash.OpReadPage, Addr: addr}); err != nil {
-			return nil, 0, 0, err
+			return ps, err
 		}
 		if _, err := e.FSM.Execute(flash.Command{Op: flash.OpXOR, Plane: plane}); err != nil {
-			return nil, 0, 0, err
+			return ps, err
 		}
-		pagesPerPlane[plane]++
-		totalPages++
+		// The sensing latch holds the page's whole OOB area until the
+		// next read on this plane; pull it once and slice per slot.
+		oobBuf, err = e.SSD.Dev.ReadOOB(plane, oobBuf)
+		if err != nil {
+			return ps, err
+		}
+		ps.pages++
 
 		loSlot, hiSlot := 0, db.embPerPage-1
 		if p == firstPage {
@@ -270,17 +295,13 @@ func (e *Engine) scanRange(db *Database, region ssd.Region, first, last int, qPa
 				Mini: flash.MiniPage{Page: addr, Slot: s},
 			})
 			if err != nil {
-				return nil, 0, 0, err
+				return ps, err
 			}
-			oob, err := e.SSD.Dev.ReadOOBSlot(plane, s*oobBytesPerSlot, oobBytesPerSlot)
-			if err != nil {
-				return nil, 0, 0, err
-			}
-			dadr, radr, tag := decodeLinkage(oob)
+			dadr, radr, tag := decodeLinkage(oobBuf[s*oobBytesPerSlot : (s+1)*oobBytesPerSlot])
 			if dadr == InvalidDADR {
 				continue // cluster-alignment padding slot
 			}
-			st.EntriesScanned++
+			ps.scanned++
 			if filter && !e.SSD.Dev.PassFail(dist, db.filterThreshold) {
 				continue
 			}
@@ -290,22 +311,105 @@ func (e *Engine) scanRange(db *Database, region ssd.Region, first, last int, qPa
 			if _, err := e.FSM.Execute(flash.Command{
 				Op: flash.OpReadTTL, Plane: plane, EntryBytes: entrySize,
 			}); err != nil {
-				return nil, 0, 0, err
+				return ps, err
 			}
-			st.Survivors++
-			st.TTLBytes += int64(entrySize)
-			entries = append(entries, TTLEntry{
+			ps.survivors++
+			ps.ttlBytes += int64(entrySize)
+			ps.entries = append(ps.entries, TTLEntry{
 				Dist: dist, Pos: p*db.embPerPage + s, DADR: dadr, RADR: radr, Tag: tag,
 			})
 		}
 	}
-	waves := 0
-	for _, n := range pagesPerPlane {
-		if n > waves {
-			waves = n
+	return ps, nil
+}
+
+// scanRange scans embedding positions [first, last] of a slotted SLC
+// region by dispatching one scan task per plane of the stripe to the
+// worker pool and merging the partial results in position order — the
+// exact order the old sequential page loop produced, so results stay
+// bit-identical while independent planes execute concurrently. It
+// returns the surviving entries plus the wave count (max pages on one
+// plane) and total pages sensed.
+func (e *Engine) scanRange(db *Database, region ssd.Region, first, last int, filter bool, metaTag *uint8, st *QueryStats) ([]TTLEntry, int, int, error) {
+	planes := e.SSD.Cfg.Geo.Planes()
+	views := region.PlaneViews(planes, first/db.embPerPage, last/db.embPerPage)
+	results := make([]planeScan, len(views))
+	tasks := make([]planeTask, len(views))
+	for i, v := range views {
+		tasks[i] = planeTask{plane: v.Plane, run: func() error {
+			ps, err := e.scanPlane(db, region, v, first, last, filter, metaTag)
+			if err != nil {
+				return err
+			}
+			results[i] = ps
+			return nil
+		}}
+	}
+	if err := e.pool.run(tasks); err != nil {
+		return nil, 0, 0, err
+	}
+	waves, totalPages := mergeScanStats(results, st)
+	return mergeEntriesByPos(results), waves, totalPages, nil
+}
+
+// mergeScanStats folds per-plane scan counts into st and returns the
+// wave count (max pages on any plane) and the total pages sensed.
+func mergeScanStats(results []planeScan, st *QueryStats) (waves, totalPages int) {
+	for _, ps := range results {
+		if ps.pages > waves {
+			waves = ps.pages
+		}
+		totalPages += ps.pages
+		st.EntriesScanned += ps.scanned
+		st.Survivors += ps.survivors
+		st.TTLBytes += ps.ttlBytes
+	}
+	return waves, totalPages
+}
+
+// mergeEntriesByPos merges the per-plane entry lists (each ascending
+// by Pos) into one ascending list — the deterministic order the
+// sequential page-by-page scan produced, which downstream quickselect
+// partitioning depends on for bit-identical results. Lists merge as a
+// pairwise cascade: O(n log planes) comparisons.
+func mergeEntriesByPos(results []planeScan) []TTLEntry {
+	lists := make([][]TTLEntry, 0, len(results))
+	for _, ps := range results {
+		if len(ps.entries) > 0 {
+			lists = append(lists, ps.entries)
 		}
 	}
-	return entries, waves, totalPages, nil
+	if len(lists) == 0 {
+		return nil
+	}
+	for len(lists) > 1 {
+		next := make([][]TTLEntry, 0, (len(lists)+1)/2)
+		for i := 0; i+1 < len(lists); i += 2 {
+			next = append(next, mergeTwoByPos(lists[i], lists[i+1]))
+		}
+		if len(lists)%2 == 1 {
+			next = append(next, lists[len(lists)-1])
+		}
+		lists = next
+	}
+	return lists[0]
+}
+
+// mergeTwoByPos merges two Pos-ascending entry lists.
+func mergeTwoByPos(a, b []TTLEntry) []TTLEntry {
+	out := make([]TTLEntry, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Pos < b[j].Pos {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // ttlEntryBytes is the on-channel size of one TTL entry: DIST (2B) +
@@ -335,15 +439,17 @@ func (e *Engine) finish(db *Database, query []float32, entries []TTLEntry, k int
 	geo := e.SSD.Cfg.Geo
 	rerankPlanePages := make(map[int]int)
 	reranked := make([]DocResult, 0, len(cands))
+	var pageBuf, oobBuf []byte
 	for page, idxs := range byPage {
 		addr, err := db.rec.Int8s.AddressOf(geo, page)
 		if err != nil {
 			return nil, err
 		}
-		data, _, err := e.SSD.Dev.ReadPageInto(addr, nil, nil)
+		data, oob, err := e.SSD.Dev.ReadPageInto(addr, pageBuf, oobBuf)
 		if err != nil {
 			return nil, err
 		}
+		pageBuf, oobBuf = data, oob
 		st.RerankPages++
 		rerankPlanePages[addr.PlaneIndex(geo)]++
 		for _, i := range idxs {
@@ -388,10 +494,11 @@ func (e *Engine) finish(db *Database, query []float32, entries []TTLEntry, k int
 		if err != nil {
 			return nil, err
 		}
-		data, _, err := e.SSD.Dev.ReadPageInto(addr, nil, nil)
+		data, oob, err := e.SSD.Dev.ReadPageInto(addr, pageBuf, oobBuf)
 		if err != nil {
 			return nil, err
 		}
+		pageBuf, oobBuf = data, oob
 		st.DocPages++
 		for _, i := range idxs {
 			slot := reranked[i].ID % db.docsPerPage
@@ -463,11 +570,14 @@ func (e *Engine) CalibrateNProbe(dbID int, queries [][]float32, groundTruth [][]
 	}
 	for nprobe := 1; nprobe <= nlist; nprobe = growProbe(nprobe) {
 		hits, total := 0, 0
-		for qi, q := range queries {
-			res, _, err := e.IVFSearch(dbID, q, k, SearchOptions{NProbe: nprobe, SkipDocs: true})
-			if err != nil {
-				return 0, err
-			}
+		// The sweep's queries are admitted as one batch per nprobe:
+		// results are bit-identical to per-query IVFSearch calls, but
+		// plane tasks overlap across queries.
+		results, _, err := e.IVFSearchBatch(dbID, queries, k, SearchOptions{NProbe: nprobe, SkipDocs: true})
+		if err != nil {
+			return 0, err
+		}
+		for qi, res := range results {
 			got := make(map[int]struct{}, len(res))
 			for _, r := range res {
 				got[r.ID] = struct{}{}

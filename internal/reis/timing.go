@@ -202,6 +202,125 @@ func (e *Engine) energy(db *Database, st QueryStats, sc Scale, total time.Durati
 	return j
 }
 
+// BatchBreakdown is the timing model's view of a query batch admitted
+// through SearchBatch/IVFSearchBatch: instead of serializing whole
+// queries, the device keeps its three contended resources — flash
+// planes, channels, and the controller core — busy across queries, so
+// batch service time is bounded by the busiest resource plus one
+// pipeline fill, not by the sum of standalone latencies.
+type BatchBreakdown struct {
+	Queries int
+	// Serial is the sum of standalone per-query latencies — what
+	// one-at-a-time admission would cost.
+	Serial time.Duration
+	// PlaneBusy/ChannelBusy/CoreBusy are the per-resource occupancy
+	// sums across the batch; the largest is the batch bottleneck.
+	PlaneBusy   time.Duration
+	ChannelBusy time.Duration
+	CoreBusy    time.Duration
+	// Makespan is the modeled completion time of the whole batch.
+	Makespan time.Duration
+	// QPS is Queries / Makespan.
+	QPS float64
+	// EnergyJ is the batch energy: per-event energy of every query
+	// plus background power over the makespan (idle draw is paid once,
+	// not once per query).
+	EnergyJ float64
+}
+
+// BatchLatency converts the per-query event counts of one batch into a
+// batch service estimate under the given scale. Per-query occupancies
+// sum per resource; the makespan is the bottleneck resource's total
+// plus the first query's standalone latency as pipeline fill/drain,
+// clamped to never exceed serial execution.
+func (e *Engine) BatchLatency(db *Database, sts []QueryStats, sc Scale) BatchBreakdown {
+	b := BatchBreakdown{Queries: len(sts)}
+	var fill time.Duration
+	for i := range sts {
+		bd := e.Latency(db, sts[i], sc)
+		b.Serial += bd.Total
+		if i == 0 {
+			fill = bd.Total
+		}
+		plane, channel, core := e.occupancy(db, sts[i], sc)
+		b.PlaneBusy += plane
+		b.ChannelBusy += channel
+		b.CoreBusy += core
+		b.EnergyJ += e.energy(db, sts[i], sc, 0)
+	}
+	b.Makespan = b.PlaneBusy
+	if b.ChannelBusy > b.Makespan {
+		b.Makespan = b.ChannelBusy
+	}
+	if b.CoreBusy > b.Makespan {
+		b.Makespan = b.CoreBusy
+	}
+	b.Makespan += fill
+	if b.Makespan > b.Serial {
+		b.Makespan = b.Serial
+	}
+	b.EnergyJ += e.SSD.Cfg.IdlePower * b.Makespan.Seconds()
+	if b.Makespan > 0 {
+		b.QPS = float64(b.Queries) / b.Makespan.Seconds()
+	}
+	return b
+}
+
+// occupancy decomposes one query's device events into busy time on the
+// three resources a batch contends for:
+//
+//   - plane: array reads (the critical plane's waves) plus the
+//     in-plane latch compute, for the scan phases and the TLC
+//     rerank/document reads;
+//   - channel: the IBC broadcast in, TTL entries, rerank embeddings
+//     and document bytes out (internal), and the host transfer;
+//   - core: controller quickselect + TTL DRAM traffic, INT8 rerank
+//     and the final quicksort.
+//
+// The decomposition mirrors Latency's stage formulas at the same
+// scale, so summing occupancies across a batch is consistent with the
+// per-query model.
+func (e *Engine) occupancy(db *Database, st QueryStats, sc Scale) (plane, channel, core time.Duration) {
+	cfg := e.SSD.Cfg
+	geo := cfg.Geo
+	p := cfg.Flash
+	planes := float64(geo.Planes())
+
+	entryBytes := float64(db.ttlEntryBytes())
+	coarseEntries := float64(st.CoarseEntries) * sc.Coarse
+	fineSurvivors := e.fineSurvivors(st, sc)
+	coarsePages := scanPagesScaled(st.CoarsePages, st.CoarseEntries, sc.Coarse, db.embPerPage)
+	finePages := scanPagesScaled(st.FinePages, st.EntriesScanned-st.CoarseEntries, sc.Fine, db.embPerPage)
+
+	scanWaves := 0
+	if coarsePages > 0 {
+		scanWaves += ceilF(coarsePages / planes)
+	}
+	if finePages > 0 {
+		scanWaves += ceilF(finePages / planes)
+	}
+	tESP := p.ReadLatency(flash.ModeSLCESP)
+	tTLC := p.ReadLatency(flash.ModeTLC)
+	latchCompute := p.LatchXOR + p.BitCountPage + p.PassFailCheck
+	docWaves := ceilDiv(st.DocPages, geo.Planes())
+	plane = time.Duration(scanWaves)*(tESP+latchCompute) +
+		time.Duration(st.RerankWaves+docWaves)*tTLC
+
+	ttlBytes := (coarseEntries + fineSurvivors) * entryBytes
+	channel = e.ibcTime() +
+		bytesTime(ttlBytes, geo.InternalBandwidth()) +
+		bytesTime(float64(st.RerankCount*db.int8Bytes), geo.InternalBandwidth()) +
+		bytesTime(float64(st.DocBytes), geo.InternalBandwidth()) +
+		bytesTime(float64(st.DocBytes), cfg.HostReadBandwidth)
+
+	selectInput := coarseEntries + fineSurvivors
+	core = cfg.QuickselectTime(int(selectInput)) +
+		time.Duration(selectInput*cfg.DRAMAccessNs)*time.Nanosecond +
+		cfg.RerankTime(st.RerankCount, db.Dim) +
+		cfg.QuicksortTime(st.SortedEntries)
+	return plane, channel, core
+}
+
 // ASICLatency models the REIS-ASIC comparison point of Sec 6.3.1: no
 // ESP, so every scanned page (data + OOB for ECC) must be transferred
 // to the controller, where an ideal zero-cost ASIC computes distances

@@ -114,6 +114,51 @@ func (r Region) PagesOnPlane(planes, plane int) int {
 	return full
 }
 
+// PlaneView is the portion of a region range resident on one plane: an
+// immutable list of region page indices. Because striping puts page i
+// on plane i mod planes, each view is disjoint from every other
+// plane's, so independent planes of a stripe can be scanned
+// concurrently without sharing mutable state.
+type PlaneView struct {
+	// Plane is the global plane index the pages live on.
+	Plane int
+	// PageIdxs are the region page indices (ascending) on this plane.
+	PageIdxs []int
+}
+
+// PlaneViewRange returns the view of region pages [first, last]
+// (inclusive, region page indices) that live on the given plane. The
+// returned page list is ascending; it is empty when the range skips
+// the plane.
+func (r Region) PlaneViewRange(planes, plane, first, last int) PlaneView {
+	v := PlaneView{Plane: plane}
+	if first < 0 {
+		first = 0
+	}
+	if last >= r.PageCount {
+		last = r.PageCount - 1
+	}
+	// Smallest page index >= first congruent to plane mod planes.
+	start := first + (plane-first%planes+planes)%planes
+	for i := start; i <= last; i += planes {
+		v.PageIdxs = append(v.PageIdxs, i)
+	}
+	return v
+}
+
+// PlaneViews splits region pages [first, last] into one view per
+// plane, omitting planes with no pages in the range. Views are ordered
+// by plane index; together they cover the range exactly once.
+func (r Region) PlaneViews(planes, first, last int) []PlaneView {
+	var views []PlaneView
+	for p := 0; p < planes; p++ {
+		if v := r.PlaneViewRange(planes, p, first, last); len(v.PageIdxs) > 0 {
+			views = append(views, v)
+		}
+	}
+	return views
+}
+
 // DBRecord is one R-DB entry (Sec 4.1.4, structure A in Fig 4): the
 // database signature plus the bounds of its regions.
 type DBRecord struct {

@@ -310,3 +310,44 @@ func TestFreeStripesDecreases(t *testing.T) {
 		t.Fatal("FreeStripes did not decrease")
 	}
 }
+
+func TestPlaneViewsPartitionRange(t *testing.T) {
+	r := Region{StartStripe: 0, PageCount: 37}
+	planes := 8
+	first, last := 3, 31
+	seen := map[int]int{}
+	views := r.PlaneViews(planes, first, last)
+	for _, v := range views {
+		for _, i := range v.PageIdxs {
+			if i%planes != v.Plane {
+				t.Fatalf("page %d listed on plane %d", i, v.Plane)
+			}
+			seen[i]++
+		}
+	}
+	for i := first; i <= last; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("page %d covered %d times", i, seen[i])
+		}
+	}
+	if len(seen) != last-first+1 {
+		t.Fatalf("views covered %d pages, want %d", len(seen), last-first+1)
+	}
+}
+
+func TestPlaneViewRangeClampsAndOrders(t *testing.T) {
+	r := Region{StartStripe: 0, PageCount: 10}
+	v := r.PlaneViewRange(4, 2, -5, 100)
+	want := []int{2, 6}
+	if len(v.PageIdxs) != len(want) {
+		t.Fatalf("pages = %v, want %v", v.PageIdxs, want)
+	}
+	for i := range want {
+		if v.PageIdxs[i] != want[i] {
+			t.Fatalf("pages = %v, want %v", v.PageIdxs, want)
+		}
+	}
+	if got := r.PlaneViewRange(4, 3, 0, 2); len(got.PageIdxs) != 0 {
+		t.Fatalf("plane 3 should be empty in [0,2], got %v", got.PageIdxs)
+	}
+}
