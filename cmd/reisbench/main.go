@@ -9,92 +9,187 @@
 // vs CPU-Real), fig8 (energy efficiency; printed with fig7), fig9
 // (optimization sensitivity), asic (Sec 6.3.1), fig10 (vs ICE), fig11
 // (vs NDSearch), throughput (batched vs sequential query admission).
+//
+// Profiling and machine-readable output:
+//
+//	reisbench -exp throughput -cpuprofile cpu.out -memprofile mem.out
+//	reisbench -exp throughput -json BENCH_2026-07-29.json
+//
+// The -json report carries every experiment's rows (for throughput:
+// QPS, ns/op and allocs/op per batch size), starting the repository's
+// BENCH_*.json performance trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"reis/internal/experiments"
 )
 
+// jsonExperiment is one experiment's machine-readable result.
+type jsonExperiment struct {
+	ID        string  `json:"id"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Rows      any     `json:"rows"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Tool        string           `json:"tool"`
+	GeneratedAt string           `json:"generated_at"`
+	Scale       int              `json:"scale"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
 func main() {
+	// realMain returns instead of calling os.Exit so deferred cleanup
+	// (CPU-profile stop, file closes) runs on every path — an early
+	// exit would truncate the pprof output.
+	if err := realMain(); err != nil {
+		fmt.Fprintf(os.Stderr, "reisbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() error {
 	exp := flag.String("exp", "all", "experiment id (fig2|fig3|table4|fig5|fig7|fig8|fig9|asic|fig10|fig11|throughput|all)")
 	scale := flag.Int("scale", 16, "workload scale divisor (larger = smaller functional datasets)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
+	jsonOut := flag.String("json", "", "write machine-readable results (JSON) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"fig2", "fig5", "fig7", "fig9", "asic", "fig10", "fig11", "throughput"}
 	}
+	report := jsonReport{
+		Tool:        "reisbench",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       *scale,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
 	for _, id := range ids {
 		start := time.Now()
-		if err := run(id, *scale); err != nil {
-			fmt.Fprintf(os.Stderr, "reisbench: %s: %v\n", id, err)
-			os.Exit(1)
+		rows, err := run(id, *scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
 		}
-		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID: id, ElapsedMS: float64(elapsed.Nanoseconds()) / 1e6, Rows: rows,
+		})
+		fmt.Printf("[%s completed in %v]\n\n", id, elapsed.Round(time.Millisecond))
 	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func run(id string, scale int) error {
+// run executes one experiment, prints its table, and returns its rows
+// for the machine-readable report.
+func run(id string, scale int) (any, error) {
 	switch id {
 	case "fig2", "fig3", "table4":
 		rows, err := experiments.RunRAGBreakdown(scale)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatRAG(rows))
+		return rows, nil
 	case "fig5":
 		pts, err := experiments.RunFig5(scale)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatFig5(pts))
+		return pts, nil
 	case "fig7", "fig8":
 		rows, err := experiments.RunFig7(scale, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatFig7(rows))
 		avg, maxS, avgW, maxW := experiments.SummarizeFig7(rows)
 		fmt.Printf("summary: speedup avg %.1fx max %.1fx (paper: 13x / 112x); QPS/W avg %.1fx max %.1fx (paper: 55x / 157x)\n",
 			avg, maxS, avgW, maxW)
+		return rows, nil
 	case "fig9":
 		rows, err := experiments.RunFig9(scale, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatFig9(rows))
+		return rows, nil
 	case "asic":
 		rows, err := experiments.RunASIC(scale, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatASIC(rows))
+		return rows, nil
 	case "fig10":
 		rows, err := experiments.RunFig10(scale, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatFig10(rows))
+		return rows, nil
 	case "fig11":
 		rows, err := experiments.RunFig11(scale)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatFig11(rows))
+		return rows, nil
 	case "throughput":
 		rows, err := experiments.RunThroughput(scale, nil, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatThroughput(rows))
+		return rows, nil
 	default:
-		return fmt.Errorf("unknown experiment %q", id)
+		return nil, fmt.Errorf("unknown experiment %q", id)
 	}
-	return nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,6 +27,13 @@ type ThroughputRow struct {
 	// ModelSerialQPS is the modeled throughput of one-at-a-time
 	// admission (1 / mean standalone latency).
 	ModelSerialQPS float64
+	// NsPerOp, AllocsPerOp and BytesPerOp are wall-clock nanoseconds,
+	// heap allocations and heap bytes per served query of the
+	// functional simulation — the quantities the repo's BENCH_*.json
+	// perf trajectory tracks.
+	NsPerOp     float64
+	AllocsPerOp float64
+	BytesPerOp  float64
 }
 
 // ThroughputBatches is the default admission batch-size sweep.
@@ -69,7 +77,9 @@ func RunThroughput(scale int, datasets []string, batches []int) ([]ThroughputRow
 			seen[batch] = true
 			var (
 				makespan, serial time.Duration
+				m0, m1           runtime.MemStats
 			)
+			runtime.ReadMemStats(&m0)
 			start := time.Now()
 			for lo := 0; lo < len(queries); lo += batch {
 				hi := min(lo+batch, len(queries))
@@ -92,12 +102,16 @@ func RunThroughput(scale int, datasets []string, batches []int) ([]ThroughputRow
 				serial += bd.Serial
 			}
 			wall := time.Since(start)
+			runtime.ReadMemStats(&m1)
 			n := float64(len(queries))
 			rows = append(rows, ThroughputRow{
 				Dataset: name, Mode: fmt.Sprintf("IVF@np%d", nprobe), Batch: batch,
 				WallQPS:        n / wall.Seconds(),
 				ModelQPS:       n / makespan.Seconds(),
 				ModelSerialQPS: n / serial.Seconds(),
+				NsPerOp:        float64(wall.Nanoseconds()) / n,
+				AllocsPerOp:    float64(m1.Mallocs-m0.Mallocs) / n,
+				BytesPerOp:     float64(m1.TotalAlloc-m0.TotalAlloc) / n,
 			})
 		}
 	}
@@ -108,15 +122,15 @@ func RunThroughput(scale int, datasets []string, batches []int) ([]ThroughputRow
 func FormatThroughput(rows []ThroughputRow) string {
 	var sb strings.Builder
 	sb.WriteString("Batched query admission: wall-clock and modeled QPS (REIS-SSD1)\n")
-	fmt.Fprintf(&sb, "%-10s %-10s %6s %10s %10s %12s %8s\n",
-		"dataset", "mode", "batch", "wall QPS", "model QPS", "model serial", "overlap")
+	fmt.Fprintf(&sb, "%-10s %-10s %6s %10s %10s %12s %8s %10s %10s\n",
+		"dataset", "mode", "batch", "wall QPS", "model QPS", "model serial", "overlap", "ns/op", "allocs/op")
 	for _, r := range rows {
 		gain := 0.0
 		if r.ModelSerialQPS > 0 {
 			gain = r.ModelQPS / r.ModelSerialQPS
 		}
-		fmt.Fprintf(&sb, "%-10s %-10s %6d %10.1f %10.1f %12.1f %7.2fx\n",
-			r.Dataset, r.Mode, r.Batch, r.WallQPS, r.ModelQPS, r.ModelSerialQPS, gain)
+		fmt.Fprintf(&sb, "%-10s %-10s %6d %10.1f %10.1f %12.1f %7.2fx %10.0f %10.1f\n",
+			r.Dataset, r.Mode, r.Batch, r.WallQPS, r.ModelQPS, r.ModelSerialQPS, gain, r.NsPerOp, r.AllocsPerOp)
 	}
 	return sb.String()
 }

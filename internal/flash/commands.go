@@ -21,6 +21,14 @@ const (
 	// OpGenDist computes the distance for one database embedding slot
 	// (Table 2: "GEN_DIST EADR").
 	OpGenDist
+	// OpGenDistPage computes the distances of a whole sensed page in
+	// one wave: a single latch-to-latch XOR followed by the fail-bit
+	// counter over every requested slot, written into a caller-provided
+	// distance buffer. It is the page-granular form of "GEN_DIST" —
+	// the hardware computes all slot distances of a page inside the
+	// plane in one command — and its stats/energy accounting is
+	// bit-identical to an OpXOR followed by one OpGenDist per slot.
+	OpGenDistPage
 	// OpReadTTL transfers a TTL entry for an embedding to the SSD DRAM
 	// (Table 2: "RD_TTL EADR").
 	OpReadTTL
@@ -37,6 +45,8 @@ func (o Opcode) String() string {
 		return "XOR"
 	case OpGenDist:
 		return "GEN_DIST"
+	case OpGenDistPage:
+		return "GEN_DIST_PAGE"
 	case OpReadTTL:
 		return "RD_TTL"
 	default:
@@ -48,14 +58,21 @@ func (o Opcode) String() string {
 type Command struct {
 	Op    Opcode
 	Addr  Address  // OpReadPage
-	Plane int      // OpXOR, OpGenDist, OpReadTTL: global plane index
-	Mini  MiniPage // OpGenDist, OpReadTTL
+	Plane int      // OpXOR, OpGenDist, OpGenDistPage, OpReadTTL: global plane index
+	Mini  MiniPage // OpGenDist, OpReadTTL; for OpGenDistPage, Mini.Slot is the first slot
 	// Query and SlotBytes apply to OpIBC.
 	Query     []byte
 	SlotBytes int
 	// EntryBytes applies to OpReadTTL: the size of the transferred TTL
 	// entry.
 	EntryBytes int
+	// Slots and Dists apply to OpGenDistPage: the number of slots to
+	// compute starting at Mini.Slot, and the caller-owned buffer the
+	// per-slot distances are written into (Dists[0:Slots]). The buffer
+	// is reused across commands — the die writes into it in place, so
+	// the controller never allocates on the scan path.
+	Slots int
+	Dists []int
 }
 
 // DieFSM validates and executes Table 2 commands against a device.
@@ -121,6 +138,21 @@ func (f *DieFSM) Execute(cmd Command) (int, error) {
 			return 0, fmt.Errorf("flash: GEN_DIST on plane %d before XOR", cmd.Plane)
 		}
 		return f.dev.CountSlotBits(cmd.Plane, cmd.SlotBytes, cmd.Mini.Slot)
+	case OpGenDistPage:
+		// The page-granular command fuses the XOR with the per-slot
+		// fail-bit counts, so it needs the same preconditions as XOR
+		// and leaves the plane in the post-XOR state.
+		if !f.haveIBC[cmd.Plane] {
+			return 0, fmt.Errorf("flash: GEN_DIST_PAGE on plane %d before IBC", cmd.Plane)
+		}
+		if !f.haveRead[cmd.Plane] {
+			return 0, fmt.Errorf("flash: GEN_DIST_PAGE on plane %d before page read", cmd.Plane)
+		}
+		if err := f.dev.GenDistPage(cmd.Plane, cmd.SlotBytes, cmd.Mini.Slot, cmd.Slots, cmd.Dists); err != nil {
+			return 0, err
+		}
+		f.haveXOR[cmd.Plane] = true
+		return cmd.Slots, nil
 	case OpReadTTL:
 		if cmd.EntryBytes <= 0 {
 			return 0, fmt.Errorf("flash: RD_TTL with non-positive entry size")

@@ -1,12 +1,12 @@
 package flash
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 
+	"reis/internal/vecmath"
 	"reis/internal/xrand"
 )
 
@@ -70,9 +70,12 @@ type Device struct {
 
 	Stats Stats
 	// rng drives raw-bit-error injection; rngMu serializes draws so
-	// concurrent TLC reads on different planes stay race-free.
-	rng   *xrand.RNG
-	rngMu sync.Mutex
+	// concurrent TLC reads on different planes stay race-free. flipBits
+	// is the pooled flip-position scratch of injectErrors, guarded by
+	// the same mutex.
+	rng      *xrand.RNG
+	rngMu    sync.Mutex
+	flipBits []int
 }
 
 // Plane models one flash plane: its pages (lazily allocated), OOB
@@ -260,19 +263,31 @@ func (d *Device) injectErrors(buf []byte, ber float64) int {
 	if d.rng.Float64() < expected-float64(n) {
 		n++
 	}
-	flipped := make(map[int]struct{}, n)
+	pos := d.flipBits[:0]
 	for i := 0; i < n; i++ {
 		bit := d.rng.Intn(bitsTotal)
 		buf[bit>>3] ^= 1 << uint(bit&7)
-		if _, ok := flipped[bit]; ok {
-			delete(flipped, bit)
-		} else {
-			flipped[bit] = struct{}{}
-		}
+		pos = append(pos, bit)
 	}
+	// A bit hit an even number of times cancels physically: sort the
+	// pooled flip record and count positions with odd multiplicity
+	// (allocation-free, unlike a per-read set).
+	sort.Ints(pos)
+	flipped := 0
+	for i := 0; i < len(pos); {
+		j := i
+		for j < len(pos) && pos[j] == pos[i] {
+			j++
+		}
+		if (j-i)%2 == 1 {
+			flipped++
+		}
+		i = j
+	}
+	d.flipBits = pos
 	d.rngMu.Unlock()
 	d.Stats.BitErrorsInjected.Add(int64(n))
-	return len(flipped)
+	return flipped
 }
 
 // ReadPageInto reads a page through the conventional controller path:
@@ -357,14 +372,7 @@ func (d *Device) XORLatches(planeIdx int) error {
 	pl := d.planes[planeIdx]
 	pl.mu.Lock()
 	n := d.Geo.PageBytes
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		binary.LittleEndian.PutUint64(pl.Data[i:],
-			binary.LittleEndian.Uint64(pl.Sensing[i:])^binary.LittleEndian.Uint64(pl.Cache[i:]))
-	}
-	for ; i < n; i++ {
-		pl.Data[i] = pl.Sensing[i] ^ pl.Cache[i]
-	}
+	vecmath.XorBytes(pl.Data[:n], pl.Sensing[:n], pl.Cache[:n])
 	copy(pl.Data[n:], pl.Sensing[n:])
 	pl.mu.Unlock()
 	d.Stats.LatchXORs.Add(1)
@@ -386,34 +394,41 @@ func (d *Device) CountSlotBits(planeIdx, slotBytes, slot int) (int, error) {
 	}
 	pl := d.planes[planeIdx]
 	pl.mu.Lock()
-	n := 0
-	data := pl.Data[lo:hi]
-	i := 0
-	for ; i+8 <= len(data); i += 8 {
-		n += bits.OnesCount64(binary.LittleEndian.Uint64(data[i:]))
-	}
-	for ; i < len(data); i++ {
-		n += popcountByte(data[i])
-	}
+	n := vecmath.PopCountBytes(pl.Data[lo:hi])
 	pl.mu.Unlock()
 	d.Stats.BitCounts.Add(1)
 	return n, nil
 }
 
-var popTable [256]int
-
-func init() {
-	for i := range popTable {
-		v, n := i, 0
-		for v != 0 {
-			n += v & 1
-			v >>= 1
-		}
-		popTable[i] = n
+// GenDistPage executes the page-granular distance wave (GEN_DIST_PAGE):
+// one latch-to-latch XOR over the user-data region fused with the
+// fail-bit counter over nSlots slots starting at firstSlot, writing the
+// per-slot popcounts into dists[0:nSlots]. The data latch ends up with
+// exactly the contents XORLatches would leave (OOB copied through), and
+// the stats accounting — one latch XOR plus nSlots bit counts — is
+// identical to XORLatches followed by nSlots CountSlotBits calls.
+func (d *Device) GenDistPage(planeIdx, slotBytes, firstSlot, nSlots int, dists []int) error {
+	if planeIdx < 0 || planeIdx >= len(d.planes) {
+		return fmt.Errorf("flash: GenDistPage invalid plane %d", planeIdx)
 	}
+	lo := firstSlot * slotBytes
+	hi := lo + nSlots*slotBytes
+	if slotBytes <= 0 || firstSlot < 0 || nSlots <= 0 || hi > d.Geo.PageBytes {
+		return fmt.Errorf("flash: GenDistPage slots [%d,%d) of %dB out of page", firstSlot, firstSlot+nSlots, slotBytes)
+	}
+	if len(dists) < nSlots {
+		return fmt.Errorf("flash: GenDistPage distance buffer %d short of %d slots", len(dists), nSlots)
+	}
+	pl := d.planes[planeIdx]
+	pl.mu.Lock()
+	n := d.Geo.PageBytes
+	vecmath.XorPopCountSlots(pl.Data[:n], pl.Sensing[:n], pl.Cache[:n], slotBytes, firstSlot, nSlots, dists)
+	copy(pl.Data[n:], pl.Sensing[n:])
+	pl.mu.Unlock()
+	d.Stats.LatchXORs.Add(1)
+	d.Stats.BitCounts.Add(int64(nSlots))
+	return nil
 }
-
-func popcountByte(b byte) int { return popTable[b] }
 
 // PassFail applies the pass/fail comparator: it reports whether value
 // is at or below threshold (Sec 4.3.3 distance filtering).

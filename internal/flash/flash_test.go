@@ -2,6 +2,7 @@ package flash
 
 import (
 	"bytes"
+	"math/bits"
 	"testing"
 	"testing/quick"
 
@@ -216,7 +217,7 @@ func TestTLCLatchPathSeesRawErrors(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, b := range slot {
-			flips += popcountByte(b)
+			flips += bits.OnesCount8(b)
 		}
 	}
 	// Expected flips: 50 reads * 2048*8 bits * 5e-4 = ~410.

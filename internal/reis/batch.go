@@ -2,7 +2,7 @@ package reis
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"reis/internal/ssd"
 	"reis/internal/vecmath"
@@ -26,7 +26,11 @@ import (
 // Determinism: per-plane work lists are built in (query, segment)
 // order and executed in that order by the plane's die worker, and
 // per-query partial results are merged in segment order then position
-// order — the exact order the sequential path produces.
+// order — the exact order the sequential path produces. Surviving
+// entries stay in the worker arenas until each query's controller tail
+// runs; the per-query merge then moves them straight into the pooled
+// entry buffer, so the whole scan phase performs no steady-state
+// allocation.
 
 // scanSeg is one contiguous slot range [First, Last] of a region
 // scanned for one query (a whole flat region, or one IVF cluster).
@@ -34,9 +38,11 @@ type scanSeg struct {
 	first, last int
 }
 
-// segScan is the merged outcome of one query's scan of one segment.
+// segScan is the outcome of one query's scan of one segment: the
+// per-plane arena windows (merged lazily, per query, after the whole
+// phase completes) plus the folded event counts.
 type segScan struct {
-	entries   []TTLEntry
+	scans     []planeScan
 	waves     int
 	pages     int
 	scanned   int
@@ -52,6 +58,14 @@ type queryScan struct {
 	ibcPlanes int
 }
 
+// batchItem is one plane's share of one query segment in a batch scan
+// phase.
+type batchItem struct {
+	qi, si, vi  int
+	span        ssd.PlaneSpan
+	first, last int
+}
+
 // batchScan executes one scan phase (coarse or fine) for a whole query
 // batch: segs[qi] lists the slot ranges query qi must scan in region.
 // Work is split into per-plane tasks dispatched to the die worker
@@ -60,84 +74,108 @@ type queryScan struct {
 // plane before moving to the next query.
 func (e *Engine) batchScan(db *Database, region ssd.Region, packed [][]byte, segs [][]scanSeg, filter bool, metaTag *uint8) ([]queryScan, error) {
 	planes := e.SSD.Cfg.Geo.Planes()
-	type workItem struct {
-		qi, si, vi  int
-		view        ssd.PlaneView
-		first, last int
+	e.pool.resetArenas()
+	if e.scr.planeWork == nil {
+		e.scr.planeWork = make([][]batchItem, planes)
 	}
-	planeWork := make([][]workItem, planes)
-	grid := make([][][]planeScan, len(packed)) // [query][segment][plane view]
+	planeWork := e.scr.planeWork
+	for p := range planeWork {
+		planeWork[p] = planeWork[p][:0]
+	}
+	grid := make([][][]planeScan, len(packed)) // [query][segment][span]
 	out := make([]queryScan, len(packed))
 	for qi := range packed {
 		grid[qi] = make([][]planeScan, len(segs[qi]))
-		touched := make(map[int]struct{})
 		for si, sg := range segs[qi] {
-			views := region.PlaneViews(planes, sg.first/db.embPerPage, sg.last/db.embPerPage)
-			grid[qi][si] = make([]planeScan, len(views))
-			for vi, v := range views {
-				planeWork[v.Plane] = append(planeWork[v.Plane], workItem{
-					qi: qi, si: si, vi: vi, view: v, first: sg.first, last: sg.last,
+			spans := region.AppendPlaneSpans(e.scr.spans[:0], planes, sg.first/db.embPerPage, sg.last/db.embPerPage)
+			e.scr.spans = spans
+			grid[qi][si] = make([]planeScan, len(spans))
+			for vi, v := range spans {
+				planeWork[v.Plane] = append(planeWork[v.Plane], batchItem{
+					qi: qi, si: si, vi: vi, span: v, first: sg.first, last: sg.last,
 				})
-				touched[v.Plane] = struct{}{}
 			}
 		}
-		out[qi].ibcPlanes = len(touched)
+	}
+	// A plane issues one IBC per run of same-query items in its work
+	// list; items are appended in ascending query order, so counting
+	// the query transitions per plane counts exactly the broadcasts
+	// the execution below performs.
+	for p := range planeWork {
+		prev := -1
+		for _, it := range planeWork[p] {
+			if it.qi != prev {
+				out[it.qi].ibcPlanes++
+				prev = it.qi
+			}
+		}
 	}
 
-	var tasks []planeTask
+	tasks := e.scr.tasks[:0]
+	run := func(sc *workerScratch, plane, _ int) error {
+		curQ := -1
+		for _, it := range planeWork[plane] {
+			if it.qi != curQ {
+				// One broadcast per query per plane: the cache
+				// latch must hold this query before its scans.
+				if err := e.ibcPlane(db, plane, packed[it.qi]); err != nil {
+					return err
+				}
+				curQ = it.qi
+			}
+			ps, err := e.scanPlane(db, region, sc, it.span, it.first, it.last, filter, metaTag)
+			if err != nil {
+				return err
+			}
+			grid[it.qi][it.si][it.vi] = ps
+		}
+		return nil
+	}
 	for p, items := range planeWork {
 		if len(items) == 0 {
 			continue
 		}
-		tasks = append(tasks, planeTask{plane: p, run: func() error {
-			curQ := -1
-			for _, it := range items {
-				if it.qi != curQ {
-					// One broadcast per query per plane: the cache
-					// latch must hold this query before its XORs.
-					if err := e.ibcPlane(db, p, packed[it.qi]); err != nil {
-						return err
-					}
-					curQ = it.qi
-				}
-				ps, err := e.scanPlane(db, region, it.view, it.first, it.last, filter, metaTag)
-				if err != nil {
-					return err
-				}
-				grid[it.qi][it.si][it.vi] = ps
-			}
-			return nil
-		}})
+		tasks = append(tasks, planeTask{plane: p, run: run})
 	}
-	if err := e.pool.run(tasks); err != nil {
+	if err := e.runTasks(tasks); err != nil {
 		return nil, err
 	}
 
 	for qi := range packed {
 		out[qi].segs = make([]segScan, len(grid[qi]))
-		for si, results := range grid[qi] {
+		for si, scans := range grid[qi] {
 			s := &out[qi].segs[si]
+			s.scans = scans
 			var acc QueryStats
-			s.waves, s.pages = mergeScanStats(results, &acc)
+			s.waves, s.pages = mergeScanStats(scans, &acc)
 			s.scanned, s.survivors, s.ttlBytes = acc.EntriesScanned, acc.Survivors, acc.TTLBytes
-			s.entries = mergeEntriesByPos(results)
 		}
 	}
 	return out, nil
 }
 
-// packBatch validates the batch and binary-quantizes every query.
-func packBatch(db *Database, queries [][]float32, k int) ([][]byte, error) {
+// packBatch validates the batch and binary-quantizes every query into
+// the pooled per-batch encoding arena (one backing buffer, one slot
+// per query).
+func (e *Engine) packBatch(db *Database, queries [][]float32, k int) ([][]byte, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("reis: empty query batch")
 	}
-	packed := make([][]byte, len(queries))
+	slot := db.slotBytes
+	need := len(queries) * slot
+	if cap(e.scr.packedBuf) < need {
+		e.scr.packedBuf = make([]byte, need)
+	}
+	buf := e.scr.packedBuf[:need]
+	packed := e.scr.packed[:0]
 	for i, q := range queries {
 		if err := db.checkQuery(q, k); err != nil {
 			return nil, err
 		}
-		packed[i] = vecmath.PackBinaryBytes(vecmath.BinaryQuantize(q, nil), nil)
+		e.scr.qbits = vecmath.BinaryQuantize(q, e.scr.qbits)
+		packed = append(packed, vecmath.PackBinaryBytes(e.scr.qbits, buf[i*slot:i*slot:(i+1)*slot]))
 	}
+	e.scr.packed = packed
 	return packed, nil
 }
 
@@ -153,13 +191,14 @@ func (e *Engine) SearchBatch(dbID int, queries [][]float32, k int, opt SearchOpt
 	if err != nil {
 		return nil, nil, err
 	}
-	packed, err := packBatch(db, queries, k)
+	packed, err := e.packBatch(db, queries, k)
 	if err != nil {
 		return nil, nil, err
 	}
 	segs := make([][]scanSeg, len(queries))
+	whole := []scanSeg{{first: 0, last: db.regionSlots - 1}}
 	for i := range segs {
-		segs[i] = []scanSeg{{first: 0, last: db.regionSlots - 1}}
+		segs[i] = whole
 	}
 	scans, err := e.batchScan(db, db.rec.Embeddings, packed, segs, e.Opts.DistanceFilter, opt.MetaTag)
 	if err != nil {
@@ -171,7 +210,7 @@ func (e *Engine) SearchBatch(dbID int, queries [][]float32, k int, opt SearchOpt
 	for qi := range queries {
 		st := &sts[qi]
 		st.IBCBroadcasts += scans[qi].ibcPlanes
-		entries := foldSegs(scans[qi].segs, st)
+		entries := e.foldSegs(scans[qi].segs, st)
 		res, err := e.finish(db, queries[qi], entries, k, opt, st)
 		if err != nil {
 			return nil, nil, err
@@ -191,12 +230,19 @@ func (e *Engine) IVFSearchBatch(dbID int, queries [][]float32, k int, opt Search
 	if err != nil {
 		return nil, nil, err
 	}
-	if db.rivf == nil {
-		return nil, nil, fmt.Errorf("reis: database %d was not deployed with IVF_Deploy", dbID)
-	}
-	packed, err := packBatch(db, queries, k)
+	packed, err := e.packBatch(db, queries, k)
 	if err != nil {
 		return nil, nil, err
+	}
+	return e.ivfSearchBatchPacked(db, queries, packed, k, opt)
+}
+
+// ivfSearchBatchPacked is IVFSearchBatch after validation and query
+// encoding; CalibrateNProbe calls it directly so the packed encodings
+// are reused across sweep rounds instead of rebuilt per round.
+func (e *Engine) ivfSearchBatchPacked(db *Database, queries [][]float32, packed [][]byte, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
+	if db.rivf == nil {
+		return nil, nil, fmt.Errorf("reis: database %d was not deployed with IVF_Deploy", db.ID)
 	}
 	nlist := len(db.rivf)
 	nprobe := opt.NProbe
@@ -211,8 +257,9 @@ func (e *Engine) IVFSearchBatch(dbID int, queries [][]float32, k int, opt Search
 	// Distance filtering does not apply to the coarse scan (TTL-C must
 	// rank every centroid, Sec 4.3.1).
 	coarseSegs := make([][]scanSeg, len(queries))
+	wholeCent := []scanSeg{{first: 0, last: nlist - 1}}
 	for i := range coarseSegs {
-		coarseSegs[i] = []scanSeg{{first: 0, last: nlist - 1}}
+		coarseSegs[i] = wholeCent
 	}
 	coarse, err := e.batchScan(db, db.rec.Centroids, packed, coarseSegs, false, nil)
 	if err != nil {
@@ -220,27 +267,25 @@ func (e *Engine) IVFSearchBatch(dbID int, queries [][]float32, k int, opt Search
 	}
 
 	// Controller phase: per query, select the nprobe nearest clusters
-	// and derive the fine-scan segments.
+	// and derive the fine-scan segments. The merged centroid list
+	// lives in the pooled coarse buffer and is consumed before the
+	// next query's merge overwrites it.
 	sts := make([]QueryStats, len(queries))
 	fineSegs := make([][]scanSeg, len(queries))
 	for qi := range queries {
 		st := &sts[qi]
 		st.IBCBroadcasts += coarse[qi].ibcPlanes
-		seg := coarse[qi].segs[0]
+		seg := &coarse[qi].segs[0]
 		st.CoarseWaves = seg.waves
 		st.CoarsePages = seg.pages
 		st.EntriesScanned += seg.scanned
 		st.Survivors += seg.survivors
 		st.TTLBytes += seg.ttlBytes
-		cents := seg.entries
+		cents := e.appendMergeByPos(e.scr.cents[:0], seg.scans)
+		e.scr.cents = cents
 		st.CoarseEntries = len(cents)
 		st.SelectInput += len(cents)
-		sort.Slice(cents, func(a, b int) bool {
-			if cents[a].Dist != cents[b].Dist {
-				return cents[a].Dist < cents[b].Dist
-			}
-			return cents[a].Pos < cents[b].Pos
-		})
+		slices.SortFunc(cents, cmpTTLDistPos)
 		np := nprobe
 		if np > len(cents) {
 			np = len(cents)
@@ -254,7 +299,8 @@ func (e *Engine) IVFSearchBatch(dbID int, queries [][]float32, k int, opt Search
 		}
 	}
 
-	// Fine phase: scan every query's probed clusters.
+	// Fine phase: scan every query's probed clusters. (This resets the
+	// worker arenas; the coarse windows were merged out above.)
 	fine, err := e.batchScan(db, db.rec.Embeddings, packed, fineSegs, e.Opts.DistanceFilter, opt.MetaTag)
 	if err != nil {
 		return nil, nil, err
@@ -264,7 +310,7 @@ func (e *Engine) IVFSearchBatch(dbID int, queries [][]float32, k int, opt Search
 	for qi := range queries {
 		st := &sts[qi]
 		st.IBCBroadcasts += fine[qi].ibcPlanes
-		entries := foldSegs(fine[qi].segs, st)
+		entries := e.foldSegs(fine[qi].segs, st)
 		res, err := e.finish(db, queries[qi], entries, k, opt, st)
 		if err != nil {
 			return nil, nil, err
@@ -276,17 +322,19 @@ func (e *Engine) IVFSearchBatch(dbID int, queries [][]float32, k int, opt Search
 
 // foldSegs accumulates a query's fine-phase segment outcomes into st
 // (mirroring the sequential per-cluster loop, which sums waves and
-// pages segment by segment) and concatenates the entries in segment
-// order.
-func foldSegs(segs []segScan, st *QueryStats) []TTLEntry {
-	var entries []TTLEntry
-	for _, seg := range segs {
+// pages segment by segment) and merges each segment's arena windows
+// into the pooled entry buffer in segment order.
+func (e *Engine) foldSegs(segs []segScan, st *QueryStats) []TTLEntry {
+	entries := e.scr.entries[:0]
+	for i := range segs {
+		seg := &segs[i]
 		st.FineWaves += seg.waves
 		st.FinePages += seg.pages
 		st.EntriesScanned += seg.scanned
 		st.Survivors += seg.survivors
 		st.TTLBytes += seg.ttlBytes
-		entries = append(entries, seg.entries...)
+		entries = e.appendMergeByPos(entries, seg.scans)
 	}
+	e.scr.entries = entries
 	return entries
 }

@@ -1,0 +1,99 @@
+package reis
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// runAllSearches executes every search API over the shared test
+// workload and returns a deterministic fingerprint of results and
+// stats: flat Search, IVFSearch, SearchBatch and IVFSearchBatch must
+// each produce bit-identical output on every run at any GOMAXPROCS.
+func runAllSearches(t *testing.T, e *Engine) ([][][]DocResult, [][]QueryStats) {
+	t.Helper()
+	queries := testData.Queries[:12]
+	var allRes [][][]DocResult
+	var allSts [][]QueryStats
+
+	seqRes := make([][]DocResult, len(queries))
+	seqSts := make([]QueryStats, len(queries))
+	for qi, q := range queries {
+		res, st, err := e.Search(1, q, 10, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqRes[qi], seqSts[qi] = res, st
+	}
+	allRes, allSts = append(allRes, seqRes), append(allSts, seqSts)
+
+	ivfRes := make([][]DocResult, len(queries))
+	ivfSts := make([]QueryStats, len(queries))
+	for qi, q := range queries {
+		res, st, err := e.IVFSearch(2, q, 10, SearchOptions{NProbe: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ivfRes[qi], ivfSts[qi] = res, st
+	}
+	allRes, allSts = append(allRes, ivfRes), append(allSts, ivfSts)
+
+	bRes, bSts, err := e.SearchBatch(1, queries, 10, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allRes, allSts = append(allRes, bRes), append(allSts, bSts)
+
+	ibRes, ibSts, err := e.IVFSearchBatch(2, queries, 10, SearchOptions{NProbe: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(allRes, ibRes), append(allSts, ibSts)
+}
+
+func diffRuns(t *testing.T, label string, wantRes, gotRes [][][]DocResult, wantSts, gotSts [][]QueryStats) {
+	t.Helper()
+	for m := range wantRes {
+		mode := []string{"Search", "IVFSearch", "SearchBatch", "IVFSearchBatch"}[m]
+		for qi := range wantRes[m] {
+			w, g := wantRes[m][qi], gotRes[m][qi]
+			if len(w) != len(g) {
+				t.Fatalf("%s %s query %d: %d results, want %d", label, mode, qi, len(g), len(w))
+			}
+			for i := range w {
+				if w[i].ID != g[i].ID || w[i].Dist != g[i].Dist || !bytes.Equal(w[i].Doc, g[i].Doc) {
+					t.Fatalf("%s %s query %d result %d diverged: got{id=%d dist=%v} want{id=%d dist=%v}",
+						label, mode, qi, i, g[i].ID, g[i].Dist, w[i].ID, w[i].Dist)
+				}
+			}
+			if wantSts[m][qi] != gotSts[m][qi] {
+				t.Fatalf("%s %s query %d stats diverged:\ngot  %+v\nwant %+v",
+					label, mode, qi, gotSts[m][qi], wantSts[m][qi])
+			}
+		}
+	}
+}
+
+// TestSearchDeterministicAcrossRunsAndGOMAXPROCS asserts the hard
+// determinism contract: every search API returns bit-identical results
+// and stats on repeated runs, at GOMAXPROCS 1 and 4 — the per-die
+// worker ordering and position-ordered merges make the outcome
+// independent of goroutine scheduling.
+func TestSearchDeterministicAcrossRunsAndGOMAXPROCS(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	deployIVF(t, e, 2, 16)
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	runtime.GOMAXPROCS(1)
+	refRes, refSts := runAllSearches(t, e)
+
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for rep := 0; rep < 2; rep++ {
+			gotRes, gotSts := runAllSearches(t, e)
+			diffRuns(t, fmt.Sprintf("GOMAXPROCS=%d rep=%d", procs, rep), refRes, gotRes, refSts, gotSts)
+		}
+	}
+}

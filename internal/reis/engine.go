@@ -62,6 +62,10 @@ type Engine struct {
 	// mirroring the device's channel/die parallelism.
 	pool *planePool
 
+	// scr holds the engine-owned pooled buffers of the query pipeline;
+	// see engineScratch for the ownership rules.
+	scr engineScratch
+
 	dbs map[int]*Database
 }
 

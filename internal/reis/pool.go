@@ -6,12 +6,41 @@ import (
 	"reis/internal/flash"
 )
 
+// workerScratch is the scratch arena owned by one worker (die) of the
+// planePool. Tasks dispatched to a worker run serially on its
+// goroutine, so they may use these buffers without locking; across pool
+// runs the buffers are recycled, giving the scan path zero steady-state
+// allocations.
+//
+// Ownership rule (see DESIGN.md): a worker's scratch may only be
+// touched by that worker's goroutine while a pool run is in flight, and
+// by the engine's caller goroutine between runs (the WaitGroup in run
+// establishes the happens-before edge both ways, keeping -race clean).
+type workerScratch struct {
+	// entries is the TTL-entry arena. Scan tasks append surviving
+	// entries here and record their [lo, hi) window in a planeScan; the
+	// engine merges the windows after the run completes and resets the
+	// arena at the start of the next scan phase. Windows index the
+	// arena rather than aliasing it, so arena growth never invalidates
+	// a previously recorded window.
+	entries []TTLEntry
+	// oob holds the sensed page's OOB area between the page read and
+	// the per-slot linkage decode.
+	oob []byte
+	// dists is the distance buffer handed to GEN_DIST_PAGE: the die
+	// writes every slot distance of the sensed page into it in place.
+	dists []int
+}
+
 // planeTask is one unit of per-plane device work: an IBC broadcast, a
 // plane's share of a scan, or a whole per-query plane program in batch
-// mode. The plane index routes the task to its die's worker.
+// mode. The plane index routes the task to its die's worker; arg is a
+// caller-defined index (e.g. into a span list) so many tasks can share
+// one closure instead of capturing per-task state.
 type planeTask struct {
 	plane int
-	run   func() error
+	arg   int
+	run   func(sc *workerScratch, plane, arg int) error
 }
 
 // planePool dispatches per-plane tasks onto one worker per simulated
@@ -27,14 +56,44 @@ type planeTask struct {
 type planePool struct {
 	planesPerDie int
 	workers      int
+	// scratch[w] is worker w's arena; queues and errs are the pooled
+	// per-run dispatch structures.
+	scratch []*workerScratch
+	queues  [][]planeTask
+	errs    []error
 }
 
 func newPlanePool(geo flash.Geometry) *planePool {
-	return &planePool{planesPerDie: geo.PlanesPerDie, workers: geo.Dies()}
+	workers := geo.Dies()
+	p := &planePool{
+		planesPerDie: geo.PlanesPerDie,
+		workers:      workers,
+		scratch:      make([]*workerScratch, workers),
+		queues:       make([][]planeTask, workers),
+		errs:         make([]error, workers),
+	}
+	for i := range p.scratch {
+		p.scratch[i] = &workerScratch{}
+	}
+	return p
 }
 
 // workerOf returns the worker (die) index serving a global plane index.
 func (p *planePool) workerOf(plane int) int { return plane / p.planesPerDie }
+
+// scratchOf returns the arena of the worker serving a global plane
+// index — how the engine resolves a planeScan's entry window after a
+// run completes.
+func (p *planePool) scratchOf(plane int) *workerScratch { return p.scratch[p.workerOf(plane)] }
+
+// resetArenas empties every worker's entry arena (keeping capacity).
+// The engine calls it at the start of each scan phase, once all windows
+// of the previous phase have been merged out.
+func (p *planePool) resetArenas() {
+	for _, sc := range p.scratch {
+		sc.entries = sc.entries[:0]
+	}
+}
 
 // run executes the tasks and waits for completion. Tasks are grouped
 // by worker preserving submission order; one goroutine serves each
@@ -45,14 +104,26 @@ func (p *planePool) run(tasks []planeTask) error {
 	case 0:
 		return nil
 	case 1:
-		return tasks[0].run()
+		t := tasks[0]
+		return t.run(p.scratchOf(t.plane), t.plane, t.arg)
 	}
-	queues := make([][]planeTask, p.workers)
+	queues := p.queues
+	for w := range queues {
+		p.errs[w] = nil
+	}
 	for _, t := range tasks {
 		w := p.workerOf(t.plane)
 		queues[w] = append(queues[w], t)
 	}
-	errs := make([]error, p.workers)
+	// Zero the queues on the way out so stale task closures (and the
+	// per-call state they capture) don't stay reachable from the
+	// pooled backing arrays until the next run.
+	defer func() {
+		for w := range queues {
+			clear(queues[w])
+			queues[w] = queues[w][:0]
+		}
+	}()
 	var wg sync.WaitGroup
 	for w, q := range queues {
 		if len(q) == 0 {
@@ -61,16 +132,17 @@ func (p *planePool) run(tasks []planeTask) error {
 		wg.Add(1)
 		go func(w int, q []planeTask) {
 			defer wg.Done()
+			sc := p.scratch[w]
 			for _, t := range q {
-				if err := t.run(); err != nil {
-					errs[w] = err
+				if err := t.run(sc, t.plane, t.arg); err != nil {
+					p.errs[w] = err
 					return
 				}
 			}
 		}(w, q)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for _, err := range p.errs {
 		if err != nil {
 			return err
 		}

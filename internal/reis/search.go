@@ -2,7 +2,7 @@ package reis
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"reis/internal/flash"
 	"reis/internal/ssd"
@@ -105,6 +105,92 @@ type SearchOptions struct {
 	SkipDocs bool
 }
 
+// engineScratch holds the engine-owned pooled buffers of the query
+// pipeline: query encodings, merge outputs, and the controller-tail
+// working sets. The engine serves one top-level API call at a time
+// (batched admission is the concurrency mechanism; see DESIGN.md), so
+// these recycle across queries without locking. Everything handed back
+// to the caller (DocResult slices, document bytes) is freshly
+// allocated — scratch memory never escapes.
+type engineScratch struct {
+	// Query encoding.
+	qbits     []uint64
+	qpacked   []byte
+	packedBuf []byte
+	packed    [][]byte
+	// Scan dispatch and merge.
+	spans     []ssd.PlaneSpan
+	results   []planeScan
+	tasks     []planeTask
+	lists     [][]TTLEntry
+	planeWork [][]batchItem
+	entries   []TTLEntry // merged fine-phase entries of the current query
+	cents     []TTLEntry // merged coarse-phase (centroid) entries
+	// Controller tail (finish).
+	q8         []int8
+	emb        []int8
+	reranked   []DocResult
+	groups     []pageIdx
+	planePages []int
+	pageBuf    []byte
+	oobBuf     []byte
+}
+
+// pageIdx pairs a flash page with a candidate index; sorting a pooled
+// []pageIdx replaces the map-based page grouping of the controller
+// tail (deterministic iteration order, no steady-state allocation).
+type pageIdx struct {
+	page, idx int
+}
+
+func cmpPageIdx(a, b pageIdx) int {
+	if a.page != b.page {
+		return a.page - b.page
+	}
+	return a.idx - b.idx
+}
+
+// cmpTTLDistPos orders centroid entries by distance, position breaking
+// ties — a total order (positions are unique), so the unstable sort is
+// deterministic.
+func cmpTTLDistPos(a, b TTLEntry) int {
+	if a.Dist != b.Dist {
+		return a.Dist - b.Dist
+	}
+	return a.Pos - b.Pos
+}
+
+// cmpDocResult orders reranked results by distance, id breaking ties —
+// a total order (ids are unique within a candidate set).
+func cmpDocResult(a, b DocResult) int {
+	if a.Dist != b.Dist {
+		if a.Dist < b.Dist {
+			return -1
+		}
+		return 1
+	}
+	return a.ID - b.ID
+}
+
+// runTasks dispatches a pooled task list through the worker pool and
+// then zeroes it, so stale closures (and the per-call state they
+// capture) never stay reachable from the pooled backing array after
+// the call completes.
+func (e *Engine) runTasks(tasks []planeTask) error {
+	err := e.pool.run(tasks)
+	clear(tasks)
+	e.scr.tasks = tasks[:0]
+	return err
+}
+
+// packQuery binary-quantizes and packs one query into the pooled
+// single-query encoding buffer.
+func (e *Engine) packQuery(query []float32) []byte {
+	e.scr.qbits = vecmath.BinaryQuantize(query, e.scr.qbits)
+	e.scr.qpacked = vecmath.PackBinaryBytes(e.scr.qbits, e.scr.qpacked)
+	return e.scr.qpacked
+}
+
 // Search implements the Search() API command (Table 1): brute-force
 // in-storage scan of the whole binary region, rerank, and document
 // retrieval.
@@ -117,11 +203,12 @@ func (e *Engine) Search(dbID int, query []float32, k int, opt SearchOptions) ([]
 		return nil, QueryStats{}, err
 	}
 	var st QueryStats
-	qPacked := vecmath.PackBinaryBytes(vecmath.BinaryQuantize(query, nil), nil)
+	qPacked := e.packQuery(query)
 	if err := e.broadcast(db, qPacked, &st); err != nil {
 		return nil, st, err
 	}
-	entries, waves, pages, err := e.scanRange(db, db.rec.Embeddings, 0, db.regionSlots-1, e.Opts.DistanceFilter, opt.MetaTag, &st)
+	entries, waves, pages, err := e.scanRange(db, db.rec.Embeddings, 0, db.regionSlots-1, e.Opts.DistanceFilter, opt.MetaTag, &st, e.scr.entries[:0])
+	e.scr.entries = entries
 	if err != nil {
 		return nil, st, err
 	}
@@ -153,7 +240,7 @@ func (e *Engine) IVFSearch(dbID int, query []float32, k int, opt SearchOptions) 
 		nprobe = len(db.rivf)
 	}
 	var st QueryStats
-	qPacked := vecmath.PackBinaryBytes(vecmath.BinaryQuantize(query, nil), nil)
+	qPacked := e.packQuery(query)
 	if err := e.broadcast(db, qPacked, &st); err != nil {
 		return nil, st, err
 	}
@@ -163,7 +250,8 @@ func (e *Engine) IVFSearch(dbID int, query []float32, k int, opt SearchOptions) 
 	// Distance filtering does not apply to the coarse scan: TTL-C must
 	// rank every centroid so the nprobe nearest clusters are exact
 	// (Sec 4.3.1 describes DF for database embeddings only).
-	cents, waves, pages, err := e.scanRange(db, db.rec.Centroids, 0, nlist-1, false, nil, &st)
+	cents, waves, pages, err := e.scanRange(db, db.rec.Centroids, 0, nlist-1, false, nil, &st, e.scr.cents[:0])
+	e.scr.cents = cents
 	if err != nil {
 		return nil, st, err
 	}
@@ -171,31 +259,28 @@ func (e *Engine) IVFSearch(dbID int, query []float32, k int, opt SearchOptions) 
 	st.CoarsePages = pages
 	st.CoarseEntries = len(cents)
 	st.SelectInput += len(cents)
-	sort.Slice(cents, func(a, b int) bool {
-		if cents[a].Dist != cents[b].Dist {
-			return cents[a].Dist < cents[b].Dist
-		}
-		return cents[a].Pos < cents[b].Pos
-	})
+	slices.SortFunc(cents, cmpTTLDistPos)
 	if nprobe > len(cents) {
 		nprobe = len(cents)
 	}
 
 	// Fine-grained search inside the selected clusters (TTL-E).
-	var entries []TTLEntry
+	entries := e.scr.entries[:0]
 	for _, c := range cents[:nprobe] {
 		ent := db.rivf[c.Pos]
 		if ent.First < 0 {
 			continue // empty cluster
 		}
-		es, w, p, err := e.scanRange(db, db.rec.Embeddings, ent.First, ent.Last, e.Opts.DistanceFilter, opt.MetaTag, &st)
+		var w, p int
+		entries, w, p, err = e.scanRange(db, db.rec.Embeddings, ent.First, ent.Last, e.Opts.DistanceFilter, opt.MetaTag, &st, entries)
 		if err != nil {
+			e.scr.entries = entries
 			return nil, st, err
 		}
 		st.FineWaves += w
 		st.FinePages += p
-		entries = append(entries, es...)
 	}
+	e.scr.entries = entries
 	res, err := e.finish(db, query, entries, k, opt, &st)
 	return res, st, err
 }
@@ -216,13 +301,14 @@ func (db *Database) checkQuery(query []float32, k int) error {
 // the latency model).
 func (e *Engine) broadcast(db *Database, qPacked []byte, st *QueryStats) error {
 	planes := e.SSD.Cfg.Geo.Planes()
-	tasks := make([]planeTask, planes)
-	for p := 0; p < planes; p++ {
-		tasks[p] = planeTask{plane: p, run: func() error {
-			return e.ibcPlane(db, p, qPacked)
-		}}
+	tasks := e.scr.tasks[:0]
+	run := func(_ *workerScratch, plane, _ int) error {
+		return e.ibcPlane(db, plane, qPacked)
 	}
-	if err := e.pool.run(tasks); err != nil {
+	for p := 0; p < planes; p++ {
+		tasks = append(tasks, planeTask{plane: p, run: run})
+	}
+	if err := e.runTasks(tasks); err != nil {
 		return err
 	}
 	st.IBCBroadcasts += planes
@@ -237,11 +323,15 @@ func (e *Engine) ibcPlane(db *Database, plane int, qPacked []byte) error {
 	return err
 }
 
-// planeScan accumulates one per-plane scan task's output: the
-// surviving entries (ascending by position) plus the event counts the
-// task may not write into the shared QueryStats directly.
+// planeScan records one per-plane scan task's outcome: the window of
+// the owning worker's entry arena holding the surviving entries
+// (ascending by position) plus the event counts the task may not write
+// into the shared QueryStats directly. The window is stored as offsets
+// rather than a slice so arena growth by later tasks never invalidates
+// it.
 type planeScan struct {
-	entries   []TTLEntry
+	plane     int
+	lo, hi    int // entry window [lo, hi) in the worker's arena
 	pages     int
 	scanned   int
 	survivors int
@@ -249,20 +339,27 @@ type planeScan struct {
 }
 
 // scanPlane executes the in-plane distance computation over one
-// plane's view of a slotted SLC region: page read, latch XOR, per-slot
-// fail-bit count, optional pass/fail distance filtering, and TTL
-// transfer of survivors. first/last bound the slot positions of the
-// overall scan; only this plane's pages are touched, so concurrent
-// scanPlane calls on different planes share no mutable device state.
-func (e *Engine) scanPlane(db *Database, region ssd.Region, view ssd.PlaneView, first, last int, filter bool, metaTag *uint8) (planeScan, error) {
+// plane's span of a slotted SLC region: page read, one page-granular
+// GEN_DIST_PAGE wave per page (fused latch XOR + per-slot fail-bit
+// counts into the worker's distance buffer), optional pass/fail
+// distance filtering, and TTL transfer of survivors. first/last bound
+// the slot positions of the overall scan; only this plane's pages are
+// touched, so concurrent scanPlane calls on different planes share no
+// mutable device state. Survivors are appended to the worker's entry
+// arena.
+func (e *Engine) scanPlane(db *Database, region ssd.Region, sc *workerScratch, span ssd.PlaneSpan, first, last int, filter bool, metaTag *uint8) (planeScan, error) {
 	geo := e.SSD.Cfg.Geo
 	firstPage := first / db.embPerPage
 	lastPage := last / db.embPerPage
 	entrySize := db.ttlEntryBytes()
-	var ps planeScan
-	var oobBuf []byte
+	ps := planeScan{plane: span.Plane, lo: len(sc.entries), hi: len(sc.entries)}
+	if cap(sc.dists) < db.embPerPage {
+		sc.dists = make([]int, db.embPerPage)
+	}
+	dists := sc.dists[:db.embPerPage]
 
-	for _, p := range view.PageIdxs {
+	for pi := 0; pi < span.Count; pi++ {
+		p := span.First + pi*span.Stride
 		addr, err := region.AddressOf(geo, p)
 		if err != nil {
 			return ps, err
@@ -271,12 +368,9 @@ func (e *Engine) scanPlane(db *Database, region ssd.Region, view ssd.PlaneView, 
 		if _, err := e.FSM.Execute(flash.Command{Op: flash.OpReadPage, Addr: addr}); err != nil {
 			return ps, err
 		}
-		if _, err := e.FSM.Execute(flash.Command{Op: flash.OpXOR, Plane: plane}); err != nil {
-			return ps, err
-		}
 		// The sensing latch holds the page's whole OOB area until the
 		// next read on this plane; pull it once and slice per slot.
-		oobBuf, err = e.SSD.Dev.ReadOOB(plane, oobBuf)
+		sc.oob, err = e.SSD.Dev.ReadOOB(plane, sc.oob)
 		if err != nil {
 			return ps, err
 		}
@@ -289,15 +383,20 @@ func (e *Engine) scanPlane(db *Database, region ssd.Region, view ssd.PlaneView, 
 		if p == lastPage {
 			hiSlot = last % db.embPerPage
 		}
+		// One page-granular wave computes every requested slot distance
+		// of the sensed page, replacing hiSlot-loSlot+1 per-slot
+		// GEN_DIST round-trips (plus the separate XOR) with a single
+		// command whose accounting is bit-identical.
+		if _, err := e.FSM.Execute(flash.Command{
+			Op: flash.OpGenDistPage, Plane: plane, SlotBytes: db.slotBytes,
+			Mini:  flash.MiniPage{Page: addr, Slot: loSlot},
+			Slots: hiSlot - loSlot + 1, Dists: dists,
+		}); err != nil {
+			return ps, err
+		}
 		for s := loSlot; s <= hiSlot; s++ {
-			dist, err := e.FSM.Execute(flash.Command{
-				Op: flash.OpGenDist, Plane: plane, SlotBytes: db.slotBytes,
-				Mini: flash.MiniPage{Page: addr, Slot: s},
-			})
-			if err != nil {
-				return ps, err
-			}
-			dadr, radr, tag := decodeLinkage(oobBuf[s*oobBytesPerSlot : (s+1)*oobBytesPerSlot])
+			dist := dists[s-loSlot]
+			dadr, radr, tag := decodeLinkage(sc.oob[s*oobBytesPerSlot : (s+1)*oobBytesPerSlot])
 			if dadr == InvalidDADR {
 				continue // cluster-alignment padding slot
 			}
@@ -315,11 +414,12 @@ func (e *Engine) scanPlane(db *Database, region ssd.Region, view ssd.PlaneView, 
 			}
 			ps.survivors++
 			ps.ttlBytes += int64(entrySize)
-			ps.entries = append(ps.entries, TTLEntry{
+			sc.entries = append(sc.entries, TTLEntry{
 				Dist: dist, Pos: p*db.embPerPage + s, DADR: dadr, RADR: radr, Tag: tag,
 			})
 		}
 	}
+	ps.hi = len(sc.entries)
 	return ps, nil
 }
 
@@ -327,29 +427,36 @@ func (e *Engine) scanPlane(db *Database, region ssd.Region, view ssd.PlaneView, 
 // region by dispatching one scan task per plane of the stripe to the
 // worker pool and merging the partial results in position order — the
 // exact order the old sequential page loop produced, so results stay
-// bit-identical while independent planes execute concurrently. It
-// returns the surviving entries plus the wave count (max pages on one
-// plane) and total pages sensed.
-func (e *Engine) scanRange(db *Database, region ssd.Region, first, last int, filter bool, metaTag *uint8, st *QueryStats) ([]TTLEntry, int, int, error) {
+// bit-identical while independent planes execute concurrently. Merged
+// entries are appended to dst (a pooled buffer owned by the caller);
+// the function also returns the wave count (max pages on one plane)
+// and total pages sensed.
+func (e *Engine) scanRange(db *Database, region ssd.Region, first, last int, filter bool, metaTag *uint8, st *QueryStats, dst []TTLEntry) ([]TTLEntry, int, int, error) {
 	planes := e.SSD.Cfg.Geo.Planes()
-	views := region.PlaneViews(planes, first/db.embPerPage, last/db.embPerPage)
-	results := make([]planeScan, len(views))
-	tasks := make([]planeTask, len(views))
-	for i, v := range views {
-		tasks[i] = planeTask{plane: v.Plane, run: func() error {
-			ps, err := e.scanPlane(db, region, v, first, last, filter, metaTag)
-			if err != nil {
-				return err
-			}
-			results[i] = ps
-			return nil
-		}}
+	e.pool.resetArenas()
+	spans := region.AppendPlaneSpans(e.scr.spans[:0], planes, first/db.embPerPage, last/db.embPerPage)
+	e.scr.spans = spans
+	if cap(e.scr.results) < len(spans) {
+		e.scr.results = make([]planeScan, len(spans))
 	}
-	if err := e.pool.run(tasks); err != nil {
-		return nil, 0, 0, err
+	results := e.scr.results[:len(spans)]
+	tasks := e.scr.tasks[:0]
+	run := func(sc *workerScratch, _, i int) error {
+		ps, err := e.scanPlane(db, region, sc, spans[i], first, last, filter, metaTag)
+		if err != nil {
+			return err
+		}
+		results[i] = ps
+		return nil
+	}
+	for i, s := range spans {
+		tasks = append(tasks, planeTask{plane: s.Plane, arg: i, run: run})
+	}
+	if err := e.runTasks(tasks); err != nil {
+		return dst, 0, 0, err
 	}
 	waves, totalPages := mergeScanStats(results, st)
-	return mergeEntriesByPos(results), waves, totalPages, nil
+	return e.appendMergeByPos(dst, results), waves, totalPages, nil
 }
 
 // mergeScanStats folds per-plane scan counts into st and returns the
@@ -367,49 +474,62 @@ func mergeScanStats(results []planeScan, st *QueryStats) (waves, totalPages int)
 	return waves, totalPages
 }
 
-// mergeEntriesByPos merges the per-plane entry lists (each ascending
-// by Pos) into one ascending list — the deterministic order the
-// sequential page-by-page scan produced, which downstream quickselect
-// partitioning depends on for bit-identical results. Lists merge as a
-// pairwise cascade: O(n log planes) comparisons.
-func mergeEntriesByPos(results []planeScan) []TTLEntry {
-	lists := make([][]TTLEntry, 0, len(results))
+// appendMergeByPos merges the per-plane entry windows (each ascending
+// by Pos, resident in the worker arenas) into dst in one k-way pass —
+// ascending by Pos overall, the deterministic order the sequential
+// page-by-page scan produced, which downstream quickselect partitioning
+// depends on for bit-identical results. Positions are unique across
+// planes (each page belongs to exactly one plane), so the merge order
+// is total. Unlike the earlier pairwise cascade, no intermediate merge
+// levels are allocated: entries move straight from the arenas into the
+// pooled output.
+func (e *Engine) appendMergeByPos(dst []TTLEntry, results []planeScan) []TTLEntry {
+	lists := e.scr.lists[:0]
+	total := 0
 	for _, ps := range results {
-		if len(ps.entries) > 0 {
-			lists = append(lists, ps.entries)
+		if ps.hi > ps.lo {
+			l := e.pool.scratchOf(ps.plane).entries[ps.lo:ps.hi]
+			lists = append(lists, l)
+			total += len(l)
 		}
 	}
-	if len(lists) == 0 {
-		return nil
+	e.scr.lists = lists
+	switch len(lists) {
+	case 0:
+		return dst
+	case 1:
+		return append(dst, lists[0]...)
 	}
-	for len(lists) > 1 {
-		next := make([][]TTLEntry, 0, (len(lists)+1)/2)
-		for i := 0; i+1 < len(lists); i += 2 {
-			next = append(next, mergeTwoByPos(lists[i], lists[i+1]))
+	dst = slices.Grow(dst, total)
+	for {
+		best := -1
+		for i, l := range lists {
+			if len(l) > 0 && (best < 0 || l[0].Pos < lists[best][0].Pos) {
+				best = i
+			}
 		}
-		if len(lists)%2 == 1 {
-			next = append(next, lists[len(lists)-1])
+		if best < 0 {
+			return dst
 		}
-		lists = next
+		// Take the whole run this list wins: every element below the
+		// next-best head moves in one append.
+		limit := -1
+		for i, l := range lists {
+			if i != best && len(l) > 0 && (limit < 0 || l[0].Pos < limit) {
+				limit = l[0].Pos
+			}
+		}
+		l := lists[best]
+		n := len(l)
+		if limit >= 0 {
+			n = 0
+			for n < len(l) && l[n].Pos < limit {
+				n++
+			}
+		}
+		dst = append(dst, l[:n]...)
+		lists[best] = l[n:]
 	}
-	return lists[0]
-}
-
-// mergeTwoByPos merges two Pos-ascending entry lists.
-func mergeTwoByPos(a, b []TTLEntry) []TTLEntry {
-	out := make([]TTLEntry, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i].Pos < b[j].Pos {
-			out = append(out, a[i])
-			i++
-		} else {
-			out = append(out, b[j])
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
 }
 
 // ttlEntryBytes is the on-channel size of one TTL entry: DIST (2B) +
@@ -417,9 +537,22 @@ func mergeTwoByPos(a, b []TTLEntry) []TTLEntry {
 // (4B) + TAG (1B).
 func (db *Database) ttlEntryBytes() int { return 2 + db.slotBytes + 4 + 4 + 4 + 1 }
 
+// resizeInts returns s resized to n elements, all zero.
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 // finish runs the controller-side pipeline tail: quickselect to the
 // rerank pool, INT8 rescoring, quicksort, and document retrieval
-// (steps 5-9 of Fig 6).
+// (steps 5-9 of Fig 6). Working sets live in the engine scratch; only
+// the returned results (and their document bytes) are allocated.
 func (e *Engine) finish(db *Database, query []float32, entries []TTLEntry, k int, opt SearchOptions, st *QueryStats) ([]DocResult, error) {
 	st.SelectInput += len(entries)
 	pool := k * RerankFactor
@@ -430,85 +563,97 @@ func (e *Engine) finish(db *Database, query []float32, entries []TTLEntry, k int
 	cands := entries[:pool]
 
 	// Rerank: fetch INT8 embeddings by RADR, grouped by page so each
-	// page is sensed once.
-	q8 := db.params.Int8Quantize(query, nil)
-	byPage := make(map[int][]int) // page -> candidate indices
+	// page is sensed once. Grouping sorts a pooled (page, index) slice
+	// instead of building a map: iteration order becomes deterministic
+	// and the grouping is allocation-free.
+	q8 := db.params.Int8Quantize(query, e.scr.q8)
+	e.scr.q8 = q8
+	groups := e.scr.groups[:0]
 	for i, c := range cands {
-		byPage[int(c.RADR)/db.int8PerPage] = append(byPage[int(c.RADR)/db.int8PerPage], i)
+		groups = append(groups, pageIdx{page: int(c.RADR) / db.int8PerPage, idx: i})
 	}
+	slices.SortFunc(groups, cmpPageIdx)
+	e.scr.groups = groups
+
 	geo := e.SSD.Cfg.Geo
-	rerankPlanePages := make(map[int]int)
-	reranked := make([]DocResult, 0, len(cands))
-	var pageBuf, oobBuf []byte
-	for page, idxs := range byPage {
+	planePages := resizeInts(e.scr.planePages, geo.Planes())
+	e.scr.planePages = planePages
+	reranked := e.scr.reranked[:0]
+	for gi := 0; gi < len(groups); {
+		page := groups[gi].page
 		addr, err := db.rec.Int8s.AddressOf(geo, page)
 		if err != nil {
 			return nil, err
 		}
-		data, oob, err := e.SSD.Dev.ReadPageInto(addr, pageBuf, oobBuf)
+		data, oob, err := e.SSD.Dev.ReadPageInto(addr, e.scr.pageBuf, e.scr.oobBuf)
 		if err != nil {
 			return nil, err
 		}
-		pageBuf, oobBuf = data, oob
+		e.scr.pageBuf, e.scr.oobBuf = data, oob
 		st.RerankPages++
-		rerankPlanePages[addr.PlaneIndex(geo)]++
-		for _, i := range idxs {
-			c := cands[i]
+		planePages[addr.PlaneIndex(geo)]++
+		for ; gi < len(groups) && groups[gi].page == page; gi++ {
+			c := cands[groups[gi].idx]
 			slot := int(c.RADR) % db.int8PerPage
-			emb := vecmath.UnpackInt8Bytes(data[slot*db.int8Bytes:(slot+1)*db.int8Bytes], nil)
+			emb := vecmath.UnpackInt8Bytes(data[slot*db.int8Bytes:(slot+1)*db.int8Bytes], e.scr.emb)
+			e.scr.emb = emb
 			d := vecmath.L2SquaredInt8(q8, emb)
 			reranked = append(reranked, DocResult{ID: int(c.DADR), Dist: float32(d)})
 		}
 	}
-	for _, n := range rerankPlanePages {
+	e.scr.reranked = reranked
+	for _, n := range planePages {
 		if n > st.RerankWaves {
 			st.RerankWaves = n
 		}
 	}
 	st.RerankCount += len(cands)
 
-	// Quicksort the reranked pool, keep top-k.
-	sort.Slice(reranked, func(a, b int) bool {
-		if reranked[a].Dist != reranked[b].Dist {
-			return reranked[a].Dist < reranked[b].Dist
-		}
-		return reranked[a].ID < reranked[b].ID
-	})
+	// Quicksort the reranked pool, keep top-k in a fresh caller-owned
+	// slice (the rerank scratch recycles across queries).
+	slices.SortFunc(reranked, cmpDocResult)
 	st.SortedEntries += len(reranked)
-	if k < len(reranked) {
-		reranked = reranked[:k]
+	n := len(reranked)
+	if k < n {
+		n = k
 	}
+	out := make([]DocResult, n)
+	copy(out, reranked[:n])
 
 	if opt.SkipDocs {
-		return reranked, nil
+		return out, nil
 	}
 
 	// Document identification and retrieval (step 9): group DADRs by
-	// document page.
-	docPages := make(map[int][]int)
-	for i, r := range reranked {
-		docPages[r.ID/db.docsPerPage] = append(docPages[r.ID/db.docsPerPage], i)
+	// document page with the same sorted pooled grouping.
+	groups = groups[:0]
+	for i, r := range out {
+		groups = append(groups, pageIdx{page: r.ID / db.docsPerPage, idx: i})
 	}
-	for page, idxs := range docPages {
+	slices.SortFunc(groups, cmpPageIdx)
+	e.scr.groups = groups
+	for gi := 0; gi < len(groups); {
+		page := groups[gi].page
 		addr, err := db.rec.Documents.AddressOf(geo, page)
 		if err != nil {
 			return nil, err
 		}
-		data, oob, err := e.SSD.Dev.ReadPageInto(addr, pageBuf, oobBuf)
+		data, oob, err := e.SSD.Dev.ReadPageInto(addr, e.scr.pageBuf, e.scr.oobBuf)
 		if err != nil {
 			return nil, err
 		}
-		pageBuf, oobBuf = data, oob
+		e.scr.pageBuf, e.scr.oobBuf = data, oob
 		st.DocPages++
-		for _, i := range idxs {
-			slot := reranked[i].ID % db.docsPerPage
+		for ; gi < len(groups) && groups[gi].page == page; gi++ {
+			i := groups[gi].idx
+			slot := out[i].ID % db.docsPerPage
 			doc := make([]byte, db.docBytes)
 			copy(doc, data[slot*db.docBytes:(slot+1)*db.docBytes])
-			reranked[i].Doc = doc
+			out[i].Doc = doc
 			st.DocBytes += int64(db.docBytes)
 		}
 	}
-	return reranked, nil
+	return out, nil
 }
 
 // quickselectTTL partitions entries so the k smallest distances occupy
@@ -559,6 +704,8 @@ func partitionTTL(es []TTLEntry, lo, hi int) int {
 
 // CalibrateNProbe finds the smallest nprobe meeting the Recall@k
 // target against ground truth, mirroring the paper's accuracy sweep.
+// The packed query encodings and the ground-truth membership sets are
+// identical across sweep rounds, so both are built once and reused.
 func (e *Engine) CalibrateNProbe(dbID int, queries [][]float32, groundTruth [][]int, k int, target float64) (int, error) {
 	db, err := e.DB(dbID)
 	if err != nil {
@@ -568,30 +715,45 @@ func (e *Engine) CalibrateNProbe(dbID int, queries [][]float32, groundTruth [][]
 	if nlist == 0 {
 		return 0, fmt.Errorf("reis: database %d is not IVF-deployed", dbID)
 	}
+	if len(queries) == 0 {
+		return 0, fmt.Errorf("reis: empty query set")
+	}
+	packed := make([][]byte, len(queries))
+	for i, q := range queries {
+		if err := db.checkQuery(q, k); err != nil {
+			return 0, err
+		}
+		packed[i] = vecmath.PackBinaryBytes(vecmath.BinaryQuantize(q, nil), nil)
+	}
+	gtSets := make([]map[int]struct{}, len(queries))
+	total := 0
+	for qi := range queries {
+		gt := groundTruth[qi]
+		if len(gt) > k {
+			gt = gt[:k]
+		}
+		set := make(map[int]struct{}, len(gt))
+		for _, id := range gt {
+			set[id] = struct{}{}
+		}
+		gtSets[qi] = set
+		total += len(gt)
+	}
 	for nprobe := 1; nprobe <= nlist; nprobe = growProbe(nprobe) {
-		hits, total := 0, 0
 		// The sweep's queries are admitted as one batch per nprobe:
 		// results are bit-identical to per-query IVFSearch calls, but
 		// plane tasks overlap across queries.
-		results, _, err := e.IVFSearchBatch(dbID, queries, k, SearchOptions{NProbe: nprobe, SkipDocs: true})
+		results, _, err := e.ivfSearchBatchPacked(db, queries, packed, k, SearchOptions{NProbe: nprobe, SkipDocs: true})
 		if err != nil {
 			return 0, err
 		}
+		hits := 0
 		for qi, res := range results {
-			got := make(map[int]struct{}, len(res))
 			for _, r := range res {
-				got[r.ID] = struct{}{}
-			}
-			gt := groundTruth[qi]
-			if len(gt) > k {
-				gt = gt[:k]
-			}
-			for _, id := range gt {
-				if _, ok := got[id]; ok {
+				if _, ok := gtSets[qi][r.ID]; ok {
 					hits++
 				}
 			}
-			total += len(gt)
 		}
 		if total > 0 && float64(hits)/float64(total) >= target {
 			return nprobe, nil

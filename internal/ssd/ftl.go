@@ -159,6 +159,57 @@ func (r Region) PlaneViews(planes, first, last int) []PlaneView {
 	return views
 }
 
+// PlaneSpan is the allocation-free form of a PlaneView: the region
+// pages of a range resident on one plane, described arithmetically
+// (page indices First, First+Stride, ..., Count of them) instead of as
+// a materialized index list. The scan hot path uses spans so splitting
+// a range across planes costs no per-query allocation.
+type PlaneSpan struct {
+	// Plane is the global plane index the pages live on.
+	Plane int
+	// First is the lowest region page index of the span.
+	First int
+	// Stride is the distance between consecutive page indices (the
+	// plane count of the striped layout).
+	Stride int
+	// Count is the number of pages in the span.
+	Count int
+}
+
+// PlaneSpanRange returns the span of region pages [first, last]
+// (inclusive, region page indices) resident on the given plane. Count
+// is 0 when the range skips the plane.
+func (r Region) PlaneSpanRange(planes, plane, first, last int) PlaneSpan {
+	if first < 0 {
+		first = 0
+	}
+	if last >= r.PageCount {
+		last = r.PageCount - 1
+	}
+	s := PlaneSpan{Plane: plane, Stride: planes}
+	// Smallest page index >= first congruent to plane mod planes.
+	start := first + (plane-first%planes+planes)%planes
+	if start > last {
+		return s
+	}
+	s.First = start
+	s.Count = (last-start)/planes + 1
+	return s
+}
+
+// AppendPlaneSpans appends one span per plane with pages in
+// [first, last] to dst and returns it, ordered by plane index; together
+// the spans cover the range exactly once (the span analogue of
+// PlaneViews).
+func (r Region) AppendPlaneSpans(dst []PlaneSpan, planes, first, last int) []PlaneSpan {
+	for p := 0; p < planes; p++ {
+		if s := r.PlaneSpanRange(planes, p, first, last); s.Count > 0 {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
 // DBRecord is one R-DB entry (Sec 4.1.4, structure A in Fig 4): the
 // database signature plus the bounds of its regions.
 type DBRecord struct {

@@ -335,6 +335,32 @@ func TestPlaneViewsPartitionRange(t *testing.T) {
 	}
 }
 
+func TestPlaneSpansMatchPlaneViews(t *testing.T) {
+	// The allocation-free span form must describe exactly the pages the
+	// materialized views list, for a sweep of ranges and plane counts.
+	r := Region{StartStripe: 0, PageCount: 37}
+	for _, planes := range []int{1, 3, 8} {
+		for _, rg := range [][2]int{{0, 36}, {3, 31}, {-5, 100}, {7, 7}, {30, 12}} {
+			views := r.PlaneViews(planes, rg[0], rg[1])
+			spans := r.AppendPlaneSpans(nil, planes, rg[0], rg[1])
+			if len(spans) != len(views) {
+				t.Fatalf("planes=%d range=%v: %d spans for %d views", planes, rg, len(spans), len(views))
+			}
+			for i, v := range views {
+				s := spans[i]
+				if s.Plane != v.Plane || s.Count != len(v.PageIdxs) || s.Stride != planes {
+					t.Fatalf("planes=%d range=%v: span %+v vs view plane=%d pages=%v", planes, rg, s, v.Plane, v.PageIdxs)
+				}
+				for j, p := range v.PageIdxs {
+					if got := s.First + j*s.Stride; got != p {
+						t.Fatalf("planes=%d range=%v plane %d: span page %d = %d, view %d", planes, rg, s.Plane, j, got, p)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestPlaneViewRangeClampsAndOrders(t *testing.T) {
 	r := Region{StartStripe: 0, PageCount: 10}
 	v := r.PlaneViewRange(4, 2, -5, 100)

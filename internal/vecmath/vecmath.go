@@ -15,6 +15,7 @@
 package vecmath
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
@@ -115,6 +116,72 @@ func PopCount(v []uint64) int {
 		n += bits.OnesCount64(w)
 	}
 	return n
+}
+
+// XorBytes writes a XOR b into dst word-wise (8 bytes at a time with a
+// byte tail). All three slices must have the same length; dst may alias
+// a or b. This is the bulk inter-latch XOR of the flash model.
+func XorBytes(dst, a, b []byte) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic(fmt.Sprintf("vecmath: XorBytes length mismatch %d/%d/%d", len(dst), len(a), len(b)))
+	}
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(a[i:])^binary.LittleEndian.Uint64(b[i:]))
+	}
+	for ; i < len(a); i++ {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// PopCountBytes returns the number of set bits in b, word-wise.
+func PopCountBytes(b []byte) int {
+	n := 0
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		n += bits.OnesCount64(binary.LittleEndian.Uint64(b[i:]))
+	}
+	for ; i < len(b); i++ {
+		n += bits.OnesCount8(b[i])
+	}
+	return n
+}
+
+// XorPopCountSlots is the fused page kernel behind the page-granular
+// GEN_DIST command: it computes dst = a XOR b over the whole buffers
+// (one latch-to-latch XOR) and, in the same pass, runs the fail-bit
+// counter over each of the nSlots slots of slotBytes bytes starting at
+// slot firstSlot, writing the per-slot popcounts into dists[0:nSlots].
+// Buffer lengths must match, the counted range must lie inside the
+// buffers, and dists must hold nSlots values; dst may alias a or b.
+func XorPopCountSlots(dst, a, b []byte, slotBytes, firstSlot, nSlots int, dists []int) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic(fmt.Sprintf("vecmath: XorPopCountSlots length mismatch %d/%d/%d", len(dst), len(a), len(b)))
+	}
+	lo := firstSlot * slotBytes
+	hi := lo + nSlots*slotBytes
+	if slotBytes <= 0 || firstSlot < 0 || nSlots < 0 || hi > len(a) || len(dists) < nSlots {
+		panic(fmt.Sprintf("vecmath: XorPopCountSlots bad range slot=%d n=%d slotBytes=%d len=%d dists=%d",
+			firstSlot, nSlots, slotBytes, len(a), len(dists)))
+	}
+	XorBytes(dst[:lo], a[:lo], b[:lo])
+	for s := 0; s < nSlots; s++ {
+		o, e := lo+s*slotBytes, lo+(s+1)*slotBytes
+		n := 0
+		i := o
+		for ; i+8 <= e; i += 8 {
+			w := binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:])
+			binary.LittleEndian.PutUint64(dst[i:], w)
+			n += bits.OnesCount64(w)
+		}
+		for ; i < e; i++ {
+			dst[i] = a[i] ^ b[i]
+			n += bits.OnesCount8(dst[i])
+		}
+		dists[s] = n
+	}
+	XorBytes(dst[hi:], a[hi:], b[hi:])
 }
 
 // Int8Params hold the affine quantization parameters used to convert a
