@@ -11,6 +11,8 @@ package reis
 // full dataset sizes (see internal/experiments).
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -94,6 +96,61 @@ func BenchmarkSearchThroughput(b *testing.B) {
 			b.ReportMetric(float64(served)/b.Elapsed().Seconds(), "qps")
 			bd := engine.BatchLatency(db, sts, reis.UnitScale())
 			b.ReportMetric(bd.QPS, "model_qps")
+		})
+	}
+}
+
+// BenchmarkQueueDepth serves the same workload as
+// BenchmarkSearchThroughput, but as single-query host commands through
+// one asynchronous queue pair, sweeping the submission-queue depth. At
+// depth 1 the queue degenerates to synchronous submission; at depth 8+
+// the dispatcher coalesces pending commands into batched executions,
+// so qps should approach the batch=8/64 rows of the batched path.
+func BenchmarkQueueDepth(b *testing.B) {
+	engine, _, queries := throughputSetup(b)
+	defer engine.Close()
+	for _, depth := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			ch := make(chan reis.Completion, depth)
+			queue, err := engine.NewQueue(reis.QueueConfig{Depth: depth, Completions: ch})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer queue.Close()
+			b.ResetTimer()
+			served := 0
+			for i := 0; i < b.N; i++ {
+				cmd := reis.HostCommand{
+					Opcode: reis.OpcodeSearch, DBID: 1,
+					Queries: [][]float32{queries[i%len(queries)]}, K: 10,
+				}
+				for {
+					_, err := queue.SubmitAsync(context.Background(), cmd)
+					if errors.Is(err, reis.ErrQueueFull) {
+						if c := <-ch; c.Err != nil {
+							b.Fatal(c.Err)
+						}
+						served++
+						continue
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					break
+				}
+			}
+			for served < b.N {
+				if c := <-ch; c.Err != nil {
+					b.Fatal(c.Err)
+				}
+				served++
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(served)/b.Elapsed().Seconds(), "qps")
+			st := queue.Stats()
+			if st.Dispatches > 0 {
+				b.ReportMetric(float64(st.Submitted)/float64(st.Dispatches), "avg_batch")
+			}
 		})
 	}
 }

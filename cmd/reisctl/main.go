@@ -1,15 +1,18 @@
 // Command reisctl demonstrates the REIS host API (Table 1) against a
 // simulated device: it generates a synthetic corpus, deploys it with
-// IVF_Deploy, issues IVF_Search commands, and prints the retrieved
-// document chunks with per-query device statistics.
+// IVF_Deploy, issues an IVF_Search command through an asynchronous
+// NVMe-style queue pair (submission + polled completion), and prints
+// the retrieved document chunks with per-query device statistics.
 //
-//	reisctl -n 4000 -queries 5 -k 3 -nprobe 8
+//	reisctl -n 4000 -queries 5 -k 3 -nprobe 8 -qdepth 16
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
 	"reis/internal/ann"
 	"reis/internal/dataset"
@@ -24,6 +27,7 @@ func main() {
 	k := flag.Int("k", 3, "documents per query")
 	nprobe := flag.Int("nprobe", 8, "IVF clusters probed")
 	device := flag.String("device", "ssd1", "device preset (ssd1|ssd2)")
+	qdepth := flag.Int("qdepth", 16, "submission queue depth")
 	flag.Parse()
 
 	cfg := ssd.SSD1()
@@ -56,12 +60,36 @@ func main() {
 		log.Fatal(err)
 	}
 
-	resp, err := engine.Submit(reis.HostCommand{
+	// Search through an asynchronous queue pair: submit the batched
+	// IVF_Search command, then poll the completion side — the NVMe
+	// submission/completion flow a real host driver performs.
+	queue, err := engine.NewQueue(reis.QueueConfig{Depth: *qdepth})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer queue.Close()
+	id, err := queue.SubmitAsync(context.Background(), reis.HostCommand{
 		Opcode: reis.OpcodeIVFSearch, DBID: 1,
 		Queries: data.Queries, K: *k, NProbe: *nprobe,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	var resp reis.HostResponse
+	for {
+		cs := queue.Reap(1)
+		if len(cs) == 0 {
+			runtime.Gosched() // completion pending; poll again
+			continue
+		}
+		if cs[0].ID != id {
+			log.Fatalf("reaped completion %d, submitted %d", cs[0].ID, id)
+		}
+		if cs[0].Err != nil {
+			log.Fatal(cs[0].Err)
+		}
+		resp = cs[0].Resp
+		break
 	}
 	db, _ := engine.DB(1)
 	for qi, results := range resp.Results {
@@ -78,7 +106,7 @@ func main() {
 	fmt.Printf("\nbatch device stats: %d pages sensed (%d coarse, %d fine), %d entries scanned, %d TTL survivors, %d doc pages\n",
 		st.CoarsePages+st.FinePages, st.CoarsePages, st.FinePages,
 		st.EntriesScanned, st.Survivors, st.DocPages)
-	// The Submit above served the batch through the concurrent plane
+	// The command above served the batch through the concurrent plane
 	// pipeline and returned per-query device events; cost them with
 	// the single-query and batch-overlap timing models.
 	bd := engine.Latency(db, resp.QueryStats[0], reis.UnitScale())

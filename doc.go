@@ -3,10 +3,22 @@
 // (ISCA 2025), rebuilt as a Go library with a functional NAND-flash /
 // SSD simulation substrate.
 //
-// The implementation lives under internal/ (see DESIGN.md for the
-// module map); runnable entry points are cmd/reisbench (regenerates
-// every table and figure of the paper), cmd/reisctl (interactive
-// deploy/search against a simulated device), and the examples/
-// directory. The root-level benchmarks in bench_test.go drive the same
-// experiment runners through `go test -bench`.
+// The engine (internal/reis) exposes the Table 1 vendor command set
+// through an NVMe-style host interface: Engine.NewQueue creates an
+// asynchronous submission/completion queue pair (SubmitAsync, Reap,
+// Wait, completion channels/callbacks, per-command context
+// cancellation, depth-based admission control and per-database QoS
+// weights), and the synchronous Engine.Submit is a thin submit+wait
+// wrapper over the engine's built-in pair. Batched admission and
+// queue-side coalescing keep the flash planes busy across queries
+// while results stay bit-identical to sequential execution. See
+// DESIGN.md ("Host queue model") for the architecture.
+//
+// Runnable entry points are cmd/reisbench (regenerates every table and
+// figure of the paper, plus the throughput and queue-depth sweeps),
+// cmd/reisctl (deploy + async search against a simulated device), and
+// the examples/ directory (examples/ragserver serves concurrent HTTP
+// requests through one queue pair). The root-level benchmarks in
+// bench_test.go drive the same experiment runners through
+// `go test -bench`.
 package reis

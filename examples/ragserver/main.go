@@ -2,6 +2,14 @@
 // engine — the shape of the serving tier a RAG pipeline would put in
 // front of REIS.
 //
+// Concurrent requests are served through one asynchronous queue pair:
+// each HTTP handler submits a single-query IVF_Search command under
+// the request's context and waits for its completion. The queue's
+// dispatcher coalesces simultaneous requests into batched executions
+// (per-request results are bit-identical either way), a saturated
+// queue surfaces as 503 backpressure, and a client that disconnects
+// cancels its command.
+//
 //	go run ./examples/ragserver -addr :8080
 //	curl 'localhost:8080/search?q=17&k=3'      (q = sample query index)
 //	curl 'localhost:8080/stats'
@@ -13,6 +21,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
@@ -26,11 +35,12 @@ import (
 )
 
 type server struct {
-	mu     sync.Mutex // the simulated device is single-queue
 	engine *reis.Engine
+	queue  *reis.Queue
 	db     *reis.Database
 	data   *dataset.Dataset
 
+	mu      sync.Mutex // guards the served-traffic counters only
 	queries int64
 	stats   reis.QueryStats
 }
@@ -38,6 +48,7 @@ type server struct {
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	n := flag.Int("n", 8000, "corpus size")
+	qdepth := flag.Int("qdepth", 64, "submission queue depth (concurrent request budget)")
 	flag.Parse()
 
 	data := dataset.Generate(dataset.Config{
@@ -59,12 +70,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{engine: engine, db: db, data: data}
+	queue, err := engine.NewQueue(reis.QueueConfig{Depth: *qdepth})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{engine: engine, queue: queue, db: db, data: data}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
 	mux.HandleFunc("/stats", s.handleStats)
-	log.Printf("ragserver: %d docs deployed on %s; listening on %s", *n, cfg.Name, *addr)
+	log.Printf("ragserver: %d docs deployed on %s; queue depth %d; listening on %s",
+		*n, cfg.Name, *qdepth, *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
@@ -78,18 +94,33 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if k <= 0 {
 		k = 5
 	}
-	s.mu.Lock()
-	results, st, err := s.engine.IVFSearch(1, s.data.Queries[qIdx], k, reis.SearchOptions{NProbe: 6})
-	if err == nil {
-		s.queries++
-		s.stats.Add(st)
+	// One command per request, bounded by the request's own context:
+	// a dropped connection cancels the search, a full queue is
+	// backpressure the client can retry.
+	id, err := s.queue.SubmitAsync(r.Context(), reis.HostCommand{
+		Opcode: reis.OpcodeIVFSearch, DBID: 1,
+		Queries: [][]float32{s.data.Queries[qIdx]}, K: k,
+		Opt: reis.SearchOptions{NProbe: 6},
+	})
+	if errors.Is(err, reis.ErrQueueFull) {
+		http.Error(w, "retrieval queue saturated, retry", http.StatusServiceUnavailable)
+		return
 	}
-	bd := s.engine.Latency(s.db, st, reis.UnitScale())
-	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.queue.Wait(r.Context(), id)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	st := resp.QueryStats[0]
+	bd := s.engine.Latency(s.db, st, reis.UnitScale())
+	s.mu.Lock()
+	s.queries++
+	s.stats.Add(st)
+	s.mu.Unlock()
 
 	type hit struct {
 		ID   int     `json:"id"`
@@ -100,7 +131,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Hits      []hit  `json:"hits"`
 		DeviceLat string `json:"device_latency"`
 	}{DeviceLat: bd.Total.String()}
-	for _, res := range results {
+	for _, res := range resp.Results[0] {
 		out.Hits = append(out.Hits, hit{ID: res.ID, Dist: res.Dist, Doc: string(res.Doc[:64])})
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -111,12 +142,15 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	queries, device := s.queries, s.stats
+	s.mu.Unlock()
+	qst := s.queue.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(struct {
 		Queries int64           `json:"queries"`
 		Device  reis.QueryStats `json:"device_totals"`
-	}{s.queries, s.stats}); err != nil {
+		Queue   reis.QueueStats `json:"queue"`
+	}{queries, device, qst}); err != nil {
 		log.Printf("encode: %v", err)
 	}
 }

@@ -137,6 +137,11 @@ type Setup struct {
 	W      *Workload
 }
 
+// Close releases the engine's background workers (the plane worker
+// pool and any queue pairs). Runners that build setups in a loop call
+// it as each setup goes out of scope.
+func (s *Setup) Close() { s.Engine.Close() }
+
 // NewSetup deploys the workload on a fresh engine of the given
 // configuration and options.
 func NewSetup(cfg ssd.Config, w *Workload, opts reis.Options) (*Setup, error) {
@@ -173,10 +178,11 @@ func docSlot(d *dataset.Dataset) int {
 
 // RunBF executes every workload query as an in-storage brute-force
 // search and returns the mean per-query latency breakdown at paper
-// scale plus the mean stats. Queries are admitted as one batch through
-// SearchBatch — per-query results and device events are bit-identical
-// to sequential admission, so figure reproductions are unchanged while
-// the functional simulation runs concurrently across planes.
+// scale plus the mean stats. Queries are admitted as one batched
+// Search host command — per-query results and device events are
+// bit-identical to sequential admission, so figure reproductions are
+// unchanged while the functional simulation runs concurrently across
+// planes.
 func (s *Setup) RunBF(k int) (reis.Breakdown, reis.QueryStats, error) {
 	return s.run(k, s.W.ScaleBF(), false, reis.SearchOptions{})
 }
@@ -188,18 +194,19 @@ func (s *Setup) RunIVF(k, nprobe int) (reis.Breakdown, reis.QueryStats, error) {
 
 func (s *Setup) run(k int, sc reis.Scale, ivf bool, opt reis.SearchOptions) (reis.Breakdown, reis.QueryStats, error) {
 	queries := s.W.Data.Queries
-	var (
-		sts []reis.QueryStats
-		err error
-	)
+	// The figure runners drive the device exactly as a host would:
+	// one vendor command through the submission-queue interface.
+	op := reis.OpcodeSearch
 	if ivf {
-		_, sts, err = s.Engine.IVFSearchBatch(1, queries, k, opt)
-	} else {
-		_, sts, err = s.Engine.SearchBatch(1, queries, k, opt)
+		op = reis.OpcodeIVFSearch
 	}
+	resp, err := s.Engine.Submit(reis.HostCommand{
+		Opcode: op, DBID: 1, Queries: queries, K: k, NProbe: opt.NProbe, Opt: opt,
+	})
 	if err != nil {
 		return reis.Breakdown{}, reis.QueryStats{}, err
 	}
+	sts := resp.QueryStats
 	var totalSec float64
 	var b reis.Breakdown
 	var agg reis.QueryStats

@@ -36,6 +36,7 @@ func RunFig10(scale int, datasets []string) ([]Fig10Row, error) {
 			if err != nil {
 				return nil, err
 			}
+			defer s.Close()
 			modes := []struct {
 				name string
 				run  func() (reis.Breakdown, reis.QueryStats, error)
@@ -117,6 +118,7 @@ func RunFig11(scale int) ([]Fig11Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer s.Close()
 		target := targets[name]
 		nprobe, err := s.NProbeFor(target)
 		if err != nil {

@@ -44,10 +44,12 @@ func RunFig7(scale int, datasets []string) ([]Fig7Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer s1.Close()
 		s2, err := NewSetup(ssd.SSD2(), w, reis.AllOptions())
 		if err != nil {
 			return nil, err
 		}
+		defer s2.Close()
 
 		// Brute force.
 		b1, st1, err := s1.RunBF(10)

@@ -49,6 +49,7 @@ func RunFig9(scale int, recalls []float64) ([]Fig9Row, error) {
 			if err != nil {
 				return nil, err
 			}
+			defer s.Close()
 			setups[i] = s
 		}
 		for _, target := range recalls {
@@ -106,6 +107,7 @@ func RunASIC(scale int, datasets []string) ([]ASICRow, error) {
 			if err != nil {
 				return nil, err
 			}
+			defer s.Close()
 			for _, target := range RecallTargets {
 				nprobe, err := s.NProbeFor(target)
 				if err != nil {

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"reis/internal/reis"
+	"reis/internal/ssd"
+)
+
+// QDepthRow is one point of the queue-depth sweep: the whole workload
+// query set served as single-query host commands through one
+// asynchronous queue pair of the given depth. Depth 1 degenerates to
+// synchronous submission; deeper queues let the dispatcher coalesce
+// pending commands into batched executions, so the sweep reports how
+// much of the batched path's throughput the NVMe-style interface
+// recovers without any caller-side batching.
+type QDepthRow struct {
+	Dataset string
+	Mode    string
+	Depth   int
+	// WallQPS is the functional simulation's wall-clock throughput.
+	WallQPS float64
+	// AvgBatch is the mean commands per dispatch (the coalescing the
+	// queue achieved at this depth).
+	AvgBatch float64
+	// NsPerOp / AllocsPerOp / BytesPerOp are per served query, the
+	// quantities the BENCH_*.json trajectory tracks.
+	NsPerOp     float64
+	AllocsPerOp float64
+	BytesPerOp  float64
+}
+
+// QDepthDepths is the default queue-depth sweep.
+var QDepthDepths = []int{1, 2, 4, 8, 16, 32}
+
+// RunQDepth measures QPS versus submission-queue depth on REIS-SSD1.
+// Every row serves the identical workload (each query one IVF_Search
+// command); rows differ only in how many commands may be outstanding.
+func RunQDepth(scale int, datasets []string, depths []int) ([]QDepthRow, error) {
+	if datasets == nil {
+		datasets = []string{"NQ"}
+	}
+	if depths == nil {
+		depths = QDepthDepths
+	}
+	var rows []QDepthRow
+	for _, name := range datasets {
+		w := LoadWorkload(name, scale)
+		s, err := NewSetup(ssd.SSD1(), w, reis.AllOptions())
+		if err != nil {
+			return nil, err
+		}
+		defer s.Close()
+		nprobe, err := s.NProbeFor(0.94)
+		if err != nil {
+			return nil, err
+		}
+		queries := w.Data.Queries
+		for _, depth := range depths {
+			ch := make(chan reis.Completion, depth)
+			q, err := s.Engine.NewQueue(reis.QueueConfig{Depth: depth, Completions: ch})
+			if err != nil {
+				return nil, err
+			}
+			var (
+				served int
+				m0, m1 runtime.MemStats
+			)
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			for _, query := range queries {
+				cmd := reis.HostCommand{
+					Opcode: reis.OpcodeIVFSearch, DBID: 1,
+					Queries: [][]float32{query}, K: 10, NProbe: nprobe,
+				}
+				for {
+					_, err := q.SubmitAsync(context.Background(), cmd)
+					if errors.Is(err, reis.ErrQueueFull) {
+						if c := <-ch; c.Err != nil {
+							q.Close()
+							return nil, c.Err
+						}
+						served++
+						continue
+					}
+					if err != nil {
+						q.Close()
+						return nil, err
+					}
+					break
+				}
+			}
+			for served < len(queries) {
+				if c := <-ch; c.Err != nil {
+					q.Close()
+					return nil, c.Err
+				}
+				served++
+			}
+			wall := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			st := q.Stats()
+			q.Close()
+			n := float64(served)
+			avg := 0.0
+			if st.Dispatches > 0 {
+				avg = float64(st.Submitted) / float64(st.Dispatches)
+			}
+			rows = append(rows, QDepthRow{
+				Dataset: name, Mode: fmt.Sprintf("IVF@np%d", nprobe), Depth: depth,
+				WallQPS:     n / wall.Seconds(),
+				AvgBatch:    avg,
+				NsPerOp:     float64(wall.Nanoseconds()) / n,
+				AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / n,
+				BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatQDepth renders the queue-depth sweep.
+func FormatQDepth(rows []QDepthRow) string {
+	var sb strings.Builder
+	sb.WriteString("Queue-depth sweep: single-query commands through one async queue pair (REIS-SSD1)\n")
+	fmt.Fprintf(&sb, "%-10s %-10s %6s %10s %10s %10s %10s\n",
+		"dataset", "mode", "depth", "wall QPS", "avg batch", "ns/op", "allocs/op")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %-10s %6d %10.1f %10.2f %10.0f %10.1f\n",
+			r.Dataset, r.Mode, r.Depth, r.WallQPS, r.AvgBatch, r.NsPerOp, r.AllocsPerOp)
+	}
+	return sb.String()
+}

@@ -50,6 +50,7 @@ func RunRAGBreakdown(scale int) ([]RAGRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer s.Close()
 		nprobe, err := s.NProbeFor(0.94)
 		if err != nil {
 			return nil, err

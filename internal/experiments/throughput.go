@@ -58,6 +58,7 @@ func RunThroughput(scale int, datasets []string, batches []int) ([]ThroughputRow
 		if err != nil {
 			return nil, err
 		}
+		defer s.Close()
 		nprobe, err := s.NProbeFor(0.94)
 		if err != nil {
 			return nil, err
@@ -92,10 +93,16 @@ func RunThroughput(scale int, datasets []string, batches []int) ([]ThroughputRow
 					}
 					sts = []reis.QueryStats{st}
 				} else {
-					_, sts, err = s.Engine.IVFSearchBatch(1, queries[lo:hi], 10, reis.SearchOptions{NProbe: nprobe})
+					// Batched admission goes through the host command
+					// interface, as the NVMe driver would submit it.
+					resp, err := s.Engine.Submit(reis.HostCommand{
+						Opcode: reis.OpcodeIVFSearch, DBID: 1,
+						Queries: queries[lo:hi], K: 10, NProbe: nprobe,
+					})
 					if err != nil {
 						return nil, err
 					}
+					sts = resp.QueryStats
 				}
 				bd := s.Engine.BatchLatency(s.DB, sts, sc)
 				makespan += bd.Makespan

@@ -1,6 +1,10 @@
 package reis
 
-import "fmt"
+import (
+	"context"
+	"errors"
+	"fmt"
+)
 
 // The NVM command set reserves opcodes 80h-FFh for vendor-specific
 // commands (Sec 4.4.1); REIS claims four of them for the Table 1 API.
@@ -9,6 +13,32 @@ const (
 	OpcodeIVFDeploy uint8 = 0x81
 	OpcodeSearch    uint8 = 0x82
 	OpcodeIVFSearch uint8 = 0x83
+)
+
+// Sentinel errors of the host interface. Submission paths wrap them
+// with command detail; match with errors.Is.
+var (
+	// ErrUnknownOpcode: the command's opcode is not one of the Table 1
+	// vendor opcodes.
+	ErrUnknownOpcode = errors.New("reis: unknown vendor opcode")
+	// ErrMissingPayload: a deploy command without its DeployConfig.
+	ErrMissingPayload = errors.New("reis: deploy command without payload")
+	// ErrNoQueries: a search command with an empty Q operand.
+	ErrNoQueries = errors.New("reis: search command without queries")
+	// ErrBadK: a search command with a non-positive K operand.
+	ErrBadK = errors.New("reis: non-positive K")
+	// ErrQueryDims: query vectors of inconsistent dimensionality (within
+	// one command, or against the target database).
+	ErrQueryDims = errors.New("reis: query dimensionality mismatch")
+	// ErrQueueFull: SubmitAsync admission control rejected the command
+	// because the queue pair already holds Depth outstanding commands.
+	ErrQueueFull = errors.New("reis: submission queue full")
+	// ErrQueueClosed: the queue (or its engine) was closed; commands
+	// still pending at close time complete with this error.
+	ErrQueueClosed = errors.New("reis: queue closed")
+	// ErrNotCalibrated: a TargetRecall operand could not be resolved
+	// because the database has no CalibrateNProbe record covering it.
+	ErrNotCalibrated = errors.New("reis: no nprobe calibration for target recall")
 )
 
 // HostCommand is one vendor-specific NVMe command as the host driver
@@ -26,10 +56,75 @@ type HostCommand struct {
 	Queries [][]float32
 	K       int
 	// TargetRecall is IVF_Search's accuracy operand R; the device
-	// resolves it to a calibrated nprobe if NProbe is zero.
+	// resolves it to a calibrated nprobe when no explicit NProbe is
+	// given (see resolveSearchOptions).
 	TargetRecall float64
 	NProbe       int
 	Opt          SearchOptions
+}
+
+// validate checks the host-side invariants of a command — opcode,
+// payload presence, K, and uniform query dimensionality — before it is
+// admitted to a queue, so malformed commands fail at submission instead
+// of deep inside the scan path.
+func (cmd *HostCommand) validate() error {
+	switch cmd.Opcode {
+	case OpcodeDBDeploy, OpcodeIVFDeploy:
+		if cmd.Deploy == nil {
+			return fmt.Errorf("%w (opcode %#x)", ErrMissingPayload, cmd.Opcode)
+		}
+		return nil
+	case OpcodeSearch, OpcodeIVFSearch:
+		if len(cmd.Queries) == 0 {
+			return ErrNoQueries
+		}
+		if cmd.K <= 0 {
+			return fmt.Errorf("%w (K=%d)", ErrBadK, cmd.K)
+		}
+		dim := len(cmd.Queries[0])
+		for i, q := range cmd.Queries {
+			if len(q) != dim {
+				return fmt.Errorf("%w (query 0 has dim %d, query %d has dim %d)",
+					ErrQueryDims, dim, i, len(q))
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w %#x", ErrUnknownOpcode, cmd.Opcode)
+	}
+}
+
+// isSearchOp reports whether the opcode is served by the batched scan
+// pipeline (as opposed to a deploy).
+func isSearchOp(op uint8) bool { return op == OpcodeSearch || op == OpcodeIVFSearch }
+
+// resolveSearchOptions folds a command's NProbe / TargetRecall operands
+// into the SearchOptions handed to the execution core — the single
+// normalization point shared by the synchronous Submit wrapper and the
+// asynchronous queue dispatcher. Precedence:
+//
+//  1. an explicit command-level NProbe operand wins;
+//  2. otherwise a non-zero Opt.NProbe is kept as-is;
+//  3. otherwise a positive TargetRecall (the accuracy operand R of
+//     Table 1) is resolved against the database's recorded
+//     CalibrateNProbe results — ErrNotCalibrated if none covers it;
+//  4. otherwise the engine's nprobe=1 default applies downstream.
+func resolveSearchOptions(db *Database, cmd *HostCommand) (SearchOptions, error) {
+	opt := cmd.Opt
+	switch {
+	case cmd.NProbe != 0:
+		opt.NProbe = cmd.NProbe
+	case opt.NProbe != 0:
+		// Explicit option-level nprobe; nothing to resolve.
+	case cmd.TargetRecall > 0:
+		np, ok := db.nprobeForRecall(cmd.TargetRecall)
+		if !ok {
+			return opt, fmt.Errorf("%w (database %d, target %.3f)",
+				ErrNotCalibrated, db.ID, cmd.TargetRecall)
+		}
+		opt.NProbe = np
+	}
+	return opt, nil
 }
 
 // HostResponse is the completion the device returns.
@@ -46,55 +141,63 @@ type HostResponse struct {
 	Stats QueryStats
 }
 
-// Submit executes one host command against the engine, dispatching on
-// the vendor opcode exactly as the controller firmware would.
+// Submit executes one host command synchronously: a thin wrapper that
+// submits to the engine's built-in queue pair and waits for the
+// completion. Synchronous and asynchronous submission therefore share
+// one execution core, and Submit's results are bit-identical to the
+// same command served through SubmitAsync.
 func (e *Engine) Submit(cmd HostCommand) (HostResponse, error) {
-	switch cmd.Opcode {
-	case OpcodeDBDeploy:
-		if cmd.Deploy == nil {
-			return HostResponse{}, fmt.Errorf("reis: DB_Deploy without payload")
-		}
-		_, err := e.Deploy(*cmd.Deploy)
-		return HostResponse{Done: err == nil}, err
-	case OpcodeIVFDeploy:
-		if cmd.Deploy == nil {
-			return HostResponse{}, fmt.Errorf("reis: IVF_Deploy without payload")
-		}
-		_, err := e.IVFDeploy(*cmd.Deploy)
-		return HostResponse{Done: err == nil}, err
-	case OpcodeSearch, OpcodeIVFSearch:
-		return e.submitSearch(cmd)
-	default:
-		return HostResponse{}, fmt.Errorf("reis: unknown vendor opcode %#x", cmd.Opcode)
-	}
-}
-
-// submitSearch serves Search/IVF_Search commands through the batched
-// execution path: the whole Q operand is admitted at once and its
-// plane tasks overlap across queries, exactly as the controller
-// firmware would schedule them.
-func (e *Engine) submitSearch(cmd HostCommand) (HostResponse, error) {
-	if len(cmd.Queries) == 0 {
-		return HostResponse{}, fmt.Errorf("reis: search with no queries")
-	}
-	opt := cmd.Opt
-	opt.NProbe = cmd.NProbe
-	var (
-		results [][]DocResult
-		sts     []QueryStats
-		err     error
-	)
-	if cmd.Opcode == OpcodeSearch {
-		results, sts, err = e.SearchBatch(cmd.DBID, cmd.Queries, cmd.K, opt)
-	} else {
-		results, sts, err = e.IVFSearchBatch(cmd.DBID, cmd.Queries, cmd.K, opt)
-	}
+	q, err := e.defaultQueue()
 	if err != nil {
 		return HostResponse{}, err
 	}
-	resp := HostResponse{Done: true, Results: results, QueryStats: sts}
-	for _, st := range sts {
-		resp.Stats.Add(st)
+	id, err := q.submit(context.Background(), cmd, true)
+	if err != nil {
+		return HostResponse{}, err
 	}
-	return resp, nil
+	return q.Wait(context.Background(), id)
+}
+
+// executeCmd serves one validated command on the dispatcher goroutine.
+// The caller must hold e.execMu.
+func (e *Engine) executeCmd(ctx context.Context, cmd *HostCommand) (HostResponse, error) {
+	switch cmd.Opcode {
+	case OpcodeDBDeploy:
+		cfg := *cmd.Deploy
+		cfg.Centroids, cfg.Assign = nil, nil
+		_, err := e.deploy(cfg)
+		return HostResponse{Done: err == nil}, err
+	case OpcodeIVFDeploy:
+		_, err := e.ivfDeploy(*cmd.Deploy)
+		return HostResponse{Done: err == nil}, err
+	default:
+		results, sts, err := e.executeSearch(ctx, cmd, cmd.Queries)
+		if err != nil {
+			return HostResponse{}, err
+		}
+		resp := HostResponse{Done: true, Results: results, QueryStats: sts}
+		for _, st := range sts {
+			resp.Stats.Add(st)
+		}
+		return resp, nil
+	}
+}
+
+// executeSearch runs the batched scan pipeline for queries — the
+// command's own Q operand, or the concatenation of a coalesced dispatch
+// group's operands — under the command's parameters. The caller must
+// hold e.execMu.
+func (e *Engine) executeSearch(ctx context.Context, cmd *HostCommand, queries [][]float32) ([][]DocResult, []QueryStats, error) {
+	db, err := e.db(cmd.DBID)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt, err := resolveSearchOptions(db, cmd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cmd.Opcode == OpcodeSearch {
+		return e.searchBatch(ctx, db, queries, cmd.K, opt)
+	}
+	return e.ivfSearchBatch(ctx, db, queries, cmd.K, opt)
 }

@@ -1,6 +1,7 @@
 package reis
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -72,7 +73,13 @@ type batchItem struct {
 // pool; each plane broadcasts a query's embedding into its cache latch
 // once and then scans all of that query's segments resident on the
 // plane before moving to the next query.
-func (e *Engine) batchScan(db *Database, region ssd.Region, packed [][]byte, segs [][]scanSeg, filter bool, metaTag *uint8) ([]queryScan, error) {
+// ctx is polled between per-plane work items (a cancelled command
+// aborts the phase at the next item boundary); the synchronous paths
+// pass context.Background(), whose Err is free.
+func (e *Engine) batchScan(ctx context.Context, db *Database, region ssd.Region, packed [][]byte, segs [][]scanSeg, filter bool, metaTag *uint8) ([]queryScan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	planes := e.SSD.Cfg.Geo.Planes()
 	e.pool.resetArenas()
 	if e.scr.planeWork == nil {
@@ -115,6 +122,9 @@ func (e *Engine) batchScan(db *Database, region ssd.Region, packed [][]byte, seg
 	run := func(sc *workerScratch, plane, _ int) error {
 		curQ := -1
 		for _, it := range planeWork[plane] {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if it.qi != curQ {
 				// One broadcast per query per plane: the cache
 				// latch must hold this query before its scans.
@@ -187,10 +197,19 @@ func (e *Engine) packBatch(db *Database, queries [][]float32, k int) ([][]byte, 
 // broadcast count differs (the batch broadcasts a query only to planes
 // that scan it).
 func (e *Engine) SearchBatch(dbID int, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
-	db, err := e.DB(dbID)
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	db, err := e.db(dbID)
 	if err != nil {
 		return nil, nil, err
 	}
+	return e.searchBatch(context.Background(), db, queries, k, opt)
+}
+
+// searchBatch is SearchBatch inside the execution core: the caller
+// holds execMu and has resolved the database; ctx carries the queue's
+// per-command cancellation (Background on the synchronous path).
+func (e *Engine) searchBatch(ctx context.Context, db *Database, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
 	packed, err := e.packBatch(db, queries, k)
 	if err != nil {
 		return nil, nil, err
@@ -200,7 +219,7 @@ func (e *Engine) SearchBatch(dbID int, queries [][]float32, k int, opt SearchOpt
 	for i := range segs {
 		segs[i] = whole
 	}
-	scans, err := e.batchScan(db, db.rec.Embeddings, packed, segs, e.Opts.DistanceFilter, opt.MetaTag)
+	scans, err := e.batchScan(ctx, db, db.rec.Embeddings, packed, segs, e.Opts.DistanceFilter, opt.MetaTag)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -208,6 +227,9 @@ func (e *Engine) SearchBatch(dbID int, queries [][]float32, k int, opt SearchOpt
 	results := make([][]DocResult, len(queries))
 	sts := make([]QueryStats, len(queries))
 	for qi := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		st := &sts[qi]
 		st.IBCBroadcasts += scans[qi].ibcPlanes
 		entries := e.foldSegs(scans[qi].segs, st)
@@ -226,21 +248,29 @@ func (e *Engine) SearchBatch(dbID int, queries [][]float32, k int, opt SearchOpt
 // clusters, all scheduled through the per-die worker pool. Results are
 // bit-identical to per-query IVFSearch calls.
 func (e *Engine) IVFSearchBatch(dbID int, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
-	db, err := e.DB(dbID)
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	db, err := e.db(dbID)
 	if err != nil {
 		return nil, nil, err
 	}
+	return e.ivfSearchBatch(context.Background(), db, queries, k, opt)
+}
+
+// ivfSearchBatch is IVFSearchBatch inside the execution core (caller
+// holds execMu).
+func (e *Engine) ivfSearchBatch(ctx context.Context, db *Database, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
 	packed, err := e.packBatch(db, queries, k)
 	if err != nil {
 		return nil, nil, err
 	}
-	return e.ivfSearchBatchPacked(db, queries, packed, k, opt)
+	return e.ivfSearchBatchPacked(ctx, db, queries, packed, k, opt)
 }
 
-// ivfSearchBatchPacked is IVFSearchBatch after validation and query
+// ivfSearchBatchPacked is ivfSearchBatch after validation and query
 // encoding; CalibrateNProbe calls it directly so the packed encodings
 // are reused across sweep rounds instead of rebuilt per round.
-func (e *Engine) ivfSearchBatchPacked(db *Database, queries [][]float32, packed [][]byte, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
+func (e *Engine) ivfSearchBatchPacked(ctx context.Context, db *Database, queries [][]float32, packed [][]byte, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
 	if db.rivf == nil {
 		return nil, nil, fmt.Errorf("reis: database %d was not deployed with IVF_Deploy", db.ID)
 	}
@@ -261,7 +291,7 @@ func (e *Engine) ivfSearchBatchPacked(db *Database, queries [][]float32, packed 
 	for i := range coarseSegs {
 		coarseSegs[i] = wholeCent
 	}
-	coarse, err := e.batchScan(db, db.rec.Centroids, packed, coarseSegs, false, nil)
+	coarse, err := e.batchScan(ctx, db, db.rec.Centroids, packed, coarseSegs, false, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -301,13 +331,16 @@ func (e *Engine) ivfSearchBatchPacked(db *Database, queries [][]float32, packed 
 
 	// Fine phase: scan every query's probed clusters. (This resets the
 	// worker arenas; the coarse windows were merged out above.)
-	fine, err := e.batchScan(db, db.rec.Embeddings, packed, fineSegs, e.Opts.DistanceFilter, opt.MetaTag)
+	fine, err := e.batchScan(ctx, db, db.rec.Embeddings, packed, fineSegs, e.Opts.DistanceFilter, opt.MetaTag)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	results := make([][]DocResult, len(queries))
 	for qi := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		st := &sts[qi]
 		st.IBCBroadcasts += fine[qi].ibcPlanes
 		entries := e.foldSegs(fine[qi].segs, st)

@@ -26,6 +26,7 @@ package reis
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"reis/internal/flash"
 	"reis/internal/ssd"
@@ -52,7 +53,11 @@ func AllOptions() Options {
 	return Options{DistanceFilter: true, Pipelining: true, MPIBC: true}
 }
 
-// Engine is the in-storage retrieval system.
+// Engine is the in-storage retrieval system. Public API calls may be
+// issued from any goroutine: the execution core (one command or one
+// coalesced batch at a time, matching the single embedded controller
+// core) is serialized internally, and queue pairs created with NewQueue
+// provide the asynchronous, multi-tenant interface on top of it.
 type Engine struct {
 	SSD  *ssd.SSD
 	FSM  *flash.DieFSM
@@ -62,11 +67,24 @@ type Engine struct {
 	// mirroring the device's channel/die parallelism.
 	pool *planePool
 
+	// execMu serializes the execution core: the engine scratch and the
+	// pool worker arenas have exactly one running owner at a time
+	// (batched admission and queue coalescing are the concurrency
+	// mechanisms, not parallel API calls).
+	execMu sync.Mutex
+
 	// scr holds the engine-owned pooled buffers of the query pipeline;
 	// see engineScratch for the ownership rules.
 	scr engineScratch
 
 	dbs map[int]*Database
+
+	// qmu guards the queue registry; defq is the built-in pair behind
+	// the synchronous Submit wrapper.
+	qmu    sync.Mutex
+	queues []*Queue
+	defq   *Queue
+	closed bool
 }
 
 // Database is the on-device representation of one deployed vector
@@ -99,6 +117,30 @@ type Database struct {
 	// metaTags[pos] is the optional 1-byte metadata tag stored in the
 	// OOB for the embedding at region position pos (Sec 7.1).
 	metaTags []uint8
+
+	// calib records successful CalibrateNProbe outcomes so the
+	// TargetRecall operand of IVF_Search commands can be resolved to a
+	// concrete nprobe (see resolveSearchOptions).
+	calib []recallPoint
+}
+
+// recallPoint is one recorded calibration outcome: the smallest nprobe
+// found to meet a Recall@k target.
+type recallPoint struct {
+	target float64
+	nprobe int
+}
+
+// nprobeForRecall resolves a target recall against the recorded
+// calibration points: the smallest nprobe whose calibrated target
+// covers the request. ok is false when nothing calibrated covers it.
+func (db *Database) nprobeForRecall(target float64) (nprobe int, ok bool) {
+	for _, p := range db.calib {
+		if p.target >= target && (!ok || p.nprobe < nprobe) {
+			nprobe, ok = p.nprobe, true
+		}
+	}
+	return nprobe, ok
 }
 
 // RIVFEntry is one element of the R-IVF array (Sec 4.2.1, structure B
@@ -134,11 +176,78 @@ func New(cfg ssd.Config, capacityHint int64, opts Options) (*Engine, error) {
 
 // DB returns a deployed database by id.
 func (e *Engine) DB(id int) (*Database, error) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	return e.db(id)
+}
+
+// db is DB without the execution lock, for use inside the core.
+func (e *Engine) db(id int) (*Database, error) {
 	db, ok := e.dbs[id]
 	if !ok {
 		return nil, fmt.Errorf("reis: unknown database %d", id)
 	}
 	return db, nil
+}
+
+// addQueue registers a queue pair for Close-time teardown.
+func (e *Engine) addQueue(q *Queue) error {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	if e.closed {
+		return fmt.Errorf("reis: engine closed: %w", ErrQueueClosed)
+	}
+	e.queues = append(e.queues, q)
+	return nil
+}
+
+// defaultQueue lazily creates the built-in queue pair behind the
+// synchronous Submit wrapper.
+func (e *Engine) defaultQueue() (*Queue, error) {
+	e.qmu.Lock()
+	q := e.defq
+	e.qmu.Unlock()
+	if q != nil {
+		return q, nil
+	}
+	q, err := e.NewQueue(QueueConfig{})
+	if err != nil {
+		return nil, err
+	}
+	e.qmu.Lock()
+	if e.defq == nil {
+		e.defq = q
+	} else {
+		// Another goroutine won the race; keep its queue.
+		stale := q
+		q = e.defq
+		e.qmu.Unlock()
+		stale.Close()
+		return q, nil
+	}
+	e.qmu.Unlock()
+	return q, nil
+}
+
+// Close shuts down the engine's background goroutines: every queue
+// pair created with NewQueue (pending commands complete with
+// ErrQueueClosed) and the plane worker pool. The engine must not be
+// closed while direct API calls are in flight; Close is idempotent,
+// and an engine that is never closed simply parks its workers until
+// process exit.
+func (e *Engine) Close() error {
+	e.qmu.Lock()
+	qs := e.queues
+	e.queues, e.defq = nil, nil
+	e.closed = true
+	e.qmu.Unlock()
+	for _, q := range qs {
+		q.Close()
+	}
+	e.execMu.Lock()
+	e.pool.stop()
+	e.execMu.Unlock()
+	return nil
 }
 
 // DeployConfig carries the host-provided deployment parameters.
@@ -165,6 +274,8 @@ type DeployConfig struct {
 // writes embeddings, rerank copies and documents, and registers the
 // database in the R-DB.
 func (e *Engine) Deploy(cfg DeployConfig) (*Database, error) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
 	cfg.Centroids, cfg.Assign = nil, nil
 	return e.deploy(cfg)
 }
@@ -172,6 +283,14 @@ func (e *Engine) Deploy(cfg DeployConfig) (*Database, error) {
 // IVFDeploy implements IVF_Deploy: like Deploy but the binary region
 // is cluster-sorted and the R-IVF table is built.
 func (e *Engine) IVFDeploy(cfg DeployConfig) (*Database, error) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	return e.ivfDeploy(cfg)
+}
+
+// ivfDeploy is IVFDeploy without the execution lock, for the queue
+// dispatcher.
+func (e *Engine) ivfDeploy(cfg DeployConfig) (*Database, error) {
 	if len(cfg.Centroids) == 0 || len(cfg.Assign) != len(cfg.Vectors) {
 		return nil, fmt.Errorf("reis: IVFDeploy requires cluster info (centroids=%d assign=%d vectors=%d)",
 			len(cfg.Centroids), len(cfg.Assign), len(cfg.Vectors))

@@ -35,6 +35,7 @@ func newEngine(t *testing.T, opts Options) *Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { e.Close() })
 	return e
 }
 

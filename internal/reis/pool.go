@@ -49,6 +49,11 @@ type planeTask struct {
 // execute commands one at a time, while different dies run fully in
 // parallel.
 //
+// Workers are persistent goroutines draining per-worker channels (the
+// die's command queue), started lazily on the first multi-task run and
+// stopped by Engine.Close. A run enqueues each worker's task list and
+// waits; the pool is never invoked per task.
+//
 // Determinism: tasks that touch the same plane always map to the same
 // worker and are executed in submission order, so the per-plane
 // command sequence — and therefore every latch content, distance and
@@ -61,6 +66,18 @@ type planePool struct {
 	scratch []*workerScratch
 	queues  [][]planeTask
 	errs    []error
+	// chans[w] feeds worker w's goroutine; nil until started. The pool
+	// has a single dispatching owner at a time (the engine's execution
+	// lock), so started/chans need no extra synchronization.
+	chans   []chan poolRun
+	started bool
+}
+
+// poolRun is one run's share for one worker: the task list to execute
+// and the WaitGroup signalling the dispatcher.
+type poolRun struct {
+	tasks []planeTask
+	wg    *sync.WaitGroup
 }
 
 func newPlanePool(geo flash.Geometry) *planePool {
@@ -95,10 +112,52 @@ func (p *planePool) resetArenas() {
 	}
 }
 
+// start spins up the persistent die workers. Each worker loops on its
+// channel, executing one run's task list at a time; the channel
+// send/receive and the run WaitGroup establish the happens-before
+// edges that keep the scratch ownership rule race-clean.
+func (p *planePool) start() {
+	if p.started {
+		return
+	}
+	p.started = true
+	p.chans = make([]chan poolRun, p.workers)
+	for w := range p.chans {
+		ch := make(chan poolRun, 1)
+		p.chans[w] = ch
+		go func(w int, ch chan poolRun) {
+			sc := p.scratch[w]
+			for r := range ch {
+				for _, t := range r.tasks {
+					if err := t.run(sc, t.plane, t.arg); err != nil {
+						p.errs[w] = err
+						break
+					}
+				}
+				r.wg.Done()
+			}
+		}(w, ch)
+	}
+}
+
+// stop terminates the persistent workers (Engine.Close). A stopped
+// pool restarts lazily if run again.
+func (p *planePool) stop() {
+	if !p.started {
+		return
+	}
+	for _, ch := range p.chans {
+		close(ch)
+	}
+	p.chans = nil
+	p.started = false
+}
+
 // run executes the tasks and waits for completion. Tasks are grouped
-// by worker preserving submission order; one goroutine serves each
-// worker with pending tasks. The first error of the lowest-numbered
-// worker is returned; a worker stops at its first error.
+// by worker preserving submission order and enqueued onto the
+// persistent die workers' command queues. The first error of the
+// lowest-numbered worker is returned; a worker stops its run at its
+// first error.
 func (p *planePool) run(tasks []planeTask) error {
 	switch len(tasks) {
 	case 0:
@@ -107,6 +166,7 @@ func (p *planePool) run(tasks []planeTask) error {
 		t := tasks[0]
 		return t.run(p.scratchOf(t.plane), t.plane, t.arg)
 	}
+	p.start()
 	queues := p.queues
 	for w := range queues {
 		p.errs[w] = nil
@@ -130,16 +190,7 @@ func (p *planePool) run(tasks []planeTask) error {
 			continue
 		}
 		wg.Add(1)
-		go func(w int, q []planeTask) {
-			defer wg.Done()
-			sc := p.scratch[w]
-			for _, t := range q {
-				if err := t.run(sc, t.plane, t.arg); err != nil {
-					p.errs[w] = err
-					return
-				}
-			}
-		}(w, q)
+		p.chans[w] <- poolRun{tasks: q, wg: &wg}
 	}
 	wg.Wait()
 	for _, err := range p.errs {

@@ -1,0 +1,607 @@
+package reis
+
+import (
+	"cmp"
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+)
+
+// This file implements the asynchronous host interface: NVMe-style
+// submission/completion queue pairs over the engine's execution core.
+//
+// A Queue models one SQ/CQ pair of the REIS host driver. Commands are
+// admitted with SubmitAsync under a configurable depth (admission
+// control returns ErrQueueFull when the pair is saturated), picked up
+// by the queue's dispatcher goroutine, and completed through one of
+// three delivery paths: a completion channel, a callback, or the
+// polled Reap buffer (the CQ). Like a hardware CQ slot, a command
+// occupies queue capacity from SubmitAsync until its completion is
+// consumed — reaped, received from the channel, returned by Wait, or
+// the callback returns.
+//
+// Three properties make the queue more than a goroutine + channel:
+//
+//   - Coalescing. The dispatcher merges adjacent compatible search
+//     commands of one tenant (same opcode, database, K and resolved
+//     options) into a single batched execution, exactly as an NVMe
+//     controller fetches several SQ entries per doorbell. Deep queues
+//     therefore approach SearchBatch throughput even when every caller
+//     submits single-query commands; per-command results and device
+//     stats stay bit-identical to solo execution (pinned by tests).
+//   - QoS. Pending commands are scheduled across databases by stride
+//     scheduling on the per-DB Weights, so tenants share the plane
+//     workers proportionally instead of strictly FIFO.
+//   - Cancellation. Every command carries a context; cancellation is
+//     honored before dispatch and at checkpoints inside the batched
+//     scan pipeline (between plane work items and per-query tails).
+//     A cancelled member aborts its coalesced group, whose unaffected
+//     members are then re-executed individually — results never change,
+//     only scheduling.
+//
+// Determinism: the engine serializes execution under execMu and a
+// command's results and device events are independent of which group
+// it was coalesced into (a plane broadcasts each query once regardless
+// of batch composition), so completion *contents* are bit-identical
+// run to run; only completion *order* may vary with scheduling.
+
+// CommandID identifies one submitted command within its Queue. IDs are
+// assigned in submission order starting at 1.
+type CommandID uint64
+
+// Completion is one completion-queue entry.
+type Completion struct {
+	ID   CommandID
+	Resp HostResponse
+	Err  error
+}
+
+// DefaultQueueDepth is the queue-pair depth used when QueueConfig.Depth
+// is zero.
+const DefaultQueueDepth = 32
+
+// QueueConfig configures one submission/completion queue pair.
+type QueueConfig struct {
+	// Depth bounds the commands outstanding on the pair — submitted and
+	// not yet consumed. SubmitAsync fails with ErrQueueFull beyond it.
+	// Zero means DefaultQueueDepth.
+	Depth int
+
+	// Weights are per-database QoS weights for dispatch scheduling;
+	// databases without an entry weigh 1. A database with weight w
+	// receives w times the dispatch share of a weight-1 database while
+	// both have commands pending. Weights must be positive.
+	Weights map[int]int
+
+	// Completions, when non-nil, receives every completion in
+	// completion order. Delivery blocks the dispatcher, so an undrained
+	// channel exerts backpressure on the whole pair; the channel must
+	// be drained until Close returns.
+	Completions chan<- Completion
+
+	// OnComplete, when non-nil, is called for every completion from the
+	// dispatcher goroutine (before Completions delivery, if both are
+	// set).
+	OnComplete func(Completion)
+
+	// NoCoalesce disables merging compatible pending commands into one
+	// batched execution. Results are identical either way; coalescing
+	// only changes how much plane-level overlap deep queues recover.
+	NoCoalesce bool
+}
+
+// QueueStats counts queue-pair events (monotonic since creation).
+type QueueStats struct {
+	// Submitted / Completed are admitted commands and delivered
+	// completions.
+	Submitted, Completed uint64
+	// Rejected counts ErrQueueFull admission failures.
+	Rejected uint64
+	// Dispatches counts execution rounds; a coalesced group is one
+	// dispatch.
+	Dispatches uint64
+	// Coalesced counts commands that shared a dispatch with at least
+	// one other command.
+	Coalesced uint64
+}
+
+// qcmd is one admitted command awaiting dispatch.
+type qcmd struct {
+	id  CommandID
+	ctx context.Context
+	cmd HostCommand
+}
+
+// Queue is one NVMe-style submission/completion queue pair bound to an
+// engine. Create with Engine.NewQueue; all methods are safe for
+// concurrent use.
+type Queue struct {
+	e   *Engine
+	cfg QueueConfig
+
+	mu      sync.Mutex
+	wake    *sync.Cond // dispatcher: work available / unpaused / closed
+	capFree *sync.Cond // blocking submitters: a slot freed / closed
+
+	nextID      CommandID
+	outstanding int
+	pendingN    int
+	pending     map[int][]*qcmd // per-database FIFO
+	pass        map[int]float64 // stride-scheduling pass per database
+	completed   []Completion    // the polled CQ (Reap buffer)
+	waiters     map[CommandID]chan Completion
+	paused      bool // test hook: freeze dispatch to observe scheduling
+	closed      bool
+	stats       QueueStats
+
+	done chan struct{} // closed when the dispatcher has exited
+}
+
+// NewQueue creates a queue pair and starts its dispatcher. The queue
+// must be Closed when no longer needed (Engine.Close closes any still
+// open).
+func (e *Engine) NewQueue(cfg QueueConfig) (*Queue, error) {
+	if cfg.Depth <= 0 {
+		cfg.Depth = DefaultQueueDepth
+	}
+	for db, w := range cfg.Weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("reis: non-positive QoS weight %d for database %d", w, db)
+		}
+	}
+	q := &Queue{
+		e:       e,
+		cfg:     cfg,
+		pending: make(map[int][]*qcmd),
+		pass:    make(map[int]float64),
+		waiters: make(map[CommandID]chan Completion),
+		done:    make(chan struct{}),
+	}
+	q.wake = sync.NewCond(&q.mu)
+	q.capFree = sync.NewCond(&q.mu)
+	if err := e.addQueue(q); err != nil {
+		return nil, err
+	}
+	go q.dispatch()
+	return q, nil
+}
+
+// SubmitAsync validates and admits one command. It never blocks: when
+// the pair already holds Depth outstanding commands it fails with
+// ErrQueueFull (admission control / backpressure). ctx governs the
+// command's whole lifetime: cancellation before dispatch skips
+// execution, cancellation during execution aborts at the pipeline's
+// checkpoints; either way the command completes with ctx.Err().
+// A nil ctx means context.Background().
+func (q *Queue) SubmitAsync(ctx context.Context, cmd HostCommand) (CommandID, error) {
+	return q.submit(ctx, cmd, false)
+}
+
+// submit implements SubmitAsync; with block set it waits for a free
+// slot instead of failing (the synchronous Submit wrapper uses this).
+func (q *Queue) submit(ctx context.Context, cmd HostCommand, block bool) (CommandID, error) {
+	if err := cmd.validate(); err != nil {
+		return 0, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.outstanding >= q.cfg.Depth && !q.closed {
+		if !block {
+			q.stats.Rejected++
+			return 0, fmt.Errorf("%w (depth %d)", ErrQueueFull, q.cfg.Depth)
+		}
+		q.capFree.Wait()
+	}
+	if q.closed {
+		return 0, ErrQueueClosed
+	}
+	q.nextID++
+	id := q.nextID
+	key := cmd.DBID
+	if !isSearchOp(cmd.Opcode) {
+		key = cmd.Deploy.ID
+	}
+	if len(q.pending[key]) == 0 {
+		// A database (re-)entering the pending set starts at the lowest
+		// active pass so idle time never accumulates dispatch credit.
+		if m, ok := q.minPassLocked(); ok && q.pass[key] < m {
+			q.pass[key] = m
+		}
+	}
+	q.pending[key] = append(q.pending[key], &qcmd{id: id, ctx: ctx, cmd: cmd})
+	q.pendingN++
+	q.outstanding++
+	q.stats.Submitted++
+	q.wake.Signal()
+	return id, nil
+}
+
+// minPassLocked returns the minimum pass among databases with pending
+// commands.
+func (q *Queue) minPassLocked() (float64, bool) {
+	m, ok := 0.0, false
+	for key, list := range q.pending {
+		if len(list) > 0 && (!ok || q.pass[key] < m) {
+			m, ok = q.pass[key], true
+		}
+	}
+	return m, ok
+}
+
+// Reap removes and returns up to max buffered completions in completion
+// order (all of them when max <= 0) — the polling half of the pair.
+// Reaping is what frees queue slots when no completion channel or
+// callback is configured.
+func (q *Queue) Reap(max int) []Completion {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.completed)
+	if max > 0 && max < n {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Completion, n)
+	copy(out, q.completed)
+	q.completed = append(q.completed[:0], q.completed[n:]...)
+	for range out {
+		q.releaseSlotLocked()
+	}
+	return out
+}
+
+// Wait blocks until the identified command completes and consumes its
+// completion (it will not also be delivered to Reap or the configured
+// sinks). ctx bounds the wait only: a timed-out Wait leaves the
+// command running but abandons its completion — when it arrives it is
+// discarded and its queue slot freed, so a caller that gives up (e.g.
+// an HTTP handler whose request context ended) cannot leak slots.
+func (q *Queue) Wait(ctx context.Context, id CommandID) (HostResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	q.mu.Lock()
+	for i, c := range q.completed {
+		if c.ID == id {
+			q.completed = append(q.completed[:i], q.completed[i+1:]...)
+			q.releaseSlotLocked()
+			q.mu.Unlock()
+			return c.Resp, c.Err
+		}
+	}
+	ch := make(chan Completion, 1)
+	q.waiters[id] = ch
+	q.mu.Unlock()
+	select {
+	case c := <-ch:
+		return c.Resp, c.Err
+	case <-ctx.Done():
+		q.mu.Lock()
+		if w, ok := q.waiters[id]; ok && w != nil {
+			// Abandon the wait: a nil tombstone tells complete() to
+			// consume and discard the completion when it arrives, so
+			// the command's queue slot is still freed (it must not
+			// land in the Reap buffer nobody is polling).
+			q.waiters[id] = nil
+			q.mu.Unlock()
+			return HostResponse{}, ctx.Err()
+		}
+		q.mu.Unlock()
+		// The completion raced in while we were deregistering.
+		c := <-ch
+		return c.Resp, c.Err
+	}
+}
+
+// Outstanding returns the commands currently occupying queue slots
+// (submitted and not yet consumed).
+func (q *Queue) Outstanding() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.outstanding
+}
+
+// Stats returns a snapshot of the pair's event counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// Close marks the queue closed, completes every still-pending command
+// with ErrQueueClosed, and waits for the dispatcher to exit. A command
+// already executing completes normally first. Close is idempotent.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		q.wake.Broadcast()
+		q.capFree.Broadcast()
+	}
+	q.mu.Unlock()
+	<-q.done
+	return nil
+}
+
+// pause / resume freeze and thaw the dispatcher — test hooks that make
+// scheduling decisions (QoS order, coalescing extents) observable
+// deterministically: pause, submit a known set, resume.
+func (q *Queue) pause() {
+	q.mu.Lock()
+	q.paused = true
+	q.mu.Unlock()
+}
+
+func (q *Queue) resume() {
+	q.mu.Lock()
+	q.paused = false
+	q.wake.Broadcast()
+	q.mu.Unlock()
+}
+
+// releaseSlotLocked frees one queue slot and wakes a blocked submitter.
+func (q *Queue) releaseSlotLocked() {
+	q.outstanding--
+	q.capFree.Signal()
+}
+
+// dispatch is the queue's dispatcher goroutine: it drains the
+// submission side group by group until the queue closes.
+func (q *Queue) dispatch() {
+	defer close(q.done)
+	for {
+		q.mu.Lock()
+		for !q.closed && (q.paused || q.pendingN == 0) {
+			q.wake.Wait()
+		}
+		if q.closed {
+			aborted := q.drainPendingLocked()
+			q.mu.Unlock()
+			for _, qc := range aborted {
+				q.complete(qc.id, HostResponse{}, ErrQueueClosed)
+			}
+			return
+		}
+		group := q.pickGroupLocked()
+		q.mu.Unlock()
+		q.execGroup(group)
+	}
+}
+
+// drainPendingLocked removes every pending command, in submission
+// order.
+func (q *Queue) drainPendingLocked() []*qcmd {
+	var all []*qcmd
+	for _, list := range q.pending {
+		all = append(all, list...)
+	}
+	q.pending = make(map[int][]*qcmd)
+	q.pendingN = 0
+	// Submission order == CommandID order.
+	slices.SortFunc(all, func(a, b *qcmd) int { return cmp.Compare(a.id, b.id) })
+	return all
+}
+
+// pickGroupLocked selects the next database by stride scheduling
+// (lowest pass wins, ties to the lowest database id) and takes its FIFO
+// head plus, unless disabled, the adjacent commands that can coalesce
+// with it into one batched execution.
+func (q *Queue) pickGroupLocked() []*qcmd {
+	bestKey, found := 0, false
+	for key, list := range q.pending {
+		if len(list) == 0 {
+			continue
+		}
+		if !found || q.pass[key] < q.pass[bestKey] ||
+			(q.pass[key] == q.pass[bestKey] && key < bestKey) {
+			bestKey, found = key, true
+		}
+	}
+	list := q.pending[bestKey]
+	head := list[0]
+	n := 1
+	if !q.cfg.NoCoalesce && isSearchOp(head.cmd.Opcode) && head.ctx.Err() == nil {
+		for n < len(list) && coalescible(head, list[n]) {
+			n++
+		}
+	}
+	group := make([]*qcmd, n)
+	copy(group, list[:n])
+	q.pending[bestKey] = append(list[:0], list[n:]...)
+	q.pendingN -= n
+	w := 1
+	if cw, ok := q.cfg.Weights[bestKey]; ok {
+		w = cw
+	}
+	q.pass[bestKey] += float64(n) / float64(w)
+	q.stats.Dispatches++
+	if n > 1 {
+		q.stats.Coalesced += uint64(n)
+	}
+	return group
+}
+
+// coalescible reports whether b can ride in a's batched execution:
+// same opcode, database and K, identical nprobe/recall operands and
+// search options, and not already cancelled.
+func coalescible(a, b *qcmd) bool {
+	if b.ctx.Err() != nil {
+		return false
+	}
+	ca, cb := &a.cmd, &b.cmd
+	if ca.Opcode != cb.Opcode || ca.DBID != cb.DBID || ca.K != cb.K ||
+		ca.NProbe != cb.NProbe || ca.TargetRecall != cb.TargetRecall ||
+		ca.Opt.NProbe != cb.Opt.NProbe || ca.Opt.SkipDocs != cb.Opt.SkipDocs {
+		return false
+	}
+	ta, tb := ca.Opt.MetaTag, cb.Opt.MetaTag
+	if (ta == nil) != (tb == nil) || (ta != nil && *ta != *tb) {
+		return false
+	}
+	return true
+}
+
+// execGroup executes one dispatch group on the engine and delivers its
+// completions.
+func (q *Queue) execGroup(group []*qcmd) {
+	e := q.e
+	live := make([]*qcmd, 0, len(group))
+	for _, qc := range group {
+		if err := qc.ctx.Err(); err != nil {
+			q.complete(qc.id, HostResponse{}, err)
+			continue
+		}
+		live = append(live, qc)
+	}
+	switch len(live) {
+	case 0:
+		return
+	case 1:
+		qc := live[0]
+		e.execMu.Lock()
+		resp, err := e.executeCmd(qc.ctx, &qc.cmd)
+		e.execMu.Unlock()
+		q.complete(qc.id, resp, err)
+		return
+	}
+
+	// Coalesced execution: one batched pass over the concatenated Q
+	// operands. Batch results are bit-identical to per-command
+	// execution, so splitting the output per command is exact.
+	total := 0
+	for _, qc := range live {
+		total += len(qc.cmd.Queries)
+	}
+	queries := make([][]float32, 0, total)
+	for _, qc := range live {
+		queries = append(queries, qc.cmd.Queries...)
+	}
+	ctx := mergeCtxs(live)
+	e.execMu.Lock()
+	results, sts, err := e.executeSearch(ctx, &live[0].cmd, queries)
+	e.execMu.Unlock()
+	if err != nil {
+		// Group abort — a member's cancellation, or an execution error.
+		// Re-execute members individually so unaffected commands still
+		// complete with precise per-command outcomes.
+		for _, qc := range live {
+			if cerr := qc.ctx.Err(); cerr != nil {
+				q.complete(qc.id, HostResponse{}, cerr)
+				continue
+			}
+			e.execMu.Lock()
+			resp, err := e.executeCmd(qc.ctx, &qc.cmd)
+			e.execMu.Unlock()
+			q.complete(qc.id, resp, err)
+		}
+		return
+	}
+	off := 0
+	for _, qc := range live {
+		n := len(qc.cmd.Queries)
+		resp := HostResponse{
+			Done:       true,
+			Results:    results[off : off+n : off+n],
+			QueryStats: sts[off : off+n : off+n],
+		}
+		for _, st := range resp.QueryStats {
+			resp.Stats.Add(st)
+		}
+		off += n
+		q.complete(qc.id, resp, nil)
+	}
+}
+
+// complete delivers one completion: to a registered waiter first,
+// otherwise to the configured sinks, otherwise to the Reap buffer. The
+// queue slot is freed when the completion is consumed (immediately for
+// waiters and sinks; at Reap time for the polled buffer).
+func (q *Queue) complete(id CommandID, resp HostResponse, err error) {
+	c := Completion{ID: id, Resp: resp, Err: err}
+	q.mu.Lock()
+	q.stats.Completed++
+	if w, ok := q.waiters[id]; ok {
+		delete(q.waiters, id)
+		q.releaseSlotLocked()
+		q.mu.Unlock()
+		if w != nil {
+			w <- c
+		}
+		// A nil entry is an abandoned Wait: discard the completion,
+		// the slot above is all that had to be released.
+		return
+	}
+	if q.cfg.Completions == nil && q.cfg.OnComplete == nil {
+		q.completed = append(q.completed, c)
+		q.mu.Unlock()
+		return
+	}
+	q.mu.Unlock()
+	if q.cfg.OnComplete != nil {
+		q.cfg.OnComplete(c)
+	}
+	if q.cfg.Completions != nil {
+		q.cfg.Completions <- c
+	}
+	q.mu.Lock()
+	q.releaseSlotLocked()
+	q.mu.Unlock()
+}
+
+// mergeCtxs returns the context governing a coalesced execution: the
+// shared context when every member carries the same one, otherwise a
+// groupCtx polling all of them.
+func mergeCtxs(group []*qcmd) context.Context {
+	ctx := group[0].ctx
+	same := true
+	for _, qc := range group[1:] {
+		if qc.ctx != ctx {
+			same = false
+			break
+		}
+	}
+	if same {
+		return ctx
+	}
+	ctxs := make([]context.Context, len(group))
+	for i, qc := range group {
+		ctxs[i] = qc.ctx
+	}
+	return groupCtx{ctxs: ctxs}
+}
+
+// groupCtx aggregates the member contexts of a coalesced dispatch. The
+// execution core polls Err() at its checkpoints and never selects on
+// Done, so Done may return nil (the "may never be canceled" contract);
+// groupCtx never escapes the queue internals.
+type groupCtx struct{ ctxs []context.Context }
+
+func (g groupCtx) Deadline() (time.Time, bool) {
+	var earliest time.Time
+	ok := false
+	for _, c := range g.ctxs {
+		if d, has := c.Deadline(); has && (!ok || d.Before(earliest)) {
+			earliest, ok = d, true
+		}
+	}
+	return earliest, ok
+}
+
+func (g groupCtx) Done() <-chan struct{} { return nil }
+
+func (g groupCtx) Err() error {
+	for _, c := range g.ctxs {
+		if err := c.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g groupCtx) Value(any) any { return nil }

@@ -1,0 +1,635 @@
+package reis
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// reapAll polls the queue until n completions have been reaped or the
+// deadline expires.
+func reapAll(t *testing.T, q *Queue, n int) []Completion {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var out []Completion
+	for len(out) < n {
+		if cs := q.Reap(0); len(cs) > 0 {
+			out = append(out, cs...)
+			continue
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reaped %d of %d completions before deadline", len(out), n)
+		}
+		runtime.Gosched()
+	}
+	return out
+}
+
+// assertRespEqual fails unless two host responses are bit-identical:
+// results (ids, distances, document bytes) and per-query device stats.
+func assertRespEqual(t *testing.T, label string, want, got HostResponse) {
+	t.Helper()
+	if want.Done != got.Done || len(want.Results) != len(got.Results) {
+		t.Fatalf("%s: shape differs: want done=%v n=%d, got done=%v n=%d",
+			label, want.Done, len(want.Results), got.Done, len(got.Results))
+	}
+	assertSameResults(t, label, want.Results, got.Results)
+	if len(want.QueryStats) != len(got.QueryStats) {
+		t.Fatalf("%s: %d query stats, want %d", label, len(got.QueryStats), len(want.QueryStats))
+	}
+	for qi := range want.QueryStats {
+		if want.QueryStats[qi] != got.QueryStats[qi] {
+			t.Fatalf("%s query %d stats diverge:\nwant %+v\ngot  %+v",
+				label, qi, want.QueryStats[qi], got.QueryStats[qi])
+		}
+	}
+	if want.Stats != got.Stats {
+		t.Fatalf("%s batch stats diverge:\nwant %+v\ngot  %+v", label, want.Stats, got.Stats)
+	}
+}
+
+// TestQueueMatchesSubmit pins the tentpole equivalence: the same
+// commands served through SubmitAsync (including coalesced dispatch)
+// return bit-identical responses to synchronous Submit.
+func TestQueueMatchesSubmit(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployIVF(t, e, 1, 16)
+	cmds := []HostCommand{
+		{Opcode: OpcodeIVFSearch, DBID: 1, Queries: testData.Queries[:6], K: 10, NProbe: 4},
+		{Opcode: OpcodeIVFSearch, DBID: 1, Queries: testData.Queries[6:7], K: 10, NProbe: 4},
+		{Opcode: OpcodeIVFSearch, DBID: 1, Queries: testData.Queries[7:8], K: 10, NProbe: 4},
+		{Opcode: OpcodeIVFSearch, DBID: 1, Queries: testData.Queries[8:12], K: 5, NProbe: 2},
+	}
+	want := make([]HostResponse, len(cmds))
+	for i, cmd := range cmds {
+		resp, err := e.Submit(cmd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = resp
+	}
+
+	q, err := e.NewQueue(QueueConfig{Depth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	// Pause so every command is pending at once: the first three probe
+	// the same operating point and must coalesce into one dispatch.
+	q.pause()
+	ids := make([]CommandID, len(cmds))
+	for i, cmd := range cmds {
+		if ids[i], err = q.SubmitAsync(context.Background(), cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.resume()
+	byID := make(map[CommandID]Completion, len(cmds))
+	for _, c := range reapAll(t, q, len(cmds)) {
+		byID[c.ID] = c
+	}
+	for i := range cmds {
+		c, ok := byID[ids[i]]
+		if !ok {
+			t.Fatalf("command %d (id %d) never completed", i, ids[i])
+		}
+		if c.Err != nil {
+			t.Fatalf("command %d failed: %v", i, c.Err)
+		}
+		assertRespEqual(t, fmt.Sprintf("cmd %d", i), want[i], c.Resp)
+	}
+	st := q.Stats()
+	if st.Coalesced < 2 {
+		t.Fatalf("expected the compatible commands to coalesce, stats %+v", st)
+	}
+}
+
+// TestQueueOutOfOrderReap submits commands for two databases with
+// skewed QoS weights and verifies completions can be reaped out of
+// submission order while still matching their commands by ID.
+func TestQueueOutOfOrderReap(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	deployIVF(t, e, 2, 16)
+	q, err := e.NewQueue(QueueConfig{
+		Depth:      8,
+		Weights:    map[int]int{1: 1, 2: 8},
+		NoCoalesce: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	q.pause()
+	type sub struct {
+		id CommandID
+		db int
+		qi int
+	}
+	var subs []sub
+	for qi := 0; qi < 3; qi++ {
+		id, err := q.SubmitAsync(nil, HostCommand{
+			Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[qi : qi+1], K: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub{id: id, db: 1, qi: qi})
+	}
+	for qi := 0; qi < 3; qi++ {
+		id, err := q.SubmitAsync(nil, HostCommand{
+			Opcode: OpcodeIVFSearch, DBID: 2, Queries: testData.Queries[qi : qi+1], K: 10, NProbe: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub{id: id, db: 2, qi: qi})
+	}
+	q.resume()
+	comps := reapAll(t, q, len(subs))
+
+	// The weight-8 tenant (database 2) must finish its backlog before
+	// the weight-1 tenant despite submitting later — i.e. completions
+	// arrive out of submission order.
+	pos := make(map[CommandID]int, len(comps))
+	for i, c := range comps {
+		pos[c.ID] = i
+		if c.Err != nil {
+			t.Fatalf("command %d failed: %v", c.ID, c.Err)
+		}
+	}
+	for _, s := range subs {
+		if s.db != 2 {
+			continue
+		}
+		for _, o := range subs {
+			if o.db == 1 && o.qi > 0 && pos[s.id] > pos[o.id] {
+				t.Fatalf("QoS weight 8 command %d completed after weight 1 command %d (order %v)",
+					s.id, o.id, comps)
+			}
+		}
+	}
+	// Every completion matches the per-command sync reference
+	// regardless of reap order.
+	for _, s := range subs {
+		var want HostResponse
+		var err error
+		if s.db == 1 {
+			want, err = e.Submit(HostCommand{Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[s.qi : s.qi+1], K: 10})
+		} else {
+			want, err = e.Submit(HostCommand{Opcode: OpcodeIVFSearch, DBID: 2, Queries: testData.Queries[s.qi : s.qi+1], K: 10, NProbe: 4})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertRespEqual(t, fmt.Sprintf("db%d q%d", s.db, s.qi), want, comps[pos[s.id]].Resp)
+	}
+}
+
+// TestQueueBackpressure pins the admission-control contract: a slot is
+// occupied from SubmitAsync until the completion is consumed, so a
+// full pair rejects deterministically with ErrQueueFull and admits
+// again once a completion is reaped.
+func TestQueueBackpressure(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	q, err := e.NewQueue(QueueConfig{Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	cmd := HostCommand{Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[:1], K: 5}
+	if _, err := q.SubmitAsync(nil, cmd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.SubmitAsync(nil, cmd); err != nil {
+		t.Fatal(err)
+	}
+	// Both slots occupied (executed or not — completions are unreaped
+	// either way): the third admission must fail.
+	if _, err := q.SubmitAsync(nil, cmd); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("expected ErrQueueFull, got %v", err)
+	}
+	if st := q.Stats(); st.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", st.Rejected)
+	}
+	// Consuming exactly one completion frees exactly one slot.
+	deadline := time.Now().Add(30 * time.Second)
+	for len(q.Reap(1)) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no completion to reap")
+		}
+		runtime.Gosched()
+	}
+	if _, err := q.SubmitAsync(nil, cmd); err != nil {
+		t.Fatalf("submit after reap: %v", err)
+	}
+	reapAll(t, q, 2)
+}
+
+// TestQueueCancellation covers cancellation before dispatch: an
+// already-cancelled context completes with ctx.Err() and must not
+// disturb neighboring commands.
+func TestQueueCancellation(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	q, err := e.NewQueue(QueueConfig{Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q.pause()
+	okID, err := q.SubmitAsync(nil, HostCommand{Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[:1], K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelID, err := q.SubmitAsync(ctx, HostCommand{Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[1:2], K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.resume()
+	byID := make(map[CommandID]Completion)
+	for _, c := range reapAll(t, q, 2) {
+		byID[c.ID] = c
+	}
+	if err := byID[cancelID].Err; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled command completed with %v", err)
+	}
+	if c := byID[okID]; c.Err != nil || len(c.Resp.Results) != 1 {
+		t.Fatalf("neighbor command disturbed: %+v", c)
+	}
+
+	// Expired deadlines behave the same.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer dcancel()
+	id, err := q.SubmitAsync(dctx, HostCommand{Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[:1], K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Wait(context.Background(), id); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline completed with %v", err)
+	}
+}
+
+// TestQueueWaitAbandonReleasesSlot pins the abandoned-Wait contract: a
+// caller that gives up waiting (expired request context) must not leak
+// the command's queue slot — the completion is discarded on arrival
+// and the slot freed, never parked in the Reap buffer.
+func TestQueueWaitAbandonReleasesSlot(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	q, err := e.NewQueue(QueueConfig{Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	cmd := HostCommand{Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[:1], K: 5}
+	q.pause()
+	id, err := q.SubmitAsync(nil, cmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The command is paused in the SQ, so this Wait must give up.
+	if _, err := q.Wait(ctx, id); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait on paused queue returned %v", err)
+	}
+	q.resume()
+	deadline := time.Now().Add(30 * time.Second)
+	for q.Outstanding() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned command still occupies %d slots", q.Outstanding())
+		}
+		runtime.Gosched()
+	}
+	if cs := q.Reap(0); len(cs) != 0 {
+		t.Fatalf("abandoned completion leaked into the reap buffer: %v", cs)
+	}
+	// The freed slots are usable: a full submit/wait cycle succeeds.
+	id, err = q.SubmitAsync(nil, cmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Wait(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countdownCtx cancels itself after a fixed number of Err() polls — a
+// deterministic way to hit the execution core's mid-batch checkpoints.
+type countdownCtx struct {
+	context.Context
+	mu    sync.Mutex
+	polls int
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.polls <= 0 {
+		return context.Canceled
+	}
+	c.polls--
+	return nil
+}
+
+// TestSearchBatchCancelMidBatch drives the internal batched path with
+// a context that cancels partway through and checks the abort leaves
+// the engine consistent (the next search is bit-identical to an
+// undisturbed engine's).
+func TestSearchBatchCancelMidBatch(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	db := deployFlat(t, e, 1)
+	for _, polls := range []int{1, 3, 17} {
+		ctx := &countdownCtx{Context: context.Background(), polls: polls}
+		e.execMu.Lock()
+		_, _, err := e.searchBatch(ctx, db, testData.Queries[:8], 10, SearchOptions{})
+		e.execMu.Unlock()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("polls=%d: batch survived cancellation: %v", polls, err)
+		}
+	}
+	// The aborted runs must not have corrupted pooled state.
+	want, _, err := e.Search(1, testData.Queries[0], 10, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := newEngine(t, AllOptions())
+	deployFlat(t, e2, 1)
+	fresh, _, err := e2.Search(1, testData.Queries[0], 10, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "post-abort", [][]DocResult{fresh}, [][]DocResult{want})
+}
+
+// TestQueueCompletionChannelAndCallback covers the push delivery
+// paths.
+func TestQueueCompletionChannelAndCallback(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	ch := make(chan Completion, 4)
+	var mu sync.Mutex
+	var called []CommandID
+	q, err := e.NewQueue(QueueConfig{
+		Depth:       4,
+		Completions: ch,
+		OnComplete: func(c Completion) {
+			mu.Lock()
+			called = append(called, c.ID)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	var ids []CommandID
+	for qi := 0; qi < 3; qi++ {
+		id, err := q.SubmitAsync(nil, HostCommand{
+			Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[qi : qi+1], K: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	got := make(map[CommandID]bool)
+	for range ids {
+		c := <-ch
+		if c.Err != nil {
+			t.Fatalf("completion %d: %v", c.ID, c.Err)
+		}
+		got[c.ID] = true
+	}
+	for _, id := range ids {
+		if !got[id] {
+			t.Fatalf("command %d never delivered", id)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(called) != len(ids) {
+		t.Fatalf("callback saw %d completions, want %d", len(called), len(ids))
+	}
+}
+
+// TestQueueClose pins close semantics: pending commands complete with
+// ErrQueueClosed, later submissions are rejected, and Engine.Close
+// closes every open pair.
+func TestQueueClose(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	q, err := e.NewQueue(QueueConfig{Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.pause()
+	id, err := q.SubmitAsync(nil, HostCommand{Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[:1], K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if _, err := q.Wait(context.Background(), id); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("pending command completed with %v", err)
+	}
+	if _, err := q.SubmitAsync(nil, HostCommand{Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[:1], K: 5}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("submit on closed queue: %v", err)
+	}
+	e.Close()
+	if _, err := e.NewQueue(QueueConfig{}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("NewQueue on closed engine: %v", err)
+	}
+}
+
+// TestHostCommandValidation pins the sentinel errors and the up-front
+// field validation of the redesigned host interface.
+func TestHostCommandValidation(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	cases := []struct {
+		name string
+		cmd  HostCommand
+		want error
+	}{
+		{"unknown opcode", HostCommand{Opcode: 0x42}, ErrUnknownOpcode},
+		{"deploy without payload", HostCommand{Opcode: OpcodeDBDeploy}, ErrMissingPayload},
+		{"ivf deploy without payload", HostCommand{Opcode: OpcodeIVFDeploy}, ErrMissingPayload},
+		{"no queries", HostCommand{Opcode: OpcodeSearch, DBID: 1, K: 5}, ErrNoQueries},
+		{"bad K", HostCommand{Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[:1]}, ErrBadK},
+		{"ragged queries", HostCommand{
+			Opcode: OpcodeSearch, DBID: 1, K: 5,
+			Queries: [][]float32{testData.Queries[0], make([]float32, 7)},
+		}, ErrQueryDims},
+	}
+	q, err := e.NewQueue(QueueConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	for _, tc := range cases {
+		if _, err := e.Submit(tc.cmd); !errors.Is(err, tc.want) {
+			t.Fatalf("Submit %s: got %v, want %v", tc.name, err, tc.want)
+		}
+		// Validation is shared: the async path rejects at admission,
+		// before the command ever occupies a slot.
+		if _, err := q.SubmitAsync(nil, tc.cmd); !errors.Is(err, tc.want) {
+			t.Fatalf("SubmitAsync %s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if q.Outstanding() != 0 {
+		t.Fatalf("rejected commands occupy %d slots", q.Outstanding())
+	}
+	// Wrong-dim queries against the deployed database still fail at
+	// execution with the same sentinel.
+	if _, err := e.Submit(HostCommand{
+		Opcode: OpcodeSearch, DBID: 1, K: 5, Queries: [][]float32{make([]float32, 7)},
+	}); !errors.Is(err, ErrQueryDims) {
+		t.Fatalf("db-dim mismatch: %v", err)
+	}
+}
+
+// TestTargetRecallResolution pins the normalization helper: an
+// IVF_Search addressed by TargetRecall resolves to the calibrated
+// nprobe and matches the explicit-nprobe command bit for bit.
+func TestTargetRecallResolution(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployIVF(t, e, 1, 16)
+	if _, err := e.Submit(HostCommand{
+		Opcode: OpcodeIVFSearch, DBID: 1, Queries: testData.Queries[:2], K: 10, TargetRecall: 0.8,
+	}); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatalf("uncalibrated TargetRecall: %v", err)
+	}
+	np, err := e.CalibrateNProbe(1, testData.Queries, testData.GroundTruth, 10, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Submit(HostCommand{
+		Opcode: OpcodeIVFSearch, DBID: 1, Queries: testData.Queries[:4], K: 10, NProbe: np,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Submit(HostCommand{
+		Opcode: OpcodeIVFSearch, DBID: 1, Queries: testData.Queries[:4], K: 10, TargetRecall: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRespEqual(t, "recall-addressed", want, got)
+	// Opt.NProbe survives when the command-level operands are unset.
+	viaOpt, err := e.Submit(HostCommand{
+		Opcode: OpcodeIVFSearch, DBID: 1, Queries: testData.Queries[:4], K: 10,
+		Opt: SearchOptions{NProbe: np},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRespEqual(t, "opt-nprobe", want, viaOpt)
+}
+
+// TestQueueStressConcurrentSubmitters is the -race stress test:
+// several goroutines hammer one queue pair (plus direct synchronous
+// calls) and every completion must match its per-command synchronous
+// reference bit for bit — the determinism contract under concurrent
+// multi-tenant submission.
+func TestQueueStressConcurrentSubmitters(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	deployIVF(t, e, 2, 16)
+
+	nq := len(testData.Queries)
+	refFlat := make([]HostResponse, nq)
+	refIVF := make([]HostResponse, nq)
+	for qi := 0; qi < nq; qi++ {
+		var err error
+		if refFlat[qi], err = e.Submit(HostCommand{
+			Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[qi : qi+1], K: 10,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if refIVF[qi], err = e.Submit(HostCommand{
+			Opcode: OpcodeIVFSearch, DBID: 2, Queries: testData.Queries[qi : qi+1], K: 10, NProbe: 4,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q, err := e.NewQueue(QueueConfig{Depth: 16, Weights: map[int]int{1: 1, 2: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	const submitters = 4
+	const perSubmitter = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters)
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				qi := (s*perSubmitter + i) % nq
+				cmd := HostCommand{Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[qi : qi+1], K: 10}
+				want := refFlat[qi]
+				if s%2 == 1 {
+					cmd = HostCommand{Opcode: OpcodeIVFSearch, DBID: 2, Queries: testData.Queries[qi : qi+1], K: 10, NProbe: 4}
+					want = refIVF[qi]
+				}
+				var resp HostResponse
+				var err error
+				if s == 3 {
+					// One tenant uses the synchronous wrapper, mixing
+					// sync and async submission on the same engine.
+					resp, err = e.Submit(cmd)
+				} else {
+					id, serr := q.submit(context.Background(), cmd, true)
+					if serr != nil {
+						errs <- serr
+						return
+					}
+					resp, err = q.Wait(context.Background(), id)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(resp.Results) != 1 || len(want.Results) != 1 ||
+					len(resp.Results[0]) != len(want.Results[0]) {
+					errs <- fmt.Errorf("submitter %d query %d: shape mismatch", s, qi)
+					return
+				}
+				for i := range want.Results[0] {
+					if want.Results[0][i].ID != resp.Results[0][i].ID ||
+						want.Results[0][i].Dist != resp.Results[0][i].Dist {
+						errs <- fmt.Errorf("submitter %d query %d: result %d diverged", s, qi, i)
+						return
+					}
+				}
+				if want.QueryStats[0] != resp.QueryStats[0] {
+					errs <- fmt.Errorf("submitter %d query %d: stats diverged\nwant %+v\ngot  %+v",
+						s, qi, want.QueryStats[0], resp.QueryStats[0])
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := q.Stats(); st.Completed != st.Submitted || st.Submitted == 0 {
+		t.Fatalf("queue leaked commands: %+v", st)
+	}
+}

@@ -1,6 +1,7 @@
 package reis
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -195,7 +196,9 @@ func (e *Engine) packQuery(query []float32) []byte {
 // in-storage scan of the whole binary region, rerank, and document
 // retrieval.
 func (e *Engine) Search(dbID int, query []float32, k int, opt SearchOptions) ([]DocResult, QueryStats, error) {
-	db, err := e.DB(dbID)
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	db, err := e.db(dbID)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
@@ -222,7 +225,9 @@ func (e *Engine) Search(dbID int, query []float32, k int, opt SearchOptions) ([]
 // coarse centroid search, fine scan of the NProbe nearest clusters,
 // rerank, and document retrieval.
 func (e *Engine) IVFSearch(dbID int, query []float32, k int, opt SearchOptions) ([]DocResult, QueryStats, error) {
-	db, err := e.DB(dbID)
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	db, err := e.db(dbID)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
@@ -287,10 +292,11 @@ func (e *Engine) IVFSearch(dbID int, query []float32, k int, opt SearchOptions) 
 
 func (db *Database) checkQuery(query []float32, k int) error {
 	if len(query) != db.Dim {
-		return fmt.Errorf("reis: query dim %d != database dim %d", len(query), db.Dim)
+		return fmt.Errorf("%w (query dim %d, database %d dim %d)",
+			ErrQueryDims, len(query), db.ID, db.Dim)
 	}
 	if k <= 0 {
-		return fmt.Errorf("reis: non-positive k %d", k)
+		return fmt.Errorf("%w (K=%d)", ErrBadK, k)
 	}
 	return nil
 }
@@ -706,8 +712,13 @@ func partitionTTL(es []TTLEntry, lo, hi int) int {
 // target against ground truth, mirroring the paper's accuracy sweep.
 // The packed query encodings and the ground-truth membership sets are
 // identical across sweep rounds, so both are built once and reused.
+// A successful calibration is recorded on the database, so later host
+// commands can address the operating point by TargetRecall alone (the
+// accuracy operand R of Table 1; see resolveSearchOptions).
 func (e *Engine) CalibrateNProbe(dbID int, queries [][]float32, groundTruth [][]int, k int, target float64) (int, error) {
-	db, err := e.DB(dbID)
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	db, err := e.db(dbID)
 	if err != nil {
 		return 0, err
 	}
@@ -743,7 +754,7 @@ func (e *Engine) CalibrateNProbe(dbID int, queries [][]float32, groundTruth [][]
 		// The sweep's queries are admitted as one batch per nprobe:
 		// results are bit-identical to per-query IVFSearch calls, but
 		// plane tasks overlap across queries.
-		results, _, err := e.ivfSearchBatchPacked(db, queries, packed, k, SearchOptions{NProbe: nprobe, SkipDocs: true})
+		results, _, err := e.ivfSearchBatchPacked(context.Background(), db, queries, packed, k, SearchOptions{NProbe: nprobe, SkipDocs: true})
 		if err != nil {
 			return 0, err
 		}
@@ -756,6 +767,7 @@ func (e *Engine) CalibrateNProbe(dbID int, queries [][]float32, groundTruth [][]
 			}
 		}
 		if total > 0 && float64(hits)/float64(total) >= target {
+			db.calib = append(db.calib, recallPoint{target: target, nprobe: nprobe})
 			return nprobe, nil
 		}
 	}
