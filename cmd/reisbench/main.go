@@ -9,7 +9,8 @@
 // vs CPU-Real), fig8 (energy efficiency; printed with fig7), fig9
 // (optimization sensitivity), asic (Sec 6.3.1), fig10 (vs ICE), fig11
 // (vs NDSearch), throughput (batched vs sequential query admission),
-// qdepth (QPS vs submission-queue depth through the async host API).
+// qdepth (QPS vs submission-queue depth through the async host API),
+// shards (throughput vs device count through the sharded router).
 //
 // Profiling and machine-readable output:
 //
@@ -61,7 +62,7 @@ func main() {
 }
 
 func realMain() error {
-	exp := flag.String("exp", "all", "experiment id (fig2|fig3|table4|fig5|fig7|fig8|fig9|asic|fig10|fig11|throughput|qdepth|all)")
+	exp := flag.String("exp", "all", "experiment id (fig2|fig3|table4|fig5|fig7|fig8|fig9|asic|fig10|fig11|throughput|qdepth|shards|all)")
 	scale := flag.Int("scale", 16, "workload scale divisor (larger = smaller functional datasets)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
@@ -82,7 +83,7 @@ func realMain() error {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"fig2", "fig5", "fig7", "fig9", "asic", "fig10", "fig11", "throughput", "qdepth"}
+		ids = []string{"fig2", "fig5", "fig7", "fig9", "asic", "fig10", "fig11", "throughput", "qdepth", "shards"}
 	}
 	report := jsonReport{
 		Tool:        "reisbench",
@@ -196,6 +197,13 @@ func run(id string, scale int) (any, error) {
 			return nil, err
 		}
 		fmt.Print(experiments.FormatQDepth(rows))
+		return rows, nil
+	case "shards":
+		rows, err := experiments.RunShards(scale, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(experiments.FormatShards(rows))
 		return rows, nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", id)

@@ -3,8 +3,10 @@
 // IVF_Deploy, issues an IVF_Search command through an asynchronous
 // NVMe-style queue pair (submission + polled completion), and prints
 // the retrieved document chunks with per-query device statistics.
+// With -shards N the same flow runs against a sharded topology of N
+// devices (results are bit-identical; see DESIGN.md).
 //
-//	reisctl -n 4000 -queries 5 -k 3 -nprobe 8 -qdepth 16
+//	reisctl -n 4000 -queries 5 -k 3 -nprobe 8 -qdepth 16 -shards 2
 package main
 
 import (
@@ -20,6 +22,14 @@ import (
 	"reis/internal/ssd"
 )
 
+// retrievalHost is the API surface reisctl drives, served identically
+// by a single device (reis.Engine) and the sharded router
+// (reis.ShardedEngine).
+type retrievalHost interface {
+	Submit(reis.HostCommand) (reis.HostResponse, error)
+	NewQueue(reis.QueueConfig) (*reis.Queue, error)
+}
+
 func main() {
 	n := flag.Int("n", 4000, "database entries")
 	dim := flag.Int("dim", 256, "embedding dimensionality")
@@ -28,6 +38,7 @@ func main() {
 	nprobe := flag.Int("nprobe", 8, "IVF clusters probed")
 	device := flag.String("device", "ssd1", "device preset (ssd1|ssd2)")
 	qdepth := flag.Int("qdepth", 16, "submission queue depth")
+	shards := flag.Int("shards", 1, "simulated devices (scatter-gather when > 1)")
 	flag.Parse()
 
 	cfg := ssd.SSD1()
@@ -44,13 +55,28 @@ func main() {
 	})
 	cents, assign := ann.KMeans(data.Vectors, ann.KMeansConfig{K: 32, Seed: 1})
 
-	engine, err := reis.New(cfg, int64(*n)*int64(*dim)*16+64<<20, reis.AllOptions())
-	if err != nil {
-		log.Fatal(err)
+	hint := int64(*n)*int64(*dim)*16 + 64<<20
+	var host retrievalHost
+	var sharded *reis.ShardedEngine
+	var engine *reis.Engine
+	if *shards > 1 {
+		sh, err := reis.NewSharded(cfg, *shards, hint, reis.AllOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("deploying database across %d x %s (%d planes total)...",
+			*shards, cfg.Name, *shards*cfg.Geo.Planes())
+		host, sharded = sh, sh
+	} else {
+		e, err := reis.New(cfg, hint, reis.AllOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("deploying database on %s (%d planes, %d channels)...",
+			cfg.Name, cfg.Geo.Planes(), cfg.Geo.Channels)
+		host, engine = e, e
 	}
-	log.Printf("deploying database on %s (%d planes, %d channels)...",
-		cfg.Name, cfg.Geo.Planes(), cfg.Geo.Channels)
-	if _, err := engine.Submit(reis.HostCommand{
+	if _, err := host.Submit(reis.HostCommand{
 		Opcode: reis.OpcodeIVFDeploy,
 		Deploy: &reis.DeployConfig{
 			ID: 1, Vectors: data.Vectors, Docs: data.Docs, DocSlotBytes: 512,
@@ -63,7 +89,7 @@ func main() {
 	// Search through an asynchronous queue pair: submit the batched
 	// IVF_Search command, then poll the completion side — the NVMe
 	// submission/completion flow a real host driver performs.
-	queue, err := engine.NewQueue(reis.QueueConfig{Depth: *qdepth})
+	queue, err := host.NewQueue(reis.QueueConfig{Depth: *qdepth})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +117,6 @@ func main() {
 		resp = cs[0].Resp
 		break
 	}
-	db, _ := engine.DB(1)
 	for qi, results := range resp.Results {
 		fmt.Printf("query %d:\n", qi)
 		for rank, r := range results {
@@ -109,10 +134,25 @@ func main() {
 	// The command above served the batch through the concurrent plane
 	// pipeline and returned per-query device events; cost them with
 	// the single-query and batch-overlap timing models.
-	bd := engine.Latency(db, resp.QueryStats[0], reis.UnitScale())
-	fmt.Printf("modeled per-query latency on %s: %v (IBC %v, coarse %v, fine %v, rerank %v, docs %v), %.1f uJ\n",
-		cfg.Name, bd.Total, bd.IBC, bd.Coarse, bd.Fine, bd.Rerank, bd.Docs, bd.EnergyJ*1e6)
-	bb := engine.BatchLatency(db, resp.QueryStats, reis.UnitScale())
+	var bd reis.Breakdown
+	var bb reis.BatchBreakdown
+	if sharded != nil {
+		if bd, err = sharded.Latency(1, resp.QueryStats[0], resp.ShardStats(0), reis.UnitScale()); err != nil {
+			log.Fatal(err)
+		}
+		if bb, err = sharded.BatchLatency(1, resp.QueryStats, resp.PerShard, reis.UnitScale()); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		db, err := engine.DB(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bd = engine.Latency(db, resp.QueryStats[0], reis.UnitScale())
+		bb = engine.BatchLatency(db, resp.QueryStats, reis.UnitScale())
+	}
+	fmt.Printf("modeled per-query latency on %dx %s: %v (IBC %v, coarse %v, fine %v, rerank %v, docs %v), %.1f uJ\n",
+		*shards, cfg.Name, bd.Total, bd.IBC, bd.Coarse, bd.Fine, bd.Rerank, bd.Docs, bd.EnergyJ*1e6)
 	fmt.Printf("batched admission: %d queries in %v makespan (%.0f QPS, %.2fx over one-at-a-time)\n",
 		bb.Queries, bb.Makespan, bb.QPS, bb.Serial.Seconds()/bb.Makespan.Seconds())
 }

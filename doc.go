@@ -14,11 +14,21 @@
 // while results stay bit-identical to sequential execution. See
 // DESIGN.md ("Host queue model") for the architecture.
 //
+// reis.NewSharded scales the engine out across N simulated devices: a
+// scatter-gather router page-stripes one globally planned layout over
+// the member devices, fans searches out through per-shard queue pairs
+// (the OpcodeScan scatter command), merges the per-shard TTL streams
+// in global position order, and runs the controller tail over the
+// merged stream — results and aggregated device stats are
+// bit-identical to a single device over the same data (DESIGN.md,
+// "Sharded topology").
+//
 // Runnable entry points are cmd/reisbench (regenerates every table and
-// figure of the paper, plus the throughput and queue-depth sweeps),
-// cmd/reisctl (deploy + async search against a simulated device), and
-// the examples/ directory (examples/ragserver serves concurrent HTTP
-// requests through one queue pair). The root-level benchmarks in
+// figure of the paper, plus the throughput, queue-depth and shard
+// scale-out sweeps), cmd/reisctl (deploy + async search against a
+// simulated device or a -shards topology), and the examples/ directory
+// (examples/ragserver serves concurrent HTTP requests through one
+// queue pair, optionally sharded). The root-level benchmarks in
 // bench_test.go drive the same experiment runners through
 // `go test -bench`.
 package reis

@@ -10,9 +10,13 @@
 // queue surfaces as 503 backpressure, and a client that disconnects
 // cancels its command.
 //
-//	go run ./examples/ragserver -addr :8080
+//	go run ./examples/ragserver -addr :8080 -shards 2
 //	curl 'localhost:8080/search?q=17&k=3'      (q = sample query index)
 //	curl 'localhost:8080/stats'
+//
+// With -shards N the corpus is partitioned across N simulated devices
+// and every request is served by scatter-gather; responses are
+// bit-identical to the single-device server.
 //
 // Because the device is simulated, queries are addressed by index into
 // a held-out sample set rather than by free text (there is no encoder
@@ -35,10 +39,11 @@ import (
 )
 
 type server struct {
-	engine *reis.Engine
-	queue  *reis.Queue
-	db     *reis.Database
-	data   *dataset.Dataset
+	queue *reis.Queue
+	data  *dataset.Dataset
+	// latency models one request's device latency from its completion
+	// (single-device or sharded, depending on -shards).
+	latency func(resp reis.HostResponse) string
 
 	mu      sync.Mutex // guards the served-traffic counters only
 	queries int64
@@ -49,6 +54,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	n := flag.Int("n", 8000, "corpus size")
 	qdepth := flag.Int("qdepth", 64, "submission queue depth (concurrent request budget)")
+	shards := flag.Int("shards", 1, "simulated devices (scatter-gather when > 1)")
 	flag.Parse()
 
 	data := dataset.Generate(dataset.Config{
@@ -59,28 +65,52 @@ func main() {
 	cfg := ssd.SSD2()
 	cfg.Geo.BlocksPerPlane = 8
 	cfg.Geo.PagesPerBlock = 16
-	engine, err := reis.New(cfg, int64(*n)*384*16+128<<20, reis.AllOptions())
-	if err != nil {
-		log.Fatal(err)
-	}
-	db, err := engine.IVFDeploy(reis.DeployConfig{
+	hint := int64(*n)*384*16 + 128<<20
+	deploy := reis.DeployConfig{
 		ID: 1, Vectors: data.Vectors, Docs: data.Docs, DocSlotBytes: 1024,
 		Centroids: cents, Assign: assign,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
-	queue, err := engine.NewQueue(reis.QueueConfig{Depth: *qdepth})
-	if err != nil {
-		log.Fatal(err)
+	s := &server{data: data}
+	if *shards > 1 {
+		sh, err := reis.NewSharded(cfg, *shards, hint, reis.AllOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sh.IVFDeploy(deploy); err != nil {
+			log.Fatal(err)
+		}
+		if s.queue, err = sh.NewQueue(reis.QueueConfig{Depth: *qdepth}); err != nil {
+			log.Fatal(err)
+		}
+		s.latency = func(resp reis.HostResponse) string {
+			bd, err := sh.Latency(1, resp.QueryStats[0], resp.ShardStats(0), reis.UnitScale())
+			if err != nil {
+				return err.Error()
+			}
+			return bd.Total.String()
+		}
+	} else {
+		engine, err := reis.New(cfg, hint, reis.AllOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		db, err := engine.IVFDeploy(deploy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if s.queue, err = engine.NewQueue(reis.QueueConfig{Depth: *qdepth}); err != nil {
+			log.Fatal(err)
+		}
+		s.latency = func(resp reis.HostResponse) string {
+			return engine.Latency(db, resp.QueryStats[0], reis.UnitScale()).Total.String()
+		}
 	}
-	s := &server{engine: engine, queue: queue, db: db, data: data}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
 	mux.HandleFunc("/stats", s.handleStats)
-	log.Printf("ragserver: %d docs deployed on %s; queue depth %d; listening on %s",
-		*n, cfg.Name, *qdepth, *addr)
+	log.Printf("ragserver: %d docs deployed on %dx %s; queue depth %d; listening on %s",
+		*n, *shards, cfg.Name, *qdepth, *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
@@ -116,7 +146,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := resp.QueryStats[0]
-	bd := s.engine.Latency(s.db, st, reis.UnitScale())
+	deviceLat := s.latency(resp)
 	s.mu.Lock()
 	s.queries++
 	s.stats.Add(st)
@@ -130,7 +160,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	out := struct {
 		Hits      []hit  `json:"hits"`
 		DeviceLat string `json:"device_latency"`
-	}{DeviceLat: bd.Total.String()}
+	}{DeviceLat: deviceLat}
 	for _, res := range resp.Results[0] {
 		out.Hits = append(out.Hits, hit{ID: res.ID, Dist: res.Dist, Doc: string(res.Doc[:64])})
 	}

@@ -18,10 +18,15 @@ type Result struct {
 	Dist float32
 }
 
-// Quickselect partially sorts rs so that the k smallest-distance
-// entries occupy rs[:k] (in arbitrary order), using Hoare's FIND with
-// median-of-three pivoting. It runs in O(n) expected time and is the
-// selection kernel modeled for the SSD embedded cores.
+// Quickselect partially sorts rs so that the k smallest results under
+// the (Dist, ID) total order occupy rs[:k] (in arbitrary order within
+// the prefix), using Hoare's FIND with median-of-three pivoting. It
+// runs in O(n) expected time and is the selection kernel modeled for
+// the SSD embedded cores. Selecting under the total order — not
+// distance alone — makes membership at the k-boundary deterministic
+// among equal distances, which scatter-gather reductions depend on
+// (FuzzTopKMerge: a partitioned stream's merged top-k must equal the
+// unpartitioned top-k exactly).
 // If k >= len(rs) the slice is left as is.
 func Quickselect(rs []Result, k int) {
 	if k <= 0 || k >= len(rs) {
@@ -45,22 +50,22 @@ func partition(rs []Result, lo, hi int) int {
 	// Median-of-three pivot to avoid quadratic behaviour on sorted
 	// input.
 	mid := lo + (hi-lo)/2
-	if rs[mid].Dist < rs[lo].Dist {
+	if lessResult(rs[mid], rs[lo]) {
 		rs[mid], rs[lo] = rs[lo], rs[mid]
 	}
-	if rs[hi].Dist < rs[lo].Dist {
+	if lessResult(rs[hi], rs[lo]) {
 		rs[hi], rs[lo] = rs[lo], rs[hi]
 	}
-	if rs[hi].Dist < rs[mid].Dist {
+	if lessResult(rs[hi], rs[mid]) {
 		rs[hi], rs[mid] = rs[mid], rs[hi]
 	}
-	pivot := rs[mid].Dist
+	pivot := rs[mid]
 	i, j := lo, hi
 	for {
-		for rs[i].Dist < pivot {
+		for lessResult(rs[i], pivot) {
 			i++
 		}
-		for rs[j].Dist > pivot {
+		for lessResult(pivot, rs[j]) {
 			j--
 		}
 		if i >= j {
@@ -84,16 +89,52 @@ func TopK(rs []Result, k int) []Result {
 	return out
 }
 
+// MergeTopK merges per-shard top-k lists — each sorted ascending by
+// (Dist, ID), as TopK returns them — into the overall top-k, the
+// host-side scatter-gather reduction of a sharded index. As long as
+// every list retained its own k best, the merge equals TopK over the
+// concatenated candidate streams (pinned by FuzzTopKMerge): an entry
+// of the global top-k is among the k best of whichever shard holds
+// it. lists are not modified.
+func MergeTopK(lists [][]Result, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	heads := make([]int, len(lists))
+	out := make([]Result, 0, k)
+	for len(out) < k {
+		best := -1
+		for i, l := range lists {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if best < 0 || lessResult(l[heads[i]], lists[best][heads[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, lists[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// lessResult is the (Dist, ID) total order shared by SortResults and
+// MergeTopK.
+func lessResult(a, b Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
 // SortResults sorts ascending by distance, breaking ties by ID. This
 // is the quicksort step the paper runs after the final selection
 // (Sec 4.3.1).
 func SortResults(rs []Result) {
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Dist != rs[j].Dist {
-			return rs[i].Dist < rs[j].Dist
-		}
-		return rs[i].ID < rs[j].ID
-	})
+	sort.Slice(rs, func(i, j int) bool { return lessResult(rs[i], rs[j]) })
 }
 
 // BoundedList maintains the k best (smallest-distance) results seen so

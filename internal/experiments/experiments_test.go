@@ -215,3 +215,44 @@ func TestRunRAGBreakdown(t *testing.T) {
 	}
 	t.Log(FormatRAG(rows))
 }
+
+func TestRunShardsScaling(t *testing.T) {
+	rows, err := RunShards(testScale, []string{"NQ"}, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // {BF, IVF} x {1, 2, 4}
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	model := map[string]map[int]float64{}
+	for _, r := range rows {
+		if r.WallQPS <= 0 || r.ModelQPS <= 0 {
+			t.Fatalf("%s shards=%d: non-positive throughput %+v", r.Mode, r.Shards, r)
+		}
+		mode := "IVF"
+		if r.Mode == "BF" {
+			mode = "BF"
+		}
+		if model[mode] == nil {
+			model[mode] = map[int]float64{}
+		}
+		model[mode][r.Shards] = r.ModelQPS
+	}
+	// The modeled batch makespan is deterministic (it is a pure
+	// function of the bit-identical device stats), so the scale-out
+	// claim is assertable exactly: brute-force — the scan-bound best
+	// case — must gain from sharding, and no mode may lose more than
+	// rounding.
+	if model["BF"][4] <= model["BF"][1]*1.2 {
+		t.Fatalf("BF model QPS does not scale: 1 shard %.1f, 4 shards %.1f",
+			model["BF"][1], model["BF"][4])
+	}
+	for _, mode := range []string{"BF", "IVF"} {
+		for _, n := range []int{2, 4} {
+			if model[mode][n] < model[mode][1]*0.95 {
+				t.Fatalf("%s model QPS regressed with %d shards: %.1f vs %.1f",
+					mode, n, model[mode][n], model[mode][1])
+			}
+		}
+	}
+}

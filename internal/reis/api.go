@@ -8,11 +8,14 @@ import (
 
 // The NVM command set reserves opcodes 80h-FFh for vendor-specific
 // commands (Sec 4.4.1); REIS claims four of them for the Table 1 API.
+// OpcodeScan is this repository's extension for the sharded topology:
+// the scatter operand a shard router sends to each member device.
 const (
 	OpcodeDBDeploy  uint8 = 0x80
 	OpcodeIVFDeploy uint8 = 0x81
 	OpcodeSearch    uint8 = 0x82
 	OpcodeIVFSearch uint8 = 0x83
+	OpcodeScan      uint8 = 0x84
 )
 
 // Sentinel errors of the host interface. Submission paths wrap them
@@ -39,6 +42,10 @@ var (
 	// ErrNotCalibrated: a TargetRecall operand could not be resolved
 	// because the database has no CalibrateNProbe record covering it.
 	ErrNotCalibrated = errors.New("reis: no nprobe calibration for target recall")
+	// ErrBadScanRange: an OpcodeScan segment is malformed (negative
+	// start) or reaches beyond the addressed region. The empty
+	// sentinel (First 0, Last -1) is always valid.
+	ErrBadScanRange = errors.New("reis: scan segment out of range")
 )
 
 // HostCommand is one vendor-specific NVMe command as the host driver
@@ -61,6 +68,46 @@ type HostCommand struct {
 	TargetRecall float64
 	NProbe       int
 	Opt          SearchOptions
+
+	// Scan carries the per-query segment lists of an OpcodeScan
+	// command (K and NProbe are unused: selection happens on the
+	// gather side).
+	Scan *ScanConfig
+}
+
+// SlotRange is one inclusive range of region slot positions. The empty
+// sentinel (First 0, Last -1) marks a segment with no work on the
+// addressed device; it keeps (query, segment) indices aligned across
+// the shards of a scatter.
+type SlotRange struct {
+	First, Last int
+}
+
+// ScanConfig is the payload of an OpcodeScan command: which region to
+// scan and, per query, which slot ranges. The router translates global
+// ranges into each shard's local coordinates before submission.
+type ScanConfig struct {
+	// Coarse scans the centroid region (no distance filtering, no
+	// metadata filtering — TTL-C must rank every centroid, Sec 4.3.1);
+	// otherwise the binary embedding region is scanned under the
+	// engine's distance filter and the command's MetaTag option.
+	Coarse bool
+	// Segs[i] are the slot ranges Queries[i] scans; len(Segs) must
+	// equal len(Queries).
+	Segs [][]SlotRange
+}
+
+// ScanSegResult is one (query, segment) outcome of an OpcodeScan
+// command: the surviving TTL entries in ascending position order plus
+// the segment's event counts. Waves is the per-segment parallel
+// critical path (max pages on one plane of this device), which the
+// gather side aggregates across shards by maximum, not sum.
+type ScanSegResult struct {
+	Entries      []TTLEntry
+	Waves, Pages int
+	Scanned      int
+	Survivors    int
+	TTLBytes     int64
 }
 
 // validate checks the host-side invariants of a command — opcode,
@@ -81,22 +128,55 @@ func (cmd *HostCommand) validate() error {
 		if cmd.K <= 0 {
 			return fmt.Errorf("%w (K=%d)", ErrBadK, cmd.K)
 		}
-		dim := len(cmd.Queries[0])
-		for i, q := range cmd.Queries {
-			if len(q) != dim {
-				return fmt.Errorf("%w (query 0 has dim %d, query %d has dim %d)",
-					ErrQueryDims, dim, i, len(q))
+		return cmd.checkQueryDims()
+	case OpcodeScan:
+		if cmd.Scan == nil {
+			return fmt.Errorf("%w (opcode %#x)", ErrMissingPayload, cmd.Opcode)
+		}
+		if len(cmd.Queries) == 0 {
+			return ErrNoQueries
+		}
+		if len(cmd.Scan.Segs) != len(cmd.Queries) {
+			return fmt.Errorf("%w (scan command with %d segment lists for %d queries)",
+				ErrMissingPayload, len(cmd.Scan.Segs), len(cmd.Queries))
+		}
+		for qi, list := range cmd.Scan.Segs {
+			for si, r := range list {
+				// Last < First is the empty sentinel; a non-empty
+				// segment must start at a valid slot. The upper bound
+				// is checked at execution, against the addressed
+				// region's size.
+				if r.Last >= r.First && r.First < 0 {
+					return fmt.Errorf("%w (query %d segment %d: [%d, %d])",
+						ErrBadScanRange, qi, si, r.First, r.Last)
+				}
 			}
 		}
-		return nil
+		return cmd.checkQueryDims()
 	default:
 		return fmt.Errorf("%w %#x", ErrUnknownOpcode, cmd.Opcode)
 	}
 }
 
+// checkQueryDims verifies the batch's queries share one dimensionality.
+func (cmd *HostCommand) checkQueryDims() error {
+	dim := len(cmd.Queries[0])
+	for i, q := range cmd.Queries {
+		if len(q) != dim {
+			return fmt.Errorf("%w (query 0 has dim %d, query %d has dim %d)",
+				ErrQueryDims, dim, i, len(q))
+		}
+	}
+	return nil
+}
+
 // isSearchOp reports whether the opcode is served by the batched scan
-// pipeline (as opposed to a deploy).
+// pipeline with gather-side selection (as opposed to a deploy or a
+// raw scatter scan).
 func isSearchOp(op uint8) bool { return op == OpcodeSearch || op == OpcodeIVFSearch }
+
+// isDeployOp reports whether the opcode carries a DeployConfig payload.
+func isDeployOp(op uint8) bool { return op == OpcodeDBDeploy || op == OpcodeIVFDeploy }
 
 // resolveSearchOptions folds a command's NProbe / TargetRecall operands
 // into the SearchOptions handed to the execution core — the single
@@ -109,7 +189,11 @@ func isSearchOp(op uint8) bool { return op == OpcodeSearch || op == OpcodeIVFSea
 //     Table 1) is resolved against the database's recorded
 //     CalibrateNProbe results — ErrNotCalibrated if none covers it;
 //  4. otherwise the engine's nprobe=1 default applies downstream.
-func resolveSearchOptions(db *Database, cmd *HostCommand) (SearchOptions, error) {
+//
+// calib are the database's recorded CalibrateNProbe points and dbID
+// its id (for the error message) — passed apart so the single-device
+// Database and the router's ShardedDatabase share the one resolver.
+func resolveSearchOptions(calib []recallPoint, dbID int, cmd *HostCommand) (SearchOptions, error) {
 	opt := cmd.Opt
 	switch {
 	case cmd.NProbe != 0:
@@ -117,10 +201,10 @@ func resolveSearchOptions(db *Database, cmd *HostCommand) (SearchOptions, error)
 	case opt.NProbe != 0:
 		// Explicit option-level nprobe; nothing to resolve.
 	case cmd.TargetRecall > 0:
-		np, ok := db.nprobeForRecall(cmd.TargetRecall)
+		np, ok := nprobeForRecall(calib, cmd.TargetRecall)
 		if !ok {
 			return opt, fmt.Errorf("%w (database %d, target %.3f)",
-				ErrNotCalibrated, db.ID, cmd.TargetRecall)
+				ErrNotCalibrated, dbID, cmd.TargetRecall)
 		}
 		opt.NProbe = np
 	}
@@ -139,6 +223,30 @@ type HostResponse struct {
 	QueryStats []QueryStats
 	// Stats aggregates the device events of the whole batch.
 	Stats QueryStats
+	// Scan carries the per-query, per-segment outcomes of an
+	// OpcodeScan command ([query][segment]); nil otherwise.
+	Scan [][]ScanSegResult
+	// PerShard, set by sharded hosts only, is each member device's own
+	// view of every query's scan-phase events (PerShard[s][i] is shard
+	// s's share of query i). The aggregated QueryStats derive from
+	// these plus the gather-side controller tail; feed both to
+	// ShardedEngine.Latency / BatchLatency.
+	PerShard [][]QueryStats
+}
+
+// ShardStats extracts one query's per-shard stats column
+// (PerShard[s][qi] for every shard s) — the shape
+// ShardedEngine.Latency consumes. It returns nil for responses from a
+// non-sharded host.
+func (r *HostResponse) ShardStats(qi int) []QueryStats {
+	if r.PerShard == nil {
+		return nil
+	}
+	col := make([]QueryStats, len(r.PerShard))
+	for s := range r.PerShard {
+		col[s] = r.PerShard[s][qi]
+	}
+	return col
 }
 
 // Submit executes one host command synchronously: a thin wrapper that
@@ -147,7 +255,7 @@ type HostResponse struct {
 // one execution core, and Submit's results are bit-identical to the
 // same command served through SubmitAsync.
 func (e *Engine) Submit(cmd HostCommand) (HostResponse, error) {
-	q, err := e.defaultQueue()
+	q, err := e.reg.defaultQueue(func() (*Queue, error) { return e.NewQueue(QueueConfig{}) })
 	if err != nil {
 		return HostResponse{}, err
 	}
@@ -156,6 +264,24 @@ func (e *Engine) Submit(cmd HostCommand) (HostResponse, error) {
 		return HostResponse{}, err
 	}
 	return q.Wait(context.Background(), id)
+}
+
+// execCmd serves one validated command, serializing on the execution
+// core — the Engine half of the host interface queue dispatchers use.
+func (e *Engine) execCmd(ctx context.Context, cmd *HostCommand) (HostResponse, error) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	return e.executeCmd(ctx, cmd)
+}
+
+// execSearchGroup runs a coalesced dispatch group's concatenated Q
+// operands, serializing on the execution core (host interface). The
+// perShard return is always nil: a single device has no shards.
+func (e *Engine) execSearchGroup(ctx context.Context, cmd *HostCommand, queries [][]float32) ([][]DocResult, []QueryStats, [][]QueryStats, error) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	results, sts, err := e.executeSearch(ctx, cmd, queries)
+	return results, sts, nil, err
 }
 
 // executeCmd serves one validated command on the dispatcher goroutine.
@@ -170,6 +296,8 @@ func (e *Engine) executeCmd(ctx context.Context, cmd *HostCommand) (HostResponse
 	case OpcodeIVFDeploy:
 		_, err := e.ivfDeploy(*cmd.Deploy)
 		return HostResponse{Done: err == nil}, err
+	case OpcodeScan:
+		return e.executeScan(ctx, cmd)
 	default:
 		results, sts, err := e.executeSearch(ctx, cmd, cmd.Queries)
 		if err != nil {
@@ -192,7 +320,7 @@ func (e *Engine) executeSearch(ctx context.Context, cmd *HostCommand, queries []
 	if err != nil {
 		return nil, nil, err
 	}
-	opt, err := resolveSearchOptions(db, cmd)
+	opt, err := resolveSearchOptions(db.calib, db.ID, cmd)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,162 @@
+package reis
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestHostCommandValidationSentinels pins every sentinel-error path of
+// the host-side command validation, through both the synchronous
+// Submit wrapper and SubmitAsync admission, on both the single-device
+// engine and the sharded router (validation is shared, so the same
+// command fails identically on either host).
+func TestHostCommandValidationSentinels(t *testing.T) {
+	queries := testData.Queries[:2]
+	raggedQueries := [][]float32{testData.Queries[0], make([]float32, 7)}
+	cases := []struct {
+		name string
+		cmd  HostCommand
+		want error
+	}{
+		{"unknown-opcode", HostCommand{Opcode: 0x42}, ErrUnknownOpcode},
+		{"unknown-opcode-zero", HostCommand{}, ErrUnknownOpcode},
+		{"deploy-missing-payload", HostCommand{Opcode: OpcodeDBDeploy}, ErrMissingPayload},
+		{"ivf-deploy-missing-payload", HostCommand{Opcode: OpcodeIVFDeploy}, ErrMissingPayload},
+		{"search-no-queries", HostCommand{Opcode: OpcodeSearch, DBID: 1, K: 5}, ErrNoQueries},
+		{"ivf-search-no-queries", HostCommand{Opcode: OpcodeIVFSearch, DBID: 1, K: 5}, ErrNoQueries},
+		{"search-bad-k", HostCommand{Opcode: OpcodeSearch, DBID: 1, Queries: queries}, ErrBadK},
+		{"search-negative-k", HostCommand{Opcode: OpcodeSearch, DBID: 1, Queries: queries, K: -3}, ErrBadK},
+		{"ivf-search-bad-k", HostCommand{Opcode: OpcodeIVFSearch, DBID: 1, Queries: queries, K: 0}, ErrBadK},
+		{"search-ragged-dims", HostCommand{Opcode: OpcodeSearch, DBID: 1, Queries: raggedQueries, K: 5}, ErrQueryDims},
+		{"ivf-search-ragged-dims", HostCommand{Opcode: OpcodeIVFSearch, DBID: 1, Queries: raggedQueries, K: 5}, ErrQueryDims},
+		{"scan-missing-payload", HostCommand{Opcode: OpcodeScan, DBID: 1, Queries: queries}, ErrMissingPayload},
+		{"scan-no-queries", HostCommand{Opcode: OpcodeScan, DBID: 1, Scan: &ScanConfig{}}, ErrNoQueries},
+		{"scan-segs-mismatch", HostCommand{Opcode: OpcodeScan, DBID: 1, Queries: queries,
+			Scan: &ScanConfig{Segs: make([][]SlotRange, 1)}}, ErrMissingPayload},
+		{"scan-ragged-dims", HostCommand{Opcode: OpcodeScan, DBID: 1, Queries: raggedQueries,
+			Scan: &ScanConfig{Segs: make([][]SlotRange, 2)}}, ErrQueryDims},
+		{"scan-negative-range", HostCommand{Opcode: OpcodeScan, DBID: 1, Queries: queries[:1],
+			Scan: &ScanConfig{Segs: [][]SlotRange{{{First: -5, Last: 10}}}}}, ErrBadScanRange},
+	}
+
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	sh := newSharded(t, 2)
+	if _, err := sh.Submit(HostCommand{Opcode: OpcodeDBDeploy, Deploy: &DeployConfig{
+		ID: 1, Vectors: testData.Vectors, Docs: testData.Docs, DocSlotBytes: 256,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	hosts := []struct {
+		name   string
+		submit func(HostCommand) (HostResponse, error)
+		queue  func() (*Queue, error)
+	}{
+		{"engine", e.Submit, func() (*Queue, error) { return e.NewQueue(QueueConfig{}) }},
+		{"sharded", sh.Submit, func() (*Queue, error) { return sh.NewQueue(QueueConfig{}) }},
+	}
+	for _, h := range hosts {
+		q, err := h.queue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer q.Close()
+		for _, tc := range cases {
+			if _, err := h.submit(tc.cmd); !errors.Is(err, tc.want) {
+				t.Errorf("%s/%s: Submit error = %v, want %v", h.name, tc.name, err, tc.want)
+			}
+			if _, err := q.SubmitAsync(context.Background(), tc.cmd); !errors.Is(err, tc.want) {
+				t.Errorf("%s/%s: SubmitAsync error = %v, want %v", h.name, tc.name, err, tc.want)
+			}
+		}
+	}
+}
+
+// TestScanRangeBounds: an OpcodeScan segment reaching beyond the
+// addressed region is rejected at execution with ErrBadScanRange
+// (never silently clamped), while the empty sentinel and exact-bound
+// ranges pass.
+func TestScanRangeBounds(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	db := deployFlat(t, e, 1)
+	mk := func(first, last int) HostCommand {
+		return HostCommand{Opcode: OpcodeScan, DBID: 1, Queries: testData.Queries[:1],
+			Scan: &ScanConfig{Segs: [][]SlotRange{{{First: first, Last: last}}}}}
+	}
+	if _, err := e.Submit(mk(0, db.regionSlots)); !errors.Is(err, ErrBadScanRange) {
+		t.Fatalf("over-region scan error = %v, want ErrBadScanRange", err)
+	}
+	resp, err := e.Submit(mk(0, db.regionSlots-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.EntriesScanned != db.N {
+		t.Fatalf("full scan checked %d entries, want %d", resp.Stats.EntriesScanned, db.N)
+	}
+	if resp, err = e.Submit(mk(0, -1)); err != nil {
+		t.Fatalf("empty sentinel rejected: %v", err)
+	} else if resp.Stats.EntriesScanned != 0 {
+		t.Fatalf("empty sentinel scanned %d entries", resp.Stats.EntriesScanned)
+	}
+}
+
+// TestNotCalibratedSentinel: a TargetRecall operand with no covering
+// calibration fails with ErrNotCalibrated (resolution happens at
+// execution, not admission); after CalibrateNProbe the same command
+// succeeds. Covered on both hosts.
+func TestNotCalibratedSentinel(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployIVF(t, e, 1, 16)
+	cmd := HostCommand{Opcode: OpcodeIVFSearch, DBID: 1, Queries: testData.Queries[:2], K: 10, TargetRecall: 0.9}
+	if _, err := e.Submit(cmd); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatalf("uncalibrated TargetRecall error = %v, want ErrNotCalibrated", err)
+	}
+	if _, err := e.CalibrateNProbe(1, testData.Queries, testData.GroundTruth, 10, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(cmd); err != nil {
+		t.Fatalf("calibrated TargetRecall failed: %v", err)
+	}
+	// A tighter target than anything calibrated still fails.
+	tight := cmd
+	tight.TargetRecall = 0.999
+	if _, err := e.Submit(tight); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatalf("uncovered TargetRecall error = %v, want ErrNotCalibrated", err)
+	}
+
+	sh := newSharded(t, 2)
+	deployBoth(t, sh.Submit)
+	shCmd := cmd
+	shCmd.DBID = 2
+	if _, err := sh.Submit(shCmd); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatalf("sharded uncalibrated TargetRecall error = %v, want ErrNotCalibrated", err)
+	}
+}
+
+// TestQueueFullSentinel: admission control rejects deterministically
+// beyond the configured depth and frees slots as completions are
+// consumed.
+func TestQueueFullSentinel(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	q, err := e.NewQueue(QueueConfig{Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	q.pause()
+	cmd := HostCommand{Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[:1], K: 3}
+	for i := 0; i < 2; i++ {
+		if _, err := q.SubmitAsync(context.Background(), cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.SubmitAsync(context.Background(), cmd); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-depth submission error = %v, want ErrQueueFull", err)
+	}
+	if st := q.Stats(); st.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", st.Rejected)
+	}
+	q.resume()
+}

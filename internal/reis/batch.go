@@ -94,6 +94,11 @@ func (e *Engine) batchScan(ctx context.Context, db *Database, region ssd.Region,
 	for qi := range packed {
 		grid[qi] = make([][]planeScan, len(segs[qi]))
 		for si, sg := range segs[qi] {
+			if sg.last < sg.first {
+				// Empty sentinel segment (a shard that owns no page of
+				// the global range): no work, zero stats.
+				continue
+			}
 			spans := region.AppendPlaneSpans(e.scr.spans[:0], planes, sg.first/db.embPerPage, sg.last/db.embPerPage)
 			e.scr.spans = spans
 			grid[qi][si] = make([]planeScan, len(spans))

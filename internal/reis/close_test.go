@@ -1,0 +1,194 @@
+package reis
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// Regression tests for teardown idempotency: Queue.Close and
+// Engine.Close (and the sharded router's Close) must be safe to call
+// repeatedly and concurrently, with open queues, blocked submitters
+// and in-flight commands. Run under -race in CI.
+
+func TestQueueDoubleClose(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	q, err := e.NewQueue(QueueConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.SubmitAsync(context.Background(), HostCommand{
+		Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[:1], K: 3,
+	}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("submit after close error = %v, want ErrQueueClosed", err)
+	}
+}
+
+func TestQueueConcurrentClose(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	q, err := e.NewQueue(QueueConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the dispatcher busy while closers race.
+	for i := 0; i < 4; i++ {
+		if _, err := q.SubmitAsync(context.Background(), HostCommand{
+			Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[:1], K: 3,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q.Close()
+		}()
+	}
+	wg.Wait()
+	// Pending commands completed (normally or with ErrQueueClosed) and
+	// their completions are still consumable.
+	q.Reap(0)
+}
+
+func TestEngineCloseWithOpenQueues(t *testing.T) {
+	e, err := New(testCfg(), 64<<20, AllOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Deploy(DeployConfig{
+		ID: 1, Vectors: testData.Vectors, Docs: testData.Docs, DocSlotBytes: 256,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q1, err := e.NewQueue(QueueConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := e.NewQueue(QueueConfig{Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One queue already closed by its owner, one still open with a
+	// pending command; engine close must handle both, twice, and
+	// concurrently.
+	if err := q1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q2.SubmitAsync(context.Background(), HostCommand{
+		Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[:1], K: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Close()
+		}()
+	}
+	wg.Wait()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// New queue pairs and submissions are refused after close.
+	if _, err := e.NewQueue(QueueConfig{}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("NewQueue after Close error = %v, want ErrQueueClosed", err)
+	}
+	if _, err := e.Submit(HostCommand{
+		Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[:1], K: 3,
+	}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("Submit after Close error = %v, want ErrQueueClosed", err)
+	}
+}
+
+// TestQueueCloseDeregisters: pairs closed by their owner leave the
+// engine's registry, so long-lived engines do not accumulate dead
+// queues (and engine close does not re-close them).
+func TestQueueCloseDeregisters(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	for i := 0; i < 8; i++ {
+		q, err := e.NewQueue(QueueConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.reg.mu.Lock()
+	n := len(e.reg.queues)
+	e.reg.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("registry holds %d queues after all were closed", n)
+	}
+}
+
+func TestShardedCloseIdempotent(t *testing.T) {
+	sh, err := NewSharded(shardTestCfg(), 2, 64<<20, AllOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployBoth(t, sh.Submit)
+	q, err := sh.NewQueue(QueueConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.SubmitAsync(context.Background(), HostCommand{
+		Opcode: OpcodeIVFSearch, DBID: 2, Queries: testData.Queries[:1], K: 3, NProbe: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh.Close()
+		}()
+	}
+	wg.Wait()
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Submit(HostCommand{
+		Opcode: OpcodeIVFSearch, DBID: 2, Queries: testData.Queries[:1], K: 3, NProbe: 2,
+	}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("Submit after Close error = %v, want ErrQueueClosed", err)
+	}
+}
+
+// TestSubmitAfterDefaultQueueClosed: closing the engine's built-in
+// pair out from under it must not wedge Submit — a fresh default pair
+// is established.
+func TestSubmitAfterDefaultQueueClosed(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployFlat(t, e, 1)
+	cmd := HostCommand{Opcode: OpcodeSearch, DBID: 1, Queries: testData.Queries[:1], K: 3}
+	if _, err := e.Submit(cmd); err != nil {
+		t.Fatal(err)
+	}
+	e.reg.mu.Lock()
+	defq := e.reg.defq
+	e.reg.mu.Unlock()
+	if defq == nil {
+		t.Fatal("no default queue after Submit")
+	}
+	if err := defq.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(cmd); err != nil {
+		t.Fatalf("Submit after default queue closed: %v", err)
+	}
+}

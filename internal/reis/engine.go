@@ -79,12 +79,10 @@ type Engine struct {
 
 	dbs map[int]*Database
 
-	// qmu guards the queue registry; defq is the built-in pair behind
-	// the synchronous Submit wrapper.
-	qmu    sync.Mutex
-	queues []*Queue
-	defq   *Queue
-	closed bool
+	// reg tracks the queue pairs created with NewQueue for Close-time
+	// teardown, plus the built-in pair behind the synchronous Submit
+	// wrapper.
+	reg queueRegistry
 }
 
 // Database is the on-device representation of one deployed vector
@@ -114,10 +112,6 @@ type Database struct {
 	// filterThreshold is the calibrated distance-filter cutoff.
 	filterThreshold int
 
-	// metaTags[pos] is the optional 1-byte metadata tag stored in the
-	// OOB for the embedding at region position pos (Sec 7.1).
-	metaTags []uint8
-
 	// calib records successful CalibrateNProbe outcomes so the
 	// TargetRecall operand of IVF_Search commands can be resolved to a
 	// concrete nprobe (see resolveSearchOptions).
@@ -131,11 +125,11 @@ type recallPoint struct {
 	nprobe int
 }
 
-// nprobeForRecall resolves a target recall against the recorded
+// nprobeForRecall resolves a target recall against recorded
 // calibration points: the smallest nprobe whose calibrated target
 // covers the request. ok is false when nothing calibrated covers it.
-func (db *Database) nprobeForRecall(target float64) (nprobe int, ok bool) {
-	for _, p := range db.calib {
+func nprobeForRecall(calib []recallPoint, target float64) (nprobe int, ok bool) {
+	for _, p := range calib {
 		if p.target >= target && (!ok || p.nprobe < nprobe) {
 			nprobe, ok = p.nprobe, true
 		}
@@ -190,58 +184,31 @@ func (e *Engine) db(id int) (*Database, error) {
 	return db, nil
 }
 
-// addQueue registers a queue pair for Close-time teardown.
-func (e *Engine) addQueue(q *Queue) error {
-	e.qmu.Lock()
-	defer e.qmu.Unlock()
-	if e.closed {
-		return fmt.Errorf("reis: engine closed: %w", ErrQueueClosed)
-	}
-	e.queues = append(e.queues, q)
-	return nil
-}
+// registry exposes the engine's queue bookkeeping to the shared queue
+// implementation (part of the host interface).
+func (e *Engine) registry() *queueRegistry { return &e.reg }
 
-// defaultQueue lazily creates the built-in queue pair behind the
-// synchronous Submit wrapper.
-func (e *Engine) defaultQueue() (*Queue, error) {
-	e.qmu.Lock()
-	q := e.defq
-	e.qmu.Unlock()
-	if q != nil {
-		return q, nil
+// dropDB unregisters a database, making its id reusable — the shard
+// router's rollback when a multi-device deploy fails partway. The
+// allocator is a bump cursor, so the dropped regions' stripes are not
+// reclaimed; only the id and the R-DB record are.
+func (e *Engine) dropDB(id int) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	if _, ok := e.dbs[id]; ok {
+		delete(e.dbs, id)
+		e.SSD.RDB.Remove(id)
 	}
-	q, err := e.NewQueue(QueueConfig{})
-	if err != nil {
-		return nil, err
-	}
-	e.qmu.Lock()
-	if e.defq == nil {
-		e.defq = q
-	} else {
-		// Another goroutine won the race; keep its queue.
-		stale := q
-		q = e.defq
-		e.qmu.Unlock()
-		stale.Close()
-		return q, nil
-	}
-	e.qmu.Unlock()
-	return q, nil
 }
 
 // Close shuts down the engine's background goroutines: every queue
 // pair created with NewQueue (pending commands complete with
 // ErrQueueClosed) and the plane worker pool. The engine must not be
-// closed while direct API calls are in flight; Close is idempotent,
-// and an engine that is never closed simply parks its workers until
-// process exit.
+// closed while direct API calls are in flight; Close is idempotent —
+// concurrent and repeated calls are safe — and an engine that is never
+// closed simply parks its workers until process exit.
 func (e *Engine) Close() error {
-	e.qmu.Lock()
-	qs := e.queues
-	e.queues, e.defq = nil, nil
-	e.closed = true
-	e.qmu.Unlock()
-	for _, q := range qs {
+	for _, q := range e.reg.closeAll() {
 		q.Close()
 	}
 	e.execMu.Lock()
@@ -299,176 +266,125 @@ func (e *Engine) ivfDeploy(cfg DeployConfig) (*Database, error) {
 }
 
 func (e *Engine) deploy(cfg DeployConfig) (*Database, error) {
-	n := len(cfg.Vectors)
-	if n == 0 {
-		return nil, fmt.Errorf("reis: deploy of empty database")
-	}
-	if len(cfg.Docs) != n {
-		return nil, fmt.Errorf("reis: %d docs for %d vectors", len(cfg.Docs), n)
-	}
 	if _, ok := e.dbs[cfg.ID]; ok {
 		return nil, fmt.Errorf("reis: database %d already deployed", cfg.ID)
 	}
-	if cfg.DocSlotBytes == 0 {
-		cfg.DocSlotBytes = 4096
+	lo, err := planLayout(&cfg, e.SSD.Cfg.Geo)
+	if err != nil {
+		return nil, err
 	}
-	geo := e.SSD.Cfg.Geo
-	dim := len(cfg.Vectors[0])
+	return e.install(cfg.ID, lo, lo.buildItems(&cfg), 0, 1)
+}
+
+// deployShard installs shard index s of nshards of a globally planned
+// layout: every region holds the global pages g ≡ s (mod nshards) as
+// local pages g / nshards, with unmodified page and OOB bytes. Because
+// region page i lives on plane i mod planes, the union of the shards'
+// planes reproduces, plane for plane, the placement a single device
+// with nshards times the channels would compute — global plane j of
+// that reference is shard j mod nshards, local plane j / nshards (see
+// DESIGN.md, "Sharded topology"). OOB linkage keeps global ids; the
+// shard never resolves DADR/RADR itself.
+func (e *Engine) deployShard(id int, lo *dbLayout, items *layoutItems, s, nshards int) (*Database, error) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	if _, ok := e.dbs[id]; ok {
+		return nil, fmt.Errorf("reis: database %d already deployed", id)
+	}
+	return e.install(id, lo, items, s, nshards)
+}
+
+// install allocates regions for the layout's pages owned by shard
+// (start, stride) — (0, 1) is the whole single-device layout — writes
+// them, and registers the database. The caller holds e.execMu and has
+// checked id uniqueness.
+func (e *Engine) install(id int, lo *dbLayout, items *layoutItems, start, stride int) (*Database, error) {
 	db := &Database{
-		ID:        cfg.ID,
-		Dim:       dim,
-		N:         n,
-		slotBytes: vecmath.WordsPerVector(dim) * 8,
-		int8Bytes: dim,
-		docBytes:  cfg.DocSlotBytes,
-		params:    vecmath.ComputeInt8Params(cfg.Vectors),
+		ID:              id,
+		Dim:             lo.dim,
+		N:               lo.n,
+		slotBytes:       lo.slotBytes,
+		embPerPage:      lo.embPerPage,
+		int8Bytes:       lo.int8Bytes,
+		int8PerPage:     lo.int8PerPage,
+		docBytes:        lo.docBytes,
+		docsPerPage:     lo.docsPerPage,
+		params:          lo.params,
+		filterThreshold: lo.filterThreshold,
 	}
-	// Embeddings per page are bounded both by the user-data area and by
-	// the OOB area, which must hold one linkage record per slot
-	// (Sec 4.1.3: linkage uses a small fraction of OOB at the paper's
-	// 1024-dim/16KiB operating point; at other ratios OOB can bind).
-	db.embPerPage = min(geo.PageBytes/db.slotBytes, geo.OOBBytes/oobBytesPerSlot)
-	db.int8PerPage = geo.PageBytes / db.int8Bytes
-	db.docsPerPage = geo.PageBytes / db.docBytes
-	if db.embPerPage == 0 || db.int8PerPage == 0 || db.docsPerPage == 0 {
-		return nil, fmt.Errorf("reis: page size %d too small for dim %d / doc %d",
-			geo.PageBytes, dim, cfg.DocSlotBytes)
-	}
-	for i, doc := range cfg.Docs {
-		if len(doc) > cfg.DocSlotBytes {
-			return nil, fmt.Errorf("reis: doc %d is %dB > slot %dB", i, len(doc), cfg.DocSlotBytes)
+	alloc := func(pages int, mode flash.CellMode, what string) (ssd.Region, error) {
+		n := shardPages(pages, start, stride)
+		if n == 0 {
+			return ssd.Region{}, nil
 		}
-	}
-
-	// Placement order: cluster-sorted for IVF, identity for flat.
-	// order[pos] is the original id at region position pos, or -1 for
-	// padding slots inserted so every cluster starts on a fresh page
-	// (a cluster's fine scan then never senses a page for another
-	// cluster's slots).
-	var order []int
-	if cfg.Assign != nil {
-		sorted := make([]int, n)
-		for i := range sorted {
-			sorted[i] = i
+		r, err := e.SSD.AllocateRegion(n, mode)
+		if err != nil {
+			return ssd.Region{}, fmt.Errorf("reis: %s region: %w", what, err)
 		}
-		sort.SliceStable(sorted, func(a, b int) bool {
-			if cfg.Assign[sorted[a]] != cfg.Assign[sorted[b]] {
-				return cfg.Assign[sorted[a]] < cfg.Assign[sorted[b]]
-			}
-			return sorted[a] < sorted[b]
-		})
-		prevCluster := -1
-		for _, id := range sorted {
-			if c := cfg.Assign[id]; c != prevCluster {
-				for len(order)%db.embPerPage != 0 {
-					order = append(order, -1)
-				}
-				prevCluster = c
-			}
-			order = append(order, id)
-		}
-	} else {
-		order = make([]int, n)
-		for i := range order {
-			order[i] = i
-		}
+		return r, nil
 	}
-
-	// Region sizes in pages.
-	embPages := ceilDiv(len(order), db.embPerPage)
-	int8Pages := ceilDiv(n, db.int8PerPage)
-	docPages := ceilDiv(n, db.docsPerPage)
-	centPages := 0
-	if len(cfg.Centroids) > 0 {
-		centPages = ceilDiv(len(cfg.Centroids), db.embPerPage)
-	}
-
 	var err error
 	var embR, int8R, docR, centR ssd.Region
-	if embR, err = e.SSD.AllocateRegion(embPages, flash.ModeSLCESP); err != nil {
-		return nil, fmt.Errorf("reis: embedding region: %w", err)
+	if embR, err = alloc(lo.embPages, flash.ModeSLCESP, "embedding"); err != nil {
+		return nil, err
 	}
-	if centPages > 0 {
-		if centR, err = e.SSD.AllocateRegion(centPages, flash.ModeSLCESP); err != nil {
-			return nil, fmt.Errorf("reis: centroid region: %w", err)
-		}
+	if centR, err = alloc(lo.centPages, flash.ModeSLCESP, "centroid"); err != nil {
+		return nil, err
 	}
-	if int8R, err = e.SSD.AllocateRegion(int8Pages, flash.ModeTLC); err != nil {
-		return nil, fmt.Errorf("reis: INT8 region: %w", err)
+	if int8R, err = alloc(lo.int8Pages, flash.ModeTLC, "INT8"); err != nil {
+		return nil, err
 	}
-	if docR, err = e.SSD.AllocateRegion(docPages, flash.ModeTLC); err != nil {
-		return nil, fmt.Errorf("reis: document region: %w", err)
+	if docR, err = alloc(lo.docPages, flash.ModeTLC, "document"); err != nil {
+		return nil, err
 	}
 	db.rec = ssd.DBRecord{
-		ID: cfg.ID, Embeddings: embR, Documents: docR, Centroids: centR, Int8s: int8R,
+		ID: id, Embeddings: embR, Documents: docR, Centroids: centR, Int8s: int8R,
 	}
 	if err := e.SSD.RDB.Register(db.rec); err != nil {
 		return nil, err
 	}
 
-	// Write documents and INT8 copies in original-id order: DADR and
-	// RADR are therefore the original id, resolvable by arithmetic.
-	if err := e.writeSlotted(docR, cfg.Docs, db.docBytes, db.docsPerPage, nil); err != nil {
+	if err := e.writeSlotted(docR, items.docs, db.docBytes, db.docsPerPage, nil, start, stride); err != nil {
 		return nil, err
 	}
-	int8s := make([][]byte, n)
-	for i, v := range cfg.Vectors {
-		int8s[i] = vecmath.PackInt8Bytes(db.params.Int8Quantize(v, nil), nil)
-	}
-	if err := e.writeSlotted(int8R, int8s, db.int8Bytes, db.int8PerPage, nil); err != nil {
+	if err := e.writeSlotted(int8R, items.int8s, db.int8Bytes, db.int8PerPage, nil, start, stride); err != nil {
 		return nil, err
 	}
-
-	// Write binary embeddings in placement order with OOB linkage;
-	// padding slots carry the invalid-DADR sentinel.
-	db.metaTags = make([]uint8, len(order))
-	bins := make([][]byte, len(order))
-	oobs := make([][]byte, len(order))
-	for pos, id := range order {
-		if id < 0 {
-			bins[pos] = nil
-			oobs[pos] = encodeLinkage(InvalidDADR, 0, 0)
-			continue
-		}
-		code := vecmath.BinaryQuantize(cfg.Vectors[id], nil)
-		bins[pos] = vecmath.PackBinaryBytes(code, nil)
-		var tag uint8
-		if cfg.MetaTags != nil {
-			tag = cfg.MetaTags[id]
-		}
-		db.metaTags[pos] = tag
-		oobs[pos] = encodeLinkage(uint32(id), uint32(id), tag)
-	}
-	if err := e.writeSlotted(embR, bins, db.slotBytes, db.embPerPage, oobs); err != nil {
+	if err := e.writeSlotted(embR, items.bins, db.slotBytes, db.embPerPage, items.oobs, start, stride); err != nil {
 		return nil, err
 	}
-
-	// Centroids and R-IVF.
-	if len(cfg.Centroids) > 0 {
-		cents := make([][]byte, len(cfg.Centroids))
-		for c, v := range cfg.Centroids {
-			cents[c] = vecmath.PackBinaryBytes(vecmath.BinaryQuantize(v, nil), nil)
-		}
-		if err := e.writeSlotted(centR, cents, db.slotBytes, db.embPerPage, nil); err != nil {
+	if items.cents != nil {
+		if err := e.writeSlotted(centR, items.cents, db.slotBytes, db.embPerPage, nil, start, stride); err != nil {
 			return nil, err
 		}
-		db.rivf = buildRIVF(cfg.Assign, order, len(cfg.Centroids))
 	}
-	db.regionSlots = len(order)
-
-	db.filterThreshold = calibrateFilter(cfg.Vectors)
+	if stride == 1 {
+		// Whole-layout deploy: the engine owns the database end to end.
+		// (Metadata tags live only in the OOB linkage, where the scan
+		// reads them; the layout's metaTags exist for that encoding.)
+		db.rivf = lo.rivf
+		db.regionSlots = lo.regionSlots
+	} else {
+		// A shard serves explicit scan ranges from the router; its
+		// local slot count covers the owned pages only, and the global
+		// R-IVF table stays with the router.
+		db.regionSlots = embR.Pages() * db.embPerPage
+	}
 
 	// Page-level FTL metadata was needed for the writes above; flush
 	// it now that coarse-grained access takes over (Sec 4.1.4).
 	e.SSD.FTL.Drop(0, int64(e.SSD.Cfg.Geo.TotalPages()))
 
-	e.dbs[cfg.ID] = db
+	e.dbs[id] = db
 	return db, nil
 }
 
 // writeSlotted packs items (each at most slotBytes) into region pages,
-// slotsPerPage per page, with optional per-item OOB records.
-func (e *Engine) writeSlotted(r ssd.Region, items [][]byte, slotBytes, slotsPerPage int, oobs [][]byte) error {
+// slotsPerPage per page, with optional per-item OOB records. Local
+// page p of the region holds the items of global page start + p*stride
+// — (0, 1) writes the whole item list, a shard writes its page-stride
+// subset.
+func (e *Engine) writeSlotted(r ssd.Region, items [][]byte, slotBytes, slotsPerPage int, oobs [][]byte, start, stride int) error {
 	geo := e.SSD.Cfg.Geo
 	page := make([]byte, geo.PageBytes)
 	oob := make([]byte, geo.OOBBytes)
@@ -479,8 +395,9 @@ func (e *Engine) writeSlotted(r ssd.Region, items [][]byte, slotBytes, slotsPerP
 		for i := range oob {
 			oob[i] = 0
 		}
+		g := start + p*stride
 		for s := 0; s < slotsPerPage; s++ {
-			idx := p*slotsPerPage + s
+			idx := g*slotsPerPage + s
 			if idx >= len(items) {
 				break
 			}

@@ -1,0 +1,196 @@
+package reis
+
+import (
+	"fmt"
+	"sort"
+
+	"reis/internal/flash"
+	"reis/internal/vecmath"
+)
+
+// This file computes the on-device placement of one database
+// independently of which device (or devices) will hold it. planLayout
+// resolves the Sec 4.1 layout — slot geometry, cluster-sorted
+// placement order with page-alignment padding, region page counts, the
+// R-IVF table, INT8 quantization parameters and the distance-filter
+// threshold — and buildItems renders the per-slot page contents.
+//
+// Both the single-device deploy and the sharded deploy consume the
+// same plan: a shard stores a page-stride subset of the globally
+// planned pages with unmodified bytes, which is what makes sharded
+// scans bit-identical to a single device (see DESIGN.md, "Sharded
+// topology").
+
+// dbLayout is the device-independent placement plan of one database.
+type dbLayout struct {
+	dim int
+	n   int
+
+	// Slot geometry (identical on every device built from a shared
+	// config: it depends only on page and OOB sizes).
+	slotBytes   int // binary embedding bytes (dim/8)
+	embPerPage  int
+	int8Bytes   int // INT8 embedding bytes (dim)
+	int8PerPage int
+	docBytes    int // document chunk slot size
+	docsPerPage int
+
+	// order[pos] is the original id at region position pos, or -1 for
+	// cluster-alignment padding; regionSlots == len(order).
+	order       []int
+	regionSlots int
+
+	// Region sizes in pages.
+	embPages, int8Pages, docPages, centPages int
+
+	rivf            []RIVFEntry
+	params          vecmath.Int8Params
+	filterThreshold int
+	metaTags        []uint8
+}
+
+// planLayout validates the deployment and computes its placement plan
+// under the given flash geometry. cfg.DocSlotBytes is defaulted in
+// place.
+func planLayout(cfg *DeployConfig, geo flash.Geometry) (*dbLayout, error) {
+	n := len(cfg.Vectors)
+	if n == 0 {
+		return nil, fmt.Errorf("reis: deploy of empty database")
+	}
+	if len(cfg.Docs) != n {
+		return nil, fmt.Errorf("reis: %d docs for %d vectors", len(cfg.Docs), n)
+	}
+	if cfg.DocSlotBytes == 0 {
+		cfg.DocSlotBytes = 4096
+	}
+	dim := len(cfg.Vectors[0])
+	lo := &dbLayout{
+		dim:       dim,
+		n:         n,
+		slotBytes: vecmath.WordsPerVector(dim) * 8,
+		int8Bytes: dim,
+		docBytes:  cfg.DocSlotBytes,
+		params:    vecmath.ComputeInt8Params(cfg.Vectors),
+	}
+	// Embeddings per page are bounded both by the user-data area and by
+	// the OOB area, which must hold one linkage record per slot
+	// (Sec 4.1.3: linkage uses a small fraction of OOB at the paper's
+	// 1024-dim/16KiB operating point; at other ratios OOB can bind).
+	lo.embPerPage = min(geo.PageBytes/lo.slotBytes, geo.OOBBytes/oobBytesPerSlot)
+	lo.int8PerPage = geo.PageBytes / lo.int8Bytes
+	lo.docsPerPage = geo.PageBytes / lo.docBytes
+	if lo.embPerPage == 0 || lo.int8PerPage == 0 || lo.docsPerPage == 0 {
+		return nil, fmt.Errorf("reis: page size %d too small for dim %d / doc %d",
+			geo.PageBytes, dim, cfg.DocSlotBytes)
+	}
+	for i, doc := range cfg.Docs {
+		if len(doc) > cfg.DocSlotBytes {
+			return nil, fmt.Errorf("reis: doc %d is %dB > slot %dB", i, len(doc), cfg.DocSlotBytes)
+		}
+	}
+
+	// Placement order: cluster-sorted for IVF, identity for flat.
+	// Padding slots (-1) are inserted so every cluster starts on a
+	// fresh page (a cluster's fine scan then never senses a page for
+	// another cluster's slots).
+	var order []int
+	if cfg.Assign != nil {
+		sorted := make([]int, n)
+		for i := range sorted {
+			sorted[i] = i
+		}
+		sort.SliceStable(sorted, func(a, b int) bool {
+			if cfg.Assign[sorted[a]] != cfg.Assign[sorted[b]] {
+				return cfg.Assign[sorted[a]] < cfg.Assign[sorted[b]]
+			}
+			return sorted[a] < sorted[b]
+		})
+		prevCluster := -1
+		for _, id := range sorted {
+			if c := cfg.Assign[id]; c != prevCluster {
+				for len(order)%lo.embPerPage != 0 {
+					order = append(order, -1)
+				}
+				prevCluster = c
+			}
+			order = append(order, id)
+		}
+	} else {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	lo.order = order
+	lo.regionSlots = len(order)
+
+	lo.embPages = ceilDiv(len(order), lo.embPerPage)
+	lo.int8Pages = ceilDiv(n, lo.int8PerPage)
+	lo.docPages = ceilDiv(n, lo.docsPerPage)
+	if len(cfg.Centroids) > 0 {
+		lo.centPages = ceilDiv(len(cfg.Centroids), lo.embPerPage)
+		lo.rivf = buildRIVF(cfg.Assign, order, len(cfg.Centroids))
+	}
+
+	lo.metaTags = make([]uint8, len(order))
+	for pos, id := range order {
+		if id >= 0 && cfg.MetaTags != nil {
+			lo.metaTags[pos] = cfg.MetaTags[id]
+		}
+	}
+
+	lo.filterThreshold = calibrateFilter(cfg.Vectors)
+	return lo, nil
+}
+
+// layoutItems are the rendered per-slot page contents of a plan: for
+// every region, the byte slice stored in each slot (global slot order).
+// A padding slot has a nil bins entry and an invalid-DADR OOB record.
+type layoutItems struct {
+	bins  [][]byte // binary region slots, placement order
+	oobs  [][]byte // OOB linkage per binary slot
+	int8s [][]byte // INT8 region slots, original-id order
+	docs  [][]byte // document region slots, original-id order
+	cents [][]byte // centroid region slots (nil for flat)
+}
+
+// buildItems renders the page contents of the plan. Documents and INT8
+// copies are stored in original-id order, so DADR and RADR are the
+// original id, resolvable by arithmetic; binary slots carry OOB
+// linkage.
+func (lo *dbLayout) buildItems(cfg *DeployConfig) *layoutItems {
+	it := &layoutItems{docs: cfg.Docs}
+	it.int8s = make([][]byte, lo.n)
+	for i, v := range cfg.Vectors {
+		it.int8s[i] = vecmath.PackInt8Bytes(lo.params.Int8Quantize(v, nil), nil)
+	}
+	it.bins = make([][]byte, len(lo.order))
+	it.oobs = make([][]byte, len(lo.order))
+	for pos, id := range lo.order {
+		if id < 0 {
+			it.bins[pos] = nil
+			it.oobs[pos] = encodeLinkage(InvalidDADR, 0, 0)
+			continue
+		}
+		code := vecmath.BinaryQuantize(cfg.Vectors[id], nil)
+		it.bins[pos] = vecmath.PackBinaryBytes(code, nil)
+		it.oobs[pos] = encodeLinkage(uint32(id), uint32(id), lo.metaTags[pos])
+	}
+	if len(cfg.Centroids) > 0 {
+		it.cents = make([][]byte, len(cfg.Centroids))
+		for c, v := range cfg.Centroids {
+			it.cents[c] = vecmath.PackBinaryBytes(vecmath.BinaryQuantize(v, nil), nil)
+		}
+	}
+	return it
+}
+
+// shardPages returns how many of pages global region pages shard s of
+// nshards owns under round-robin page striping (global page g lives on
+// shard g mod nshards, as local page g / nshards).
+func shardPages(pages, s, nshards int) int {
+	if pages <= s {
+		return 0
+	}
+	return (pages - s + nshards - 1) / nshards
+}

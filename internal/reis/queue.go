@@ -47,6 +47,105 @@ import (
 // of batch composition), so completion *contents* are bit-identical
 // run to run; only completion *order* may vary with scheduling.
 
+// host is the execution backend a queue pair dispatches into: the
+// single-device Engine or the sharded scatter-gather router
+// (ShardedEngine). Both serialize their execution core internally, so
+// the queue only sequences and delivers.
+type host interface {
+	// execCmd serves one validated command.
+	execCmd(ctx context.Context, cmd *HostCommand) (HostResponse, error)
+	// execSearchGroup runs the batched scan pipeline for a coalesced
+	// dispatch group: queries is the concatenation of the group's Q
+	// operands under the head command's parameters. perShard is the
+	// per-device stats view of a sharded host (nil for a single
+	// device), indexed [shard][query].
+	execSearchGroup(ctx context.Context, cmd *HostCommand, queries [][]float32) (results [][]DocResult, sts []QueryStats, perShard [][]QueryStats, err error)
+	// registry is the host's queue-pair bookkeeping for Close-time
+	// teardown.
+	registry() *queueRegistry
+}
+
+// queueRegistry tracks a host's open queue pairs (for teardown) and
+// its lazily created built-in pair behind the synchronous Submit
+// wrapper. All methods are safe for concurrent use and idempotent, so
+// host Close paths may race with queue creation and each other.
+type queueRegistry struct {
+	mu     sync.Mutex
+	queues []*Queue
+	defq   *Queue
+	closed bool
+}
+
+// add registers a queue pair; it fails once the host is closed.
+func (r *queueRegistry) add(q *Queue) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("reis: engine closed: %w", ErrQueueClosed)
+	}
+	r.queues = append(r.queues, q)
+	return nil
+}
+
+// remove deregisters a queue pair (Queue.Close), so long-lived hosts
+// that create and close many pairs do not accumulate dead entries.
+func (r *queueRegistry) remove(q *Queue) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, x := range r.queues {
+		if x == q {
+			r.queues = append(r.queues[:i], r.queues[i+1:]...)
+			break
+		}
+	}
+	if r.defq == q {
+		r.defq = nil
+	}
+}
+
+// closeAll marks the registry closed and hands the caller the pairs to
+// close. Subsequent and concurrent calls return nil.
+func (r *queueRegistry) closeAll() []*Queue {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	qs := r.queues
+	r.queues, r.defq = nil, nil
+	r.closed = true
+	return qs
+}
+
+// defaultQueue returns the built-in pair, creating it through create
+// on first use.
+func (r *queueRegistry) defaultQueue(create func() (*Queue, error)) (*Queue, error) {
+	r.mu.Lock()
+	q := r.defq
+	r.mu.Unlock()
+	if q != nil {
+		return q, nil
+	}
+	q, err := create()
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.defq == nil && !r.closed {
+		r.defq = q
+	} else {
+		// Another goroutine won the race (or the host closed); keep
+		// the established queue and discard ours.
+		stale := q
+		q = r.defq
+		r.mu.Unlock()
+		stale.Close()
+		if q == nil {
+			return nil, ErrQueueClosed
+		}
+		return q, nil
+	}
+	r.mu.Unlock()
+	return q, nil
+}
+
 // CommandID identifies one submitted command within its Queue. IDs are
 // assigned in submission order starting at 1.
 type CommandID uint64
@@ -118,7 +217,7 @@ type qcmd struct {
 // engine. Create with Engine.NewQueue; all methods are safe for
 // concurrent use.
 type Queue struct {
-	e   *Engine
+	h   host
 	cfg QueueConfig
 
 	mu      sync.Mutex
@@ -142,7 +241,10 @@ type Queue struct {
 // NewQueue creates a queue pair and starts its dispatcher. The queue
 // must be Closed when no longer needed (Engine.Close closes any still
 // open).
-func (e *Engine) NewQueue(cfg QueueConfig) (*Queue, error) {
+func (e *Engine) NewQueue(cfg QueueConfig) (*Queue, error) { return newQueue(e, cfg) }
+
+// newQueue builds a queue pair over any host backend.
+func newQueue(h host, cfg QueueConfig) (*Queue, error) {
 	if cfg.Depth <= 0 {
 		cfg.Depth = DefaultQueueDepth
 	}
@@ -152,7 +254,7 @@ func (e *Engine) NewQueue(cfg QueueConfig) (*Queue, error) {
 		}
 	}
 	q := &Queue{
-		e:       e,
+		h:       h,
 		cfg:     cfg,
 		pending: make(map[int][]*qcmd),
 		pass:    make(map[int]float64),
@@ -161,7 +263,7 @@ func (e *Engine) NewQueue(cfg QueueConfig) (*Queue, error) {
 	}
 	q.wake = sync.NewCond(&q.mu)
 	q.capFree = sync.NewCond(&q.mu)
-	if err := e.addQueue(q); err != nil {
+	if err := h.registry().add(q); err != nil {
 		return nil, err
 	}
 	go q.dispatch()
@@ -203,7 +305,7 @@ func (q *Queue) submit(ctx context.Context, cmd HostCommand, block bool) (Comman
 	q.nextID++
 	id := q.nextID
 	key := cmd.DBID
-	if !isSearchOp(cmd.Opcode) {
+	if isDeployOp(cmd.Opcode) {
 		key = cmd.Deploy.ID
 	}
 	if len(q.pending[key]) == 0 {
@@ -315,8 +417,11 @@ func (q *Queue) Stats() QueueStats {
 }
 
 // Close marks the queue closed, completes every still-pending command
-// with ErrQueueClosed, and waits for the dispatcher to exit. A command
-// already executing completes normally first. Close is idempotent.
+// with ErrQueueClosed, waits for the dispatcher to exit, and
+// deregisters the pair from its host. Close is idempotent and safe to
+// call from multiple goroutines — every call returns only after the
+// dispatcher has exited. A command already executing completes
+// normally first.
 func (q *Queue) Close() error {
 	q.mu.Lock()
 	if !q.closed {
@@ -326,6 +431,7 @@ func (q *Queue) Close() error {
 	}
 	q.mu.Unlock()
 	<-q.done
+	q.h.registry().remove(q)
 	return nil
 }
 
@@ -447,10 +553,9 @@ func coalescible(a, b *qcmd) bool {
 	return true
 }
 
-// execGroup executes one dispatch group on the engine and delivers its
+// execGroup executes one dispatch group on the host and delivers its
 // completions.
 func (q *Queue) execGroup(group []*qcmd) {
-	e := q.e
 	live := make([]*qcmd, 0, len(group))
 	for _, qc := range group {
 		if err := qc.ctx.Err(); err != nil {
@@ -464,9 +569,7 @@ func (q *Queue) execGroup(group []*qcmd) {
 		return
 	case 1:
 		qc := live[0]
-		e.execMu.Lock()
-		resp, err := e.executeCmd(qc.ctx, &qc.cmd)
-		e.execMu.Unlock()
+		resp, err := q.h.execCmd(qc.ctx, &qc.cmd)
 		q.complete(qc.id, resp, err)
 		return
 	}
@@ -483,9 +586,7 @@ func (q *Queue) execGroup(group []*qcmd) {
 		queries = append(queries, qc.cmd.Queries...)
 	}
 	ctx := mergeCtxs(live)
-	e.execMu.Lock()
-	results, sts, err := e.executeSearch(ctx, &live[0].cmd, queries)
-	e.execMu.Unlock()
+	results, sts, perShard, err := q.h.execSearchGroup(ctx, &live[0].cmd, queries)
 	if err != nil {
 		// Group abort — a member's cancellation, or an execution error.
 		// Re-execute members individually so unaffected commands still
@@ -495,9 +596,7 @@ func (q *Queue) execGroup(group []*qcmd) {
 				q.complete(qc.id, HostResponse{}, cerr)
 				continue
 			}
-			e.execMu.Lock()
-			resp, err := e.executeCmd(qc.ctx, &qc.cmd)
-			e.execMu.Unlock()
+			resp, err := q.h.execCmd(qc.ctx, &qc.cmd)
 			q.complete(qc.id, resp, err)
 		}
 		return
@@ -509,6 +608,12 @@ func (q *Queue) execGroup(group []*qcmd) {
 			Done:       true,
 			Results:    results[off : off+n : off+n],
 			QueryStats: sts[off : off+n : off+n],
+		}
+		if perShard != nil {
+			resp.PerShard = make([][]QueryStats, len(perShard))
+			for s := range perShard {
+				resp.PerShard[s] = perShard[s][off : off+n : off+n]
+			}
 		}
 		for _, st := range resp.QueryStats {
 			resp.Stats.Add(st)

@@ -127,14 +127,10 @@ type engineScratch struct {
 	planeWork [][]batchItem
 	entries   []TTLEntry // merged fine-phase entries of the current query
 	cents     []TTLEntry // merged coarse-phase (centroid) entries
-	// Controller tail (finish).
-	q8         []int8
-	emb        []int8
-	reranked   []DocResult
-	groups     []pageIdx
-	planePages []int
-	pageBuf    []byte
-	oobBuf     []byte
+	// Controller tail (finish): working sets and the page source
+	// adapter handed to the shared runTail.
+	tail tailScratch
+	src  engineTailSource
 }
 
 // pageIdx pairs a flash page with a candidate index; sorting a pooled
@@ -291,14 +287,7 @@ func (e *Engine) IVFSearch(dbID int, query []float32, k int, opt SearchOptions) 
 }
 
 func (db *Database) checkQuery(query []float32, k int) error {
-	if len(query) != db.Dim {
-		return fmt.Errorf("%w (query dim %d, database %d dim %d)",
-			ErrQueryDims, len(query), db.ID, db.Dim)
-	}
-	if k <= 0 {
-		return fmt.Errorf("%w (K=%d)", ErrBadK, k)
-	}
-	return nil
+	return checkQueryAgainst(db.Dim, db.ID, query, k)
 }
 
 // broadcast performs Input Broadcasting: one IBC command per plane,
@@ -491,20 +480,29 @@ func mergeScanStats(results []planeScan, st *QueryStats) (waves, totalPages int)
 // pooled output.
 func (e *Engine) appendMergeByPos(dst []TTLEntry, results []planeScan) []TTLEntry {
 	lists := e.scr.lists[:0]
-	total := 0
 	for _, ps := range results {
 		if ps.hi > ps.lo {
-			l := e.pool.scratchOf(ps.plane).entries[ps.lo:ps.hi]
-			lists = append(lists, l)
-			total += len(l)
+			lists = append(lists, e.pool.scratchOf(ps.plane).entries[ps.lo:ps.hi])
 		}
 	}
 	e.scr.lists = lists
+	return mergeEntryLists(dst, lists)
+}
+
+// mergeEntryLists k-way merges entry lists — each ascending by Pos,
+// positions unique across lists — into dst in one pass. The shard
+// router reuses it to merge per-device streams at gather time (lists
+// is consumed: emptied slices remain in the backing array).
+func mergeEntryLists(dst []TTLEntry, lists [][]TTLEntry) []TTLEntry {
 	switch len(lists) {
 	case 0:
 		return dst
 	case 1:
 		return append(dst, lists[0]...)
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
 	}
 	dst = slices.Grow(dst, total)
 	for {
@@ -555,111 +553,13 @@ func resizeInts(s []int, n int) []int {
 	return s
 }
 
-// finish runs the controller-side pipeline tail: quickselect to the
-// rerank pool, INT8 rescoring, quicksort, and document retrieval
-// (steps 5-9 of Fig 6). Working sets live in the engine scratch; only
+// finish runs the controller-side pipeline tail (steps 5-9 of Fig 6)
+// over the engine's own regions; the implementation is the shared
+// runTail (see tail.go). Working sets live in the engine scratch; only
 // the returned results (and their document bytes) are allocated.
 func (e *Engine) finish(db *Database, query []float32, entries []TTLEntry, k int, opt SearchOptions, st *QueryStats) ([]DocResult, error) {
-	st.SelectInput += len(entries)
-	pool := k * RerankFactor
-	if pool > len(entries) {
-		pool = len(entries)
-	}
-	quickselectTTL(entries, pool)
-	cands := entries[:pool]
-
-	// Rerank: fetch INT8 embeddings by RADR, grouped by page so each
-	// page is sensed once. Grouping sorts a pooled (page, index) slice
-	// instead of building a map: iteration order becomes deterministic
-	// and the grouping is allocation-free.
-	q8 := db.params.Int8Quantize(query, e.scr.q8)
-	e.scr.q8 = q8
-	groups := e.scr.groups[:0]
-	for i, c := range cands {
-		groups = append(groups, pageIdx{page: int(c.RADR) / db.int8PerPage, idx: i})
-	}
-	slices.SortFunc(groups, cmpPageIdx)
-	e.scr.groups = groups
-
-	geo := e.SSD.Cfg.Geo
-	planePages := resizeInts(e.scr.planePages, geo.Planes())
-	e.scr.planePages = planePages
-	reranked := e.scr.reranked[:0]
-	for gi := 0; gi < len(groups); {
-		page := groups[gi].page
-		addr, err := db.rec.Int8s.AddressOf(geo, page)
-		if err != nil {
-			return nil, err
-		}
-		data, oob, err := e.SSD.Dev.ReadPageInto(addr, e.scr.pageBuf, e.scr.oobBuf)
-		if err != nil {
-			return nil, err
-		}
-		e.scr.pageBuf, e.scr.oobBuf = data, oob
-		st.RerankPages++
-		planePages[addr.PlaneIndex(geo)]++
-		for ; gi < len(groups) && groups[gi].page == page; gi++ {
-			c := cands[groups[gi].idx]
-			slot := int(c.RADR) % db.int8PerPage
-			emb := vecmath.UnpackInt8Bytes(data[slot*db.int8Bytes:(slot+1)*db.int8Bytes], e.scr.emb)
-			e.scr.emb = emb
-			d := vecmath.L2SquaredInt8(q8, emb)
-			reranked = append(reranked, DocResult{ID: int(c.DADR), Dist: float32(d)})
-		}
-	}
-	e.scr.reranked = reranked
-	for _, n := range planePages {
-		if n > st.RerankWaves {
-			st.RerankWaves = n
-		}
-	}
-	st.RerankCount += len(cands)
-
-	// Quicksort the reranked pool, keep top-k in a fresh caller-owned
-	// slice (the rerank scratch recycles across queries).
-	slices.SortFunc(reranked, cmpDocResult)
-	st.SortedEntries += len(reranked)
-	n := len(reranked)
-	if k < n {
-		n = k
-	}
-	out := make([]DocResult, n)
-	copy(out, reranked[:n])
-
-	if opt.SkipDocs {
-		return out, nil
-	}
-
-	// Document identification and retrieval (step 9): group DADRs by
-	// document page with the same sorted pooled grouping.
-	groups = groups[:0]
-	for i, r := range out {
-		groups = append(groups, pageIdx{page: r.ID / db.docsPerPage, idx: i})
-	}
-	slices.SortFunc(groups, cmpPageIdx)
-	e.scr.groups = groups
-	for gi := 0; gi < len(groups); {
-		page := groups[gi].page
-		addr, err := db.rec.Documents.AddressOf(geo, page)
-		if err != nil {
-			return nil, err
-		}
-		data, oob, err := e.SSD.Dev.ReadPageInto(addr, e.scr.pageBuf, e.scr.oobBuf)
-		if err != nil {
-			return nil, err
-		}
-		e.scr.pageBuf, e.scr.oobBuf = data, oob
-		st.DocPages++
-		for ; gi < len(groups) && groups[gi].page == page; gi++ {
-			i := groups[gi].idx
-			slot := out[i].ID % db.docsPerPage
-			doc := make([]byte, db.docBytes)
-			copy(doc, data[slot*db.docBytes:(slot+1)*db.docBytes])
-			out[i].Doc = doc
-			st.DocBytes += int64(db.docBytes)
-		}
-	}
-	return out, nil
+	e.scr.src = engineTailSource{e: e, db: db}
+	return runTail(&e.scr.src, &e.scr.tail, db.tailParams(e.SSD.Cfg.Geo.Planes()), query, entries, k, opt, st)
 }
 
 // quickselectTTL partitions entries so the k smallest distances occupy
@@ -736,9 +636,32 @@ func (e *Engine) CalibrateNProbe(dbID int, queries [][]float32, groundTruth [][]
 		}
 		packed[i] = vecmath.PackBinaryBytes(vecmath.BinaryQuantize(q, nil), nil)
 	}
-	gtSets := make([]map[int]struct{}, len(queries))
+	// The sweep's queries are admitted as one batch per nprobe:
+	// results are bit-identical to per-query IVFSearch calls, but
+	// plane tasks overlap across queries. Only the queried rows of the
+	// ground truth enter the recall denominator.
+	nprobe, ok, err := calibrateSweep(nlist, groundTruth[:len(queries)], k, target, func(nprobe int) ([][]DocResult, error) {
+		results, _, err := e.ivfSearchBatchPacked(context.Background(), db, queries, packed, k, SearchOptions{NProbe: nprobe, SkipDocs: true})
+		return results, err
+	})
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		db.calib = append(db.calib, recallPoint{target: target, nprobe: nprobe})
+	}
+	return nprobe, nil
+}
+
+// calibrateSweep is the nprobe sweep shared by the single-device and
+// sharded calibrations: it grows nprobe until run's Recall@k against
+// groundTruth meets target. groundTruth must hold exactly one row per
+// swept query (callers slice it to the query count). ok reports
+// whether the target was met; the returned nprobe is nlist otherwise.
+func calibrateSweep(nlist int, groundTruth [][]int, k int, target float64, run func(nprobe int) ([][]DocResult, error)) (int, bool, error) {
+	gtSets := make([]map[int]struct{}, len(groundTruth))
 	total := 0
-	for qi := range queries {
+	for qi := range groundTruth {
 		gt := groundTruth[qi]
 		if len(gt) > k {
 			gt = gt[:k]
@@ -751,12 +674,9 @@ func (e *Engine) CalibrateNProbe(dbID int, queries [][]float32, groundTruth [][]
 		total += len(gt)
 	}
 	for nprobe := 1; nprobe <= nlist; nprobe = growProbe(nprobe) {
-		// The sweep's queries are admitted as one batch per nprobe:
-		// results are bit-identical to per-query IVFSearch calls, but
-		// plane tasks overlap across queries.
-		results, _, err := e.ivfSearchBatchPacked(context.Background(), db, queries, packed, k, SearchOptions{NProbe: nprobe, SkipDocs: true})
+		results, err := run(nprobe)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		hits := 0
 		for qi, res := range results {
@@ -767,11 +687,10 @@ func (e *Engine) CalibrateNProbe(dbID int, queries [][]float32, groundTruth [][]
 			}
 		}
 		if total > 0 && float64(hits)/float64(total) >= target {
-			db.calib = append(db.calib, recallPoint{target: target, nprobe: nprobe})
-			return nprobe, nil
+			return nprobe, true, nil
 		}
 	}
-	return nlist, nil
+	return nlist, false, nil
 }
 
 func growProbe(p int) int {

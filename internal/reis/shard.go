@@ -1,0 +1,763 @@
+package reis
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+
+	"reis/internal/ssd"
+)
+
+// This file implements the sharded topology: one database partitioned
+// across N simulated SSD devices with scatter-gather search.
+//
+// Partitioning scheme. The router plans the database layout exactly as
+// a single device would (planLayout: same placement order, padding,
+// page counts) and then stripes the planned pages round-robin across
+// the shards: global page g lives on shard g mod N as local page
+// g / N. Each shard is a full device built verbatim from the shared
+// config, so with region striping (page i → plane i mod planes) the
+// union of the shards' planes is plane-for-plane identical to ONE
+// device with N times the channels: global plane j of that reference
+// device is shard j mod N, local plane j / N. Every region (binary
+// embeddings, centroids, INT8 copies, documents) is striped the same
+// way, and OOB linkage keeps global ids. Scale-out is therefore real —
+// N devices carry N times the planes and channels of one — while the
+// equivalence target stays exact.
+//
+// Scatter-gather. A search fans out OpcodeScan commands through one
+// queue pair per shard (the router's "driver" view of each device):
+// per query, the global slot ranges are translated into each shard's
+// local coordinates; each shard runs the ordinary batched scan
+// pipeline over its pages and returns the surviving TTL entries per
+// (query, segment). The router remaps local positions to global ones,
+// k-way merges the per-shard streams in global position order
+// (mergeEntryLists — the same merge the engine uses across planes),
+// and runs the shared controller tail (runTail) over the merged
+// stream, fetching INT8 and document pages from whichever shard owns
+// them.
+//
+// Determinism. Because the merged entry stream is element-identical to
+// what a single device's scan produces — same entries, same order,
+// same distances — and the tail is the same code over the same page
+// bytes, sharded results are bit-identical to a single-device engine
+// over the same data, for any shard count and any geometry (the entry
+// stream does not depend on plane counts). Stats are bit-identical to
+// the N-times-channels reference device: per-entry and per-page counts
+// sum across shards, and per-segment wave counts (parallel critical
+// path) aggregate by maximum, which equals the reference value because
+// per-plane page loads match plane for plane. See DESIGN.md, "Sharded
+// topology".
+
+// ShardedEngine is a scatter-gather router over N single-device
+// engines. It implements the same host surface as Engine — Deploy /
+// IVFDeploy, Search / SearchBatch / IVFSearch / IVFSearchBatch,
+// Submit, NewQueue (asynchronous queue pairs dispatch into the
+// router), CalibrateNProbe, Close — with results bit-identical to a
+// single device over the same data.
+type ShardedEngine struct {
+	cfg  ssd.Config // single-device-equivalent configuration (N× the shared config's channels)
+	opts Options
+
+	shards []*shardDev
+
+	// execMu serializes the router's execution core: the scatter
+	// phases, the gather-side merge and controller tail share the
+	// router scratch under a single running owner, mirroring
+	// Engine.execMu.
+	execMu sync.Mutex
+	scr    routerScratch
+	dbs    map[int]*ShardedDatabase
+	closed bool
+
+	// reg tracks the queue pairs created with NewQueue on the router
+	// itself (not the per-shard scatter queues, which belong to the
+	// member engines).
+	reg queueRegistry
+}
+
+// shardDev is one member device plus the router's queue pair into it.
+type shardDev struct {
+	e *Engine
+	q *Queue
+}
+
+// routerScratch is the gather side's pooled state; the execMu holder
+// owns it.
+type routerScratch struct {
+	tail    tailScratch
+	src     shardTailSource
+	entries []TTLEntry
+	cents   []TTLEntry
+	lists   [][]TTLEntry
+}
+
+// ShardedDatabase is the router's view of one database partitioned
+// across the shards: the global layout plan (R-IVF table, quantization
+// parameters, filter threshold) plus the per-shard sub-databases.
+type ShardedDatabase struct {
+	ID  int
+	Dim int
+	N   int
+
+	lay    *dbLayout
+	locals []*Database // locals[s] is shard s's page-stride slice
+	calib  []recallPoint
+}
+
+// NList returns the number of IVF clusters (0 for flat databases).
+func (db *ShardedDatabase) NList() int { return len(db.lay.rivf) }
+
+// ThresholdFor reports the calibrated distance-filter threshold
+// (global: every shard scans under the same threshold).
+func (db *ShardedDatabase) ThresholdFor() int { return db.lay.filterThreshold }
+
+// NewSharded builds a sharded engine of n member devices, each
+// constructed verbatim from the shared configuration. The shard union
+// is plane-for-plane identical to one device with n times the
+// channels — the reference the determinism contract is pinned against
+// (results are bit-identical to ANY single device over the same data;
+// stats to that reference). capacityHint is the total data volume;
+// each shard is sized for its 1/n share.
+func NewSharded(cfg ssd.Config, n int, capacityHint int64, opts Options) (*ShardedEngine, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("reis: shard count %d must be positive", n)
+	}
+	per := cfg
+	equiv := cfg
+	equiv.Geo.Channels *= n
+	hint := (capacityHint + int64(n) - 1) / int64(n)
+	sh := &ShardedEngine{cfg: equiv, opts: opts, dbs: make(map[int]*ShardedDatabase)}
+	for s := 0; s < n; s++ {
+		e, err := New(per, hint, opts)
+		if err != nil {
+			sh.Close()
+			return nil, fmt.Errorf("reis: shard %d: %w", s, err)
+		}
+		q, err := e.NewQueue(QueueConfig{})
+		if err != nil {
+			e.Close()
+			sh.Close()
+			return nil, err
+		}
+		sh.shards = append(sh.shards, &shardDev{e: e, q: q})
+	}
+	return sh, nil
+}
+
+// Shards returns the number of member devices.
+func (sh *ShardedEngine) Shards() int { return len(sh.shards) }
+
+// Shard exposes member device s (for tests and tools).
+func (sh *ShardedEngine) Shard(s int) *Engine { return sh.shards[s].e }
+
+// DB returns a deployed database by id.
+func (sh *ShardedEngine) DB(id int) (*ShardedDatabase, error) {
+	sh.execMu.Lock()
+	defer sh.execMu.Unlock()
+	return sh.db(id)
+}
+
+// db is DB without the execution lock, for use inside the core.
+func (sh *ShardedEngine) db(id int) (*ShardedDatabase, error) {
+	db, ok := sh.dbs[id]
+	if !ok {
+		return nil, fmt.Errorf("reis: unknown database %d", id)
+	}
+	return db, nil
+}
+
+// registry exposes the router's queue bookkeeping (host interface).
+func (sh *ShardedEngine) registry() *queueRegistry { return &sh.reg }
+
+// NewQueue creates an asynchronous queue pair whose dispatcher
+// executes on the sharded router — the same NVMe-style interface
+// Engine.NewQueue provides over a single device.
+func (sh *ShardedEngine) NewQueue(cfg QueueConfig) (*Queue, error) { return newQueue(sh, cfg) }
+
+// Submit executes one host command synchronously through the router's
+// built-in queue pair (mirroring Engine.Submit).
+func (sh *ShardedEngine) Submit(cmd HostCommand) (HostResponse, error) {
+	q, err := sh.reg.defaultQueue(func() (*Queue, error) { return sh.NewQueue(QueueConfig{}) })
+	if err != nil {
+		return HostResponse{}, err
+	}
+	id, err := q.submit(context.Background(), cmd, true)
+	if err != nil {
+		return HostResponse{}, err
+	}
+	return q.Wait(context.Background(), id)
+}
+
+// Close shuts down the router's own queue pairs, then every member
+// device (whose engines close their scatter queues and plane pools).
+// Close is idempotent and safe to call from multiple goroutines; the
+// router must not be closed while direct API calls are in flight.
+func (sh *ShardedEngine) Close() error {
+	for _, q := range sh.reg.closeAll() {
+		q.Close()
+	}
+	sh.execMu.Lock()
+	defer sh.execMu.Unlock()
+	sh.closed = true
+	for _, d := range sh.shards {
+		d.e.Close()
+	}
+	return nil
+}
+
+// Deploy implements DB_Deploy across the shards (flat database).
+func (sh *ShardedEngine) Deploy(cfg DeployConfig) (*ShardedDatabase, error) {
+	cfg.Centroids, cfg.Assign = nil, nil
+	return sh.deploy(cfg)
+}
+
+// IVFDeploy implements IVF_Deploy across the shards: the cluster-
+// sorted placement and the R-IVF table are planned globally (the
+// router keeps the table in its controller DRAM), then page-striped.
+func (sh *ShardedEngine) IVFDeploy(cfg DeployConfig) (*ShardedDatabase, error) {
+	if len(cfg.Centroids) == 0 || len(cfg.Assign) != len(cfg.Vectors) {
+		return nil, fmt.Errorf("reis: IVFDeploy requires cluster info (centroids=%d assign=%d vectors=%d)",
+			len(cfg.Centroids), len(cfg.Assign), len(cfg.Vectors))
+	}
+	return sh.deploy(cfg)
+}
+
+func (sh *ShardedEngine) deploy(cfg DeployConfig) (*ShardedDatabase, error) {
+	sh.execMu.Lock()
+	defer sh.execMu.Unlock()
+	if sh.closed {
+		return nil, fmt.Errorf("reis: engine closed: %w", ErrQueueClosed)
+	}
+	if _, ok := sh.dbs[cfg.ID]; ok {
+		return nil, fmt.Errorf("reis: database %d already deployed", cfg.ID)
+	}
+	lo, err := planLayout(&cfg, sh.cfg.Geo)
+	if err != nil {
+		return nil, err
+	}
+	items := lo.buildItems(&cfg)
+	db := &ShardedDatabase{ID: cfg.ID, Dim: lo.dim, N: lo.n, lay: lo}
+	for s, dev := range sh.shards {
+		local, err := dev.e.deployShard(cfg.ID, lo, items, s, len(sh.shards))
+		if err != nil {
+			// Roll the id back off the shards that already succeeded,
+			// so a failed deploy does not poison it (the bump-cursor
+			// allocator cannot reclaim the written stripes, but the id
+			// and R-DB records are freed for a retry).
+			for _, done := range sh.shards[:s] {
+				done.e.dropDB(cfg.ID)
+			}
+			return nil, fmt.Errorf("reis: shard %d: %w", s, err)
+		}
+		db.locals = append(db.locals, local)
+	}
+	sh.dbs[cfg.ID] = db
+	return db, nil
+}
+
+// execCmd serves one validated command (host interface).
+func (sh *ShardedEngine) execCmd(ctx context.Context, cmd *HostCommand) (HostResponse, error) {
+	switch cmd.Opcode {
+	case OpcodeDBDeploy:
+		cfg := *cmd.Deploy
+		cfg.Centroids, cfg.Assign = nil, nil
+		_, err := sh.deploy(cfg)
+		return HostResponse{Done: err == nil}, err
+	case OpcodeIVFDeploy:
+		_, err := sh.IVFDeploy(*cmd.Deploy)
+		return HostResponse{Done: err == nil}, err
+	case OpcodeSearch, OpcodeIVFSearch:
+		results, sts, perShard, err := sh.execSearchGroup(ctx, cmd, cmd.Queries)
+		if err != nil {
+			return HostResponse{}, err
+		}
+		resp := HostResponse{Done: true, Results: results, QueryStats: sts, PerShard: perShard}
+		for _, st := range sts {
+			resp.Stats.Add(st)
+		}
+		return resp, nil
+	default:
+		// OpcodeScan is the router's *scatter* operand; it addresses a
+		// member device, never the router itself.
+		return HostResponse{}, fmt.Errorf("%w %#x (not served by a sharded host)", ErrUnknownOpcode, cmd.Opcode)
+	}
+}
+
+// execSearchGroup runs the scatter-gather pipeline for queries — one
+// command's Q operand, or a coalesced group's concatenation (host
+// interface).
+func (sh *ShardedEngine) execSearchGroup(ctx context.Context, cmd *HostCommand, queries [][]float32) ([][]DocResult, []QueryStats, [][]QueryStats, error) {
+	sh.execMu.Lock()
+	defer sh.execMu.Unlock()
+	if sh.closed {
+		return nil, nil, nil, fmt.Errorf("reis: engine closed: %w", ErrQueueClosed)
+	}
+	db, err := sh.db(cmd.DBID)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	opt, err := resolveSearchOptions(db.calib, db.ID, cmd)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(queries) == 0 {
+		return nil, nil, nil, fmt.Errorf("reis: empty query batch")
+	}
+	for _, q := range queries {
+		if err := checkQueryAgainst(db.Dim, db.ID, q, cmd.K); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if cmd.Opcode == OpcodeSearch {
+		return sh.searchFlat(ctx, db, queries, cmd.K, opt)
+	}
+	return sh.searchIVF(ctx, db, queries, cmd.K, opt)
+}
+
+// scatter fans one scan phase out to the shards through their queue
+// pairs and gathers the completions in shard order. segs are global
+// per-query slot ranges; each shard receives its local translation
+// with (query, segment) indices preserved. A shard whose translation
+// is all empty sentinels (it owns no page of any requested range) is
+// skipped entirely — its zero-valued response is what it would have
+// reported — so idle shards pay no query encoding or queue round
+// trip. All submitted commands are waited for even on error, so
+// scatter never leaks queue slots.
+func (sh *ShardedEngine) scatter(ctx context.Context, db *ShardedDatabase, queries [][]float32, coarse bool, segs [][]SlotRange, opt SearchOptions) ([]HostResponse, error) {
+	n := len(sh.shards)
+	resps := make([]HostResponse, n)
+	ids := make([]CommandID, n)
+	submitted := make([]bool, n)
+	var firstErr error
+	for s, dev := range sh.shards {
+		local := localSegs(segs, s, n, db.lay.embPerPage)
+		if !hasWork(local) {
+			continue
+		}
+		cmd := HostCommand{
+			Opcode: OpcodeScan, DBID: db.ID, Queries: queries,
+			Scan: &ScanConfig{Coarse: coarse, Segs: local},
+			Opt:  SearchOptions{MetaTag: opt.MetaTag},
+		}
+		id, err := dev.q.SubmitAsync(ctx, cmd)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		ids[s], submitted[s] = id, true
+	}
+	// Gather with a background context: a cancelled command context
+	// aborts execution inside the shard (the command carries ctx), and
+	// the completion must still be consumed to free the queue slot.
+	for s, dev := range sh.shards {
+		if !submitted[s] {
+			continue
+		}
+		resp, err := dev.q.Wait(context.Background(), ids[s])
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		resps[s] = resp
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return resps, nil
+}
+
+// localSegs translates per-query global slot ranges into shard s's
+// local coordinates, preserving the (query, segment) shape; segments
+// with no owned page become the empty sentinel. The flat and coarse
+// phases hand every query the same underlying segment slice, so a
+// list identical to the previous query's reuses its translation (the
+// result is read-only downstream).
+func localSegs(segs [][]SlotRange, s, n, embPerPage int) [][]SlotRange {
+	out := make([][]SlotRange, len(segs))
+	var prev, prevOut []SlotRange
+	for qi, list := range segs {
+		if len(list) > 0 && len(prev) == len(list) && &prev[0] == &list[0] {
+			out[qi] = prevOut
+			continue
+		}
+		ls := make([]SlotRange, len(list))
+		for si, r := range list {
+			ls[si] = localRange(r, s, n, embPerPage)
+		}
+		out[qi] = ls
+		prev, prevOut = list, ls
+	}
+	return out
+}
+
+// localRange clips one global slot range to the pages shard s owns
+// (global pages ≡ s mod n) and rewrites it in local coordinates.
+// Because ownership is per page, the owned part of a contiguous global
+// range is a contiguous local range: partial-page slot bounds apply
+// only when the shard owns the range's first or last global page.
+func localRange(r SlotRange, s, n, embPerPage int) SlotRange {
+	gp0, gp1 := r.First/embPerPage, r.Last/embPerPage
+	g0 := gp0 + posMod(s-gp0, n) // first owned page >= gp0
+	g1 := gp1 - posMod(gp1-s, n) // last owned page <= gp1
+	if g0 > gp1 || g1 < gp0 {
+		return SlotRange{First: 0, Last: -1}
+	}
+	first := (g0 / n) * embPerPage
+	if g0 == gp0 {
+		first += r.First % embPerPage
+	}
+	last := (g1/n)*embPerPage + embPerPage - 1
+	if g1 == gp1 {
+		last = (g1/n)*embPerPage + r.Last%embPerPage
+	}
+	return SlotRange{First: first, Last: last}
+}
+
+// hasWork reports whether any translated segment is non-empty.
+func hasWork(segs [][]SlotRange) bool {
+	for _, list := range segs {
+		for _, r := range list {
+			if r.Last >= r.First {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func posMod(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+// globalPos maps a shard-local slot position back to its single-device
+// position: local page l of shard s is global page l*n + s.
+func globalPos(pos, s, n, embPerPage int) int {
+	return (pos/embPerPage*n+s)*embPerPage + pos%embPerPage
+}
+
+// mergeSeg remaps one (query, segment)'s shard-local entry positions
+// to global ones (in place: the response slices are owned by the
+// gather side) and k-way merges the per-shard streams in global
+// position order, appending to dst.
+func (sh *ShardedEngine) mergeSeg(dst []TTLEntry, resps []HostResponse, qi, si, embPerPage int) []TTLEntry {
+	n := len(sh.shards)
+	lists := sh.scr.lists[:0]
+	for s := range resps {
+		if resps[s].Scan == nil {
+			continue // shard skipped: no work in this phase
+		}
+		es := resps[s].Scan[qi][si].Entries
+		if len(es) == 0 {
+			continue
+		}
+		for i := range es {
+			es[i].Pos = globalPos(es[i].Pos, s, n, embPerPage)
+		}
+		lists = append(lists, es)
+	}
+	sh.scr.lists = lists
+	return mergeEntryLists(dst, lists)
+}
+
+// gatherSegStats folds one (query, segment)'s shard outcomes into st:
+// count-type events sum across shards; the wave count — the parallel
+// critical path of the segment — aggregates by maximum, which equals
+// the single-device value because the shards' per-plane page loads are
+// identical to the single device's, plane for plane.
+func gatherSegStats(resps []HostResponse, qi, si int, coarse bool, st *QueryStats) {
+	waves, pages := 0, 0
+	for s := range resps {
+		if resps[s].Scan == nil {
+			continue // shard skipped: no work in this phase
+		}
+		r := &resps[s].Scan[qi][si]
+		if r.Waves > waves {
+			waves = r.Waves
+		}
+		pages += r.Pages
+		st.EntriesScanned += r.Scanned
+		st.Survivors += r.Survivors
+		st.TTLBytes += r.TTLBytes
+	}
+	if coarse {
+		st.CoarseWaves += waves
+		st.CoarsePages += pages
+	} else {
+		st.FineWaves += waves
+		st.FinePages += pages
+	}
+}
+
+// gatherIBC sums one query's broadcast counts across the shards (the
+// shard planes partition the single device's planes, so the sum equals
+// the single-device batch-path count).
+func gatherIBC(resps []HostResponse, qi int) int {
+	n := 0
+	for s := range resps {
+		if len(resps[s].QueryStats) == 0 {
+			continue // shard skipped: no work in this phase
+		}
+		n += resps[s].QueryStats[qi].IBCBroadcasts
+	}
+	return n
+}
+
+// perShardStats extracts the [shard][query] stats view of a scatter
+// round, adding it to prev (the coarse round) when non-nil. A skipped
+// shard's view is all zero.
+func perShardStats(resps []HostResponse, nq int, prev [][]QueryStats) [][]QueryStats {
+	out := make([][]QueryStats, len(resps))
+	for s := range resps {
+		merged := make([]QueryStats, nq)
+		if prev != nil {
+			copy(merged, prev[s])
+		}
+		for i, st := range resps[s].QueryStats {
+			merged[i].Add(st)
+		}
+		out[s] = merged
+	}
+	return out
+}
+
+// searchFlat is the sharded brute-force path: every query scans the
+// whole binary region, striped across the shards.
+func (sh *ShardedEngine) searchFlat(ctx context.Context, db *ShardedDatabase, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, [][]QueryStats, error) {
+	segs := make([][]SlotRange, len(queries))
+	whole := []SlotRange{{First: 0, Last: db.lay.regionSlots - 1}}
+	for i := range segs {
+		segs[i] = whole
+	}
+	resps, err := sh.scatter(ctx, db, queries, false, segs, opt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	results := make([][]DocResult, len(queries))
+	sts := make([]QueryStats, len(queries))
+	for qi := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
+		st := &sts[qi]
+		st.IBCBroadcasts = gatherIBC(resps, qi)
+		gatherSegStats(resps, qi, 0, false, st)
+		entries := sh.mergeSeg(sh.scr.entries[:0], resps, qi, 0, db.lay.embPerPage)
+		sh.scr.entries = entries
+		res, err := sh.finish(db, queries[qi], entries, k, opt, st)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		results[qi] = res
+	}
+	return results, sts, perShardStats(resps, len(queries), nil), nil
+}
+
+// searchIVF is the sharded IVF path: a coarse scatter over the striped
+// centroid region, gather-side cluster selection against the router's
+// global R-IVF table, then a fine scatter of every query's probed
+// clusters.
+func (sh *ShardedEngine) searchIVF(ctx context.Context, db *ShardedDatabase, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, [][]QueryStats, error) {
+	nlist := len(db.lay.rivf)
+	if nlist == 0 {
+		return nil, nil, nil, fmt.Errorf("reis: database %d was not deployed with IVF_Deploy", db.ID)
+	}
+	nprobe := opt.NProbe
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > nlist {
+		nprobe = nlist
+	}
+
+	// Coarse phase: every query ranks the whole centroid region.
+	coarseSegs := make([][]SlotRange, len(queries))
+	wholeCent := []SlotRange{{First: 0, Last: nlist - 1}}
+	for i := range coarseSegs {
+		coarseSegs[i] = wholeCent
+	}
+	cresps, err := sh.scatter(ctx, db, queries, true, coarseSegs, opt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Gather-side controller phase: merge each query's centroid
+	// entries in global position order, select the nprobe nearest
+	// clusters, derive the fine segments from the global R-IVF table.
+	sts := make([]QueryStats, len(queries))
+	fineSegs := make([][]SlotRange, len(queries))
+	for qi := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
+		st := &sts[qi]
+		st.IBCBroadcasts = gatherIBC(cresps, qi)
+		gatherSegStats(cresps, qi, 0, true, st)
+		cents := sh.mergeSeg(sh.scr.cents[:0], cresps, qi, 0, db.lay.embPerPage)
+		sh.scr.cents = cents
+		st.CoarseEntries = len(cents)
+		st.SelectInput += len(cents)
+		slices.SortFunc(cents, cmpTTLDistPos)
+		np := nprobe
+		if np > len(cents) {
+			np = len(cents)
+		}
+		for _, c := range cents[:np] {
+			ent := db.lay.rivf[c.Pos]
+			if ent.First < 0 {
+				continue // empty cluster
+			}
+			fineSegs[qi] = append(fineSegs[qi], SlotRange{First: ent.First, Last: ent.Last})
+		}
+	}
+
+	// Fine phase: scan every query's probed clusters.
+	fresps, err := sh.scatter(ctx, db, queries, false, fineSegs, opt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	results := make([][]DocResult, len(queries))
+	for qi := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
+		st := &sts[qi]
+		st.IBCBroadcasts += gatherIBC(fresps, qi)
+		entries := sh.scr.entries[:0]
+		for si := range fineSegs[qi] {
+			gatherSegStats(fresps, qi, si, false, st)
+			entries = sh.mergeSeg(entries, fresps, qi, si, db.lay.embPerPage)
+		}
+		sh.scr.entries = entries
+		res, err := sh.finish(db, queries[qi], entries, k, opt, st)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		results[qi] = res
+	}
+	return results, sts, perShardStats(fresps, len(queries), perShardStats(cresps, len(queries), nil)), nil
+}
+
+// finish runs the shared controller tail on the gather side, fetching
+// INT8 and document pages from the shards that own them.
+func (sh *ShardedEngine) finish(db *ShardedDatabase, query []float32, entries []TTLEntry, k int, opt SearchOptions, st *QueryStats) ([]DocResult, error) {
+	sh.scr.src = shardTailSource{sh: sh, db: db}
+	tp := tailParams{
+		int8Bytes:   db.lay.int8Bytes,
+		int8PerPage: db.lay.int8PerPage,
+		docsPerPage: db.lay.docsPerPage,
+		docBytes:    db.lay.docBytes,
+		planes:      sh.cfg.Geo.Planes(),
+		params:      db.lay.params,
+	}
+	return runTail(&sh.scr.src, &sh.scr.tail, tp, query, entries, k, opt, st)
+}
+
+// shardTailSource reads tail pages from the owning shard. The returned
+// plane index is the *global* plane (page mod total planes), which is
+// exactly the plane the page occupies on a single device, so rerank
+// wave accounting matches bit for bit.
+type shardTailSource struct {
+	sh *ShardedEngine
+	db *ShardedDatabase
+}
+
+func (t *shardTailSource) readPage(ts *tailScratch, region func(*Database) ssd.Region, page int) ([]byte, int, error) {
+	n := len(t.sh.shards)
+	owner, local := page%n, page/n
+	dev := t.sh.shards[owner]
+	geo := dev.e.SSD.Cfg.Geo
+	addr, err := region(t.db.locals[owner]).AddressOf(geo, local)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, oob, err := dev.e.SSD.Dev.ReadPageInto(addr, ts.pageBuf, ts.oobBuf)
+	if err != nil {
+		return nil, 0, err
+	}
+	ts.pageBuf, ts.oobBuf = data, oob
+	return data, page % t.sh.cfg.Geo.Planes(), nil
+}
+
+func (t *shardTailSource) readRerankPage(ts *tailScratch, page int) ([]byte, int, error) {
+	return t.readPage(ts, func(db *Database) ssd.Region { return db.rec.Int8s }, page)
+}
+
+func (t *shardTailSource) readDocPage(ts *tailScratch, page int) ([]byte, int, error) {
+	return t.readPage(ts, func(db *Database) ssd.Region { return db.rec.Documents }, page)
+}
+
+// Search runs one brute-force query through the sharded path. Results
+// are bit-identical to Engine.Search over the same data; device stats
+// match the batch-admission path (a query is broadcast only to planes
+// that scan it).
+func (sh *ShardedEngine) Search(dbID int, query []float32, k int, opt SearchOptions) ([]DocResult, QueryStats, error) {
+	results, sts, _, err := sh.execSearchGroup(context.Background(),
+		&HostCommand{Opcode: OpcodeSearch, DBID: dbID, K: k, Opt: opt}, [][]float32{query})
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return results[0], sts[0], nil
+}
+
+// SearchBatch runs a query batch through the sharded path.
+func (sh *ShardedEngine) SearchBatch(dbID int, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
+	results, sts, _, err := sh.execSearchGroup(context.Background(),
+		&HostCommand{Opcode: OpcodeSearch, DBID: dbID, K: k, Opt: opt}, queries)
+	return results, sts, err
+}
+
+// IVFSearch runs one IVF query through the sharded path.
+func (sh *ShardedEngine) IVFSearch(dbID int, query []float32, k int, opt SearchOptions) ([]DocResult, QueryStats, error) {
+	results, sts, _, err := sh.execSearchGroup(context.Background(),
+		&HostCommand{Opcode: OpcodeIVFSearch, DBID: dbID, K: k, Opt: opt}, [][]float32{query})
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return results[0], sts[0], nil
+}
+
+// IVFSearchBatch runs an IVF query batch through the sharded path.
+func (sh *ShardedEngine) IVFSearchBatch(dbID int, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
+	results, sts, _, err := sh.execSearchGroup(context.Background(),
+		&HostCommand{Opcode: OpcodeIVFSearch, DBID: dbID, K: k, Opt: opt}, queries)
+	return results, sts, err
+}
+
+// CalibrateNProbe finds the smallest nprobe meeting the Recall@k
+// target through the sharded path and records it on the database, so
+// host commands can address the operating point by TargetRecall.
+// Because sharded results are bit-identical to a single device's, the
+// calibrated nprobe is too.
+func (sh *ShardedEngine) CalibrateNProbe(dbID int, queries [][]float32, groundTruth [][]int, k int, target float64) (int, error) {
+	db, err := sh.DB(dbID)
+	if err != nil {
+		return 0, err
+	}
+	nlist := len(db.lay.rivf)
+	if nlist == 0 {
+		return 0, fmt.Errorf("reis: database %d is not IVF-deployed", dbID)
+	}
+	if len(queries) == 0 {
+		return 0, fmt.Errorf("reis: empty query set")
+	}
+	nprobe, ok, err := calibrateSweep(nlist, groundTruth[:len(queries)], k, target, func(nprobe int) ([][]DocResult, error) {
+		results, _, err := sh.IVFSearchBatch(dbID, queries, k, SearchOptions{NProbe: nprobe, SkipDocs: true})
+		return results, err
+	})
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		sh.execMu.Lock()
+		db.calib = append(db.calib, recallPoint{target: target, nprobe: nprobe})
+		sh.execMu.Unlock()
+	}
+	return nprobe, nil
+}

@@ -1,0 +1,160 @@
+package reis
+
+import (
+	"fmt"
+	"time"
+
+	"reis/internal/flash"
+	"reis/internal/ssd"
+)
+
+// Timing model of the sharded topology. The scatter phases run on the
+// member devices in parallel — a query's scan time is the slowest
+// shard's, computed with the ordinary single-device model over that
+// shard's own stats (its waves are its local critical path) — while
+// the gather-side controller tail (INT8 rerank, quicksort, document
+// retrieval) is costed once with the single-device-equivalent
+// configuration. TTL handling (DRAM streaming + quickselect of a
+// shard's survivors) is attributed to the shard that produced the
+// entries, mirroring where the bytes move.
+
+// Latency converts one query's aggregated events (st) and per-shard
+// scan events (perShard[s], as returned in HostResponse.PerShard) into
+// a latency and energy estimate: max-over-shards scan time plus the
+// gather tail. The IBC/Coarse/Fine components report the critical
+// (slowest) shard's decomposition.
+func (sh *ShardedEngine) Latency(dbID int, st QueryStats, perShard []QueryStats, sc Scale) (Breakdown, error) {
+	db, err := sh.DB(dbID)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	if len(perShard) != len(sh.shards) {
+		return Breakdown{}, fmt.Errorf("reis: %d per-shard stats for %d shards", len(perShard), len(sh.shards))
+	}
+	return sh.latency(db, st, perShard, sc), nil
+}
+
+// latency is Latency after database resolution and shape validation
+// (BatchLatency calls it once per query of an already-resolved batch).
+func (sh *ShardedEngine) latency(db *ShardedDatabase, st QueryStats, perShard []QueryStats, sc Scale) Breakdown {
+	var b Breakdown
+	var energy float64
+	for s, dev := range sh.shards {
+		sbd := dev.e.Latency(db.locals[s], perShard[s], sc)
+		if scan := sbd.IBC + sbd.Coarse + sbd.Fine; scan > b.IBC+b.Coarse+b.Fine {
+			b.IBC, b.Coarse, b.Fine = sbd.IBC, sbd.Coarse, sbd.Fine
+		}
+		energy += dev.e.energy(db.locals[s], perShard[s], sc, 0)
+	}
+	b.Rerank = rerankTimeFor(sh.cfg, db.lay.int8Bytes, db.Dim, st)
+	b.Docs = docsTimeFor(sh.cfg, st)
+	b.Total = b.IBC + b.Coarse + b.Fine + b.Rerank + b.Docs
+	energy += tailEnergyFor(sh.cfg, db.lay.int8Bytes, st)
+	// Every member device idles for the duration of the query.
+	energy += float64(len(sh.shards)) * sh.cfg.IdlePower * b.Total.Seconds()
+	b.EnergyJ = energy
+	if b.Total > 0 {
+		b.AvgWatts = energy / b.Total.Seconds()
+	}
+	return b
+}
+
+// BatchLatency models batch service on the sharded topology: per-shard
+// occupancies accumulate independently (the shards are independent
+// devices), the gather tail accumulates on the router's resources, and
+// the makespan is the bottleneck total plus one pipeline fill, clamped
+// to serial execution — the sharded analogue of Engine.BatchLatency.
+func (sh *ShardedEngine) BatchLatency(dbID int, sts []QueryStats, perShard [][]QueryStats, sc Scale) (BatchBreakdown, error) {
+	db, err := sh.DB(dbID)
+	if err != nil {
+		return BatchBreakdown{}, err
+	}
+	if len(perShard) != len(sh.shards) {
+		return BatchBreakdown{}, fmt.Errorf("reis: %d per-shard stats for %d shards", len(perShard), len(sh.shards))
+	}
+	n := len(sh.shards)
+	b := BatchBreakdown{Queries: len(sts)}
+	var fill time.Duration
+	shardPlane := make([]time.Duration, n)
+	shardChannel := make([]time.Duration, n)
+	shardCore := make([]time.Duration, n)
+	var tailPlane, tailChannel, tailCore time.Duration
+	col := make([]QueryStats, n)
+	for i := range sts {
+		for s := range col {
+			col[s] = perShard[s][i]
+		}
+		bd := sh.latency(db, sts[i], col, sc)
+		b.Serial += bd.Total
+		if i == 0 {
+			fill = bd.Total
+		}
+		b.EnergyJ += bd.EnergyJ - float64(n)*sh.cfg.IdlePower*bd.Total.Seconds()
+		for s, dev := range sh.shards {
+			p, c, co := dev.e.occupancy(db.locals[s], perShard[s][i], sc)
+			shardPlane[s] += p
+			shardChannel[s] += c
+			shardCore[s] += co
+		}
+		p, c, co := tailOccupancy(sh.cfg, db.lay.int8Bytes, db.Dim, sts[i])
+		tailPlane += p
+		tailChannel += c
+		tailCore += co
+	}
+	// The busiest shard bounds the scatter side; the tail's resources
+	// serialize on the router.
+	for s := 0; s < n; s++ {
+		if shardPlane[s] > b.PlaneBusy {
+			b.PlaneBusy = shardPlane[s]
+		}
+		if shardChannel[s] > b.ChannelBusy {
+			b.ChannelBusy = shardChannel[s]
+		}
+		if shardCore[s] > b.CoreBusy {
+			b.CoreBusy = shardCore[s]
+		}
+	}
+	b.PlaneBusy += tailPlane
+	b.ChannelBusy += tailChannel
+	b.CoreBusy += tailCore
+	b.Makespan = b.PlaneBusy
+	if b.ChannelBusy > b.Makespan {
+		b.Makespan = b.ChannelBusy
+	}
+	if b.CoreBusy > b.Makespan {
+		b.Makespan = b.CoreBusy
+	}
+	b.Makespan += fill
+	if b.Makespan > b.Serial {
+		b.Makespan = b.Serial
+	}
+	b.EnergyJ += float64(n) * sh.cfg.IdlePower * b.Makespan.Seconds()
+	if b.Makespan > 0 {
+		b.QPS = float64(b.Queries) / b.Makespan.Seconds()
+	}
+	return b, nil
+}
+
+// tailOccupancy decomposes the gather tail's busy time onto the plane
+// (TLC rerank/document waves), channel (INT8 and document bytes) and
+// core (rerank + quicksort) resources, mirroring the tail terms of
+// Engine.occupancy.
+func tailOccupancy(cfg ssd.Config, int8Bytes, dim int, st QueryStats) (plane, channel, core time.Duration) {
+	tTLC := cfg.Flash.ReadLatency(flash.ModeTLC)
+	docWaves := ceilDiv(st.DocPages, cfg.Geo.Planes())
+	plane = time.Duration(st.RerankWaves+docWaves) * tTLC
+	channel = bytesTime(float64(st.RerankCount*int8Bytes), cfg.Geo.InternalBandwidth()) +
+		bytesTime(float64(st.DocBytes), cfg.Geo.InternalBandwidth()) +
+		bytesTime(float64(st.DocBytes), cfg.HostReadBandwidth)
+	core = cfg.RerankTime(st.RerankCount, dim) + cfg.QuicksortTime(st.SortedEntries)
+	return plane, channel, core
+}
+
+// tailEnergyFor sums the per-event energies of the gather tail: TLC
+// page reads plus the INT8/document channel traffic.
+func tailEnergyFor(cfg ssd.Config, int8Bytes int, st QueryStats) float64 {
+	p := cfg.Flash
+	tlcPages := float64(st.RerankPages + st.DocPages)
+	xferBytes := float64(st.RerankCount*int8Bytes) + float64(st.DocBytes)
+	return tlcPages*p.EnergyReadPage + xferBytes*p.EnergyXferPerByte
+}

@@ -1,0 +1,195 @@
+package reis
+
+import (
+	"slices"
+
+	"reis/internal/vecmath"
+)
+
+// This file is the controller-side pipeline tail (steps 5-9 of
+// Fig 6): quickselect to the rerank pool, INT8 rescoring, quicksort,
+// and document retrieval. The tail is shared by the single-device
+// engine (pages live in its own regions) and the sharded router (the
+// gather side fetches each page from the shard that owns it) — the
+// tailSource interface is the only difference, so sharded results are
+// bit-identical to single-device results by construction.
+
+// tailScratch holds the tail's pooled working sets. Exactly one
+// goroutine owns a tailScratch at a time (the engine's execution lock
+// or the router's); everything handed back to the caller is freshly
+// allocated.
+type tailScratch struct {
+	q8         []int8
+	emb        []int8
+	reranked   []DocResult
+	groups     []pageIdx
+	planePages []int
+	pageBuf    []byte
+	oobBuf     []byte
+}
+
+// tailParams are the layout constants the tail needs; identical
+// between a single device and the shards built from the same plan.
+// planes is the *global* plane count — on a sharded host the union of
+// the member devices' planes — so wave accounting matches a single
+// device bit for bit.
+type tailParams struct {
+	int8Bytes   int
+	int8PerPage int
+	docsPerPage int
+	docBytes    int
+	planes      int
+	params      vecmath.Int8Params
+}
+
+// tailSource senses one page of the INT8 (rerank) or document region
+// and returns its data plus the global plane index it was read from
+// (for wave accounting). Implementations use ts.pageBuf/ts.oobBuf as
+// the backing buffers; the returned slice is valid until the next
+// read.
+type tailSource interface {
+	readRerankPage(ts *tailScratch, page int) ([]byte, int, error)
+	readDocPage(ts *tailScratch, page int) ([]byte, int, error)
+}
+
+// runTail executes the controller tail over a merged entry stream.
+// Working sets live in ts; only the returned results (and their
+// document bytes) are allocated.
+func runTail(src tailSource, ts *tailScratch, tp tailParams, query []float32, entries []TTLEntry, k int, opt SearchOptions, st *QueryStats) ([]DocResult, error) {
+	st.SelectInput += len(entries)
+	pool := k * RerankFactor
+	if pool > len(entries) {
+		pool = len(entries)
+	}
+	quickselectTTL(entries, pool)
+	cands := entries[:pool]
+
+	// Rerank: fetch INT8 embeddings by RADR, grouped by page so each
+	// page is sensed once. Grouping sorts a pooled (page, index) slice
+	// instead of building a map: iteration order becomes deterministic
+	// and the grouping is allocation-free.
+	q8 := tp.params.Int8Quantize(query, ts.q8)
+	ts.q8 = q8
+	groups := ts.groups[:0]
+	for i, c := range cands {
+		groups = append(groups, pageIdx{page: int(c.RADR) / tp.int8PerPage, idx: i})
+	}
+	slices.SortFunc(groups, cmpPageIdx)
+	ts.groups = groups
+
+	planePages := resizeInts(ts.planePages, tp.planes)
+	ts.planePages = planePages
+	reranked := ts.reranked[:0]
+	for gi := 0; gi < len(groups); {
+		page := groups[gi].page
+		data, plane, err := src.readRerankPage(ts, page)
+		if err != nil {
+			return nil, err
+		}
+		st.RerankPages++
+		planePages[plane]++
+		for ; gi < len(groups) && groups[gi].page == page; gi++ {
+			c := cands[groups[gi].idx]
+			slot := int(c.RADR) % tp.int8PerPage
+			emb := vecmath.UnpackInt8Bytes(data[slot*tp.int8Bytes:(slot+1)*tp.int8Bytes], ts.emb)
+			ts.emb = emb
+			d := vecmath.L2SquaredInt8(q8, emb)
+			reranked = append(reranked, DocResult{ID: int(c.DADR), Dist: float32(d)})
+		}
+	}
+	ts.reranked = reranked
+	for _, n := range planePages {
+		if n > st.RerankWaves {
+			st.RerankWaves = n
+		}
+	}
+	st.RerankCount += len(cands)
+
+	// Quicksort the reranked pool, keep top-k in a fresh caller-owned
+	// slice (the rerank scratch recycles across queries).
+	slices.SortFunc(reranked, cmpDocResult)
+	st.SortedEntries += len(reranked)
+	n := len(reranked)
+	if k < n {
+		n = k
+	}
+	out := make([]DocResult, n)
+	copy(out, reranked[:n])
+
+	if opt.SkipDocs {
+		return out, nil
+	}
+
+	// Document identification and retrieval (step 9): group DADRs by
+	// document page with the same sorted pooled grouping.
+	groups = groups[:0]
+	for i, r := range out {
+		groups = append(groups, pageIdx{page: r.ID / tp.docsPerPage, idx: i})
+	}
+	slices.SortFunc(groups, cmpPageIdx)
+	ts.groups = groups
+	for gi := 0; gi < len(groups); {
+		page := groups[gi].page
+		data, _, err := src.readDocPage(ts, page)
+		if err != nil {
+			return nil, err
+		}
+		st.DocPages++
+		for ; gi < len(groups) && groups[gi].page == page; gi++ {
+			i := groups[gi].idx
+			slot := out[i].ID % tp.docsPerPage
+			doc := make([]byte, tp.docBytes)
+			copy(doc, data[slot*tp.docBytes:(slot+1)*tp.docBytes])
+			out[i].Doc = doc
+			st.DocBytes += int64(tp.docBytes)
+		}
+	}
+	return out, nil
+}
+
+// engineTailSource reads tail pages from the engine's own regions.
+type engineTailSource struct {
+	e  *Engine
+	db *Database
+}
+
+func (s *engineTailSource) readRerankPage(ts *tailScratch, page int) ([]byte, int, error) {
+	geo := s.e.SSD.Cfg.Geo
+	addr, err := s.db.rec.Int8s.AddressOf(geo, page)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, oob, err := s.e.SSD.Dev.ReadPageInto(addr, ts.pageBuf, ts.oobBuf)
+	if err != nil {
+		return nil, 0, err
+	}
+	ts.pageBuf, ts.oobBuf = data, oob
+	return data, addr.PlaneIndex(geo), nil
+}
+
+func (s *engineTailSource) readDocPage(ts *tailScratch, page int) ([]byte, int, error) {
+	geo := s.e.SSD.Cfg.Geo
+	addr, err := s.db.rec.Documents.AddressOf(geo, page)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, oob, err := s.e.SSD.Dev.ReadPageInto(addr, ts.pageBuf, ts.oobBuf)
+	if err != nil {
+		return nil, 0, err
+	}
+	ts.pageBuf, ts.oobBuf = data, oob
+	return data, addr.PlaneIndex(geo), nil
+}
+
+// tailParams assembles the tail constants of a database under the
+// given global plane count.
+func (db *Database) tailParams(planes int) tailParams {
+	return tailParams{
+		int8Bytes:   db.int8Bytes,
+		int8PerPage: db.int8PerPage,
+		docsPerPage: db.docsPerPage,
+		docBytes:    db.docBytes,
+		planes:      planes,
+		params:      db.params,
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"reis/internal/flash"
+	"reis/internal/ssd"
 )
 
 // Scale magnifies a functionally scaled-down run to the paper's full
@@ -112,15 +113,26 @@ func (e *Engine) fineSurvivors(st QueryStats, sc Scale) float64 {
 }
 
 func (e *Engine) rerankTime(db *Database, st QueryStats) time.Duration {
-	cfg := e.SSD.Cfg
+	return rerankTimeFor(e.SSD.Cfg, db.int8Bytes, db.Dim, st)
+}
+
+// rerankTimeFor costs the INT8 fetch + rescore + quicksort stage under
+// an explicit device configuration (the sharded model costs the gather
+// tail with the single-device-equivalent config).
+func rerankTimeFor(cfg ssd.Config, int8Bytes, dim int, st QueryStats) time.Duration {
 	tTLC := cfg.Flash.ReadLatency(flash.ModeTLC)
-	xfer := bytesTime(float64(st.RerankCount*db.int8Bytes), cfg.Geo.InternalBandwidth())
+	xfer := bytesTime(float64(st.RerankCount*int8Bytes), cfg.Geo.InternalBandwidth())
 	return time.Duration(st.RerankWaves)*tTLC + xfer +
-		cfg.RerankTime(st.RerankCount, db.Dim) + cfg.QuicksortTime(st.SortedEntries)
+		cfg.RerankTime(st.RerankCount, dim) + cfg.QuicksortTime(st.SortedEntries)
 }
 
 func (e *Engine) docsTime(st QueryStats) time.Duration {
-	cfg := e.SSD.Cfg
+	return docsTimeFor(e.SSD.Cfg, st)
+}
+
+// docsTimeFor costs the document retrieval stage under an explicit
+// device configuration.
+func docsTimeFor(cfg ssd.Config, st QueryStats) time.Duration {
 	tTLC := cfg.Flash.ReadLatency(flash.ModeTLC)
 	docWaves := ceilDiv(st.DocPages, cfg.Geo.Planes())
 	return time.Duration(docWaves)*tTLC +

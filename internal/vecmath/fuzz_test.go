@@ -1,0 +1,72 @@
+package vecmath
+
+import (
+	"bytes"
+	"math/bits"
+	"testing"
+)
+
+// FuzzXorPopCountSlots checks the fused page kernel behind the
+// GEN_DIST_PAGE flash command against a naive per-byte reference: the
+// whole-buffer XOR must equal a ^ b everywhere, every requested slot's
+// fail-bit count must equal the byte-wise Hamming distance of that
+// slot, and aliasing dst over a must not change either. The committed
+// seed corpus (testdata/fuzz) covers word-aligned and ragged slot
+// sizes, zero-slot calls and full-page scans.
+func FuzzXorPopCountSlots(f *testing.F) {
+	f.Add([]byte("pages of packed binary embeddings"), []byte("query broadcast into the latches"), 8, 0, 3)
+	f.Add([]byte{0xFF, 0x00, 0xAA, 0x55, 0x0F, 0xF0, 0x99, 0x66, 0x01}, []byte{0x00, 0xFF, 0x55, 0xAA, 0xF0, 0x0F, 0x66, 0x99, 0x80}, 3, 1, 2)
+	f.Add([]byte{1, 2, 3}, []byte{4, 5, 6}, 1, 0, 0)
+	f.Add(bytes.Repeat([]byte{0xC3}, 64), bytes.Repeat([]byte{0x3C}, 64), 16, 2, 1)
+	f.Fuzz(func(t *testing.T, a, b []byte, slotBytes, firstSlot, nSlots int) {
+		n := min(len(a), len(b))
+		a, b = a[:n], b[:n]
+		sb := 1 + abs(slotBytes)%17 // 1..17: word-aligned and ragged tails
+		maxSlots := n / sb
+		fs, ns := 0, 0
+		if maxSlots > 0 {
+			fs = abs(firstSlot) % maxSlots
+			ns = abs(nSlots) % (maxSlots - fs + 1)
+		}
+		dst := make([]byte, n)
+		dists := make([]int, ns)
+		XorPopCountSlots(dst, a, b, sb, fs, ns, dists)
+
+		for i := range dst {
+			if dst[i] != a[i]^b[i] {
+				t.Fatalf("dst[%d] = %#x, want %#x (slotBytes=%d first=%d n=%d)",
+					i, dst[i], a[i]^b[i], sb, fs, ns)
+			}
+		}
+		for s := 0; s < ns; s++ {
+			want := 0
+			for i := (fs + s) * sb; i < (fs+s+1)*sb; i++ {
+				want += bits.OnesCount8(a[i] ^ b[i])
+			}
+			if dists[s] != want {
+				t.Fatalf("slot %d dist = %d, want %d (slotBytes=%d first=%d n=%d)",
+					s, dists[s], want, sb, fs, ns)
+			}
+		}
+
+		// Aliasing: dst may be a itself (the in-place latch XOR).
+		alias := append([]byte(nil), a...)
+		dists2 := make([]int, ns)
+		XorPopCountSlots(alias, alias, b, sb, fs, ns, dists2)
+		if !bytes.Equal(alias, dst) {
+			t.Fatalf("aliased XOR differs from out-of-place result")
+		}
+		for s := range dists2 {
+			if dists2[s] != dists[s] {
+				t.Fatalf("aliased slot %d dist = %d, want %d", s, dists2[s], dists[s])
+			}
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
