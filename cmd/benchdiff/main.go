@@ -1,0 +1,180 @@
+// Command benchdiff is the CI benchmark regression gate: it compares a
+// freshly generated `reisbench -json` report against the committed
+// BENCH_*.json baseline and fails (exit 1) when a deterministic metric
+// regressed:
+//
+//   - ModelQPS (the timing model's throughput — a pure function of the
+//     bit-identical device stats, so machine-independent) dropping more
+//     than -max-regress percent, or
+//   - AllocsPerOp (the zero-alloc query-path contract) increasing by
+//     more than -allocs-slack.
+//
+// Wall-clock metrics (WallQPS, NsPerOp) are reported but not enforced
+// by default — shared CI runners make them noisy; pass -wall to gate
+// on them too (same -max-regress bound).
+//
+// Usage:
+//
+//	go run ./cmd/reisbench -exp throughput -json /tmp/bench.json
+//	go run ./cmd/benchdiff -baseline BENCH_2026-07-29.json -current /tmp/bench.json
+//
+// Rows are matched by experiment id plus their identity fields
+// (Dataset, Mode, Batch, Depth, Shards, ...); experiments or rows
+// missing from the current report are skipped, so a partial CI run
+// gates only what it measured.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// report mirrors reisbench's -json document, with rows kept generic so
+// every experiment's row shape works.
+type report struct {
+	Experiments []struct {
+		ID   string           `json:"id"`
+		Rows []map[string]any `json:"rows"`
+	} `json:"experiments"`
+}
+
+// metricFields are enforced or informational; everything else in a row
+// is identity.
+var metricFields = map[string]bool{
+	"WallQPS": true, "ModelQPS": true, "ModelSerialQPS": true,
+	"ModelSpeedup": true, "NsPerOp": true, "AllocsPerOp": true,
+	"BytesPerOp": true, "AvgBatch": true,
+}
+
+// rowKey builds the match key of a row: the experiment id plus every
+// identity field, sorted for stability.
+func rowKey(exp string, row map[string]any) string {
+	var parts []string
+	for k, v := range row {
+		if metricFields[k] {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+	}
+	sort.Strings(parts)
+	return exp + "{" + strings.Join(parts, " ") + "}"
+}
+
+func num(row map[string]any, field string) (float64, bool) {
+	v, ok := row[field].(float64)
+	return v, ok
+}
+
+func index(r *report) map[string]map[string]any {
+	idx := make(map[string]map[string]any)
+	for _, e := range r.Experiments {
+		for _, row := range e.Rows {
+			idx[rowKey(e.ID, row)] = row
+		}
+	}
+	return idx
+}
+
+type options struct {
+	maxRegressPct float64
+	allocsSlack   float64
+	gateWall      bool
+}
+
+// diff returns the violations (enforced regressions) and notes
+// (informational drift) between the two reports.
+func diff(baseline, current *report, opt options) (violations, notes []string) {
+	base := index(baseline)
+	for _, e := range current.Experiments {
+		for _, row := range e.Rows {
+			key := rowKey(e.ID, row)
+			b, ok := base[key]
+			if !ok {
+				notes = append(notes, fmt.Sprintf("%s: no baseline row (new configuration?)", key))
+				continue
+			}
+			check := func(field string, enforce bool) {
+				cv, ok1 := num(row, field)
+				bv, ok2 := num(b, field)
+				if !ok1 || !ok2 || bv <= 0 {
+					return
+				}
+				dropPct := (bv - cv) / bv * 100
+				if dropPct > opt.maxRegressPct {
+					msg := fmt.Sprintf("%s: %s %.1f -> %.1f (-%.1f%%, limit %.0f%%)",
+						key, field, bv, cv, dropPct, opt.maxRegressPct)
+					if enforce {
+						violations = append(violations, msg)
+					} else {
+						notes = append(notes, msg)
+					}
+				}
+			}
+			check("ModelQPS", true)
+			check("WallQPS", opt.gateWall)
+			if ca, ok1 := num(row, "AllocsPerOp"); ok1 {
+				if ba, ok2 := num(b, "AllocsPerOp"); ok2 && ca > ba+opt.allocsSlack {
+					violations = append(violations, fmt.Sprintf(
+						"%s: AllocsPerOp %.3f -> %.3f (+%.3f, slack %.3f) — zero-alloc path regression",
+						key, ba, ca, ca-ba, opt.allocsSlack))
+				}
+			}
+		}
+	}
+	return violations, notes
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed BENCH_*.json baseline")
+	current := flag.String("current", "", "freshly generated reisbench -json report")
+	maxRegress := flag.Float64("max-regress", 25, "maximum allowed throughput regression, percent")
+	allocsSlack := flag.Float64("allocs-slack", 0, "maximum allowed allocs/op increase")
+	wall := flag.Bool("wall", false, "also gate wall-clock metrics (noisy on shared runners)")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+	b, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	c, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	violations, notes := diff(b, c, options{
+		maxRegressPct: *maxRegress,
+		allocsSlack:   *allocsSlack,
+		gateWall:      *wall,
+	})
+	for _, n := range notes {
+		fmt.Println("note:", n)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Println("FAIL:", v)
+		}
+		fmt.Printf("benchdiff: %d regression(s) against %s\n", len(violations), *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no regressions against %s\n", *baseline)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkReport(modelQPS, wallQPS, allocs float64) *report {
+	var r report
+	r.Experiments = []struct {
+		ID   string           `json:"id"`
+		Rows []map[string]any `json:"rows"`
+	}{
+		{ID: "throughput", Rows: []map[string]any{{
+			"Dataset": "NQ", "Mode": "IVF@np2", "Batch": float64(8),
+			"ModelQPS": modelQPS, "WallQPS": wallQPS, "AllocsPerOp": allocs,
+		}}},
+	}
+	return &r
+}
+
+func TestDiffPassesWithinTolerance(t *testing.T) {
+	base := mkReport(1000, 2000, 24.5)
+	cur := mkReport(900, 1200, 24.5) // -10% model, wall noisy but ungated
+	v, _ := diff(base, cur, options{maxRegressPct: 25})
+	if len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestDiffCatchesModelRegression(t *testing.T) {
+	v, _ := diff(mkReport(1000, 2000, 24.5), mkReport(700, 2000, 24.5), options{maxRegressPct: 25})
+	if len(v) != 1 || !strings.Contains(v[0], "ModelQPS") {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestDiffCatchesAllocIncrease(t *testing.T) {
+	v, _ := diff(mkReport(1000, 2000, 24.5), mkReport(1000, 2000, 25.5), options{maxRegressPct: 25})
+	if len(v) != 1 || !strings.Contains(v[0], "AllocsPerOp") {
+		t.Fatalf("violations: %v", v)
+	}
+	// Slack absorbs small drift.
+	v, _ = diff(mkReport(1000, 2000, 24.5), mkReport(1000, 2000, 25.5), options{maxRegressPct: 25, allocsSlack: 2})
+	if len(v) != 0 {
+		t.Fatalf("violations with slack: %v", v)
+	}
+}
+
+func TestDiffWallGateOptIn(t *testing.T) {
+	base, cur := mkReport(1000, 2000, 24.5), mkReport(1000, 1000, 24.5)
+	if v, _ := diff(base, cur, options{maxRegressPct: 25}); len(v) != 0 {
+		t.Fatalf("wall gated by default: %v", v)
+	}
+	if v, _ := diff(base, cur, options{maxRegressPct: 25, gateWall: true}); len(v) != 1 {
+		t.Fatalf("wall not gated with -wall: %v", v)
+	}
+}
+
+func TestDiffSkipsUnmatchedRows(t *testing.T) {
+	base := mkReport(1000, 2000, 24.5)
+	cur := mkReport(1000, 2000, 24.5)
+	cur.Experiments[0].Rows[0]["Batch"] = float64(64) // new configuration
+	v, notes := diff(base, cur, options{maxRegressPct: 25})
+	if len(v) != 0 || len(notes) != 1 {
+		t.Fatalf("violations %v notes %v", v, notes)
+	}
+}

@@ -6,7 +6,15 @@
 // With -shards N the same flow runs against a sharded topology of N
 // devices (results are bit-identical; see DESIGN.md).
 //
+// With -churn the tool then exercises online mutability end to end:
+// it appends the query vectors themselves as new documents (each query
+// must now retrieve its own appended chunk first), tombstones them
+// again (they must vanish), and runs the garbage collector, printing
+// the wear/erase accounting and verifying results survive compaction
+// bit for bit.
+//
 //	reisctl -n 4000 -queries 5 -k 3 -nprobe 8 -qdepth 16 -shards 2
+//	reisctl -n 3000 -queries 4 -churn
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"reflect"
 	"runtime"
 
 	"reis/internal/ann"
@@ -39,6 +48,7 @@ func main() {
 	device := flag.String("device", "ssd1", "device preset (ssd1|ssd2)")
 	qdepth := flag.Int("qdepth", 16, "submission queue depth")
 	shards := flag.Int("shards", 1, "simulated devices (scatter-gather when > 1)")
+	churn := flag.Bool("churn", false, "demo online mutability: append, delete, compact")
 	flag.Parse()
 
 	cfg := ssd.SSD1()
@@ -47,6 +57,10 @@ func main() {
 	}
 	cfg.Geo.BlocksPerPlane = 8
 	cfg.Geo.PagesPerBlock = 16
+	if *churn {
+		// Reserve append/GC headroom so deployed regions can grow.
+		cfg.OverprovisionPct = 100
+	}
 
 	log.Printf("generating %d x %d-dim corpus...", *n, *dim)
 	data := dataset.Generate(dataset.Config{
@@ -155,4 +169,89 @@ func main() {
 		*shards, cfg.Name, bd.Total, bd.IBC, bd.Coarse, bd.Fine, bd.Rerank, bd.Docs, bd.EnergyJ*1e6)
 	fmt.Printf("batched admission: %d queries in %v makespan (%.0f QPS, %.2fx over one-at-a-time)\n",
 		bb.Queries, bb.Makespan, bb.QPS, bb.Serial.Seconds()/bb.Makespan.Seconds())
+
+	if *churn {
+		runChurn(host, data, cents, *k, *nprobe)
+	}
+}
+
+// runChurn drives the online-mutability opcodes end to end: append
+// the query vectors as new documents, verify each query now retrieves
+// its own appended chunk, tombstone them again, and compact —
+// checking that results survive garbage collection bit for bit.
+func runChurn(host retrievalHost, data *dataset.Dataset, cents [][]float32, k, nprobe int) {
+	fmt.Println("\n-- online churn: append / delete / compact --")
+	search := func() reis.HostResponse {
+		resp, err := host.Submit(reis.HostCommand{
+			Opcode: reis.OpcodeIVFSearch, DBID: 1,
+			Queries: data.Queries, K: k, NProbe: nprobe,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return resp
+	}
+	// Append each query vector as a fresh document, assigned to its
+	// nearest centroid (the centroid set is immutable).
+	docs := make([][]byte, len(data.Queries))
+	assign := make([]int, len(data.Queries))
+	for i, q := range data.Queries {
+		docs[i] = fmt.Appendf(nil, "LIVE UPDATE %d: appended after deployment", i)
+		assign[i] = ann.NearestCentroid(cents, q)
+	}
+	resp, err := host.Submit(reis.HostCommand{
+		Opcode: reis.OpcodeAppend, DBID: 1,
+		Append: &reis.AppendConfig{Vectors: data.Queries, Docs: docs, Assign: assign},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := resp.AppendedIDs
+	fmt.Printf("appended %d items (ids %d..%d), %d pages programmed\n",
+		len(ids), ids[0], ids[len(ids)-1], resp.Wear.PagesProgrammed)
+	hits := 0
+	for qi, results := range search().Results {
+		if len(results) > 0 && results[0].ID == ids[qi] {
+			hits++
+		}
+	}
+	fmt.Printf("appended chunks retrieved first for %d/%d queries\n", hits, len(ids))
+
+	// Retract the appended items plus a third of the base corpus, so
+	// live ratios actually drop below the GC threshold.
+	del := append([]int{}, ids...)
+	for id := 0; id < data.Len(); id += 3 {
+		del = append(del, id)
+	}
+	if _, err := host.Submit(reis.HostCommand{
+		Opcode: reis.OpcodeDelete, DBID: 1, Del: &reis.DeleteConfig{IDs: del},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	tomb := make(map[int]bool, len(del))
+	for _, id := range del {
+		tomb[id] = true
+	}
+	before := search()
+	for _, results := range before.Results {
+		for _, r := range results {
+			if tomb[r.ID] {
+				log.Fatalf("deleted id %d surfaced", r.ID)
+			}
+		}
+	}
+	fmt.Printf("deleted %d items (%d appended + every 3rd base doc); none surface in a re-search\n",
+		len(del), len(ids))
+
+	resp, err = host.Submit(reis.HostCommand{
+		Opcode: reis.OpcodeCompact, DBID: 1, Compact: &reis.CompactConfig{MinLiveRatio: 0.9},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := resp.Wear
+	fmt.Printf("compacted %d GC rows: %d live entries copied forward, %d pages read, %d programmed, %d freed, %d block erases (max wear %d)\n",
+		w.CompactedRows, w.CopiedEntries, w.PagesRead, w.PagesProgrammed, w.FreedPages, w.BlockErases, w.MaxBlockErase)
+	after := search()
+	fmt.Printf("results identical across compaction: %v\n", reflect.DeepEqual(after.Results, before.Results))
 }

@@ -23,6 +23,18 @@
 // bit-identical to a single device over the same data (DESIGN.md,
 // "Sharded topology").
 //
+// Deployed databases are mutable online: OpcodeAppend writes new
+// items out-of-place into reserved free blocks (ssd.Config's
+// OverprovisionPct; ssd.ErrRegionFull on exhaustion), OpcodeDelete
+// tombstones entries in a controller-DRAM bitmap consulted by the
+// controller tail, and OpcodeCompact runs the explicit-quiesce
+// garbage collector — copying live entries forward in scan order,
+// erasing victim blocks, and reporting wear/erase counts in
+// HostResponse.Wear. Compaction provably preserves search results,
+// and every mutation is bit-identical between a sharded topology and
+// its single-device reference (DESIGN.md, "Mutability and garbage
+// collection").
+//
 // Runnable entry points are cmd/reisbench (regenerates every table and
 // figure of the paper, plus the throughput, queue-depth and shard
 // scale-out sweeps), cmd/reisctl (deploy + async search against a

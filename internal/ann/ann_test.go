@@ -104,7 +104,7 @@ func TestKMeansBasicProperties(t *testing.T) {
 func TestKMeansAssignsNearest(t *testing.T) {
 	cents, assign := KMeans(testData.Vectors, KMeansConfig{K: 8, Seed: 2})
 	for i, v := range testData.Vectors[:100] {
-		if got := nearestCentroid(cents, v); got != assign[i] {
+		if got := NearestCentroid(cents, v); got != assign[i] {
 			t.Fatalf("vector %d assigned %d but nearest is %d", i, assign[i], got)
 		}
 	}

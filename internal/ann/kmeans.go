@@ -63,7 +63,7 @@ func KMeans(vectors [][]float32, cfg KMeansConfig) (centroids [][]float32, assig
 			}
 		}
 		for i, v := range train {
-			best := nearestCentroid(centroids, v)
+			best := NearestCentroid(centroids, v)
 			if trainAssign[i] != best {
 				changed++
 				trainAssign[i] = best
@@ -93,7 +93,7 @@ func KMeans(vectors [][]float32, cfg KMeansConfig) (centroids [][]float32, assig
 
 	assign = make([]int, len(vectors))
 	for i, v := range vectors {
-		assign[i] = nearestCentroid(centroids, v)
+		assign[i] = NearestCentroid(centroids, v)
 	}
 	return centroids, assign
 }
@@ -137,7 +137,11 @@ func kmeansPlusPlusInit(train [][]float32, k, dim int, rng *xrand.RNG) [][]float
 	return centroids
 }
 
-func nearestCentroid(centroids [][]float32, v []float32) int {
+// NearestCentroid returns the index of the centroid closest to v
+// under squared L2 — the assignment rule KMeans itself uses, exported
+// so callers assigning new vectors to an existing centroid set (e.g.
+// IVF appends) cannot drift from it.
+func NearestCentroid(centroids [][]float32, v []float32) int {
 	best, bestDist := 0, vecmath.L2Squared(v, centroids[0])
 	for c := 1; c < len(centroids); c++ {
 		d := vecmath.L2Squared(v, centroids[c])

@@ -62,6 +62,11 @@ type Device struct {
 	// programmed in (soft partitioning). Written only during
 	// deployment; queries read it concurrently.
 	blockMode [][]CellMode
+	// eraseCount[planeIdx][block] is the per-block program/erase cycle
+	// count — the wear ledger garbage collection reports to the host.
+	// Counters are atomic so concurrent erases on different planes need
+	// no device lock.
+	eraseCount [][]atomic.Int64
 
 	// ECCBypass disables error injection entirely; REIS relies on
 	// SLC-ESP having zero raw BER instead, so this stays false in the
@@ -134,6 +139,10 @@ func NewDevice(geo Geometry, params Params) (*Device, error) {
 			d.blockMode[i][b] = ModeTLC
 		}
 	}
+	d.eraseCount = make([][]atomic.Int64, geo.Planes())
+	for i := range d.eraseCount {
+		d.eraseCount[i] = make([]atomic.Int64, geo.BlocksPerPlane)
+	}
 	return d, nil
 }
 
@@ -204,7 +213,27 @@ func (d *Device) EraseBlock(a Address) error {
 	}
 	p.mu.Unlock()
 	d.Stats.BlockErases.Add(1)
+	d.eraseCount[a.PlaneIndex(d.Geo)][a.Block].Add(1)
 	return nil
+}
+
+// EraseCount reports the program/erase cycles block a has seen.
+func (d *Device) EraseCount(a Address) int64 {
+	return d.eraseCount[a.PlaneIndex(d.Geo)][a.Block].Load()
+}
+
+// MaxEraseCount returns the highest per-block erase count on the
+// device — the wear-skew figure GC surfaces to the host.
+func (d *Device) MaxEraseCount() int64 {
+	var m int64
+	for p := range d.eraseCount {
+		for b := range d.eraseCount[p] {
+			if n := d.eraseCount[p][b].Load(); n > m {
+				m = n
+			}
+		}
+	}
+	return m
 }
 
 // ReadPage senses a page (user data + OOB) into the plane's sensing

@@ -150,6 +150,38 @@ func TestEraseBlock(t *testing.T) {
 	}
 }
 
+func TestEraseWearAccounting(t *testing.T) {
+	d := testDevice(t)
+	a := Address{Block: 1}
+	b := Address{Block: 2}
+	for i := 0; i < 3; i++ {
+		if err := d.EraseBlock(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.EraseBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.EraseCount(a); got != 3 {
+		t.Fatalf("EraseCount(a) = %d, want 3", got)
+	}
+	if got := d.EraseCount(b); got != 1 {
+		t.Fatalf("EraseCount(b) = %d, want 1", got)
+	}
+	if got := d.EraseCount(Address{Block: 3}); got != 0 {
+		t.Fatalf("EraseCount(untouched) = %d, want 0", got)
+	}
+	if got := d.MaxEraseCount(); got != 3 {
+		t.Fatalf("MaxEraseCount = %d, want 3", got)
+	}
+	// Wear is a lifetime ledger: ResetStats clears event counters but
+	// not per-block cycle counts.
+	d.ResetStats()
+	if got := d.MaxEraseCount(); got != 3 {
+		t.Fatalf("MaxEraseCount after ResetStats = %d, want 3", got)
+	}
+}
+
 func TestCellModePartitioning(t *testing.T) {
 	d := testDevice(t)
 	a := Address{Block: 0}

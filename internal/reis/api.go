@@ -8,14 +8,20 @@ import (
 
 // The NVM command set reserves opcodes 80h-FFh for vendor-specific
 // commands (Sec 4.4.1); REIS claims four of them for the Table 1 API.
-// OpcodeScan is this repository's extension for the sharded topology:
-// the scatter operand a shard router sends to each member device.
+// OpcodeScan is this repository's extension for the sharded topology
+// (the scatter operand a shard router sends to each member device);
+// OpcodeAppend/OpcodeDelete/OpcodeCompact are the online-mutability
+// extension (out-of-place appends, tombstone deletes, and the
+// explicit-quiesce garbage collector — see mutate.go and DESIGN.md).
 const (
 	OpcodeDBDeploy  uint8 = 0x80
 	OpcodeIVFDeploy uint8 = 0x81
 	OpcodeSearch    uint8 = 0x82
 	OpcodeIVFSearch uint8 = 0x83
 	OpcodeScan      uint8 = 0x84
+	OpcodeAppend    uint8 = 0x85
+	OpcodeDelete    uint8 = 0x86
+	OpcodeCompact   uint8 = 0x87
 )
 
 // Sentinel errors of the host interface. Submission paths wrap them
@@ -46,6 +52,19 @@ var (
 	// start) or reaches beyond the addressed region. The empty
 	// sentinel (First 0, Last -1) is always valid.
 	ErrBadScanRange = errors.New("reis: scan segment out of range")
+	// ErrNoItems: an OpcodeAppend/OpcodeDelete command with an empty
+	// item list.
+	ErrNoItems = errors.New("reis: mutation command without items")
+	// ErrBadAssign: an append's cluster assignment is missing,
+	// superfluous (flat database) or out of range.
+	ErrBadAssign = errors.New("reis: append cluster assignment mismatch")
+	// ErrUnknownID: a delete names an id that was never issued, is
+	// already tombstoned, or repeats within the command. The whole
+	// delete is rejected.
+	ErrUnknownID = errors.New("reis: unknown or already-deleted id")
+	// ErrBadThreshold: an OpcodeCompact live-ratio threshold outside
+	// [0, 1].
+	ErrBadThreshold = errors.New("reis: compact live-ratio threshold out of range")
 )
 
 // HostCommand is one vendor-specific NVMe command as the host driver
@@ -73,6 +92,12 @@ type HostCommand struct {
 	// command (K and NProbe are unused: selection happens on the
 	// gather side).
 	Scan *ScanConfig
+
+	// Append / Del / Compact carry the mutation payloads of the
+	// matching opcodes (DBID addresses the database).
+	Append  *AppendConfig
+	Del     *DeleteConfig
+	Compact *CompactConfig
 }
 
 // SlotRange is one inclusive range of region slot positions. The empty
@@ -153,6 +178,49 @@ func (cmd *HostCommand) validate() error {
 			}
 		}
 		return cmd.checkQueryDims()
+	case OpcodeAppend:
+		a := cmd.Append
+		if a == nil {
+			return fmt.Errorf("%w (opcode %#x)", ErrMissingPayload, cmd.Opcode)
+		}
+		if len(a.Vectors) == 0 {
+			return ErrNoItems
+		}
+		if len(a.Docs) != len(a.Vectors) {
+			return fmt.Errorf("%w (append with %d docs for %d vectors)", ErrMissingPayload, len(a.Docs), len(a.Vectors))
+		}
+		if a.MetaTags != nil && len(a.MetaTags) != len(a.Vectors) {
+			return fmt.Errorf("%w (append with %d meta tags for %d vectors)", ErrMissingPayload, len(a.MetaTags), len(a.Vectors))
+		}
+		dim := len(a.Vectors[0])
+		for i, v := range a.Vectors {
+			if len(v) != dim {
+				return fmt.Errorf("%w (append vector 0 has dim %d, vector %d has dim %d)",
+					ErrQueryDims, dim, i, len(v))
+			}
+		}
+		return nil
+	case OpcodeDelete:
+		if cmd.Del == nil {
+			return fmt.Errorf("%w (opcode %#x)", ErrMissingPayload, cmd.Opcode)
+		}
+		if len(cmd.Del.IDs) == 0 {
+			return ErrNoItems
+		}
+		for _, id := range cmd.Del.IDs {
+			if id < 0 {
+				return fmt.Errorf("%w (%d)", ErrUnknownID, id)
+			}
+		}
+		return nil
+	case OpcodeCompact:
+		if cmd.Compact == nil {
+			return fmt.Errorf("%w (opcode %#x)", ErrMissingPayload, cmd.Opcode)
+		}
+		if r := cmd.Compact.MinLiveRatio; r < 0 || r > 1 {
+			return fmt.Errorf("%w (%g)", ErrBadThreshold, r)
+		}
+		return nil
 	default:
 		return fmt.Errorf("%w %#x", ErrUnknownOpcode, cmd.Opcode)
 	}
@@ -232,6 +300,14 @@ type HostResponse struct {
 	// these plus the gather-side controller tail; feed both to
 	// ShardedEngine.Latency / BatchLatency.
 	PerShard [][]QueryStats
+
+	// AppendedIDs are the entry ids an OpcodeAppend command assigned
+	// (AppendedIDs[i] is Vectors[i]'s id); nil otherwise.
+	AppendedIDs []int
+	// Wear reports the flash cost of a mutation command (programs,
+	// GC reads, block erases, wear skew); nil for non-mutation
+	// commands.
+	Wear *WearStats
 }
 
 // ShardStats extracts one query's per-shard stats column
@@ -298,6 +374,22 @@ func (e *Engine) executeCmd(ctx context.Context, cmd *HostCommand) (HostResponse
 		return HostResponse{Done: err == nil}, err
 	case OpcodeScan:
 		return e.executeScan(ctx, cmd)
+	case OpcodeAppend, OpcodeDelete, OpcodeCompact:
+		db, err := e.db(cmd.DBID)
+		if err != nil {
+			return HostResponse{}, err
+		}
+		if db.mut == nil {
+			return HostResponse{}, fmt.Errorf("reis: database %d is a shard slice (mutate through its router)", cmd.DBID)
+		}
+		resp, err := executeMutation(db.mut, engineMutTarget{e: e, db: db}, cmd)
+		if err == nil {
+			// The scan bound follows the live extent, and recorded
+			// nprobe calibrations no longer cover the mutated corpus.
+			db.regionSlots = db.mut.tailSlots
+			db.calib = nil
+		}
+		return resp, err
 	default:
 		results, sts, err := e.executeSearch(ctx, cmd, cmd.Queries)
 		if err != nil {
@@ -308,6 +400,37 @@ func (e *Engine) executeCmd(ctx context.Context, cmd *HostCommand) (HostResponse
 			resp.Stats.Add(st)
 		}
 		return resp, nil
+	}
+}
+
+// executeMutation serves one validated mutation command against a
+// database's mutable ledger and physical target — shared by the
+// single-device engine and the sharded router, which is what makes
+// their outcomes bit-identical. The caller invalidates calibration on
+// success.
+func executeMutation(m *mutState, t mutTarget, cmd *HostCommand) (HostResponse, error) {
+	switch cmd.Opcode {
+	case OpcodeAppend:
+		ids, wear, err := mutAppend(m, t, cmd.Append)
+		if err != nil {
+			return HostResponse{}, err
+		}
+		return HostResponse{Done: true, AppendedIDs: ids, Wear: wear}, nil
+	case OpcodeDelete:
+		if err := mutDelete(m, cmd.Del.IDs); err != nil {
+			return HostResponse{}, err
+		}
+		wear := &WearStats{}
+		if _, w, err := t.eraseBinPages(0); err == nil {
+			wear.MaxBlockErase = w
+		}
+		return HostResponse{Done: true, Wear: wear}, nil
+	default: // OpcodeCompact
+		wear, err := mutCompact(m, t, cmd.Compact.MinLiveRatio)
+		if err != nil {
+			return HostResponse{}, err
+		}
+		return HostResponse{Done: true, Wear: wear}, nil
 	}
 }
 

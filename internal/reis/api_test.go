@@ -38,6 +38,20 @@ func TestHostCommandValidationSentinels(t *testing.T) {
 			Scan: &ScanConfig{Segs: make([][]SlotRange, 2)}}, ErrQueryDims},
 		{"scan-negative-range", HostCommand{Opcode: OpcodeScan, DBID: 1, Queries: queries[:1],
 			Scan: &ScanConfig{Segs: [][]SlotRange{{{First: -5, Last: 10}}}}}, ErrBadScanRange},
+		{"append-missing-payload", HostCommand{Opcode: OpcodeAppend, DBID: 1}, ErrMissingPayload},
+		{"append-no-items", HostCommand{Opcode: OpcodeAppend, DBID: 1, Append: &AppendConfig{}}, ErrNoItems},
+		{"append-docs-mismatch", HostCommand{Opcode: OpcodeAppend, DBID: 1,
+			Append: &AppendConfig{Vectors: queries}}, ErrMissingPayload},
+		{"append-tags-mismatch", HostCommand{Opcode: OpcodeAppend, DBID: 1,
+			Append: &AppendConfig{Vectors: queries[:1], Docs: [][]byte{{1}}, MetaTags: []uint8{1, 2}}}, ErrMissingPayload},
+		{"append-ragged-dims", HostCommand{Opcode: OpcodeAppend, DBID: 1,
+			Append: &AppendConfig{Vectors: raggedQueries, Docs: [][]byte{{1}, {2}}}}, ErrQueryDims},
+		{"delete-missing-payload", HostCommand{Opcode: OpcodeDelete, DBID: 1}, ErrMissingPayload},
+		{"delete-no-items", HostCommand{Opcode: OpcodeDelete, DBID: 1, Del: &DeleteConfig{}}, ErrNoItems},
+		{"delete-negative-id", HostCommand{Opcode: OpcodeDelete, DBID: 1, Del: &DeleteConfig{IDs: []int{3, -1}}}, ErrUnknownID},
+		{"compact-missing-payload", HostCommand{Opcode: OpcodeCompact, DBID: 1}, ErrMissingPayload},
+		{"compact-bad-threshold", HostCommand{Opcode: OpcodeCompact, DBID: 1,
+			Compact: &CompactConfig{MinLiveRatio: -0.1}}, ErrBadThreshold},
 	}
 
 	e := newEngine(t, AllOptions())

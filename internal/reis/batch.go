@@ -220,7 +220,11 @@ func (e *Engine) searchBatch(ctx context.Context, db *Database, queries [][]floa
 		return nil, nil, err
 	}
 	segs := make([][]scanSeg, len(queries))
-	whole := []scanSeg{{first: 0, last: db.regionSlots - 1}}
+	whole := e.scr.flatSegs[:0]
+	for _, r := range db.flatSegs() {
+		whole = append(whole, scanSeg{first: r.First, last: r.Last})
+	}
+	e.scr.flatSegs = whole
 	for i := range segs {
 		segs[i] = whole
 	}
@@ -326,11 +330,9 @@ func (e *Engine) ivfSearchBatchPacked(ctx context.Context, db *Database, queries
 			np = len(cents)
 		}
 		for _, c := range cents[:np] {
-			ent := db.rivf[c.Pos]
-			if ent.First < 0 {
-				continue // empty cluster
+			for _, r := range db.clusterSegs(c.Pos) {
+				fineSegs[qi] = append(fineSegs[qi], scanSeg{first: r.First, last: r.Last})
 			}
-			fineSegs[qi] = append(fineSegs[qi], scanSeg{first: ent.First, last: ent.Last})
 		}
 	}
 

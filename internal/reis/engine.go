@@ -114,8 +114,15 @@ type Database struct {
 
 	// calib records successful CalibrateNProbe outcomes so the
 	// TargetRecall operand of IVF_Search commands can be resolved to a
-	// concrete nprobe (see resolveSearchOptions).
+	// concrete nprobe (see resolveSearchOptions). Any mutation
+	// invalidates it: recall targets are only guaranteed against the
+	// corpus they were calibrated on.
 	calib []recallPoint
+
+	// mut is the mutable-state ledger (posting-list segments, tombstone
+	// bitmap, GC row accounting) of a whole-layout deploy; nil for a
+	// shard slice, which is mutated through its router.
+	mut *mutState
 }
 
 // recallPoint is one recorded calibration outcome: the smallest nprobe
@@ -269,7 +276,7 @@ func (e *Engine) deploy(cfg DeployConfig) (*Database, error) {
 	if _, ok := e.dbs[cfg.ID]; ok {
 		return nil, fmt.Errorf("reis: database %d already deployed", cfg.ID)
 	}
-	lo, err := planLayout(&cfg, e.SSD.Cfg.Geo)
+	lo, err := planLayout(&cfg, e.SSD.Cfg.Geo, e.SSD.Cfg.OverprovisionPct)
 	if err != nil {
 		return nil, err
 	}
@@ -312,12 +319,18 @@ func (e *Engine) install(id int, lo *dbLayout, items *layoutItems, start, stride
 		params:          lo.params,
 		filterThreshold: lo.filterThreshold,
 	}
-	alloc := func(pages int, mode flash.CellMode, what string) (ssd.Region, error) {
+	// Every shard reserves capacity for the same number of stripes the
+	// single-device-equivalent extent spans, so growth and GC erase the
+	// same block-rows on every topology (planes per global stripe =
+	// local planes × stride).
+	localPlanes := e.SSD.Cfg.Geo.Planes()
+	alloc := func(pages, capPages int, mode flash.CellMode, what string) (ssd.Region, error) {
 		n := shardPages(pages, start, stride)
-		if n == 0 {
+		localCap := ceilDiv(capPages, localPlanes*stride) * localPlanes
+		if n == 0 && localCap == 0 {
 			return ssd.Region{}, nil
 		}
-		r, err := e.SSD.AllocateRegion(n, mode)
+		r, err := e.SSD.AllocateRegion(n, localCap, mode)
 		if err != nil {
 			return ssd.Region{}, fmt.Errorf("reis: %s region: %w", what, err)
 		}
@@ -325,16 +338,16 @@ func (e *Engine) install(id int, lo *dbLayout, items *layoutItems, start, stride
 	}
 	var err error
 	var embR, int8R, docR, centR ssd.Region
-	if embR, err = alloc(lo.embPages, flash.ModeSLCESP, "embedding"); err != nil {
+	if embR, err = alloc(lo.embPages, lo.embCap, flash.ModeSLCESP, "embedding"); err != nil {
 		return nil, err
 	}
-	if centR, err = alloc(lo.centPages, flash.ModeSLCESP, "centroid"); err != nil {
+	if centR, err = alloc(lo.centPages, lo.centPages, flash.ModeSLCESP, "centroid"); err != nil {
 		return nil, err
 	}
-	if int8R, err = alloc(lo.int8Pages, flash.ModeTLC, "INT8"); err != nil {
+	if int8R, err = alloc(lo.int8Pages, lo.int8Cap, flash.ModeTLC, "INT8"); err != nil {
 		return nil, err
 	}
-	if docR, err = alloc(lo.docPages, flash.ModeTLC, "document"); err != nil {
+	if docR, err = alloc(lo.docPages, lo.docCap, flash.ModeTLC, "document"); err != nil {
 		return nil, err
 	}
 	db.rec = ssd.DBRecord{
@@ -364,6 +377,7 @@ func (e *Engine) install(id int, lo *dbLayout, items *layoutItems, start, stride
 		// reads them; the layout's metaTags exist for that encoding.)
 		db.rivf = lo.rivf
 		db.regionSlots = lo.regionSlots
+		db.mut = newMutState(lo, e.SSD.Cfg.Geo)
 	} else {
 		// A shard serves explicit scan ranges from the router; its
 		// local slot count covers the owned pages only, and the global
@@ -506,6 +520,53 @@ func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // ThresholdFor reports the calibrated distance-filter threshold.
 func (db *Database) ThresholdFor() int { return db.filterThreshold }
+
+// Live returns the number of live (not tombstoned) entries; for a
+// shard slice it falls back to the local slot bound.
+func (db *Database) Live() int {
+	if db.mut == nil {
+		return db.regionSlots
+	}
+	return db.mut.live
+}
+
+// flatSegs returns the brute-force scan plan: the database's live
+// slot ranges in scan order. A shard slice (no mutable ledger) serves
+// its whole local region.
+func (db *Database) flatSegs() []SlotRange {
+	if db.mut != nil {
+		return db.mut.flatPlan
+	}
+	return []SlotRange{{First: 0, Last: db.regionSlots - 1}}
+}
+
+// clusterSegs returns cluster c's posting list (nil when empty). Only
+// whole-layout IVF databases reach this path, so mut is non-nil.
+func (db *Database) clusterSegs(c int) []SlotRange { return db.mut.buckets[c] }
+
+// tomb returns the tombstone bitmap consulted by the controller tail,
+// or nil when nothing is deleted.
+func (db *Database) tombstones() []uint64 {
+	if db.mut == nil || db.mut.deadCount == 0 {
+		return nil
+	}
+	return db.mut.tomb
+}
+
+// Append implements the OpcodeAppend host command synchronously,
+// returning the assigned entry ids.
+func (e *Engine) Append(dbID int, cfg AppendConfig) ([]int, error) {
+	return submitAppend(e, dbID, cfg)
+}
+
+// Delete implements the OpcodeDelete host command synchronously.
+func (e *Engine) Delete(dbID int, ids ...int) error { return submitDelete(e, dbID, ids) }
+
+// Compact implements the OpcodeCompact host command synchronously —
+// the explicit quiesce point at which garbage collection may run.
+func (e *Engine) Compact(dbID int, minLiveRatio float64) (WearStats, error) {
+	return submitCompact(e, dbID, minLiveRatio)
+}
 
 // Record exposes the R-DB record (for tests and tools).
 func (db *Database) Record() ssd.DBRecord { return db.rec }

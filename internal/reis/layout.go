@@ -43,6 +43,19 @@ type dbLayout struct {
 	// Region sizes in pages.
 	embPages, int8Pages, docPages, centPages int
 
+	// Planned region capacities in pages: the live plan plus the
+	// configured overprovisioning. The capacity plan is part of the
+	// global layout — geometry-independent apart from page size — so a
+	// mutation hits ErrRegionFull at the same point on every topology
+	// deployed from the same plan.
+	embCap, int8Cap, docCap int
+
+	// ppb is the flash pages-per-block constant the layout was planned
+	// under: the garbage collector's row granularity (a GC row is ppb
+	// consecutive region pages, so victim selection is identical across
+	// topologies sharing the block shape).
+	ppb int
+
 	rivf            []RIVFEntry
 	params          vecmath.Int8Params
 	filterThreshold int
@@ -50,9 +63,9 @@ type dbLayout struct {
 }
 
 // planLayout validates the deployment and computes its placement plan
-// under the given flash geometry. cfg.DocSlotBytes is defaulted in
-// place.
-func planLayout(cfg *DeployConfig, geo flash.Geometry) (*dbLayout, error) {
+// under the given flash geometry; overprovisionPct reserves append/GC
+// headroom per mutable region. cfg.DocSlotBytes is defaulted in place.
+func planLayout(cfg *DeployConfig, geo flash.Geometry, overprovisionPct int) (*dbLayout, error) {
 	n := len(cfg.Vectors)
 	if n == 0 {
 		return nil, fmt.Errorf("reis: deploy of empty database")
@@ -127,6 +140,10 @@ func planLayout(cfg *DeployConfig, geo flash.Geometry) (*dbLayout, error) {
 	lo.embPages = ceilDiv(len(order), lo.embPerPage)
 	lo.int8Pages = ceilDiv(n, lo.int8PerPage)
 	lo.docPages = ceilDiv(n, lo.docsPerPage)
+	lo.embCap = withHeadroom(lo.embPages, overprovisionPct)
+	lo.int8Cap = withHeadroom(lo.int8Pages, overprovisionPct)
+	lo.docCap = withHeadroom(lo.docPages, overprovisionPct)
+	lo.ppb = geo.PagesPerBlock
 	if len(cfg.Centroids) > 0 {
 		lo.centPages = ceilDiv(len(cfg.Centroids), lo.embPerPage)
 		lo.rivf = buildRIVF(cfg.Assign, order, len(cfg.Centroids))
@@ -183,6 +200,11 @@ func (lo *dbLayout) buildItems(cfg *DeployConfig) *layoutItems {
 		}
 	}
 	return it
+}
+
+// withHeadroom returns pages grown by pct percent (rounded up).
+func withHeadroom(pages, pct int) int {
+	return pages + ceilDiv(pages*pct, 100)
 }
 
 // shardPages returns how many of pages global region pages shard s of

@@ -1,0 +1,868 @@
+package reis
+
+import (
+	"fmt"
+
+	"reis/internal/flash"
+	"reis/internal/ssd"
+	"reis/internal/vecmath"
+)
+
+// This file implements online mutability: OpcodeAppend writes new
+// items out-of-place into the regions' reserved free blocks (extending
+// the layout's page plan), OpcodeDelete tombstones entries in a
+// controller-DRAM bitmap consulted by the controller tail, and
+// OpcodeCompact is the explicit-quiesce garbage collector — it detects
+// GC rows whose live ratio dropped below a threshold, copies every
+// live entry forward into a canonically rebuilt binary region, erases
+// the old extent via flash.EraseBlock, and commits the coarse-grained
+// FTL remap (region bounds in the R-DB).
+//
+// Two-level split, mirroring planLayout/install:
+//
+//   - mutState is the geometry-independent half: per-cluster segment
+//     lists (the scan plan), the tombstone bitmap, the id→position
+//     map, per-GC-row live/dead counts, and the planned region
+//     capacities. Every decision — append placement, victim
+//     detection, the compacted layout — is a pure function of this
+//     state, so the same mutation history yields the same logical
+//     outcome on every topology (single device or any shard count).
+//   - mutTarget is the physical half: page reads/programs, extent
+//     resizes and block erases. The single-device engine applies them
+//     to its own regions; the sharded router routes each global page
+//     to the shard that owns it (page g → shard g mod N, local page
+//     g / N), which makes sharded mutation bit-identical to the
+//     N-times-channels reference device by construction.
+//
+// Order preservation. Appends allocate page-aligned slot runs at the
+// region tail, per cluster in ascending cluster order, so the scan
+// order within every cluster stays ascending by id. Compaction rebuilds
+// the region in exactly that order (clusters ascending, live entries in
+// scan order), so the merged TTL entry sequence a query sees — and
+// therefore every search result — is unchanged by compaction; only
+// page/wave stats shrink. See DESIGN.md, "Mutability and garbage
+// collection".
+
+// AppendConfig is the payload of an OpcodeAppend command: new items
+// written out-of-place into the database's reserved free blocks.
+type AppendConfig struct {
+	// Vectors are the new embeddings (host precision, database dim).
+	// INT8 rerank copies are quantized under the scale calibrated at
+	// deployment (vecmath.ComputeInt8Params over the deploy corpus):
+	// components whose magnitude exceeds the deploy corpus' maximum
+	// saturate at ±127, degrading rerank precision for such items —
+	// redeploy (or compact into a fresh deployment) when the data
+	// distribution shifts beyond the calibrated range.
+	Vectors [][]float32
+	// Docs are the linked document chunks; Docs[i] belongs to
+	// Vectors[i] and must fit the database's doc slot size.
+	Docs [][]byte
+	// Assign maps each item to an IVF cluster (required for IVF
+	// databases, forbidden for flat ones). Appends extend the cluster's
+	// posting list; the centroid set itself is immutable.
+	Assign []int
+	// MetaTags optionally tags each item for metadata filtering.
+	MetaTags []uint8
+}
+
+// DeleteConfig is the payload of an OpcodeDelete command.
+type DeleteConfig struct {
+	// IDs are the entry ids to tombstone (as reported by DocResult.ID
+	// and HostResponse.AppendedIDs). Deleting an unknown or already-
+	// deleted id fails the whole command with ErrUnknownID; no partial
+	// deletion is applied.
+	IDs []int
+}
+
+// CompactConfig is the payload of an OpcodeCompact command — the
+// explicit quiesce point at which the garbage collector may run.
+type CompactConfig struct {
+	// MinLiveRatio is the GC trigger: compaction runs when any GC row
+	// holds deleted entries and its live/(live+deleted) ratio is below
+	// this threshold. 0 means the default of 0.5; values outside [0, 1]
+	// are rejected with ErrBadThreshold.
+	MinLiveRatio float64
+}
+
+// defaultMinLiveRatio is the GC threshold used when CompactConfig
+// leaves MinLiveRatio zero.
+const defaultMinLiveRatio = 0.5
+
+// WearStats reports the flash cost of one mutation command: pages
+// programmed (appends and GC copy-forward), pages read back by the
+// collector, blocks erased, and the device's resulting wear skew.
+type WearStats struct {
+	// PagesProgrammed counts flash page programs issued by the command.
+	PagesProgrammed int
+	// PagesRead counts page reads the collector issued to gather live
+	// entries.
+	PagesRead int
+	// BlockErases counts flash block erases (summed across shards on a
+	// sharded host — equal to the single-device reference).
+	BlockErases int
+	// MaxBlockErase is the highest per-block erase count on the device
+	// after the command (the wear-leveling skew figure).
+	MaxBlockErase int64
+	// CompactedRows is the number of GC rows whose live ratio was below
+	// the threshold (0 means the command was a no-op).
+	CompactedRows int
+	// CopiedEntries is the number of live entries copied forward.
+	CopiedEntries int
+	// FreedPages is the net shrink of the binary region's live extent.
+	FreedPages int
+}
+
+// submitter is the synchronous command surface the convenience
+// wrappers build on; Engine and ShardedEngine both provide it.
+type submitter interface {
+	Submit(HostCommand) (HostResponse, error)
+}
+
+// submitAppend / submitDelete / submitCompact are the shared bodies of
+// the hosts' Append/Delete/Compact wrappers, so the wrapper shape
+// cannot drift between topologies.
+func submitAppend(h submitter, dbID int, cfg AppendConfig) ([]int, error) {
+	resp, err := h.Submit(HostCommand{Opcode: OpcodeAppend, DBID: dbID, Append: &cfg})
+	return resp.AppendedIDs, err
+}
+
+func submitDelete(h submitter, dbID int, ids []int) error {
+	_, err := h.Submit(HostCommand{Opcode: OpcodeDelete, DBID: dbID, Del: &DeleteConfig{IDs: ids}})
+	return err
+}
+
+func submitCompact(h submitter, dbID int, minLiveRatio float64) (WearStats, error) {
+	resp, err := h.Submit(HostCommand{Opcode: OpcodeCompact, DBID: dbID, Compact: &CompactConfig{MinLiveRatio: minLiveRatio}})
+	if err != nil || resp.Wear == nil {
+		return WearStats{}, err
+	}
+	return *resp.Wear, err
+}
+
+// mutLayout carries the layout constants mutation logic needs —
+// identical on every topology deployed from the same plan.
+type mutLayout struct {
+	dim         int
+	slotBytes   int
+	embPerPage  int
+	int8Bytes   int
+	int8PerPage int
+	docBytes    int
+	docsPerPage int
+	pageBytes   int
+	oobBytes    int
+	ppb         int // GC row granularity: pages per flash block
+	nlist       int // 0 for flat
+	params      vecmath.Int8Params
+}
+
+// mutState is the geometry-independent mutable metadata of one
+// deployed database. It lives in controller DRAM next to the R-IVF
+// table; the execMu holder of the owning host is its single writer.
+type mutState struct {
+	lay mutLayout
+
+	// buckets[c] is cluster c's posting list: the binary-region slot
+	// ranges scanned for the cluster, in scan (ascending-id) order.
+	// nil for flat databases.
+	buckets [][]SlotRange
+
+	// flatPlan is the brute-force scan plan: the live slot ranges of
+	// the whole binary region in position order — the deployed extent
+	// plus one range per append batch (batch ranges bridge the
+	// page-padding gaps between clusters, which scan as skipped
+	// invalid-DADR slots). Both flat and IVF databases keep one: a
+	// Search command on an IVF database scans everything.
+	flatPlan []SlotRange
+
+	// tailSlots is the first free binary slot; appends allocate
+	// page-aligned runs from here. binPages is the live extent.
+	tailSlots int
+	binPages  int
+
+	// int8Slots/docSlots are the next append positions of the rerank
+	// and document regions (RADR / DADR address spaces); ids are doc
+	// slots, so appended ids continue page-aligned after the last
+	// batch.
+	int8Slots, int8Pages int
+	docSlots, docPages   int
+
+	// Planned capacities (global pages) from the layout: the logical
+	// append bound, checked before any physical write so ErrRegionFull
+	// strikes at the same point on every topology.
+	capBin, capInt8, capDoc int
+
+	// tomb is the tombstone bitmap, indexed by id; posOf maps ids to
+	// their binary slot position (-1: never issued or compacted away
+	// with its tombstone).
+	tomb  []uint64
+	posOf []int32
+
+	// rowLive/rowDead count live and tombstoned entries per GC row
+	// (ppb consecutive binary-region pages) — the victim detector's
+	// input. Padding slots count in neither.
+	rowLive, rowDead []int
+
+	live      int // live entries
+	deadCount int // tombstoned, not yet collected
+}
+
+// newMutState derives the initial mutable metadata from a layout plan.
+func newMutState(lo *dbLayout, geo flash.Geometry) *mutState {
+	m := &mutState{
+		lay: mutLayout{
+			dim:         lo.dim,
+			slotBytes:   lo.slotBytes,
+			embPerPage:  lo.embPerPage,
+			int8Bytes:   lo.int8Bytes,
+			int8PerPage: lo.int8PerPage,
+			docBytes:    lo.docBytes,
+			docsPerPage: lo.docsPerPage,
+			pageBytes:   geo.PageBytes,
+			oobBytes:    geo.OOBBytes,
+			ppb:         lo.ppb,
+			nlist:       len(lo.rivf),
+			params:      lo.params,
+		},
+		tailSlots: lo.regionSlots,
+		binPages:  lo.embPages,
+		int8Slots: lo.n,
+		int8Pages: lo.int8Pages,
+		docSlots:  lo.n,
+		docPages:  lo.docPages,
+		capBin:    lo.embCap,
+		capInt8:   lo.int8Cap,
+		capDoc:    lo.docCap,
+		live:      lo.n,
+	}
+	m.flatPlan = []SlotRange{{First: 0, Last: lo.regionSlots - 1}}
+	if m.lay.nlist > 0 {
+		m.buckets = make([][]SlotRange, m.lay.nlist)
+		for c, ent := range lo.rivf {
+			if ent.First >= 0 {
+				m.buckets[c] = []SlotRange{{First: ent.First, Last: ent.Last}}
+			}
+		}
+	}
+	m.posOf = make([]int32, lo.n)
+	m.rowLive = make([]int, ceilDiv(lo.embPages, m.lay.ppb))
+	m.rowDead = make([]int, len(m.rowLive))
+	for pos, id := range lo.order {
+		if id < 0 {
+			continue
+		}
+		m.posOf[id] = int32(pos)
+		m.rowLive[m.rowOf(pos)]++
+	}
+	return m
+}
+
+// rowOf returns the GC row of a binary slot position.
+func (m *mutState) rowOf(pos int) int { return pos / m.lay.embPerPage / m.lay.ppb }
+
+// Live returns the number of live (not tombstoned) entries.
+func (m *mutState) Live() int { return m.live }
+
+// flat reports whether the database has no IVF structure.
+func (m *mutState) flat() bool { return m.lay.nlist == 0 }
+
+func alignUp(x, a int) int { return (x + a - 1) / a * a }
+
+func bitsetGet(b []uint64, i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]>>(uint(i)&63)&1 != 0
+}
+
+func bitsetSet(b []uint64, i int) []uint64 {
+	w := i >> 6
+	for w >= len(b) {
+		b = append(b, 0)
+	}
+	b[w] |= 1 << (uint(i) & 63)
+	return b
+}
+
+// mutTarget is the physical half of a mutation: how pages of the
+// database's regions are read, programmed, resized and erased. Page
+// indices are global (single-device-equivalent) region pages.
+type mutTarget interface {
+	// readBinPage senses global binary-region page g through the
+	// conventional path (data and OOB are freshly allocated).
+	readBinPage(g int) (data, oob []byte, err error)
+	// writeBinPage / writeInt8Page / writeDocPage program one global
+	// page. The page must be erased (out-of-place writes only).
+	writeBinPage(g int, data, oob []byte) error
+	writeInt8Page(g int, data []byte) error
+	writeDocPage(g int, data []byte) error
+	// resize commits new live extents (global pages) for the binary,
+	// INT8 and document regions; -1 keeps a region unchanged. Resizing
+	// updates the R-DB record (the coarse FTL remap).
+	resize(binPages, int8Pages, docPages int) error
+	// eraseBinPages erases every block-row covering the first oldPages
+	// of the binary region, returning the number of block erases
+	// performed and the device's max per-block erase count afterwards.
+	// oldPages 0 erases nothing and just reports the current wear —
+	// how non-erasing commands fill WearStats.MaxBlockErase.
+	eraseBinPages(oldPages int) (erases int, maxWear int64, err error)
+}
+
+// mutAppend executes one append: placement and metadata are computed
+// from the geometry-independent state, then the fresh pages are
+// programmed through the target. The whole command is validated before
+// any write, so a failed append leaves the database untouched.
+func mutAppend(m *mutState, t mutTarget, cfg *AppendConfig) ([]int, *WearStats, error) {
+	lay := &m.lay
+	n := len(cfg.Vectors)
+	for i, v := range cfg.Vectors {
+		if len(v) != lay.dim {
+			return nil, nil, fmt.Errorf("%w (append vector %d has dim %d, database dim %d)",
+				ErrQueryDims, i, len(v), lay.dim)
+		}
+	}
+	for i, d := range cfg.Docs {
+		if len(d) > lay.docBytes {
+			return nil, nil, fmt.Errorf("reis: append doc %d is %dB > slot %dB", i, len(d), lay.docBytes)
+		}
+	}
+	if m.flat() {
+		if len(cfg.Assign) != 0 {
+			return nil, nil, fmt.Errorf("%w (cluster assignment for a flat database)", ErrBadAssign)
+		}
+	} else {
+		if len(cfg.Assign) != n {
+			return nil, nil, fmt.Errorf("%w (%d assignments for %d vectors)", ErrBadAssign, len(cfg.Assign), n)
+		}
+		for i, c := range cfg.Assign {
+			if c < 0 || c >= lay.nlist {
+				return nil, nil, fmt.Errorf("%w (item %d assigned to cluster %d of %d)", ErrBadAssign, i, c, lay.nlist)
+			}
+		}
+	}
+
+	// Ids continue the document region's slot addressing, page-aligned
+	// so the batch's doc and INT8 slots land on fresh pages.
+	idStart := alignUp(m.docSlots, lay.docsPerPage)
+	newDocSlots := idStart + n
+	newDocPages := ceilDiv(newDocSlots, lay.docsPerPage)
+	rStart := alignUp(m.int8Slots, lay.int8PerPage)
+	newInt8Slots := rStart + n
+	newInt8Pages := ceilDiv(newInt8Slots, lay.int8PerPage)
+
+	// Binary placement: one page-aligned slot run per cluster present
+	// in the batch, clusters ascending, items in batch (= ascending id)
+	// order — which keeps every cluster's scan order ascending by id.
+	type group struct {
+		cluster int
+		items   []int // batch indices
+		start   int   // first slot of the run
+	}
+	var groups []group
+	if m.flat() {
+		items := make([]int, n)
+		for i := range items {
+			items[i] = i
+		}
+		groups = []group{{cluster: 0, items: items}}
+	} else {
+		byCluster := make(map[int][]int, 8)
+		for i, c := range cfg.Assign {
+			byCluster[c] = append(byCluster[c], i)
+		}
+		for c := 0; c < lay.nlist; c++ {
+			if items, ok := byCluster[c]; ok {
+				groups = append(groups, group{cluster: c, items: items})
+			}
+		}
+	}
+	cursor := m.tailSlots
+	for gi := range groups {
+		groups[gi].start = alignUp(cursor, lay.embPerPage)
+		cursor = groups[gi].start + len(groups[gi].items)
+	}
+	newTail := cursor
+	newBinPages := ceilDiv(newTail, lay.embPerPage)
+
+	// Logical capacity gate — before any physical effect, against the
+	// planned (geometry-independent) capacities.
+	switch {
+	case newBinPages > m.capBin:
+		return nil, nil, fmt.Errorf("%w (embedding region: %d pages of %d planned)", ssd.ErrRegionFull, newBinPages, m.capBin)
+	case newInt8Pages > m.capInt8:
+		return nil, nil, fmt.Errorf("%w (INT8 region: %d pages of %d planned)", ssd.ErrRegionFull, newInt8Pages, m.capInt8)
+	case newDocPages > m.capDoc:
+		return nil, nil, fmt.Errorf("%w (document region: %d pages of %d planned)", ssd.ErrRegionFull, newDocPages, m.capDoc)
+	}
+	if err := t.resize(newBinPages, newInt8Pages, newDocPages); err != nil {
+		return nil, nil, err
+	}
+
+	wear := &WearStats{}
+	// Document pages.
+	for p := m.docPages; p < newDocPages; p++ {
+		page := make([]byte, lay.pageBytes)
+		for s := 0; s < lay.docsPerPage; s++ {
+			slot := p*lay.docsPerPage + s
+			if slot >= idStart && slot < idStart+n {
+				copy(page[s*lay.docBytes:(s+1)*lay.docBytes], cfg.Docs[slot-idStart])
+			}
+		}
+		if err := t.writeDocPage(p, page); err != nil {
+			return nil, nil, err
+		}
+		wear.PagesProgrammed++
+	}
+	// INT8 rerank pages.
+	for p := m.int8Pages; p < newInt8Pages; p++ {
+		page := make([]byte, lay.pageBytes)
+		for s := 0; s < lay.int8PerPage; s++ {
+			slot := p*lay.int8PerPage + s
+			if slot >= rStart && slot < rStart+n {
+				q8 := lay.params.Int8Quantize(cfg.Vectors[slot-rStart], nil)
+				copy(page[s*lay.int8Bytes:(s+1)*lay.int8Bytes], vecmath.PackInt8Bytes(q8, nil))
+			}
+		}
+		if err := t.writeInt8Page(p, page); err != nil {
+			return nil, nil, err
+		}
+		wear.PagesProgrammed++
+	}
+	// Binary pages, one run per cluster group.
+	for _, g := range groups {
+		end := g.start + len(g.items)
+		for p := g.start / lay.embPerPage; p <= (end-1)/lay.embPerPage; p++ {
+			page := make([]byte, lay.pageBytes)
+			oob := make([]byte, lay.oobBytes)
+			for s := 0; s < lay.embPerPage; s++ {
+				pos := p*lay.embPerPage + s
+				link := encodeLinkage(InvalidDADR, 0, 0)
+				if pos >= g.start && pos < end {
+					i := g.items[pos-g.start]
+					code := vecmath.PackBinaryBytes(vecmath.BinaryQuantize(cfg.Vectors[i], nil), nil)
+					copy(page[s*lay.slotBytes:(s+1)*lay.slotBytes], code)
+					var tag uint8
+					if cfg.MetaTags != nil {
+						tag = cfg.MetaTags[i]
+					}
+					link = encodeLinkage(uint32(idStart+i), uint32(rStart+i), tag)
+				}
+				copy(oob[s*oobBytesPerSlot:(s+1)*oobBytesPerSlot], link)
+			}
+			if err := t.writeBinPage(p, page, oob); err != nil {
+				return nil, nil, err
+			}
+			wear.PagesProgrammed++
+		}
+	}
+
+	// Commit the metadata: posting-list segments, id→position map,
+	// per-row live counts, extents.
+	for w := len(m.posOf); w < newDocSlots; w++ {
+		m.posOf = append(m.posOf, -1)
+	}
+	newRows := ceilDiv(newBinPages, lay.ppb)
+	for len(m.rowLive) < newRows {
+		m.rowLive = append(m.rowLive, 0)
+		m.rowDead = append(m.rowDead, 0)
+	}
+	ids := make([]int, n)
+	for _, g := range groups {
+		for j, i := range g.items {
+			pos := g.start + j
+			ids[i] = idStart + i
+			m.posOf[idStart+i] = int32(pos)
+			m.rowLive[m.rowOf(pos)]++
+		}
+		if !m.flat() {
+			m.buckets[g.cluster] = append(m.buckets[g.cluster], SlotRange{First: g.start, Last: g.start + len(g.items) - 1})
+		}
+	}
+	// The brute-force plan gains one range per batch, bridging the
+	// inter-cluster page padding (written as invalid-DADR slots above).
+	m.flatPlan = append(m.flatPlan, SlotRange{First: groups[0].start, Last: newTail - 1})
+	m.tailSlots = newTail
+	m.binPages = newBinPages
+	m.int8Slots = newInt8Slots
+	m.int8Pages = newInt8Pages
+	m.docSlots = newDocSlots
+	m.docPages = newDocPages
+	m.live += n
+	if _, w, err := t.eraseBinPages(0); err == nil {
+		wear.MaxBlockErase = w
+	}
+	return ids, wear, nil
+}
+
+// mutDelete tombstones the given ids. The whole batch is validated —
+// bounds, known ids, no double or duplicate deletes — before any bit
+// is set, so a failed delete changes nothing.
+func mutDelete(m *mutState, ids []int) error {
+	seen := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		if id < 0 || id >= len(m.posOf) || m.posOf[id] < 0 || bitsetGet(m.tomb, id) {
+			return fmt.Errorf("%w (%d)", ErrUnknownID, id)
+		}
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("%w (%d repeated in one command)", ErrUnknownID, id)
+		}
+		seen[id] = struct{}{}
+	}
+	for _, id := range ids {
+		m.tomb = bitsetSet(m.tomb, id)
+		row := m.rowOf(int(m.posOf[id]))
+		m.rowLive[row]--
+		m.rowDead[row]++
+		m.live--
+		m.deadCount++
+	}
+	return nil
+}
+
+// liveEntry is one live binary-region entry gathered by the collector.
+type liveEntry struct {
+	code []byte
+	id   uint32
+	radr uint32
+	tag  uint8
+}
+
+// mutCompact runs the garbage collector at an explicit quiesce point:
+// when any GC row's live ratio is below the threshold, every live
+// entry is copied forward into a canonically rebuilt binary region
+// (clusters ascending, scan order preserved — search results are
+// bit-identical before and after), the old extent's blocks are erased,
+// and tombstones are dropped. The INT8 and document regions are
+// append-only address spaces and are not compacted.
+func mutCompact(m *mutState, t mutTarget, minLiveRatio float64) (*WearStats, error) {
+	thr := minLiveRatio
+	if thr == 0 {
+		thr = defaultMinLiveRatio
+	}
+	lay := &m.lay
+	victims := 0
+	for r := range m.rowLive {
+		if m.rowDead[r] > 0 && float64(m.rowLive[r]) < thr*float64(m.rowLive[r]+m.rowDead[r]) {
+			victims++
+		}
+	}
+	wear := &WearStats{CompactedRows: victims}
+	if victims == 0 {
+		return wear, nil
+	}
+
+	// Gather every live entry, bucket by bucket in scan order, reading
+	// each segment page through the conventional path. A flat database
+	// has a single bucket: its brute-force plan.
+	plans := m.buckets
+	if m.flat() {
+		plans = [][]SlotRange{m.flatPlan}
+	}
+	gathered := make([][]liveEntry, len(plans))
+	for b, segs := range plans {
+		for _, sr := range segs {
+			firstPage, lastPage := sr.First/lay.embPerPage, sr.Last/lay.embPerPage
+			for p := firstPage; p <= lastPage; p++ {
+				data, oob, err := t.readBinPage(p)
+				if err != nil {
+					return nil, err
+				}
+				wear.PagesRead++
+				lo, hi := 0, lay.embPerPage-1
+				if p == firstPage {
+					lo = sr.First % lay.embPerPage
+				}
+				if p == lastPage {
+					hi = sr.Last % lay.embPerPage
+				}
+				for s := lo; s <= hi; s++ {
+					dadr, radr, tag := decodeLinkage(oob[s*oobBytesPerSlot : (s+1)*oobBytesPerSlot])
+					if dadr == InvalidDADR || bitsetGet(m.tomb, int(dadr)) {
+						continue
+					}
+					code := make([]byte, lay.slotBytes)
+					copy(code, data[s*lay.slotBytes:(s+1)*lay.slotBytes])
+					gathered[b] = append(gathered[b], liveEntry{code: code, id: dadr, radr: radr, tag: tag})
+				}
+			}
+		}
+	}
+
+	// Canonical rebuild plan: clusters ascending, each starting on a
+	// fresh page, entries in gathered (scan) order.
+	starts := make([]int, len(gathered))
+	cursor := 0
+	for b, es := range gathered {
+		if len(es) == 0 {
+			starts[b] = -1
+			continue
+		}
+		starts[b] = alignUp(cursor, lay.embPerPage)
+		cursor = starts[b] + len(es)
+	}
+	newTail := cursor
+	newBinPages := ceilDiv(newTail, lay.embPerPage)
+	oldPages := m.binPages
+
+	// Physical apply: erase the whole old extent (the copies above are
+	// in controller DRAM), shrink the live extent, program the
+	// compacted pages.
+	erases, maxWear, err := t.eraseBinPages(oldPages)
+	if err != nil {
+		return nil, err
+	}
+	wear.BlockErases = erases
+	wear.MaxBlockErase = maxWear
+	if err := t.resize(newBinPages, -1, -1); err != nil {
+		return nil, err
+	}
+	for b, es := range gathered {
+		if len(es) == 0 {
+			continue
+		}
+		end := starts[b] + len(es)
+		for p := starts[b] / lay.embPerPage; p <= (end-1)/lay.embPerPage; p++ {
+			page := make([]byte, lay.pageBytes)
+			oob := make([]byte, lay.oobBytes)
+			for s := 0; s < lay.embPerPage; s++ {
+				pos := p*lay.embPerPage + s
+				link := encodeLinkage(InvalidDADR, 0, 0)
+				if pos >= starts[b] && pos < end {
+					e := es[pos-starts[b]]
+					copy(page[s*lay.slotBytes:(s+1)*lay.slotBytes], e.code)
+					link = encodeLinkage(e.id, e.radr, e.tag)
+				}
+				copy(oob[s*oobBytesPerSlot:(s+1)*oobBytesPerSlot], link)
+			}
+			if err := t.writeBinPage(p, page, oob); err != nil {
+				return nil, err
+			}
+			wear.PagesProgrammed++
+		}
+	}
+
+	// Commit: canonical posting lists, rebuilt position map, cleared
+	// tombstones, reset row accounting.
+	copied := 0
+	for i := range m.posOf {
+		m.posOf[i] = -1
+	}
+	m.rowLive = make([]int, ceilDiv(newBinPages, lay.ppb))
+	m.rowDead = make([]int, len(m.rowLive))
+	for b := range gathered {
+		es := gathered[b]
+		if !m.flat() {
+			if len(es) == 0 {
+				m.buckets[b] = nil
+			} else {
+				m.buckets[b] = []SlotRange{{First: starts[b], Last: starts[b] + len(es) - 1}}
+			}
+		}
+		for j, e := range es {
+			pos := starts[b] + j
+			m.posOf[e.id] = int32(pos)
+			m.rowLive[m.rowOf(pos)]++
+		}
+		copied += len(es)
+	}
+	if newTail > 0 {
+		// The compacted region is canonical end to end (every padding
+		// slot carries an invalid DADR), so the brute-force plan is one
+		// range again.
+		m.flatPlan = []SlotRange{{First: 0, Last: newTail - 1}}
+	} else {
+		m.flatPlan = nil
+	}
+	m.tomb = nil
+	m.deadCount = 0
+	m.tailSlots = newTail
+	m.binPages = newBinPages
+	wear.CopiedEntries = copied
+	wear.FreedPages = oldPages - newBinPages
+	return wear, nil
+}
+
+// engineMutTarget applies mutations to a single device's own regions.
+// The engine's execMu holder owns it.
+type engineMutTarget struct {
+	e  *Engine
+	db *Database
+}
+
+func (t engineMutTarget) readBinPage(g int) ([]byte, []byte, error) {
+	return t.e.SSD.ReadRegionPage(t.db.rec.Embeddings, g)
+}
+
+func (t engineMutTarget) writeBinPage(g int, data, oob []byte) error {
+	return t.e.SSD.WriteRegionPage(t.db.rec.Embeddings, g, data, oob)
+}
+
+func (t engineMutTarget) writeInt8Page(g int, data []byte) error {
+	return t.e.SSD.WriteRegionPage(t.db.rec.Int8s, g, data, nil)
+}
+
+func (t engineMutTarget) writeDocPage(g int, data []byte) error {
+	return t.e.SSD.WriteRegionPage(t.db.rec.Documents, g, data, nil)
+}
+
+func (t engineMutTarget) resize(binPages, int8Pages, docPages int) error {
+	db := t.db
+	if binPages >= 0 {
+		if err := t.e.SSD.ResizeRegion(&db.rec, &db.rec.Embeddings, binPages); err != nil {
+			return err
+		}
+	}
+	if int8Pages >= 0 {
+		if err := t.e.SSD.ResizeRegion(&db.rec, &db.rec.Int8s, int8Pages); err != nil {
+			return err
+		}
+	}
+	if docPages >= 0 {
+		if err := t.e.SSD.ResizeRegion(&db.rec, &db.rec.Documents, docPages); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t engineMutTarget) eraseBinPages(oldPages int) (int, int64, error) {
+	dev := t.e.SSD.Dev
+	if oldPages == 0 {
+		return 0, dev.MaxEraseCount(), nil
+	}
+	geo := t.e.SSD.Cfg.Geo
+	planes := geo.Planes()
+	ppb := geo.PagesPerBlock
+	rows := ceilDiv(ceilDiv(oldPages, planes), ppb)
+	blk0 := t.db.rec.Embeddings.StartStripe / ppb
+	erases := 0
+	for row := 0; row < rows; row++ {
+		for p := 0; p < planes; p++ {
+			a := flash.AddressFromLinear(geo, p*geo.PagesPerPlane()+(blk0+row)*ppb)
+			if err := dev.EraseBlock(a); err != nil {
+				return erases, 0, err
+			}
+			erases++
+		}
+	}
+	return erases, dev.MaxEraseCount(), nil
+}
+
+// shardMutTarget routes each global page of a mutation to the shard
+// that owns it (page g → shard g mod N, local page g / N), taking the
+// owning engine's execution lock per call. The router's execMu holder
+// owns it; sharded outcomes are bit-identical to the single-device
+// reference because the logical plan is shared and the striping is the
+// deploy striping.
+type shardMutTarget struct {
+	sh *ShardedEngine
+	db *ShardedDatabase
+}
+
+func (t shardMutTarget) onOwner(g int, f func(e *Engine, local *Database, l int) error) error {
+	n := len(t.sh.shards)
+	owner, l := g%n, g/n
+	e := t.sh.shards[owner].e
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	return f(e, t.db.locals[owner], l)
+}
+
+func (t shardMutTarget) readBinPage(g int) (data, oob []byte, err error) {
+	err = t.onOwner(g, func(e *Engine, local *Database, l int) error {
+		data, oob, err = e.SSD.ReadRegionPage(local.rec.Embeddings, l)
+		return err
+	})
+	return data, oob, err
+}
+
+func (t shardMutTarget) writeBinPage(g int, data, oob []byte) error {
+	return t.onOwner(g, func(e *Engine, local *Database, l int) error {
+		return e.SSD.WriteRegionPage(local.rec.Embeddings, l, data, oob)
+	})
+}
+
+func (t shardMutTarget) writeInt8Page(g int, data []byte) error {
+	return t.onOwner(g, func(e *Engine, local *Database, l int) error {
+		return e.SSD.WriteRegionPage(local.rec.Int8s, l, data, nil)
+	})
+}
+
+func (t shardMutTarget) writeDocPage(g int, data []byte) error {
+	return t.onOwner(g, func(e *Engine, local *Database, l int) error {
+		return e.SSD.WriteRegionPage(local.rec.Documents, l, data, nil)
+	})
+}
+
+func (t shardMutTarget) resize(binPages, int8Pages, docPages int) error {
+	n := len(t.sh.shards)
+	for s, dev := range t.sh.shards {
+		local := t.db.locals[s]
+		dev.e.execMu.Lock()
+		err := func() error {
+			if binPages >= 0 {
+				if err := dev.e.SSD.ResizeRegion(&local.rec, &local.rec.Embeddings, shardPages(binPages, s, n)); err != nil {
+					return err
+				}
+				// The shard serves explicit scan ranges over its owned
+				// pages; keep its addressable slot bound in step.
+				local.regionSlots = local.rec.Embeddings.Pages() * local.embPerPage
+			}
+			if int8Pages >= 0 {
+				if err := dev.e.SSD.ResizeRegion(&local.rec, &local.rec.Int8s, shardPages(int8Pages, s, n)); err != nil {
+					return err
+				}
+			}
+			if docPages >= 0 {
+				if err := dev.e.SSD.ResizeRegion(&local.rec, &local.rec.Documents, shardPages(docPages, s, n)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		dev.e.execMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("reis: shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+func (t shardMutTarget) eraseBinPages(oldPages int) (int, int64, error) {
+	if oldPages == 0 {
+		return 0, t.maxEraseCount(), nil
+	}
+	// The global extent's stripes are the same on every shard (global
+	// page g sits at local stripe g / planes_global on its owner), so
+	// each shard erases the same block-rows the reference device would.
+	planesGlobal := t.sh.cfg.Geo.Planes()
+	ppb := t.sh.cfg.Geo.PagesPerBlock
+	rows := ceilDiv(ceilDiv(oldPages, planesGlobal), ppb)
+	erases := 0
+	for s, dev := range t.sh.shards {
+		geo := dev.e.SSD.Cfg.Geo
+		planes := geo.Planes()
+		blk0 := t.db.locals[s].rec.Embeddings.StartStripe / ppb
+		dev.e.execMu.Lock()
+		for row := 0; row < rows; row++ {
+			for p := 0; p < planes; p++ {
+				a := flash.AddressFromLinear(geo, p*geo.PagesPerPlane()+(blk0+row)*ppb)
+				if err := dev.e.SSD.Dev.EraseBlock(a); err != nil {
+					dev.e.execMu.Unlock()
+					return erases, 0, err
+				}
+				erases++
+			}
+		}
+		dev.e.execMu.Unlock()
+	}
+	return erases, t.maxEraseCount(), nil
+}
+
+func (t shardMutTarget) maxEraseCount() int64 {
+	var m int64
+	for _, dev := range t.sh.shards {
+		if n := dev.e.SSD.Dev.MaxEraseCount(); n > m {
+			m = n
+		}
+	}
+	return m
+}

@@ -1,0 +1,190 @@
+package reis
+
+import (
+	"sync"
+	"testing"
+
+	"reis/internal/ann"
+	"reis/internal/dataset"
+	"reis/internal/ssd"
+)
+
+// FuzzAppendDeleteSearch is the mutability state-machine fuzzer: a
+// byte string decodes into an interleaved sequence of append, delete,
+// compact and search operations, which is executed simultaneously on a
+// single-device engine and a 2-shard router built from the same plan.
+// The oracle is the mutability determinism contract itself — every
+// response (results, stats, assigned ids, wear) must be bit-identical
+// across the two topologies — plus the tombstone invariant: a deleted
+// id never surfaces again.
+//
+// CI replays the seed corpus on every push; the nightly workflow
+// fuzzes each target for 10 minutes.
+
+// fuzzWorld is the shared (immutable) corpus the fuzzer mutates from.
+type fuzzWorld struct {
+	base    *dataset.Dataset
+	pool    [][]float32 // appendable vectors (quantization-scale safe)
+	poolDoc [][]byte
+	cents   [][]float32
+	assign  []int // base ++ pool
+}
+
+var (
+	fuzzOnce sync.Once
+	fuzzW    *fuzzWorld
+)
+
+func fuzzWorldGet() *fuzzWorld {
+	fuzzOnce.Do(func() {
+		data := dataset.Generate(dataset.Config{
+			Name: "mut-fuzz", N: 240, Dim: 64, Clusters: 8, Queries: 6,
+			DocBytes: 64, Seed: 99,
+		})
+		const nBase = 180
+		w := &fuzzWorld{base: data}
+		w.pool = scaleInto(data.Vectors[nBase:], maxAbs(data.Vectors[:nBase]))
+		w.poolDoc = data.Docs[nBase:]
+		corpus := append(append([][]float32{}, data.Vectors[:nBase]...), w.pool...)
+		w.cents, w.assign = ann.KMeans(corpus, ann.KMeansConfig{K: 8, Seed: 5})
+		w.base.Vectors = data.Vectors[:nBase]
+		w.base.Docs = data.Docs[:nBase]
+		fuzzW = w
+	})
+	return fuzzW
+}
+
+func fuzzCfg() ssd.Config {
+	cfg := ssd.SSD1()
+	cfg.Geo.Channels = 2
+	cfg.Geo.DiesPerChannel = 1
+	cfg.Geo.PlanesPerDie = 2
+	cfg.Geo.BlocksPerPlane = 32
+	cfg.Geo.PagesPerBlock = 8
+	cfg.Geo.PageBytes = 2048
+	cfg.Geo.OOBBytes = 640
+	cfg.OverprovisionPct = 300
+	return cfg
+}
+
+func FuzzAppendDeleteSearch(f *testing.F) {
+	// Seeds: a search-only run, append-heavy, delete-then-compact, and
+	// a mixed flat-database script.
+	f.Add([]byte{1, 0, 1})
+	f.Add([]byte{1, 2, 3, 2, 2, 0, 1, 3, 0, 4, 2, 0, 0})
+	f.Add([]byte{1, 3, 0, 3, 1, 3, 2, 4, 3, 0, 1, 2, 1, 4, 1, 0, 2})
+	f.Add([]byte{0, 2, 1, 0, 0, 3, 5, 4, 0, 0, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 48 {
+			t.Skip()
+		}
+		w := fuzzWorldGet()
+		ivf := data[0]%2 == 1
+		ops := data[1:]
+
+		refCfg := fuzzCfg()
+		refCfg.Geo.Channels *= 2
+		single, err := New(refCfg, 0, AllOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer single.Close()
+		sh, err := NewSharded(fuzzCfg(), 2, 0, AllOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sh.Close()
+
+		deploy := &DeployConfig{ID: 1, Vectors: w.base.Vectors, Docs: w.base.Docs, DocSlotBytes: 64}
+		op := OpcodeDBDeploy
+		searchOp, nprobe := OpcodeSearch, 0
+		if ivf {
+			op = OpcodeIVFDeploy
+			deploy.Centroids = w.cents
+			deploy.Assign = w.assign[:len(w.base.Vectors)]
+			searchOp, nprobe = OpcodeIVFSearch, 3
+		}
+		both := func(cmd HostCommand) (HostResponse, HostResponse, error) {
+			t.Helper()
+			a, errA := single.Submit(cmd)
+			b, errB := sh.Submit(cmd)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("opcode %#x: single err %v, sharded err %v", cmd.Opcode, errA, errB)
+			}
+			if errA == nil && !mutRespEqual(a, b) {
+				t.Fatalf("opcode %#x: responses diverge\nsingle %s\nshard  %s", cmd.Opcode, briefResp(a), briefResp(b))
+			}
+			return a, b, errA
+		}
+		if _, _, err := both(HostCommand{Opcode: op, Deploy: deploy}); err != nil {
+			t.Fatal(err)
+		}
+
+		liveIDs := make([]int, len(w.base.Vectors))
+		for i := range liveIDs {
+			liveIDs[i] = i
+		}
+		deleted := map[int]bool{}
+		poolAt := 0
+		for i := 0; i+1 < len(ops); i += 2 {
+			b, arg := ops[i], int(ops[i+1])
+			switch b % 5 {
+			case 0, 1: // search
+				q := w.base.Queries[arg%len(w.base.Queries)]
+				resp, _, err := both(HostCommand{Opcode: searchOp, DBID: 1, Queries: [][]float32{q}, K: 5, NProbe: nprobe})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range resp.Results[0] {
+					if deleted[r.ID] {
+						t.Fatalf("deleted id %d surfaced", r.ID)
+					}
+				}
+			case 2: // append 1-3 items from the pool (cycling)
+				n := 1 + arg%3
+				vecs := make([][]float32, n)
+				docs := make([][]byte, n)
+				var assign []int
+				for j := 0; j < n; j++ {
+					k := (poolAt + j) % len(w.pool)
+					vecs[j] = w.pool[k]
+					docs[j] = w.poolDoc[k]
+					if ivf {
+						assign = append(assign, w.assign[len(w.base.Vectors)+k])
+					}
+				}
+				poolAt += n
+				resp, _, err := both(HostCommand{Opcode: OpcodeAppend, DBID: 1,
+					Append: &AppendConfig{Vectors: vecs, Docs: docs, Assign: assign}})
+				if err != nil {
+					// ErrRegionFull must strike both topologies alike
+					// (checked in both); state is unchanged, continue.
+					continue
+				}
+				liveIDs = append(liveIDs, resp.AppendedIDs...)
+			case 3: // delete one live id (deterministic pick)
+				if len(liveIDs) == 0 {
+					continue
+				}
+				k := arg % len(liveIDs)
+				id := liveIDs[k]
+				if _, _, err := both(HostCommand{Opcode: OpcodeDelete, DBID: 1, Del: &DeleteConfig{IDs: []int{id}}}); err != nil {
+					t.Fatal(err)
+				}
+				liveIDs = append(liveIDs[:k], liveIDs[k+1:]...)
+				deleted[id] = true
+			case 4: // compact
+				thr := []float64{0, 0.25, 0.9, 1}[arg%4]
+				if _, _, err := both(HostCommand{Opcode: OpcodeCompact, DBID: 1, Compact: &CompactConfig{MinLiveRatio: thr}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Closing search: the full state must still agree.
+		if len(w.base.Queries) > 0 {
+			if _, _, err := both(HostCommand{Opcode: searchOp, DBID: 1, Queries: w.base.Queries, K: 5, NProbe: nprobe}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,662 @@
+package reis
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"reis/internal/ann"
+	"reis/internal/ssd"
+)
+
+// mutTestCfg is the shard test config with append/GC headroom.
+func mutTestCfg() ssd.Config {
+	cfg := shardTestCfg()
+	cfg.OverprovisionPct = 200
+	return cfg
+}
+
+// mutRefCfg is the single-device equivalent of n shards of mutTestCfg.
+func mutRefCfg(n int) ssd.Config {
+	cfg := mutTestCfg()
+	cfg.Geo.Channels *= n
+	return cfg
+}
+
+// mutCorpus is the shared mutation scenario: a base deploy, two append
+// batches, and a delete set, with the appended vectors scaled so the
+// final corpus has the same INT8 quantization scale as the base (the
+// symmetric scale is the max absolute component; keeping the maximum
+// in the base makes a fresh deploy of the final corpus bit-comparable).
+type mutCorpus struct {
+	base      [][]float32
+	baseDocs  [][]byte
+	batch1    [][]float32
+	b1Docs    [][]byte
+	batch2    [][]float32
+	b2Docs    [][]byte
+	cents     [][]float32
+	assign    []int // over base ++ batch1 ++ batch2
+	deleteIdx []int // corpus indices (into base ++ batch1) to delete
+}
+
+func maxAbs(vs [][]float32) float32 {
+	var m float32
+	for _, v := range vs {
+		for _, x := range v {
+			if x < 0 {
+				x = -x
+			}
+			if x > m {
+				m = x
+			}
+		}
+	}
+	return m
+}
+
+func scaleInto(vs [][]float32, limit float32) [][]float32 {
+	m := maxAbs(vs)
+	if m < limit {
+		return vs
+	}
+	f := limit * 0.99 / m
+	out := make([][]float32, len(vs))
+	for i, v := range vs {
+		w := make([]float32, len(v))
+		for j, x := range v {
+			w[j] = x * f
+		}
+		out[i] = w
+	}
+	return out
+}
+
+func newMutCorpus() *mutCorpus {
+	const nBase, nB1, nB2 = 900, 80, 60
+	all := testData.Vectors
+	c := &mutCorpus{
+		base:     all[:nBase],
+		baseDocs: testData.Docs[:nBase],
+		b1Docs:   testData.Docs[nBase : nBase+nB1],
+		b2Docs:   testData.Docs[nBase+nB1 : nBase+nB1+nB2],
+	}
+	limit := maxAbs(c.base)
+	c.batch1 = scaleInto(all[nBase:nBase+nB1], limit)
+	c.batch2 = scaleInto(all[nBase+nB1:nBase+nB1+nB2], limit)
+	corpus := make([][]float32, 0, nBase+nB1+nB2)
+	corpus = append(corpus, c.base...)
+	corpus = append(corpus, c.batch1...)
+	corpus = append(corpus, c.batch2...)
+	c.cents, c.assign = ann.KMeans(corpus, ann.KMeansConfig{K: 12, Seed: 11})
+	// Delete a deterministic spread of base and batch-1 entries.
+	for i := 7; i < nBase; i += 9 {
+		c.deleteIdx = append(c.deleteIdx, i)
+	}
+	for i := 3; i < nB1; i += 5 {
+		c.deleteIdx = append(c.deleteIdx, nBase+i)
+	}
+	return c
+}
+
+// runMutScript deploys the corpus (flat or IVF), applies the appends
+// and deletes with searches interleaved, and returns every response in
+// order. compact, when non-zero, issues an OpcodeCompact with that
+// threshold before the final searches.
+func runMutScript(t *testing.T, h submitter, c *mutCorpus, ivf bool, compact float64) []HostResponse {
+	t.Helper()
+	deploy := &DeployConfig{ID: 1, Vectors: c.base, Docs: c.baseDocs, DocSlotBytes: 256}
+	op := OpcodeDBDeploy
+	var a1, a2 []int
+	if ivf {
+		op = OpcodeIVFDeploy
+		deploy.Centroids = c.cents
+		deploy.Assign = c.assign[:len(c.base)]
+		a1 = c.assign[len(c.base) : len(c.base)+len(c.batch1)]
+		a2 = c.assign[len(c.base)+len(c.batch1):]
+	}
+	searchOp := OpcodeSearch
+	nprobe := 0
+	if ivf {
+		searchOp = OpcodeIVFSearch
+		nprobe = 4
+	}
+	search := func() HostCommand {
+		return HostCommand{Opcode: searchOp, DBID: 1, Queries: testData.Queries, K: 10, NProbe: nprobe}
+	}
+	var resps []HostResponse
+	run := func(cmd HostCommand) HostResponse {
+		t.Helper()
+		resp, err := h.Submit(cmd)
+		if err != nil {
+			t.Fatalf("opcode %#x: %v", cmd.Opcode, err)
+		}
+		resps = append(resps, resp)
+		return resp
+	}
+	run(HostCommand{Opcode: op, Deploy: deploy})
+	run(search())
+	r1 := run(HostCommand{Opcode: OpcodeAppend, DBID: 1, Append: &AppendConfig{Vectors: c.batch1, Docs: c.b1Docs, Assign: a1}})
+	run(search())
+	// Resolve corpus delete indices to device ids via the append's
+	// AppendedIDs (base ids are the corpus index).
+	var delIDs []int
+	for _, idx := range c.deleteIdx {
+		if idx < len(c.base) {
+			delIDs = append(delIDs, idx)
+		} else {
+			delIDs = append(delIDs, r1.AppendedIDs[idx-len(c.base)])
+		}
+	}
+	run(HostCommand{Opcode: OpcodeDelete, DBID: 1, Del: &DeleteConfig{IDs: delIDs}})
+	run(search())
+	run(HostCommand{Opcode: OpcodeAppend, DBID: 1, Append: &AppendConfig{Vectors: c.batch2, Docs: c.b2Docs, Assign: a2}})
+	run(search())
+	if compact != 0 {
+		run(HostCommand{Opcode: OpcodeCompact, DBID: 1, Compact: &CompactConfig{MinLiveRatio: compact}})
+		run(search())
+	}
+	return resps
+}
+
+// mutRespEqual compares the topology-invariant parts of two responses
+// (PerShard is shape-dependent by design).
+func mutRespEqual(a, b HostResponse) bool {
+	return a.Done == b.Done &&
+		reflect.DeepEqual(a.Results, b.Results) &&
+		reflect.DeepEqual(a.QueryStats, b.QueryStats) &&
+		a.Stats == b.Stats &&
+		reflect.DeepEqual(a.AppendedIDs, b.AppendedIDs) &&
+		reflect.DeepEqual(a.Wear, b.Wear)
+}
+
+// TestMutationShardedMatchesReference pins the mutability determinism
+// contract: an interleaved append/delete/compact/search script yields
+// bit-identical responses — results, per-query and aggregate stats,
+// assigned ids, and wear/erase counts — on a sharded topology and its
+// single-device reference (n times the channels), for shards 1/2/4;
+// and identical search results ACROSS shard counts.
+func TestMutationShardedMatchesReference(t *testing.T) {
+	c := newMutCorpus()
+	for _, ivf := range []bool{false, true} {
+		name := "flat"
+		if ivf {
+			name = "ivf"
+		}
+		t.Run(name, func(t *testing.T) {
+			var first []HostResponse
+			for _, n := range shardCounts {
+				single, err := New(mutRefCfg(n), 64<<20, AllOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { single.Close() })
+				want := runMutScript(t, single, c, ivf, 0.9)
+				sh, err := NewSharded(mutTestCfg(), n, 64<<20, AllOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { sh.Close() })
+				got := runMutScript(t, sh, c, ivf, 0.9)
+				for i := range want {
+					if !mutRespEqual(got[i], want[i]) {
+						t.Fatalf("shards=%d: response %d differs from reference\n got %+v\nwant %+v",
+							n, i, briefResp(got[i]), briefResp(want[i]))
+					}
+				}
+				if first == nil {
+					first = got
+				} else {
+					for i := range first {
+						if !reflect.DeepEqual(got[i].Results, first[i].Results) {
+							t.Fatalf("shards=%d: response %d results differ across shard counts", n, i)
+						}
+						if !reflect.DeepEqual(got[i].AppendedIDs, first[i].AppendedIDs) {
+							t.Fatalf("shards=%d: response %d ids differ across shard counts", n, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// briefResp summarizes a response for failure messages.
+func briefResp(r HostResponse) string {
+	return fmt.Sprintf("{Done:%v results:%d stats:%+v ids:%d wear:%+v}",
+		r.Done, len(r.Results), r.Stats, len(r.AppendedIDs), r.Wear)
+}
+
+// TestMutatedMatchesFreshDeploy is the workload-level equivalence
+// check: after appends and deletes, a search on the mutated engine
+// returns the same documents, distances and order as a fresh deploy of
+// the equivalent final corpus (modulo the monotone id renumbering a
+// fresh deploy performs). Distance filtering is off so both engines
+// share the selection set (the filter threshold is calibrated per
+// deploy-time corpus by design).
+func TestMutatedMatchesFreshDeploy(t *testing.T) {
+	c := newMutCorpus()
+	opts := Options{Pipelining: true, MPIBC: true}
+	deleted := make(map[int]bool)
+	for _, idx := range c.deleteIdx {
+		deleted[idx] = true
+	}
+	// The equivalent final corpus, in the mutated engine's scan order:
+	// surviving base entries, then surviving batch-1, then batch-2.
+	var finalVecs [][]float32
+	var finalDocs [][]byte
+	var finalAssign []int
+	corpusIdx := func(vs [][]float32, docs [][]byte, off int) {
+		for i := range vs {
+			if !deleted[off+i] {
+				finalVecs = append(finalVecs, vs[i])
+				finalDocs = append(finalDocs, docs[i])
+				finalAssign = append(finalAssign, c.assign[off+i])
+			}
+		}
+	}
+	corpusIdx(c.base, c.baseDocs, 0)
+	corpusIdx(c.batch1, c.b1Docs, len(c.base))
+	corpusIdx(c.batch2, c.b2Docs, len(c.base)+len(c.batch1))
+
+	for _, ivf := range []bool{false, true} {
+		name := "flat"
+		if ivf {
+			name = "ivf"
+		}
+		t.Run(name, func(t *testing.T) {
+			fresh, err := New(mutTestCfg(), 64<<20, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { fresh.Close() })
+			deploy := DeployConfig{ID: 1, Vectors: finalVecs, Docs: finalDocs, DocSlotBytes: 256}
+			searchOp := OpcodeSearch
+			nprobe := 0
+			if ivf {
+				deploy.Centroids = c.cents
+				deploy.Assign = finalAssign
+				searchOp = OpcodeIVFSearch
+				nprobe = 4
+			}
+			op := OpcodeDBDeploy
+			if ivf {
+				op = OpcodeIVFDeploy
+			}
+			if _, err := fresh.Submit(HostCommand{Opcode: op, Deploy: &deploy}); err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.Submit(HostCommand{Opcode: searchOp, DBID: 1, Queries: testData.Queries, K: 10, NProbe: nprobe})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, shards := range shardCounts {
+				var h submitter
+				if shards == 1 {
+					e, err := New(mutTestCfg(), 64<<20, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					t.Cleanup(func() { e.Close() })
+					h = e
+				} else {
+					sh, err := NewSharded(mutTestCfg(), shards, 64<<20, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					t.Cleanup(func() { sh.Close() })
+					h = sh
+				}
+				resps := runMutScript(t, h, c, ivf, 0)
+				got := resps[len(resps)-1]
+
+				// Monotone id map: surviving mutated ids ascending map to
+				// fresh ids 0..len-1.
+				r1 := resps[2]
+				var live []int
+				for i := range c.base {
+					live = append(live, i)
+				}
+				live = append(live, r1.AppendedIDs...)
+				liveSet := make(map[int]bool, len(live))
+				for _, id := range live {
+					liveSet[id] = true
+				}
+				for _, idx := range c.deleteIdx {
+					id := idx
+					if idx >= len(c.base) {
+						id = r1.AppendedIDs[idx-len(c.base)]
+					}
+					delete(liveSet, id)
+				}
+				r2 := resps[len(resps)-2]
+				for _, id := range r2.AppendedIDs {
+					liveSet[id] = true
+				}
+				sorted := make([]int, 0, len(liveSet))
+				for id := range liveSet {
+					sorted = append(sorted, id)
+				}
+				sort.Ints(sorted)
+				if len(sorted) != len(finalVecs) {
+					t.Fatalf("live set %d != final corpus %d", len(sorted), len(finalVecs))
+				}
+				toFresh := make(map[int]int, len(sorted))
+				for fi, id := range sorted {
+					toFresh[id] = fi
+				}
+
+				for qi := range testData.Queries {
+					g, w := got.Results[qi], want.Results[qi]
+					if len(g) != len(w) {
+						t.Fatalf("shards=%d query %d: %d results vs fresh %d", shards, qi, len(g), len(w))
+					}
+					for i := range g {
+						fi, ok := toFresh[g[i].ID]
+						if !ok {
+							t.Fatalf("shards=%d query %d: result id %d not live", shards, qi, g[i].ID)
+						}
+						if fi != w[i].ID || g[i].Dist != w[i].Dist || string(g[i].Doc) != string(w[i].Doc) {
+							t.Fatalf("shards=%d query %d result %d: got (id %d→%d, dist %g), fresh (id %d, dist %g)",
+								shards, qi, i, g[i].ID, fi, g[i].Dist, w[i].ID, w[i].Dist)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompactPreservesResults pins the collector's core invariant:
+// compaction preserves every cluster's scan order, so search results
+// are bit-identical before and after, while the live extent shrinks
+// and victim blocks are erased. A second compaction with no dead
+// entries is a no-op.
+func TestCompactPreservesResults(t *testing.T) {
+	c := newMutCorpus()
+	e, err := New(mutTestCfg(), 64<<20, AllOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	resps := runMutScript(t, e, c, true, 0)
+	before := resps[len(resps)-1]
+
+	wear, err := e.Compact(1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wear.CompactedRows == 0 || wear.BlockErases == 0 || wear.CopiedEntries == 0 {
+		t.Fatalf("compaction did not run: %+v", wear)
+	}
+	if wear.MaxBlockErase == 0 {
+		t.Fatalf("erase accounting missing: %+v", wear)
+	}
+	after, err := e.Submit(HostCommand{Opcode: OpcodeIVFSearch, DBID: 1, Queries: testData.Queries, K: 10, NProbe: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after.Results, before.Results) {
+		t.Fatal("compaction changed search results")
+	}
+	// Scan cost must not grow; the brute-force plan shrinks to the
+	// canonical single range.
+	if after.Stats.FinePages > before.Stats.FinePages {
+		t.Fatalf("compaction grew fine pages: %d > %d", after.Stats.FinePages, before.Stats.FinePages)
+	}
+	db, err := e.DB(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.mut.flatPlan); got != 1 {
+		t.Fatalf("flat plan not canonical after compaction: %d ranges", got)
+	}
+	if db.mut.deadCount != 0 {
+		t.Fatalf("tombstones survive compaction: %d", db.mut.deadCount)
+	}
+
+	again, err := e.Compact(1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CompactedRows != 0 || again.BlockErases != 0 || again.PagesProgrammed != 0 {
+		t.Fatalf("compaction of a clean database not a no-op: %+v", again)
+	}
+}
+
+// TestMutationDeterministicAcrossRuns: the same script on a fresh
+// engine yields byte-identical responses, twice.
+func TestMutationDeterministicAcrossRuns(t *testing.T) {
+	c := newMutCorpus()
+	var first []HostResponse
+	for run := 0; run < 2; run++ {
+		e, err := New(mutTestCfg(), 64<<20, AllOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		resps := runMutScript(t, e, c, true, 0.9)
+		e.Close()
+		if first == nil {
+			first = resps
+			continue
+		}
+		for i := range first {
+			if !mutRespEqual(first[i], resps[i]) {
+				t.Fatalf("run %d: response %d not deterministic", run, i)
+			}
+		}
+	}
+}
+
+// TestMutationErrors exercises every mutation failure path and its
+// sentinel, and checks that failed commands leave the database
+// untouched.
+func TestMutationErrors(t *testing.T) {
+	e, err := New(mutTestCfg(), 64<<20, AllOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	deployFlat(t, e, 1)
+	deployIVF(t, e, 2, 8)
+	vec := testData.Vectors[0]
+	doc := testData.Docs[0]
+
+	cases := []struct {
+		name string
+		cmd  HostCommand
+		want error
+	}{
+		{"append-missing-payload", HostCommand{Opcode: OpcodeAppend, DBID: 1}, ErrMissingPayload},
+		{"append-empty", HostCommand{Opcode: OpcodeAppend, DBID: 1, Append: &AppendConfig{}}, ErrNoItems},
+		{"append-docs-mismatch", HostCommand{Opcode: OpcodeAppend, DBID: 1,
+			Append: &AppendConfig{Vectors: [][]float32{vec}}}, ErrMissingPayload},
+		{"append-dim-mismatch", HostCommand{Opcode: OpcodeAppend, DBID: 1,
+			Append: &AppendConfig{Vectors: [][]float32{vec, vec[:8]}, Docs: [][]byte{doc, doc}}}, ErrQueryDims},
+		{"append-wrong-dim", HostCommand{Opcode: OpcodeAppend, DBID: 1,
+			Append: &AppendConfig{Vectors: [][]float32{vec[:8]}, Docs: [][]byte{doc}}}, ErrQueryDims},
+		{"append-assign-on-flat", HostCommand{Opcode: OpcodeAppend, DBID: 1,
+			Append: &AppendConfig{Vectors: [][]float32{vec}, Docs: [][]byte{doc}, Assign: []int{0}}}, ErrBadAssign},
+		{"append-no-assign-on-ivf", HostCommand{Opcode: OpcodeAppend, DBID: 2,
+			Append: &AppendConfig{Vectors: [][]float32{vec}, Docs: [][]byte{doc}}}, ErrBadAssign},
+		{"append-cluster-range", HostCommand{Opcode: OpcodeAppend, DBID: 2,
+			Append: &AppendConfig{Vectors: [][]float32{vec}, Docs: [][]byte{doc}, Assign: []int{99}}}, ErrBadAssign},
+		{"delete-missing-payload", HostCommand{Opcode: OpcodeDelete, DBID: 1}, ErrMissingPayload},
+		{"delete-empty", HostCommand{Opcode: OpcodeDelete, DBID: 1, Del: &DeleteConfig{}}, ErrNoItems},
+		{"delete-negative", HostCommand{Opcode: OpcodeDelete, DBID: 1, Del: &DeleteConfig{IDs: []int{-1}}}, ErrUnknownID},
+		{"delete-unknown", HostCommand{Opcode: OpcodeDelete, DBID: 1, Del: &DeleteConfig{IDs: []int{1 << 20}}}, ErrUnknownID},
+		{"delete-duplicate", HostCommand{Opcode: OpcodeDelete, DBID: 1, Del: &DeleteConfig{IDs: []int{5, 5}}}, ErrUnknownID},
+		{"compact-missing-payload", HostCommand{Opcode: OpcodeCompact, DBID: 1}, ErrMissingPayload},
+		{"compact-bad-threshold", HostCommand{Opcode: OpcodeCompact, DBID: 1, Compact: &CompactConfig{MinLiveRatio: 1.5}}, ErrBadThreshold},
+	}
+	for _, tc := range cases {
+		if _, err := e.Submit(tc.cmd); !errors.Is(err, tc.want) {
+			t.Fatalf("%s: error %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Double delete across commands.
+	if err := e.Delete(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(1, 5); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("double delete: %v", err)
+	}
+	// A failed batch delete (one bad id) must apply nothing.
+	if err := e.Delete(1, 6, 5); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("partial delete: %v", err)
+	}
+	if err := e.Delete(1, 6); err != nil {
+		t.Fatalf("id 6 was deleted by a failed batch: %v", err)
+	}
+}
+
+// TestAppendFullSentinel: with zero overprovisioning the first append
+// fails with ssd.ErrRegionFull and leaves search behaviour untouched.
+func TestAppendFullSentinel(t *testing.T) {
+	cfg := shardTestCfg() // OverprovisionPct zero
+	e, err := New(cfg, 64<<20, AllOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	deployFlat(t, e, 1)
+	before, _, err := e.Search(1, testData.Queries[0], 5, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Append(1, AppendConfig{Vectors: testData.Vectors[:1], Docs: testData.Docs[:1]})
+	if !errors.Is(err, ssd.ErrRegionFull) {
+		t.Fatalf("append on full: %v", err)
+	}
+	after, _, err := e.Search(1, testData.Queries[0], 5, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("failed append changed search results")
+	}
+}
+
+// TestOverprovisionValidation: ssd.New rejects out-of-range settings.
+func TestOverprovisionValidation(t *testing.T) {
+	for _, pct := range []int{-1, 401} {
+		cfg := shardTestCfg()
+		cfg.OverprovisionPct = pct
+		if _, err := New(cfg, 0, AllOptions()); err == nil {
+			t.Fatalf("OverprovisionPct %d accepted", pct)
+		}
+	}
+}
+
+// TestMutationInvalidatesCalibration: recorded nprobe calibrations are
+// dropped by any mutation, so TargetRecall commands fail until
+// recalibrated — on both topologies.
+func TestMutationInvalidatesCalibration(t *testing.T) {
+	run := func(t *testing.T, h submitter, calibrate func() error) {
+		t.Helper()
+		cents, assign := ann.KMeans(testData.Vectors, ann.KMeansConfig{K: 16, Seed: 9})
+		if _, err := h.Submit(HostCommand{Opcode: OpcodeIVFDeploy, Deploy: &DeployConfig{
+			ID: 1, Vectors: testData.Vectors, Docs: testData.Docs, DocSlotBytes: 256,
+			Centroids: cents, Assign: assign,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := calibrate(); err != nil {
+			t.Fatal(err)
+		}
+		cmd := HostCommand{Opcode: OpcodeIVFSearch, DBID: 1, Queries: testData.Queries[:2], K: 10, TargetRecall: 0.9}
+		if _, err := h.Submit(cmd); err != nil {
+			t.Fatalf("calibrated search: %v", err)
+		}
+		if _, err := h.Submit(HostCommand{Opcode: OpcodeAppend, DBID: 1, Append: &AppendConfig{
+			Vectors: testData.Vectors[:1], Docs: testData.Docs[:1], Assign: assign[:1],
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Submit(cmd); !errors.Is(err, ErrNotCalibrated) {
+			t.Fatalf("TargetRecall after append: %v", err)
+		}
+	}
+	t.Run("single", func(t *testing.T) {
+		e, err := New(mutTestCfg(), 64<<20, AllOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		run(t, e, func() error {
+			_, err := e.CalibrateNProbe(1, testData.Queries, testData.GroundTruth, 10, 0.9)
+			return err
+		})
+	})
+	t.Run("sharded", func(t *testing.T) {
+		sh, err := NewSharded(mutTestCfg(), 2, 64<<20, AllOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sh.Close() })
+		run(t, sh, func() error {
+			_, err := sh.CalibrateNProbe(1, testData.Queries, testData.GroundTruth, 10, 0.9)
+			return err
+		})
+	})
+}
+
+// TestDeletedNeverSurface: tombstoned ids disappear from every search
+// entry point immediately, and metadata-filtered searches agree.
+func TestDeletedNeverSurface(t *testing.T) {
+	e, err := New(mutTestCfg(), 64<<20, AllOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	deployIVF(t, e, 1, 16)
+	q := testData.Queries[0]
+	res, _, err := e.IVFSearch(1, q, 10, SearchOptions{NProbe: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	// Delete the entire current top-k; none may surface again.
+	ids := make([]int, len(res))
+	for i, r := range res {
+		ids[i] = r.ID
+	}
+	if err := e.Delete(1, ids...); err != nil {
+		t.Fatal(err)
+	}
+	gone := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		gone[id] = true
+	}
+	again, _, err := e.IVFSearch(1, q, 10, SearchOptions{NProbe: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range again {
+		if gone[r.ID] {
+			t.Fatalf("deleted id %d surfaced", r.ID)
+		}
+	}
+	batch, _, err := e.SearchBatch(1, [][]float32{q}, 10, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range batch[0] {
+		if gone[r.ID] {
+			t.Fatalf("deleted id %d surfaced on the flat batch path", r.ID)
+		}
+	}
+	db, err := e.DB(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Live() != testData.Len()-len(ids) {
+		t.Fatalf("Live() = %d, want %d", db.Live(), testData.Len()-len(ids))
+	}
+}

@@ -123,6 +123,7 @@ type engineScratch struct {
 	spans     []ssd.PlaneSpan
 	results   []planeScan
 	tasks     []planeTask
+	flatSegs  []scanSeg // pooled SlotRange→scanSeg conversion of the flat plan
 	lists     [][]TTLEntry
 	planeWork [][]batchItem
 	entries   []TTLEntry // merged fine-phase entries of the current query
@@ -206,13 +207,20 @@ func (e *Engine) Search(dbID int, query []float32, k int, opt SearchOptions) ([]
 	if err := e.broadcast(db, qPacked, &st); err != nil {
 		return nil, st, err
 	}
-	entries, waves, pages, err := e.scanRange(db, db.rec.Embeddings, 0, db.regionSlots-1, e.Opts.DistanceFilter, opt.MetaTag, &st, e.scr.entries[:0])
-	e.scr.entries = entries
-	if err != nil {
-		return nil, st, err
+	// The brute-force scan covers the live segment plan: one range for
+	// a freshly deployed database, one more per append batch.
+	entries := e.scr.entries[:0]
+	for _, r := range db.flatSegs() {
+		var waves, pages int
+		entries, waves, pages, err = e.scanRange(db, db.rec.Embeddings, r.First, r.Last, e.Opts.DistanceFilter, opt.MetaTag, &st, entries)
+		if err != nil {
+			e.scr.entries = entries
+			return nil, st, err
+		}
+		st.FineWaves += waves
+		st.FinePages += pages
 	}
-	st.FineWaves += waves
-	st.FinePages += pages
+	e.scr.entries = entries
 	res, err := e.finish(db, query, entries, k, opt, &st)
 	return res, st, err
 }
@@ -265,21 +273,21 @@ func (e *Engine) IVFSearch(dbID int, query []float32, k int, opt SearchOptions) 
 		nprobe = len(cents)
 	}
 
-	// Fine-grained search inside the selected clusters (TTL-E).
+	// Fine-grained search inside the selected clusters (TTL-E): each
+	// cluster's posting list is one or more slot ranges (the deployed
+	// range plus any appended runs), scanned in list order.
 	entries := e.scr.entries[:0]
 	for _, c := range cents[:nprobe] {
-		ent := db.rivf[c.Pos]
-		if ent.First < 0 {
-			continue // empty cluster
+		for _, r := range db.clusterSegs(c.Pos) {
+			var w, p int
+			entries, w, p, err = e.scanRange(db, db.rec.Embeddings, r.First, r.Last, e.Opts.DistanceFilter, opt.MetaTag, &st, entries)
+			if err != nil {
+				e.scr.entries = entries
+				return nil, st, err
+			}
+			st.FineWaves += w
+			st.FinePages += p
 		}
-		var w, p int
-		entries, w, p, err = e.scanRange(db, db.rec.Embeddings, ent.First, ent.Last, e.Opts.DistanceFilter, opt.MetaTag, &st, entries)
-		if err != nil {
-			e.scr.entries = entries
-			return nil, st, err
-		}
-		st.FineWaves += w
-		st.FinePages += p
 	}
 	e.scr.entries = entries
 	res, err := e.finish(db, query, entries, k, opt, &st)

@@ -104,7 +104,16 @@ type ShardedDatabase struct {
 	lay    *dbLayout
 	locals []*Database // locals[s] is shard s's page-stride slice
 	calib  []recallPoint
+
+	// mut is the router's mutable-state ledger — the same geometry-
+	// independent structure a single device keeps, evolved by the same
+	// code, which is what makes sharded mutation outcomes bit-identical
+	// to the reference device.
+	mut *mutState
 }
+
+// Live returns the number of live (not tombstoned) entries.
+func (db *ShardedDatabase) Live() int { return db.mut.live }
 
 // NList returns the number of IVF clusters (0 for flat databases).
 func (db *ShardedDatabase) NList() int { return len(db.lay.rivf) }
@@ -233,12 +242,12 @@ func (sh *ShardedEngine) deploy(cfg DeployConfig) (*ShardedDatabase, error) {
 	if _, ok := sh.dbs[cfg.ID]; ok {
 		return nil, fmt.Errorf("reis: database %d already deployed", cfg.ID)
 	}
-	lo, err := planLayout(&cfg, sh.cfg.Geo)
+	lo, err := planLayout(&cfg, sh.cfg.Geo, sh.cfg.OverprovisionPct)
 	if err != nil {
 		return nil, err
 	}
 	items := lo.buildItems(&cfg)
-	db := &ShardedDatabase{ID: cfg.ID, Dim: lo.dim, N: lo.n, lay: lo}
+	db := &ShardedDatabase{ID: cfg.ID, Dim: lo.dim, N: lo.n, lay: lo, mut: newMutState(lo, sh.cfg.Geo)}
 	for s, dev := range sh.shards {
 		local, err := dev.e.deployShard(cfg.ID, lo, items, s, len(sh.shards))
 		if err != nil {
@@ -278,6 +287,21 @@ func (sh *ShardedEngine) execCmd(ctx context.Context, cmd *HostCommand) (HostRes
 			resp.Stats.Add(st)
 		}
 		return resp, nil
+	case OpcodeAppend, OpcodeDelete, OpcodeCompact:
+		sh.execMu.Lock()
+		defer sh.execMu.Unlock()
+		if sh.closed {
+			return HostResponse{}, fmt.Errorf("reis: engine closed: %w", ErrQueueClosed)
+		}
+		db, err := sh.db(cmd.DBID)
+		if err != nil {
+			return HostResponse{}, err
+		}
+		resp, err := executeMutation(db.mut, shardMutTarget{sh: sh, db: db}, cmd)
+		if err == nil {
+			db.calib = nil
+		}
+		return resp, err
 	default:
 		// OpcodeScan is the router's *scatter* operand; it addresses a
 		// member device, never the router itself.
@@ -531,7 +555,9 @@ func perShardStats(resps []HostResponse, nq int, prev [][]QueryStats) [][]QueryS
 // whole binary region, striped across the shards.
 func (sh *ShardedEngine) searchFlat(ctx context.Context, db *ShardedDatabase, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, [][]QueryStats, error) {
 	segs := make([][]SlotRange, len(queries))
-	whole := []SlotRange{{First: 0, Last: db.lay.regionSlots - 1}}
+	// The live segment plan of the (possibly mutated) database: one
+	// range per deployed-or-appended run, shared by every query.
+	whole := db.mut.flatPlan
 	for i := range segs {
 		segs[i] = whole
 	}
@@ -547,8 +573,11 @@ func (sh *ShardedEngine) searchFlat(ctx context.Context, db *ShardedDatabase, qu
 		}
 		st := &sts[qi]
 		st.IBCBroadcasts = gatherIBC(resps, qi)
-		gatherSegStats(resps, qi, 0, false, st)
-		entries := sh.mergeSeg(sh.scr.entries[:0], resps, qi, 0, db.lay.embPerPage)
+		entries := sh.scr.entries[:0]
+		for si := range whole {
+			gatherSegStats(resps, qi, si, false, st)
+			entries = sh.mergeSeg(entries, resps, qi, si, db.lay.embPerPage)
+		}
 		sh.scr.entries = entries
 		res, err := sh.finish(db, queries[qi], entries, k, opt, st)
 		if err != nil {
@@ -609,11 +638,7 @@ func (sh *ShardedEngine) searchIVF(ctx context.Context, db *ShardedDatabase, que
 			np = len(cents)
 		}
 		for _, c := range cents[:np] {
-			ent := db.lay.rivf[c.Pos]
-			if ent.First < 0 {
-				continue // empty cluster
-			}
-			fineSegs[qi] = append(fineSegs[qi], SlotRange{First: ent.First, Last: ent.Last})
+			fineSegs[qi] = append(fineSegs[qi], db.mut.buckets[c.Pos]...)
 		}
 	}
 
@@ -655,6 +680,9 @@ func (sh *ShardedEngine) finish(db *ShardedDatabase, query []float32, entries []
 		docBytes:    db.lay.docBytes,
 		planes:      sh.cfg.Geo.Planes(),
 		params:      db.lay.params,
+	}
+	if db.mut.deadCount > 0 {
+		tp.dead = db.mut.tomb
 	}
 	return runTail(&sh.scr.src, &sh.scr.tail, tp, query, entries, k, opt, st)
 }
@@ -728,6 +756,20 @@ func (sh *ShardedEngine) IVFSearchBatch(dbID int, queries [][]float32, k int, op
 	results, sts, _, err := sh.execSearchGroup(context.Background(),
 		&HostCommand{Opcode: OpcodeIVFSearch, DBID: dbID, K: k, Opt: opt}, queries)
 	return results, sts, err
+}
+
+// Append implements the OpcodeAppend host command synchronously,
+// returning the assigned entry ids (identical to a single device's).
+func (sh *ShardedEngine) Append(dbID int, cfg AppendConfig) ([]int, error) {
+	return submitAppend(sh, dbID, cfg)
+}
+
+// Delete implements the OpcodeDelete host command synchronously.
+func (sh *ShardedEngine) Delete(dbID int, ids ...int) error { return submitDelete(sh, dbID, ids) }
+
+// Compact implements the OpcodeCompact host command synchronously.
+func (sh *ShardedEngine) Compact(dbID int, minLiveRatio float64) (WearStats, error) {
+	return submitCompact(sh, dbID, minLiveRatio)
 }
 
 // CalibrateNProbe finds the smallest nprobe meeting the Recall@k

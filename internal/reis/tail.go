@@ -40,6 +40,13 @@ type tailParams struct {
 	docBytes    int
 	planes      int
 	params      vecmath.Int8Params
+	// dead is the database's tombstone bitmap (indexed by DADR), or
+	// nil when nothing is deleted. The tail drops tombstoned entries
+	// from the merged stream before selection, so deleted documents
+	// never surface; the scan side stays tombstone-oblivious (dies
+	// have no DRAM for the bitmap), which keeps scan-phase stats
+	// equal across topologies.
+	dead []uint64
 }
 
 // tailSource senses one page of the INT8 (rerank) or document region
@@ -56,6 +63,9 @@ type tailSource interface {
 // Working sets live in ts; only the returned results (and their
 // document bytes) are allocated.
 func runTail(src tailSource, ts *tailScratch, tp tailParams, query []float32, entries []TTLEntry, k int, opt SearchOptions, st *QueryStats) ([]DocResult, error) {
+	if tp.dead != nil {
+		entries = filterTombstoned(entries, tp.dead)
+	}
 	st.SelectInput += len(entries)
 	pool := k * RerankFactor
 	if pool > len(entries) {
@@ -147,6 +157,19 @@ func runTail(src tailSource, ts *tailScratch, tp tailParams, query []float32, en
 	return out, nil
 }
 
+// filterTombstoned compacts the merged entry stream in place, keeping
+// only entries whose DADR is not tombstoned. Order is preserved, so
+// downstream selection stays deterministic.
+func filterTombstoned(es []TTLEntry, tomb []uint64) []TTLEntry {
+	out := es[:0]
+	for _, e := range es {
+		if !bitsetGet(tomb, int(e.DADR)) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // engineTailSource reads tail pages from the engine's own regions.
 type engineTailSource struct {
 	e  *Engine
@@ -191,5 +214,6 @@ func (db *Database) tailParams(planes int) tailParams {
 		docBytes:    db.docBytes,
 		planes:      planes,
 		params:      db.params,
+		dead:        db.tombstones(),
 	}
 }

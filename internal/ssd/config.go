@@ -35,6 +35,14 @@ type Config struct {
 	// rule of thumb).
 	DRAMBytes int64
 
+	// OverprovisionPct reserves extra region capacity at deployment, as
+	// a percentage of each region's live page count, so databases can
+	// grow in place (OpcodeAppend) and garbage collection has free
+	// blocks to compact into. 0 — the preset default — makes deployed
+	// databases effectively read-only: the first append fails with
+	// ErrRegionFull. Valid range is [0, 400]; New rejects anything else.
+	OverprovisionPct int
+
 	// HostReadBandwidth is the sequential read bandwidth seen by the
 	// host (bytes/s) — what a CPU baseline gets when loading a dataset.
 	HostReadBandwidth float64

@@ -71,12 +71,31 @@ type Region struct {
 	// StartStripe is the first page offset (within every plane) that
 	// the region occupies.
 	StartStripe int
-	// PageCount is the number of pages in the region.
+	// PageCount is the number of live (programmed or scannable) pages.
 	PageCount int
+	// CapPages is the region's full reserved capacity in pages — the
+	// block-aligned extent AllocateRegion claimed, covering the live
+	// pages, the explicit overprovisioning, and the alignment slack.
+	// Appends grow PageCount toward CapPages; zero (a hand-built
+	// Region) means the capacity equals PageCount.
+	CapPages int
 }
 
-// Pages returns the page count of the region.
+// Pages returns the live page count of the region.
 func (r Region) Pages() int { return r.PageCount }
+
+// Cap returns the reserved capacity in pages (at least PageCount).
+func (r Region) Cap() int { return max(r.CapPages, r.PageCount) }
+
+// SetLive resizes the live extent within the reserved capacity; an
+// append beyond it fails with ErrRegionFull.
+func (r *Region) SetLive(pages int) error {
+	if pages < 0 || pages > r.Cap() {
+		return fmt.Errorf("%w (%d pages of %d reserved)", ErrRegionFull, pages, r.Cap())
+	}
+	r.PageCount = pages
+	return nil
+}
 
 // Stripes returns how many page offsets the region spans per plane.
 func (r Region) Stripes(planes int) int {
@@ -86,8 +105,19 @@ func (r Region) Stripes(planes int) int {
 	return (r.PageCount + planes - 1) / planes
 }
 
-// EndStripe returns the first stripe after the region.
+// EndStripe returns the first stripe after the region's live pages.
 func (r Region) EndStripe(planes int) int { return r.StartStripe + r.Stripes(planes) }
+
+// CapEndStripe returns the first stripe after the region's full
+// reservation — the bound overlap checks use, so a growing region can
+// never collide with a neighbour.
+func (r Region) CapEndStripe(planes int) int {
+	c := r.Cap()
+	if c == 0 {
+		return r.StartStripe
+	}
+	return r.StartStripe + (c+planes-1)/planes
+}
 
 // AddressOf resolves page i of the region under the geometry by pure
 // arithmetic (no mapping table).
@@ -250,18 +280,29 @@ func (r *RDB) Register(rec DBRecord) error {
 	planes := r.geo.Planes()
 	for _, other := range r.records {
 		for _, ra := range rec.regions() {
-			if ra.PageCount == 0 {
+			if ra.Cap() == 0 {
 				continue
 			}
 			for _, rb := range other.regions() {
-				if rb.PageCount == 0 {
+				if rb.Cap() == 0 {
 					continue
 				}
-				if ra.StartStripe < rb.EndStripe(planes) && rb.StartStripe < ra.EndStripe(planes) {
+				if ra.StartStripe < rb.CapEndStripe(planes) && rb.StartStripe < ra.CapEndStripe(planes) {
 					return fmt.Errorf("ssd: database %d regions overlap database %d", rec.ID, other.ID)
 				}
 			}
 		}
+	}
+	r.records[rec.ID] = rec
+	return nil
+}
+
+// Update replaces a registered record in place — the coarse-grained
+// FTL remap of a mutation (append growth, GC compaction): the record's
+// region bounds are the only mapping state kept for deployed regions.
+func (r *RDB) Update(rec DBRecord) error {
+	if _, ok := r.records[rec.ID]; !ok {
+		return fmt.Errorf("ssd: update of unknown database %d", rec.ID)
 	}
 	r.records[rec.ID] = rec
 	return nil

@@ -1,10 +1,16 @@
 package ssd
 
 import (
+	"errors"
 	"fmt"
 
 	"reis/internal/flash"
 )
+
+// ErrRegionFull is returned when an append would grow a region beyond
+// its reserved capacity (the live plan plus Config.OverprovisionPct).
+// Submission paths wrap it with detail; match with errors.Is.
+var ErrRegionFull = errors.New("ssd: region append exceeds reserved capacity")
 
 // SSD combines the flash device with the controller-side structures:
 // FTL, R-DB, the region allocator, and maintenance bookkeeping.
@@ -28,6 +34,9 @@ type SSD struct {
 // New builds an SSD with capacity grown to hold at least capacityHint
 // bytes (0 keeps the preset geometry).
 func New(cfg Config, capacityHint int64) (*SSD, error) {
+	if cfg.OverprovisionPct < 0 || cfg.OverprovisionPct > 400 {
+		return nil, fmt.Errorf("ssd: OverprovisionPct %d outside [0, 400]", cfg.OverprovisionPct)
+	}
 	if capacityHint > 0 {
 		cfg = cfg.WithCapacityFor(capacityHint)
 	}
@@ -43,17 +52,22 @@ func New(cfg Config, capacityHint int64) (*SSD, error) {
 	}, nil
 }
 
-// AllocateRegion reserves a plane-striped, block-aligned region of
-// pages pages and marks every block it touches with the given cell
-// mode, implementing the soft partitioning of the hybrid SSD design
+// AllocateRegion reserves a plane-striped, block-aligned region with
+// pages live pages and room for at least capPages (reserved free
+// space for appends and GC; capPages <= pages reserves nothing extra),
+// and marks every block it touches with the given cell mode,
+// implementing the soft partitioning of the hybrid SSD design
 // (Sec 4.1.2). Block alignment guarantees no block ever mixes SLC-ESP
-// and TLC data.
-func (s *SSD) AllocateRegion(pages int, mode flash.CellMode) (Region, error) {
-	if pages <= 0 {
-		return Region{}, fmt.Errorf("ssd: AllocateRegion with %d pages", pages)
+// and TLC data. pages may be zero when capPages is positive: the
+// region starts empty and grows into its reservation (a shard that
+// owns no page of a freshly deployed database yet).
+func (s *SSD) AllocateRegion(pages, capPages int, mode flash.CellMode) (Region, error) {
+	need := max(pages, capPages)
+	if pages < 0 || need <= 0 {
+		return Region{}, fmt.Errorf("ssd: AllocateRegion with %d pages (cap %d)", pages, capPages)
 	}
 	planes := s.Cfg.Geo.Planes()
-	stripes := (pages + planes - 1) / planes
+	stripes := (need + planes - 1) / planes
 	// Round the cursor and extent to block boundaries.
 	ppb := s.Cfg.Geo.PagesPerBlock
 	start := s.nextStripe
@@ -82,7 +96,22 @@ func (s *SSD) AllocateRegion(pages int, mode flash.CellMode) (Region, error) {
 		}
 	}
 	s.nextStripe = endStripe
-	return Region{StartStripe: start, PageCount: pages}, nil
+	// The block-aligned extent is the region's true reservation: its
+	// capacity covers the requested pages plus the rounding slack, all
+	// of it erased and appendable.
+	return Region{StartStripe: start, PageCount: pages, CapPages: (endStripe - start) * planes}, nil
+}
+
+// ResizeRegion grows or shrinks a region's live extent to pages,
+// bounded by its reserved capacity, and refreshes the R-DB record —
+// the coarse-grained FTL remap a mutation commits (Sec 4.1.4: region
+// bounds in the R-DB are the only mapping state REIS keeps after
+// deployment). rec must be registered; r must point into it.
+func (s *SSD) ResizeRegion(rec *DBRecord, r *Region, pages int) error {
+	if err := r.SetLive(pages); err != nil {
+		return err
+	}
+	return s.RDB.Update(*rec)
 }
 
 // FreeStripes reports the number of unallocated stripes remaining.

@@ -2,6 +2,7 @@ package ssd
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"reis/internal/flash"
@@ -134,7 +135,7 @@ func TestCoarseGrainedFootprintAdvantage(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rec := DBRecord{ID: 1, Embeddings: Region{0, 100}, Documents: Region{13, 100}}
+	rec := DBRecord{ID: 1, Embeddings: Region{StartStripe: 0, PageCount: 100}, Documents: Region{StartStripe: 13, PageCount: 100}}
 	if err := s.RDB.Register(rec); err != nil {
 		t.Fatal(err)
 	}
@@ -198,17 +199,17 @@ func TestRegionPagesOnPlane(t *testing.T) {
 
 func TestRDBRejectsOverlapAndDuplicates(t *testing.T) {
 	s := newTestSSD(t)
-	a := DBRecord{ID: 1, Embeddings: Region{0, 8}}
+	a := DBRecord{ID: 1, Embeddings: Region{StartStripe: 0, PageCount: 8}}
 	if err := s.RDB.Register(a); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.RDB.Register(DBRecord{ID: 1, Embeddings: Region{100, 8}}); err == nil {
+	if err := s.RDB.Register(DBRecord{ID: 1, Embeddings: Region{StartStripe: 100, PageCount: 8}}); err == nil {
 		t.Fatal("duplicate id accepted")
 	}
-	if err := s.RDB.Register(DBRecord{ID: 2, Documents: Region{0, 8}}); err == nil {
+	if err := s.RDB.Register(DBRecord{ID: 2, Documents: Region{StartStripe: 0, PageCount: 8}}); err == nil {
 		t.Fatal("overlapping region accepted")
 	}
-	if err := s.RDB.Register(DBRecord{ID: 3, Embeddings: Region{8, 8}}); err != nil {
+	if err := s.RDB.Register(DBRecord{ID: 3, Embeddings: Region{StartStripe: 8, PageCount: 8}}); err != nil {
 		t.Fatalf("disjoint region rejected: %v", err)
 	}
 	if s.RDB.Len() != 2 {
@@ -222,11 +223,11 @@ func TestRDBRejectsOverlapAndDuplicates(t *testing.T) {
 
 func TestAllocateRegionBlockAlignedModes(t *testing.T) {
 	s := newTestSSD(t)
-	emb, err := s.AllocateRegion(10, flash.ModeSLCESP)
+	emb, err := s.AllocateRegion(10, 0, flash.ModeSLCESP)
 	if err != nil {
 		t.Fatal(err)
 	}
-	doc, err := s.AllocateRegion(10, flash.ModeTLC)
+	doc, err := s.AllocateRegion(10, 0, flash.ModeTLC)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,20 +258,113 @@ func TestAllocateRegionBlockAlignedModes(t *testing.T) {
 	}
 }
 
+func TestAllocateRegionReservesCapacity(t *testing.T) {
+	s := newTestSSD(t)
+	r, err := s.AllocateRegion(10, 25, flash.ModeSLCESP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pages() != 10 {
+		t.Fatalf("live pages = %d, want 10", r.Pages())
+	}
+	if r.Cap() < 25 {
+		t.Fatalf("capacity %d below the requested 25", r.Cap())
+	}
+	// Capacity is block-aligned: a full block-row multiple of planes.
+	planes := s.Cfg.Geo.Planes()
+	if r.Cap()%(s.Cfg.Geo.PagesPerBlock*planes) != 0 {
+		t.Fatalf("capacity %d not block-row aligned", r.Cap())
+	}
+	// A zero-page region with capacity starts empty but reserved.
+	empty, err := s.AllocateRegion(0, 4, flash.ModeTLC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Pages() != 0 || empty.Cap() == 0 {
+		t.Fatalf("empty reservation: pages=%d cap=%d", empty.Pages(), empty.Cap())
+	}
+	if empty.StartStripe < r.CapEndStripe(planes) {
+		t.Fatal("reservations overlap")
+	}
+}
+
+func TestRegionSetLiveBounds(t *testing.T) {
+	s := newTestSSD(t)
+	r, err := s.AllocateRegion(4, 0, flash.ModeSLCESP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetLive(r.Cap()); err != nil {
+		t.Fatalf("grow to capacity: %v", err)
+	}
+	if _, err := r.AddressOf(s.Cfg.Geo, r.Cap()-1); err != nil {
+		t.Fatalf("grown page unaddressable: %v", err)
+	}
+	if err := r.SetLive(r.Cap() + 1); !errors.Is(err, ErrRegionFull) {
+		t.Fatalf("growth beyond capacity: error %v, want ErrRegionFull", err)
+	}
+	if err := r.SetLive(-1); err == nil {
+		t.Fatal("negative live extent accepted")
+	}
+	if err := r.SetLive(0); err != nil {
+		t.Fatalf("shrink to zero: %v", err)
+	}
+}
+
+func TestResizeRegionUpdatesRDB(t *testing.T) {
+	s := newTestSSD(t)
+	r, err := s.AllocateRegion(4, 0, flash.ModeSLCESP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := DBRecord{ID: 1, Embeddings: r}
+	if err := s.RDB.Register(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ResizeRegion(&rec, &rec.Embeddings, 6); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.RDB.Lookup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Embeddings.Pages() != 6 {
+		t.Fatalf("R-DB record not remapped: %d pages", got.Embeddings.Pages())
+	}
+	if err := s.RDB.Update(DBRecord{ID: 99}); err == nil {
+		t.Fatal("update of unknown database accepted")
+	}
+}
+
+func TestOverprovisionPctValidation(t *testing.T) {
+	for _, pct := range []int{-1, 401} {
+		cfg := tinyCfg()
+		cfg.OverprovisionPct = pct
+		if _, err := New(cfg, 0); err == nil {
+			t.Fatalf("OverprovisionPct %d accepted", pct)
+		}
+	}
+	cfg := tinyCfg()
+	cfg.OverprovisionPct = 400
+	if _, err := New(cfg, 0); err != nil {
+		t.Fatalf("OverprovisionPct 400 rejected: %v", err)
+	}
+}
+
 func TestAllocateRegionExhaustion(t *testing.T) {
 	s := newTestSSD(t)
 	totalPages := s.Cfg.Geo.TotalPages()
-	if _, err := s.AllocateRegion(totalPages*2, flash.ModeTLC); err == nil {
+	if _, err := s.AllocateRegion(totalPages*2, 0, flash.ModeTLC); err == nil {
 		t.Fatal("over-allocation accepted")
 	}
-	if _, err := s.AllocateRegion(0, flash.ModeTLC); err == nil {
+	if _, err := s.AllocateRegion(0, 0, flash.ModeTLC); err == nil {
 		t.Fatal("zero allocation accepted")
 	}
 }
 
 func TestWriteReadRegionPage(t *testing.T) {
 	s := newTestSSD(t)
-	r, err := s.AllocateRegion(16, flash.ModeSLCESP)
+	r, err := s.AllocateRegion(16, 0, flash.ModeSLCESP)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +397,7 @@ func TestMaintenanceCounters(t *testing.T) {
 func TestFreeStripesDecreases(t *testing.T) {
 	s := newTestSSD(t)
 	before := s.FreeStripes()
-	if _, err := s.AllocateRegion(8, flash.ModeTLC); err != nil {
+	if _, err := s.AllocateRegion(8, 0, flash.ModeTLC); err != nil {
 		t.Fatal(err)
 	}
 	if s.FreeStripes() >= before {
