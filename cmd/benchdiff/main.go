@@ -47,7 +47,8 @@ type report struct {
 var metricFields = map[string]bool{
 	"WallQPS": true, "ModelQPS": true, "ModelSerialQPS": true,
 	"ModelSpeedup": true, "NsPerOp": true, "AllocsPerOp": true,
-	"BytesPerOp": true, "AvgBatch": true,
+	"BytesPerOp": true, "AvgBatch": true, "Speedup": true,
+	"FinePages": true, "PrunedPages": true, "AbortedWaves": true,
 }
 
 // rowKey builds the match key of a row: the experiment id plus every
@@ -89,7 +90,20 @@ type options struct {
 // (informational drift) between the two reports.
 func diff(baseline, current *report, opt options) (violations, notes []string) {
 	base := index(baseline)
+	baseExps := make(map[string]bool)
+	for _, e := range baseline.Experiments {
+		baseExps[e.ID] = true
+	}
 	for _, e := range current.Experiments {
+		if !baseExps[e.ID] {
+			// A whole experiment section the baseline predates: one
+			// report-only note, not an error (and not one note per row) —
+			// the next baseline refresh starts gating it.
+			notes = append(notes, fmt.Sprintf(
+				"%s: experiment absent from baseline (%d rows not gated; refresh the baseline to gate it)",
+				e.ID, len(e.Rows)))
+			continue
+		}
 		for _, row := range e.Rows {
 			key := rowKey(e.ID, row)
 			b, ok := base[key]

@@ -66,3 +66,24 @@ func TestDiffSkipsUnmatchedRows(t *testing.T) {
 		t.Fatalf("violations %v notes %v", v, notes)
 	}
 }
+
+func TestDiffNotesMissingExperimentOnce(t *testing.T) {
+	base := mkReport(1000, 2000, 24.5)
+	cur := mkReport(1000, 2000, 24.5)
+	cur.Experiments = append(cur.Experiments, struct {
+		ID   string           `json:"id"`
+		Rows []map[string]any `json:"rows"`
+	}{ID: "prune", Rows: []map[string]any{
+		{"Dataset": "NQ", "Mode": "base", "K": float64(10), "ModelQPS": 900.0},
+		{"Dataset": "NQ", "Mode": "prune", "K": float64(10), "ModelQPS": 1800.0},
+		{"Dataset": "NQ", "Mode": "prune", "K": float64(100), "ModelQPS": 1500.0},
+	}})
+	v, notes := diff(base, cur, options{maxRegressPct: 25})
+	if len(v) != 0 {
+		t.Fatalf("a baseline-less experiment must not violate: %v", v)
+	}
+	// One note for the whole missing section, not one per row.
+	if len(notes) != 1 || !strings.Contains(notes[0], "prune") || !strings.Contains(notes[0], "3 rows") {
+		t.Fatalf("notes: %v", notes)
+	}
+}

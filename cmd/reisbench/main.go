@@ -10,7 +10,8 @@
 // (optimization sensitivity), asic (Sec 6.3.1), fig10 (vs ICE), fig11
 // (vs NDSearch), throughput (batched vs sequential query admission),
 // qdepth (QPS vs submission-queue depth through the async host API),
-// shards (throughput vs device count through the sharded router).
+// shards (throughput vs device count through the sharded router),
+// prune (threshold-propagated top-k pruning vs the unpruned scan).
 //
 // Profiling and machine-readable output:
 //
@@ -62,7 +63,7 @@ func main() {
 }
 
 func realMain() error {
-	exp := flag.String("exp", "all", "experiment id (fig2|fig3|table4|fig5|fig7|fig8|fig9|asic|fig10|fig11|throughput|qdepth|shards|all)")
+	exp := flag.String("exp", "all", "experiment id (fig2|fig3|table4|fig5|fig7|fig8|fig9|asic|fig10|fig11|throughput|qdepth|shards|prune|all)")
 	scale := flag.Int("scale", 16, "workload scale divisor (larger = smaller functional datasets)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
@@ -83,7 +84,7 @@ func realMain() error {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"fig2", "fig5", "fig7", "fig9", "asic", "fig10", "fig11", "throughput", "qdepth", "shards"}
+		ids = []string{"fig2", "fig5", "fig7", "fig9", "asic", "fig10", "fig11", "throughput", "qdepth", "shards", "prune"}
 	}
 	report := jsonReport{
 		Tool:        "reisbench",
@@ -204,6 +205,13 @@ func run(id string, scale int) (any, error) {
 			return nil, err
 		}
 		fmt.Print(experiments.FormatShards(rows))
+		return rows, nil
+	case "prune":
+		rows, err := experiments.RunPrune(nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(experiments.FormatPrune(rows))
 		return rows, nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", id)

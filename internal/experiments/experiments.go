@@ -240,6 +240,9 @@ func meanStats(agg reis.QueryStats, n int) reis.QueryStats {
 	agg.SelectInput /= n
 	agg.SortedEntries /= n
 	agg.CoarseEntries /= n
+	agg.PrunedPages /= n
+	agg.AbortedWaves /= n
+	agg.PrunedSlots /= n
 	return agg
 }
 

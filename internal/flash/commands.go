@@ -73,6 +73,11 @@ type Command struct {
 	// the controller never allocates on the scan path.
 	Slots int
 	Dists []int
+	// Bound applies to OpGenDistPage: the controller's current top-k
+	// pruning threshold (0 = none). Distances are computed regardless;
+	// slots strictly above the bound are counted as pruned, and the
+	// controller skips their TTL transfer.
+	Bound int
 }
 
 // DieFSM validates and executes Table 2 commands against a device.
@@ -148,7 +153,7 @@ func (f *DieFSM) Execute(cmd Command) (int, error) {
 		if !f.haveRead[cmd.Plane] {
 			return 0, fmt.Errorf("flash: GEN_DIST_PAGE on plane %d before page read", cmd.Plane)
 		}
-		if err := f.dev.GenDistPage(cmd.Plane, cmd.SlotBytes, cmd.Mini.Slot, cmd.Slots, cmd.Dists); err != nil {
+		if err := f.dev.GenDistPage(cmd.Plane, cmd.SlotBytes, cmd.Mini.Slot, cmd.Slots, cmd.Dists, cmd.Bound); err != nil {
 			return 0, err
 		}
 		f.haveXOR[cmd.Plane] = true

@@ -23,7 +23,12 @@ type Stats struct {
 	LatchXORs       atomic.Int64
 	BitCounts       atomic.Int64
 	PassFailChecks  atomic.Int64
-	IBCLoads        atomic.Int64
+	// PrunedSlots counts slots whose GEN_DIST_PAGE distance exceeded
+	// the command's pruning bound (top-k threshold propagation): their
+	// distances were computed but the slots can never reach the result
+	// set, so the controller skips their TTL transfer.
+	PrunedSlots atomic.Int64
+	IBCLoads    atomic.Int64
 	// BytesOut counts bytes transferred from dies to the controller,
 	// per channel.
 	BytesOut []atomic.Int64
@@ -436,7 +441,13 @@ func (d *Device) CountSlotBits(planeIdx, slotBytes, slot int) (int, error) {
 // exactly the contents XORLatches would leave (OOB copied through), and
 // the stats accounting — one latch XOR plus nSlots bit counts — is
 // identical to XORLatches followed by nSlots CountSlotBits calls.
-func (d *Device) GenDistPage(planeIdx, slotBytes, firstSlot, nSlots int, dists []int) error {
+//
+// bound > 0 carries the controller's current top-k pruning threshold
+// into the plane: the distances are computed (and written) exactly as
+// without it, but slots strictly above the bound are counted in
+// Stats.PrunedSlots — the plane-side accounting of TTL transfers the
+// threshold made unnecessary. bound <= 0 disables the comparison.
+func (d *Device) GenDistPage(planeIdx, slotBytes, firstSlot, nSlots int, dists []int, bound int) error {
 	if planeIdx < 0 || planeIdx >= len(d.planes) {
 		return fmt.Errorf("flash: GenDistPage invalid plane %d", planeIdx)
 	}
@@ -456,6 +467,17 @@ func (d *Device) GenDistPage(planeIdx, slotBytes, firstSlot, nSlots int, dists [
 	pl.mu.Unlock()
 	d.Stats.LatchXORs.Add(1)
 	d.Stats.BitCounts.Add(int64(nSlots))
+	if bound > 0 {
+		pruned := 0
+		for _, dv := range dists[:nSlots] {
+			if dv > bound {
+				pruned++
+			}
+		}
+		if pruned > 0 {
+			d.Stats.PrunedSlots.Add(int64(pruned))
+		}
+	}
 	return nil
 }
 

@@ -120,6 +120,19 @@ type ScanConfig struct {
 	// Segs[i] are the slot ranges Queries[i] scans; len(Segs) must
 	// equal len(Queries).
 	Segs [][]SlotRange
+	// Bounds[i], when non-nil, is Queries[i]'s top-k pruning threshold
+	// (0 = pruning disabled for that query): the device skips the TTL
+	// transfer of any slot whose distance is strictly above the bound,
+	// and aborts whole segments whose proven lower bound exceeds it
+	// (see MinDists). len(Bounds) must equal len(Queries).
+	Bounds []int
+	// MinDists[i][j], when non-nil, is a proven lower bound on every
+	// distance in Segs[i][j] (e.g. the triangle-inequality bound
+	// max(0, d_c - R_c) of an IVF cluster). A segment whose lower bound
+	// is strictly above the query's Bound is aborted before any page is
+	// sensed; the device accounts the saved pages/waves as PrunedPages /
+	// AbortedWaves. The shape must mirror Segs.
+	MinDists [][]int
 }
 
 // ScanSegResult is one (query, segment) outcome of an OpcodeScan
@@ -133,6 +146,15 @@ type ScanSegResult struct {
 	Scanned      int
 	Survivors    int
 	TTLBytes     int64
+	// PrunedPages / AbortedWaves are the pages and wave slots this
+	// segment did NOT scan because its proven lower bound exceeded the
+	// query's pruning threshold; PrunedSlots counts computed distances
+	// above the threshold whose TTL transfer was skipped. They are
+	// reported apart from Pages/Waves so page-based gates keep their
+	// meaning (Pages counts sensed pages only).
+	PrunedPages  int
+	AbortedWaves int
+	PrunedSlots  int
 }
 
 // validate checks the host-side invariants of a command — opcode,
@@ -174,6 +196,22 @@ func (cmd *HostCommand) validate() error {
 				if r.Last >= r.First && r.First < 0 {
 					return fmt.Errorf("%w (query %d segment %d: [%d, %d])",
 						ErrBadScanRange, qi, si, r.First, r.Last)
+				}
+			}
+		}
+		if cmd.Scan.Bounds != nil && len(cmd.Scan.Bounds) != len(cmd.Queries) {
+			return fmt.Errorf("%w (scan command with %d pruning bounds for %d queries)",
+				ErrMissingPayload, len(cmd.Scan.Bounds), len(cmd.Queries))
+		}
+		if cmd.Scan.MinDists != nil {
+			if len(cmd.Scan.MinDists) != len(cmd.Scan.Segs) {
+				return fmt.Errorf("%w (scan command with %d lower-bound lists for %d segment lists)",
+					ErrMissingPayload, len(cmd.Scan.MinDists), len(cmd.Scan.Segs))
+			}
+			for qi, lbs := range cmd.Scan.MinDists {
+				if len(lbs) != len(cmd.Scan.Segs[qi]) {
+					return fmt.Errorf("%w (query %d: %d lower bounds for %d segments)",
+						ErrMissingPayload, qi, len(lbs), len(cmd.Scan.Segs[qi]))
 				}
 			}
 		}

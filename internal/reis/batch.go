@@ -35,20 +35,28 @@ import (
 
 // scanSeg is one contiguous slot range [First, Last] of a region
 // scanned for one query (a whole flat region, or one IVF cluster).
+// lb is a proven lower bound on any distance the segment can produce
+// (0 = none): when a pruning bound is active and lb exceeds it, the
+// device aborts the whole segment without sensing a page.
 type scanSeg struct {
 	first, last int
+	lb          int
 }
 
 // segScan is the outcome of one query's scan of one segment: the
 // per-plane arena windows (merged lazily, per query, after the whole
-// phase completes) plus the folded event counts.
+// phase completes) plus the folded event counts. An aborted segment
+// has no scans; prunedPages/abortedWaves account the work it skipped.
 type segScan struct {
-	scans     []planeScan
-	waves     int
-	pages     int
-	scanned   int
-	survivors int
-	ttlBytes  int64
+	scans        []planeScan
+	waves        int
+	pages        int
+	scanned      int
+	survivors    int
+	prunedSlots  int
+	prunedPages  int
+	abortedWaves int
+	ttlBytes     int64
 }
 
 // queryScan is one query's outcome of a batch scan phase.
@@ -60,11 +68,17 @@ type queryScan struct {
 }
 
 // batchItem is one plane's share of one query segment in a batch scan
-// phase.
+// phase. bound is the query's pruning threshold at dispatch (0 = none).
 type batchItem struct {
 	qi, si, vi  int
 	span        ssd.PlaneSpan
 	first, last int
+	bound       int
+}
+
+// segPrune accounts one segment aborted whole under the pruning bound.
+type segPrune struct {
+	pages, waves int
 }
 
 // batchScan executes one scan phase (coarse or fine) for a whole query
@@ -76,7 +90,14 @@ type batchItem struct {
 // ctx is polled between per-plane work items (a cancelled command
 // aborts the phase at the next item boundary); the synchronous paths
 // pass context.Background(), whose Err is free.
-func (e *Engine) batchScan(ctx context.Context, db *Database, region ssd.Region, packed [][]byte, segs [][]scanSeg, filter bool, metaTag *uint8) ([]queryScan, error) {
+//
+// bounds, when non-nil, carries each query's current pruning threshold
+// (0 = none). A segment whose lower bound exceeds its query's bound is
+// aborted in place: no page is sensed, no plane task is queued, and
+// the pages/waves it would have cost are accounted as prunedPages/
+// abortedWaves. The abort decision depends only on (lb, bound), both
+// global to the scatter, so every topology skips the same segments.
+func (e *Engine) batchScan(ctx context.Context, db *Database, region ssd.Region, packed [][]byte, segs [][]scanSeg, filter bool, metaTag *uint8, bounds []int) ([]queryScan, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -91,8 +112,21 @@ func (e *Engine) batchScan(ctx context.Context, db *Database, region ssd.Region,
 	}
 	grid := make([][][]planeScan, len(packed)) // [query][segment][span]
 	out := make([]queryScan, len(packed))
+	// aborts[qi][si] records a segment skipped whole under the pruning
+	// bound: the pages (sum over planes) and waves (max on one plane)
+	// the abort saved. Only the pruned paths pay for it — the unpruned
+	// scan phase stays allocation-free in steady state.
+	var aborts [][]segPrune
+	if bounds != nil {
+		aborts = make([][]segPrune, len(packed))
+	}
 	for qi := range packed {
 		grid[qi] = make([][]planeScan, len(segs[qi]))
+		bound := 0
+		if bounds != nil {
+			aborts[qi] = make([]segPrune, len(segs[qi]))
+			bound = bounds[qi]
+		}
 		for si, sg := range segs[qi] {
 			if sg.last < sg.first {
 				// Empty sentinel segment (a shard that owns no page of
@@ -101,10 +135,24 @@ func (e *Engine) batchScan(ctx context.Context, db *Database, region ssd.Region,
 			}
 			spans := region.AppendPlaneSpans(e.scr.spans[:0], planes, sg.first/db.embPerPage, sg.last/db.embPerPage)
 			e.scr.spans = spans
+			if bound > 0 && sg.lb > bound {
+				// Early-abort: even the segment's best possible distance
+				// cannot beat the query's current top-k threshold. Count
+				// the pages each plane would have sensed.
+				pruned, maxPlane := 0, 0
+				for _, v := range spans {
+					pruned += v.Count
+					if v.Count > maxPlane {
+						maxPlane = v.Count
+					}
+				}
+				aborts[qi][si] = segPrune{pages: pruned, waves: maxPlane}
+				continue
+			}
 			grid[qi][si] = make([]planeScan, len(spans))
 			for vi, v := range spans {
 				planeWork[v.Plane] = append(planeWork[v.Plane], batchItem{
-					qi: qi, si: si, vi: vi, span: v, first: sg.first, last: sg.last,
+					qi: qi, si: si, vi: vi, span: v, first: sg.first, last: sg.last, bound: bound,
 				})
 			}
 		}
@@ -138,7 +186,7 @@ func (e *Engine) batchScan(ctx context.Context, db *Database, region ssd.Region,
 				}
 				curQ = it.qi
 			}
-			ps, err := e.scanPlane(db, region, sc, it.span, it.first, it.last, filter, metaTag)
+			ps, err := e.scanPlane(db, region, sc, it.span, it.first, it.last, filter, metaTag, it.bound)
 			if err != nil {
 				return err
 			}
@@ -164,6 +212,11 @@ func (e *Engine) batchScan(ctx context.Context, db *Database, region ssd.Region,
 			var acc QueryStats
 			s.waves, s.pages = mergeScanStats(scans, &acc)
 			s.scanned, s.survivors, s.ttlBytes = acc.EntriesScanned, acc.Survivors, acc.TTLBytes
+			s.prunedSlots = acc.PrunedSlots
+			if aborts != nil {
+				s.prunedPages = aborts[qi][si].pages
+				s.abortedWaves = aborts[qi][si].waves
+			}
 		}
 	}
 	return out, nil
@@ -219,6 +272,9 @@ func (e *Engine) searchBatch(ctx context.Context, db *Database, queries [][]floa
 	if err != nil {
 		return nil, nil, err
 	}
+	if opt.Prune {
+		return e.searchBatchPruned(ctx, db, queries, packed, k, opt)
+	}
 	segs := make([][]scanSeg, len(queries))
 	whole := e.scr.flatSegs[:0]
 	for _, r := range db.flatSegs() {
@@ -228,7 +284,7 @@ func (e *Engine) searchBatch(ctx context.Context, db *Database, queries [][]floa
 	for i := range segs {
 		segs[i] = whole
 	}
-	scans, err := e.batchScan(ctx, db, db.rec.Embeddings, packed, segs, e.Opts.DistanceFilter, opt.MetaTag)
+	scans, err := e.batchScan(ctx, db, db.rec.Embeddings, packed, segs, e.Opts.DistanceFilter, opt.MetaTag, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -284,6 +340,9 @@ func (e *Engine) ivfSearchBatchPacked(ctx context.Context, db *Database, queries
 		return nil, nil, fmt.Errorf("reis: database %d was not deployed with IVF_Deploy", db.ID)
 	}
 	nlist := len(db.rivf)
+	if opt.Prune {
+		return e.ivfSearchBatchPruned(ctx, db, queries, packed, k, opt)
+	}
 	nprobe := opt.NProbe
 	if nprobe <= 0 {
 		nprobe = 1
@@ -300,7 +359,7 @@ func (e *Engine) ivfSearchBatchPacked(ctx context.Context, db *Database, queries
 	for i := range coarseSegs {
 		coarseSegs[i] = wholeCent
 	}
-	coarse, err := e.batchScan(ctx, db, db.rec.Centroids, packed, coarseSegs, false, nil)
+	coarse, err := e.batchScan(ctx, db, db.rec.Centroids, packed, coarseSegs, false, nil, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -338,7 +397,7 @@ func (e *Engine) ivfSearchBatchPacked(ctx context.Context, db *Database, queries
 
 	// Fine phase: scan every query's probed clusters. (This resets the
 	// worker arenas; the coarse windows were merged out above.)
-	fine, err := e.batchScan(ctx, db, db.rec.Embeddings, packed, fineSegs, e.Opts.DistanceFilter, opt.MetaTag)
+	fine, err := e.batchScan(ctx, db, db.rec.Embeddings, packed, fineSegs, e.Opts.DistanceFilter, opt.MetaTag, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -367,13 +426,8 @@ func (e *Engine) ivfSearchBatchPacked(ctx context.Context, db *Database, queries
 func (e *Engine) foldSegs(segs []segScan, st *QueryStats) []TTLEntry {
 	entries := e.scr.entries[:0]
 	for i := range segs {
-		seg := &segs[i]
-		st.FineWaves += seg.waves
-		st.FinePages += seg.pages
-		st.EntriesScanned += seg.scanned
-		st.Survivors += seg.survivors
-		st.TTLBytes += seg.ttlBytes
-		entries = e.appendMergeByPos(entries, seg.scans)
+		foldSegStats(&segs[i], st)
+		entries = e.appendMergeByPos(entries, segs[i].scans)
 	}
 	e.scr.entries = entries
 	return entries

@@ -18,6 +18,15 @@
 //     controller DRAM, quickselect + INT8 rerank + quicksort on an
 //     embedded core, and pipelined page reads.
 //
+// On top of the paper's mechanisms the engine supports threshold-
+// propagated top-k pruning (SearchOptions.Prune): the scan runs in
+// controller-driven rounds whose GEN_DIST_PAGE commands carry the
+// query's current top-k distance bound, so planes skip the TTL
+// transfer of slots that cannot reach the rerank pool and abort whole
+// cluster segments whose triangle-inequality lower bound exceeds it —
+// with results bit-identical to the unpruned scan on every topology
+// (see DESIGN.md, "Threshold propagation and pruning").
+//
 // The engine is functional — every distance comes from real bytes
 // moving through the simulated latches — while latency and energy are
 // derived from the event counts each query accumulates (QueryStats).

@@ -60,6 +60,14 @@ type dbLayout struct {
 	params          vecmath.Int8Params
 	filterThreshold int
 	metaTags        []uint8
+
+	// centCodes[c] is cluster c's binary-quantized centroid code and
+	// radius[c] the maximum Hamming distance from that code to any
+	// member's binary code — the triangle-inequality bound threshold
+	// pruning uses (a cluster's best possible distance to a query is
+	// coarse distance minus radius). Nil for flat databases.
+	centCodes [][]uint64
+	radius    []int
 }
 
 // planLayout validates the deployment and computes its placement plan
@@ -147,6 +155,17 @@ func planLayout(cfg *DeployConfig, geo flash.Geometry, overprovisionPct int) (*d
 	if len(cfg.Centroids) > 0 {
 		lo.centPages = ceilDiv(len(cfg.Centroids), lo.embPerPage)
 		lo.rivf = buildRIVF(cfg.Assign, order, len(cfg.Centroids))
+		lo.centCodes = make([][]uint64, len(cfg.Centroids))
+		for c, v := range cfg.Centroids {
+			lo.centCodes[c] = vecmath.BinaryQuantize(v, nil)
+		}
+		lo.radius = make([]int, len(cfg.Centroids))
+		for i, v := range cfg.Vectors {
+			c := cfg.Assign[i]
+			if d := vecmath.Hamming(lo.centCodes[c], vecmath.BinaryQuantize(v, nil)); d > lo.radius[c] {
+				lo.radius[c] = d
+			}
+		}
 	}
 
 	lo.metaTags = make([]uint8, len(order))

@@ -167,6 +167,15 @@ type mutState struct {
 	// nil for flat databases.
 	buckets [][]SlotRange
 
+	// centCodes[c] / radius[c] are cluster c's binary centroid code and
+	// its current binary covering radius (max Hamming distance from the
+	// code to any member, deployed or appended) — the lower-bound input
+	// of threshold pruning. Appends only grow a radius; compaction keeps
+	// it (conservative: a stale-large radius weakens pruning but never
+	// threatens correctness). Nil for flat databases.
+	centCodes [][]uint64
+	radius    []int
+
 	// flatPlan is the brute-force scan plan: the live slot ranges of
 	// the whole binary region in position order — the deployed extent
 	// plus one range per append batch (batch ranges bridge the
@@ -243,6 +252,10 @@ func newMutState(lo *dbLayout, geo flash.Geometry) *mutState {
 				m.buckets[c] = []SlotRange{{First: ent.First, Last: ent.Last}}
 			}
 		}
+		// The radius ledger is mutable (appends can grow it); the codes
+		// are immutable and shared with the layout.
+		m.centCodes = lo.centCodes
+		m.radius = append([]int(nil), lo.radius...)
 	}
 	m.posOf = make([]int32, lo.n)
 	m.rowLive = make([]int, ceilDiv(lo.embPages, m.lay.ppb))
@@ -474,6 +487,13 @@ func mutAppend(m *mutState, t mutTarget, cfg *AppendConfig) ([]int, *WearStats, 
 		}
 		if !m.flat() {
 			m.buckets[g.cluster] = append(m.buckets[g.cluster], SlotRange{First: g.start, Last: g.start + len(g.items) - 1})
+			// Grow the cluster's covering radius so the pruning lower
+			// bound stays sound for the appended members.
+			for _, i := range g.items {
+				if d := vecmath.Hamming(m.centCodes[g.cluster], vecmath.BinaryQuantize(cfg.Vectors[i], nil)); d > m.radius[g.cluster] {
+					m.radius[g.cluster] = d
+				}
+			}
 		}
 	}
 	// The brute-force plan gains one range per batch, bridging the

@@ -1,6 +1,7 @@
 package reis
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -129,9 +130,10 @@ func FuzzAppendDeleteSearch(f *testing.F) {
 		for i := 0; i+1 < len(ops); i += 2 {
 			b, arg := ops[i], int(ops[i+1])
 			switch b % 5 {
-			case 0, 1: // search
+			case 0, 1: // search, unpruned and pruned
 				q := w.base.Queries[arg%len(w.base.Queries)]
-				resp, _, err := both(HostCommand{Opcode: searchOp, DBID: 1, Queries: [][]float32{q}, K: 5, NProbe: nprobe})
+				cmd := HostCommand{Opcode: searchOp, DBID: 1, Queries: [][]float32{q}, K: 5, NProbe: nprobe}
+				resp, _, err := both(cmd)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -139,6 +141,17 @@ func FuzzAppendDeleteSearch(f *testing.F) {
 					if deleted[r.ID] {
 						t.Fatalf("deleted id %d surfaced", r.ID)
 					}
+				}
+				// The same search with threshold pruning must return
+				// bit-identical results on this mutated state (both()
+				// already pins pruned single == pruned sharded).
+				cmd.Opt.Prune = true
+				presp, _, err := both(cmd)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(presp.Results, resp.Results) {
+					t.Fatalf("pruned search results diverge from unpruned")
 				}
 			case 2: // append 1-3 items from the pool (cycling)
 				n := 1 + arg%3
@@ -180,11 +193,122 @@ func FuzzAppendDeleteSearch(f *testing.F) {
 				}
 			}
 		}
-		// Closing search: the full state must still agree.
+		// Closing search: the full state must still agree, with and
+		// without pruning.
 		if len(w.base.Queries) > 0 {
-			if _, _, err := both(HostCommand{Opcode: searchOp, DBID: 1, Queries: w.base.Queries, K: 5, NProbe: nprobe}); err != nil {
+			cmd := HostCommand{Opcode: searchOp, DBID: 1, Queries: w.base.Queries, K: 5, NProbe: nprobe}
+			resp, _, err := both(cmd)
+			if err != nil {
 				t.Fatal(err)
 			}
+			cmd.Opt.Prune = true
+			presp, _, err := both(cmd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(presp.Results, resp.Results) {
+				t.Fatalf("closing pruned search diverges from unpruned")
+			}
+		}
+	})
+}
+
+// FuzzPrunedSearch fuzzes the pruning equivalence contract directly:
+// a byte string decodes into a mutation prologue (append and delete
+// counts) plus search parameters (flat/IVF, k, nprobe), and the oracle
+// is TestPrunedMatchesUnpruned's invariant — pruned results are
+// bit-identical to unpruned, and the pruned response is bit-identical
+// between a 2-shard router and its double-channel single-device
+// reference. CI replays the committed seed corpus
+// (testdata/fuzz/FuzzPrunedSearch) on every push; nightly fuzzes it.
+func FuzzPrunedSearch(f *testing.F) {
+	f.Add([]byte{1, 5, 3, 2, 4})
+	f.Add([]byte{0, 2, 0, 6, 9})
+	f.Add([]byte{1, 1, 8, 0, 0})
+	f.Add([]byte{1, 8, 1, 11, 11})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 || len(data) > 32 {
+			t.Skip()
+		}
+		w := fuzzWorldGet()
+		ivf := data[0]%2 == 1
+		k := 1 + int(data[1])%8
+		nprobe := int(data[2]) % 9
+		nAppend := int(data[3]) % 12
+		nDelete := int(data[4]) % 12
+
+		refCfg := fuzzCfg()
+		refCfg.Geo.Channels *= 2
+		single, err := New(refCfg, 0, AllOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer single.Close()
+		sh, err := NewSharded(fuzzCfg(), 2, 0, AllOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sh.Close()
+
+		deploy := &DeployConfig{ID: 1, Vectors: w.base.Vectors, Docs: w.base.Docs, DocSlotBytes: 64}
+		op := OpcodeDBDeploy
+		searchOp := OpcodeSearch
+		if ivf {
+			op = OpcodeIVFDeploy
+			deploy.Centroids = w.cents
+			deploy.Assign = w.assign[:len(w.base.Vectors)]
+			searchOp = OpcodeIVFSearch
+		}
+		both := func(cmd HostCommand) HostResponse {
+			t.Helper()
+			a, errA := single.Submit(cmd)
+			b, errB := sh.Submit(cmd)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("opcode %#x: single err %v, sharded err %v", cmd.Opcode, errA, errB)
+			}
+			if errA != nil {
+				t.Fatalf("opcode %#x: %v", cmd.Opcode, errA)
+			}
+			if !mutRespEqual(a, b) {
+				t.Fatalf("opcode %#x: responses diverge\nsingle %s\nshard  %s", cmd.Opcode, briefResp(a), briefResp(b))
+			}
+			return a
+		}
+		both(HostCommand{Opcode: op, Deploy: deploy})
+		if nAppend > 0 {
+			vecs := make([][]float32, nAppend)
+			docs := make([][]byte, nAppend)
+			var assign []int
+			for j := 0; j < nAppend; j++ {
+				p := j % len(w.pool)
+				vecs[j] = w.pool[p]
+				docs[j] = w.poolDoc[p]
+				if ivf {
+					assign = append(assign, w.assign[len(w.base.Vectors)+p])
+				}
+			}
+			both(HostCommand{Opcode: OpcodeAppend, DBID: 1, Append: &AppendConfig{Vectors: vecs, Docs: docs, Assign: assign}})
+		}
+		if nDelete > 0 {
+			seen := map[int]bool{}
+			var ids []int
+			for j := 0; j < nDelete; j++ {
+				id := (7*j + 3) % len(w.base.Vectors)
+				if !seen[id] {
+					seen[id] = true
+					ids = append(ids, id)
+				}
+			}
+			both(HostCommand{Opcode: OpcodeDelete, DBID: 1, Del: &DeleteConfig{IDs: ids}})
+		}
+
+		cmd := HostCommand{Opcode: searchOp, DBID: 1, Queries: w.base.Queries, K: k, NProbe: nprobe}
+		want := both(cmd)
+		cmd.Opt.Prune = true
+		got := both(cmd)
+		if !reflect.DeepEqual(got.Results, want.Results) {
+			t.Fatalf("pruned results diverge from unpruned (ivf=%v k=%d nprobe=%d append=%d delete=%d)",
+				ivf, k, nprobe, nAppend, nDelete)
 		}
 	})
 }

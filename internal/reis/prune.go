@@ -1,0 +1,371 @@
+package reis
+
+import (
+	"context"
+	"slices"
+)
+
+// This file implements threshold-propagated top-k pruning
+// (SearchOptions.Prune): the scan runs in controller-driven rounds, and
+// after each round the controller tightens a per-query distance bound —
+// the pool-th smallest live distance seen so far (pool = k ×
+// RerankFactor, the rerank-pool size) — that the next round's
+// GEN_DIST_PAGE commands carry. Planes drop the TTL transfer of any
+// slot whose distance is strictly above the bound, and whole segments
+// whose proven lower bound exceeds it are aborted before a page is
+// sensed.
+//
+// Round structure (identical on every topology, which is what makes
+// pruned stats topology-equal):
+//
+//   - Flat: geometrically growing page chunks over the live scan plan —
+//     the first round covers planes pages (one wave), each later round
+//     doubles the budget. The first round seeds the bound; later rounds
+//     scan under it.
+//   - IVF: geometrically growing windows (1, 1, 2, 4, ...) over the
+//     selected clusters in coarse (dist, pos) rank order. Each cluster
+//     ships the triangle-inequality lower bound max(0, d_c - R_c),
+//     where d_c is its coarse distance and R_c its binary covering
+//     radius (tracked in the mutable ledger), so far clusters abort
+//     whole once the bound tightens below d_c - R_c.
+//
+// Correctness (results bit-identical to the unpruned path): the bound
+// used by any command is the pool-th smallest live distance of a subset
+// of the final entry stream, so it is >= the pool-th smallest (Dist,
+// Pos)-ordered live distance D* of the full stream. Pruning is strict
+// (dist > bound), so every entry with dist <= D* — every possible
+// rerank-pool member, ties included — survives. quickselectTTL selects
+// under the (Dist, Pos) total order, making the pool a pure set
+// function of the surviving stream; identical pool, identical rerank,
+// identical results. Bounds are only fed live (tombstone-filtered)
+// distances: a tombstoned entry's distance could tighten the bound past
+// D*, which would prune true pool members. See DESIGN.md, "Threshold
+// propagation and pruning".
+
+// boundTracker maintains one query's running top-k pruning threshold: a
+// bounded max-heap over the smallest `capacity` live distances seen so
+// far. bound() is 0 (= pruning disabled) until the heap fills — before
+// pool entries exist, every entry is still a potential pool member. A
+// genuinely zero pool-th distance also reports 0: disabling pruning is
+// always conservative.
+type boundTracker struct {
+	capacity int
+	heap     []int // max-heap: heap[0] is the pool-th smallest so far
+}
+
+func (t *boundTracker) add(d int) {
+	if len(t.heap) < t.capacity {
+		t.heap = append(t.heap, d)
+		// Sift up.
+		for i := len(t.heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if t.heap[p] >= t.heap[i] {
+				break
+			}
+			t.heap[p], t.heap[i] = t.heap[i], t.heap[p]
+			i = p
+		}
+		return
+	}
+	if t.capacity == 0 || d >= t.heap[0] {
+		return
+	}
+	// Replace the max and sift down.
+	t.heap[0] = d
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(t.heap) && t.heap[l] > t.heap[m] {
+			m = l
+		}
+		if r < len(t.heap) && t.heap[r] > t.heap[m] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		t.heap[i], t.heap[m] = t.heap[m], t.heap[i]
+		i = m
+	}
+}
+
+// bound returns the current pruning threshold, or 0 while the tracker
+// has seen fewer than capacity live entries.
+func (t *boundTracker) bound() int {
+	if t.capacity == 0 || len(t.heap) < t.capacity {
+		return 0
+	}
+	return t.heap[0]
+}
+
+// feedTracker folds the live distances of a freshly merged entry run
+// into the tracker (tomb nil = nothing deleted).
+func feedTracker(t *boundTracker, entries []TTLEntry, tomb []uint64) {
+	for i := range entries {
+		if tomb == nil || !bitsetGet(tomb, int(entries[i].DADR)) {
+			t.add(entries[i].Dist)
+		}
+	}
+}
+
+// rerankPool is the selection-pool size of one query — the tracker
+// capacity threshold pruning pins its bound to.
+func rerankPool(k int) int { return k * RerankFactor }
+
+// chunkFlatRounds splits a brute-force scan plan into rounds of
+// geometrically growing page budgets: planes pages (one full wave)
+// first, then 2×, 4×, ... A range is cut at page boundaries only, so
+// every produced SlotRange still maps to whole plane spans. The round
+// boundaries depend only on the global plan, the slot geometry and the
+// global plane count — identical on every topology.
+func chunkFlatRounds(plan []SlotRange, embPerPage, planes int) [][]SlotRange {
+	var rounds [][]SlotRange
+	var cur []SlotRange
+	budget, used := planes, 0
+	flush := func() {
+		if len(cur) > 0 {
+			rounds = append(rounds, cur)
+			cur = nil
+		}
+	}
+	for _, r := range plan {
+		first := r.First
+		for first <= r.Last {
+			if used == budget {
+				flush()
+				used, budget = 0, budget*2
+			}
+			avail := budget - used
+			firstPage, lastPage := first/embPerPage, r.Last/embPerPage
+			if pages := lastPage - firstPage + 1; pages <= avail {
+				cur = append(cur, SlotRange{First: first, Last: r.Last})
+				used += pages
+				break
+			}
+			cut := (firstPage+avail)*embPerPage - 1
+			cur = append(cur, SlotRange{First: first, Last: cut})
+			used += avail
+			first = cut + 1
+		}
+	}
+	flush()
+	return rounds
+}
+
+// probeWindow returns the half-open cluster-rank window of IVF pruning
+// round r: sizes 1, 1, 2, 4, 8, ... — the first cluster alone seeds
+// the bound before wider windows scan under it.
+func probeWindow(r int) (start, size int) {
+	if r == 0 {
+		return 0, 1
+	}
+	return 1 << (r - 1), 1 << (r - 1)
+}
+
+// prunedCluster is one selected cluster of a pruned IVF query: its
+// cluster index and its proven distance lower bound.
+type prunedCluster struct {
+	cluster int
+	lb      int
+}
+
+// clusterLB is the triangle-inequality lower bound of a cluster's best
+// possible Hamming distance to the query: coarse distance minus the
+// cluster's binary covering radius, floored at 0.
+func clusterLB(coarseDist, radius int) int {
+	if lb := coarseDist - radius; lb > 0 {
+		return lb
+	}
+	return 0
+}
+
+// searchBatchPruned is the round-based brute-force path behind
+// SearchOptions.Prune: scan the flat plan in geometric page chunks,
+// tightening each query's bound between rounds. Results are
+// bit-identical to searchBatch; scan stats differ (fewer survivors,
+// extra per-round broadcasts) but are topology-equal among pruned runs.
+func (e *Engine) searchBatchPruned(ctx context.Context, db *Database, queries [][]float32, packed [][]byte, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
+	nq := len(queries)
+	rounds := chunkFlatRounds(db.flatSegs(), db.embPerPage, e.SSD.Cfg.Geo.Planes())
+	trackers := make([]boundTracker, nq)
+	for i := range trackers {
+		trackers[i].capacity = rerankPool(k)
+	}
+	accs := make([][]TTLEntry, nq)
+	sts := make([]QueryStats, nq)
+	bounds := make([]int, nq)
+	tomb := db.tombstones()
+	segs := make([][]scanSeg, nq)
+	for _, rd := range rounds {
+		rs := make([]scanSeg, len(rd))
+		for i, r := range rd {
+			rs[i] = scanSeg{first: r.First, last: r.Last}
+		}
+		for qi := range segs {
+			segs[qi] = rs
+			bounds[qi] = trackers[qi].bound()
+		}
+		scans, err := e.batchScan(ctx, db, db.rec.Embeddings, packed, segs, e.Opts.DistanceFilter, opt.MetaTag, bounds)
+		if err != nil {
+			return nil, nil, err
+		}
+		for qi := range queries {
+			st := &sts[qi]
+			st.IBCBroadcasts += scans[qi].ibcPlanes
+			mark := len(accs[qi])
+			for si := range scans[qi].segs {
+				seg := &scans[qi].segs[si]
+				foldSegStats(seg, st)
+				accs[qi] = e.appendMergeByPos(accs[qi], seg.scans)
+			}
+			feedTracker(&trackers[qi], accs[qi][mark:], tomb)
+		}
+	}
+	results := make([][]DocResult, nq)
+	for qi := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		res, err := e.finish(db, queries[qi], accs[qi], k, opt, &sts[qi])
+		if err != nil {
+			return nil, nil, err
+		}
+		results[qi] = res
+	}
+	return results, sts, nil
+}
+
+// ivfSearchBatchPruned is the round-based IVF path behind
+// SearchOptions.Prune: an unpruned coarse phase (TTL-C must rank every
+// centroid), then the selected clusters scanned in geometric rank
+// windows, each carrying its triangle-inequality lower bound so far
+// clusters abort whole once the bound tightens past them.
+func (e *Engine) ivfSearchBatchPruned(ctx context.Context, db *Database, queries [][]float32, packed [][]byte, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
+	nq := len(queries)
+	nlist := len(db.rivf)
+	nprobe := opt.NProbe
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > nlist {
+		nprobe = nlist
+	}
+
+	// Coarse phase, identical to the unpruned batch path.
+	coarseSegs := make([][]scanSeg, nq)
+	wholeCent := []scanSeg{{first: 0, last: nlist - 1}}
+	for i := range coarseSegs {
+		coarseSegs[i] = wholeCent
+	}
+	coarse, err := e.batchScan(ctx, db, db.rec.Centroids, packed, coarseSegs, false, nil, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var radius []int
+	if db.mut != nil {
+		radius = db.mut.radius
+	}
+	sts := make([]QueryStats, nq)
+	sel := make([][]prunedCluster, nq)
+	maxSel := 0
+	for qi := range queries {
+		st := &sts[qi]
+		st.IBCBroadcasts += coarse[qi].ibcPlanes
+		seg := &coarse[qi].segs[0]
+		st.CoarseWaves = seg.waves
+		st.CoarsePages = seg.pages
+		st.EntriesScanned += seg.scanned
+		st.Survivors += seg.survivors
+		st.TTLBytes += seg.ttlBytes
+		cents := e.appendMergeByPos(e.scr.cents[:0], seg.scans)
+		e.scr.cents = cents
+		st.CoarseEntries = len(cents)
+		st.SelectInput += len(cents)
+		slices.SortFunc(cents, cmpTTLDistPos)
+		np := nprobe
+		if np > len(cents) {
+			np = len(cents)
+		}
+		sel[qi] = make([]prunedCluster, np)
+		for i, c := range cents[:np] {
+			pc := prunedCluster{cluster: c.Pos}
+			if radius != nil {
+				pc.lb = clusterLB(c.Dist, radius[c.Pos])
+			}
+			sel[qi][i] = pc
+		}
+		if np > maxSel {
+			maxSel = np
+		}
+	}
+
+	// Fine phase in cluster-rank windows.
+	trackers := make([]boundTracker, nq)
+	for i := range trackers {
+		trackers[i].capacity = rerankPool(k)
+	}
+	accs := make([][]TTLEntry, nq)
+	bounds := make([]int, nq)
+	tomb := db.tombstones()
+	segs := make([][]scanSeg, nq)
+	for r := 0; ; r++ {
+		start, size := probeWindow(r)
+		if start >= maxSel {
+			break
+		}
+		for qi := range segs {
+			segs[qi] = segs[qi][:0]
+			bounds[qi] = trackers[qi].bound()
+			list := sel[qi]
+			for i := start; i < start+size && i < len(list); i++ {
+				for _, sr := range db.clusterSegs(list[i].cluster) {
+					segs[qi] = append(segs[qi], scanSeg{first: sr.First, last: sr.Last, lb: list[i].lb})
+				}
+			}
+		}
+		scans, err := e.batchScan(ctx, db, db.rec.Embeddings, packed, segs, e.Opts.DistanceFilter, opt.MetaTag, bounds)
+		if err != nil {
+			return nil, nil, err
+		}
+		for qi := range queries {
+			st := &sts[qi]
+			st.IBCBroadcasts += scans[qi].ibcPlanes
+			mark := len(accs[qi])
+			for si := range scans[qi].segs {
+				seg := &scans[qi].segs[si]
+				foldSegStats(seg, st)
+				accs[qi] = e.appendMergeByPos(accs[qi], seg.scans)
+			}
+			feedTracker(&trackers[qi], accs[qi][mark:], tomb)
+		}
+	}
+
+	results := make([][]DocResult, nq)
+	for qi := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		res, err := e.finish(db, queries[qi], accs[qi], k, opt, &sts[qi])
+		if err != nil {
+			return nil, nil, err
+		}
+		results[qi] = res
+	}
+	return results, sts, nil
+}
+
+// foldSegStats accumulates one fine-phase segment outcome into st —
+// the per-segment half of foldSegs, shared with the round-based pruned
+// paths (which merge entries into per-query accumulators instead of the
+// pooled buffer).
+func foldSegStats(seg *segScan, st *QueryStats) {
+	st.FineWaves += seg.waves
+	st.FinePages += seg.pages
+	st.EntriesScanned += seg.scanned
+	st.Survivors += seg.survivors
+	st.PrunedSlots += seg.prunedSlots
+	st.PrunedPages += seg.prunedPages
+	st.AbortedWaves += seg.abortedWaves
+	st.TTLBytes += seg.ttlBytes
+}

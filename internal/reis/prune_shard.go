@@ -1,0 +1,209 @@
+package reis
+
+import (
+	"context"
+	"fmt"
+	"slices"
+)
+
+// This file is the sharded half of threshold-propagated top-k pruning
+// (see prune.go for the single-device rounds and the correctness
+// argument). The router runs the same controller-driven rounds —
+// identical chunk/window boundaries, computed from the global plan and
+// the global plane count — but each round is a scatter: every shard of
+// the round receives the same per-query bound and the same per-segment
+// lower bounds, and the gathered reap tightens the bound pushed into
+// the next round's not-yet-issued OpcodeScan commands (the Fagin-style
+// threshold-algorithm loop of the ROADMAP). Because the rounds, bounds
+// and abort decisions are pure functions of global state, a pruned
+// sharded run's merged entry stream — and therefore its results — is
+// bit-identical to a pruned single device's, and its scan stats
+// aggregate to the N×-channels reference exactly like the unpruned
+// contract (counts sum, waves max).
+
+// searchFlatPruned is the sharded round-based brute-force path behind
+// SearchOptions.Prune.
+func (sh *ShardedEngine) searchFlatPruned(ctx context.Context, db *ShardedDatabase, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, [][]QueryStats, error) {
+	nq := len(queries)
+	rounds := chunkFlatRounds(db.mut.flatPlan, db.lay.embPerPage, sh.cfg.Geo.Planes())
+	trackers := make([]boundTracker, nq)
+	for i := range trackers {
+		trackers[i].capacity = rerankPool(k)
+	}
+	accs := make([][]TTLEntry, nq)
+	sts := make([]QueryStats, nq)
+	bounds := make([]int, nq)
+	var tomb []uint64
+	if db.mut.deadCount > 0 {
+		tomb = db.mut.tomb
+	}
+	var perShard [][]QueryStats
+	segs := make([][]SlotRange, nq)
+	for _, rd := range rounds {
+		for qi := range segs {
+			segs[qi] = rd
+			bounds[qi] = trackers[qi].bound()
+		}
+		resps, err := sh.scatter(ctx, db, queries, false, segs, bounds, nil, opt)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for qi := range queries {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, nil, err
+			}
+			st := &sts[qi]
+			st.IBCBroadcasts += gatherIBC(resps, qi)
+			mark := len(accs[qi])
+			for si := range rd {
+				gatherSegStats(resps, qi, si, false, st)
+				accs[qi] = sh.mergeSeg(accs[qi], resps, qi, si, db.lay.embPerPage)
+			}
+			feedTracker(&trackers[qi], accs[qi][mark:], tomb)
+		}
+		perShard = perShardStats(resps, nq, perShard)
+	}
+	results := make([][]DocResult, nq)
+	for qi := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
+		res, err := sh.finish(db, queries[qi], accs[qi], k, opt, &sts[qi])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		results[qi] = res
+	}
+	if perShard == nil {
+		// Empty scan plan (everything compacted away): no round ran, but
+		// callers still expect the [shard][query] stats shape.
+		perShard = make([][]QueryStats, len(sh.shards))
+		for s := range perShard {
+			perShard[s] = make([]QueryStats, nq)
+		}
+	}
+	return results, sts, perShard, nil
+}
+
+// searchIVFPruned is the sharded round-based IVF path behind
+// SearchOptions.Prune: an unpruned coarse scatter, gather-side cluster
+// selection with triangle-inequality lower bounds, then the selected
+// clusters scattered in geometric rank windows under the tightening
+// per-query bounds.
+func (sh *ShardedEngine) searchIVFPruned(ctx context.Context, db *ShardedDatabase, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, [][]QueryStats, error) {
+	nq := len(queries)
+	nlist := len(db.lay.rivf)
+	if nlist == 0 {
+		return nil, nil, nil, fmt.Errorf("reis: database %d was not deployed with IVF_Deploy", db.ID)
+	}
+	nprobe := opt.NProbe
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > nlist {
+		nprobe = nlist
+	}
+
+	// Coarse phase, identical to the unpruned sharded path.
+	coarseSegs := make([][]SlotRange, nq)
+	wholeCent := []SlotRange{{First: 0, Last: nlist - 1}}
+	for i := range coarseSegs {
+		coarseSegs[i] = wholeCent
+	}
+	cresps, err := sh.scatter(ctx, db, queries, true, coarseSegs, nil, nil, opt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	sts := make([]QueryStats, nq)
+	sel := make([][]prunedCluster, nq)
+	maxSel := 0
+	for qi := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
+		st := &sts[qi]
+		st.IBCBroadcasts = gatherIBC(cresps, qi)
+		gatherSegStats(cresps, qi, 0, true, st)
+		cents := sh.mergeSeg(sh.scr.cents[:0], cresps, qi, 0, db.lay.embPerPage)
+		sh.scr.cents = cents
+		st.CoarseEntries = len(cents)
+		st.SelectInput += len(cents)
+		slices.SortFunc(cents, cmpTTLDistPos)
+		np := nprobe
+		if np > len(cents) {
+			np = len(cents)
+		}
+		sel[qi] = make([]prunedCluster, np)
+		for i, c := range cents[:np] {
+			sel[qi][i] = prunedCluster{cluster: c.Pos, lb: clusterLB(c.Dist, db.mut.radius[c.Pos])}
+		}
+		if np > maxSel {
+			maxSel = np
+		}
+	}
+
+	// Fine phase in cluster-rank windows, bounds tightening per round.
+	trackers := make([]boundTracker, nq)
+	for i := range trackers {
+		trackers[i].capacity = rerankPool(k)
+	}
+	accs := make([][]TTLEntry, nq)
+	bounds := make([]int, nq)
+	var tomb []uint64
+	if db.mut.deadCount > 0 {
+		tomb = db.mut.tomb
+	}
+	perShard := perShardStats(cresps, nq, nil)
+	segs := make([][]SlotRange, nq)
+	lbs := make([][]int, nq)
+	for r := 0; ; r++ {
+		start, size := probeWindow(r)
+		if start >= maxSel {
+			break
+		}
+		for qi := range segs {
+			segs[qi] = segs[qi][:0]
+			lbs[qi] = lbs[qi][:0]
+			bounds[qi] = trackers[qi].bound()
+			list := sel[qi]
+			for i := start; i < start+size && i < len(list); i++ {
+				for _, sr := range db.mut.buckets[list[i].cluster] {
+					segs[qi] = append(segs[qi], sr)
+					lbs[qi] = append(lbs[qi], list[i].lb)
+				}
+			}
+		}
+		resps, err := sh.scatter(ctx, db, queries, false, segs, bounds, lbs, opt)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for qi := range queries {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, nil, err
+			}
+			st := &sts[qi]
+			st.IBCBroadcasts += gatherIBC(resps, qi)
+			mark := len(accs[qi])
+			for si := range segs[qi] {
+				gatherSegStats(resps, qi, si, false, st)
+				accs[qi] = sh.mergeSeg(accs[qi], resps, qi, si, db.lay.embPerPage)
+			}
+			feedTracker(&trackers[qi], accs[qi][mark:], tomb)
+		}
+		perShard = perShardStats(resps, nq, perShard)
+	}
+
+	results := make([][]DocResult, nq)
+	for qi := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
+		res, err := sh.finish(db, queries[qi], accs[qi], k, opt, &sts[qi])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		results[qi] = res
+	}
+	return results, sts, perShard, nil
+}

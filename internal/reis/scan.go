@@ -46,10 +46,13 @@ func (e *Engine) executeScan(ctx context.Context, cmd *HostCommand) (HostRespons
 					ErrBadScanRange, qi, si, r.First, r.Last, slots)
 			}
 			ss[si] = scanSeg{first: r.First, last: r.Last}
+			if sc.MinDists != nil {
+				ss[si].lb = sc.MinDists[qi][si]
+			}
 		}
 		segs[qi] = ss
 	}
-	scans, err := e.batchScan(ctx, db, region, packed, segs, filter, metaTag)
+	scans, err := e.batchScan(ctx, db, region, packed, segs, filter, metaTag, sc.Bounds)
 	if err != nil {
 		return HostResponse{}, err
 	}
@@ -68,6 +71,8 @@ func (e *Engine) executeScan(ctx context.Context, cmd *HostCommand) (HostRespons
 			r := ScanSegResult{
 				Waves: seg.waves, Pages: seg.pages,
 				Scanned: seg.scanned, Survivors: seg.survivors, TTLBytes: seg.ttlBytes,
+				PrunedPages: seg.prunedPages, AbortedWaves: seg.abortedWaves,
+				PrunedSlots: seg.prunedSlots,
 			}
 			if seg.survivors > 0 {
 				// The entries cross the completion boundary (and, in a
@@ -92,6 +97,9 @@ func (e *Engine) executeScan(ctx context.Context, cmd *HostCommand) (HostRespons
 			}
 			st.EntriesScanned += seg.scanned
 			st.Survivors += seg.survivors
+			st.PrunedPages += seg.prunedPages
+			st.AbortedWaves += seg.abortedWaves
+			st.PrunedSlots += seg.prunedSlots
 			st.TTLBytes += seg.ttlBytes
 		}
 		resp.Scan[qi] = out

@@ -57,6 +57,20 @@ type QueryStats struct {
 	// by the coarse phase; Survivors - CoarseEntries are fine-scan
 	// survivors.
 	CoarseEntries int
+	// PrunedPages counts pages a pruned search (SearchOptions.Prune)
+	// never sensed because a whole segment's centroid-distance lower
+	// bound exceeded the query's top-k threshold. They are NOT folded
+	// into CoarsePages/FinePages: those keep counting sensed pages
+	// only, so page-based gates stay meaningful.
+	PrunedPages int
+	// AbortedWaves is the parallel-critical-path analogue of
+	// PrunedPages: the wave count the aborted segments would have
+	// added (max pages on any one plane, aggregated like FineWaves).
+	AbortedWaves int
+	// PrunedSlots counts slots whose distance was computed but whose
+	// TTL transfer the threshold suppressed (they could not enter the
+	// rerank pool); disjoint from Survivors.
+	PrunedSlots int
 }
 
 // Add accumulates other into s (for batch reporting).
@@ -77,6 +91,9 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.SelectInput += o.SelectInput
 	s.SortedEntries += o.SortedEntries
 	s.CoarseEntries += o.CoarseEntries
+	s.PrunedPages += o.PrunedPages
+	s.AbortedWaves += o.AbortedWaves
+	s.PrunedSlots += o.PrunedSlots
 }
 
 // DocResult is one retrieved document chunk.
@@ -104,6 +121,16 @@ type SearchOptions struct {
 	// SkipDocs skips the document-retrieval stage (pure-ANNS
 	// benchmarks like SIFT/DEEP).
 	SkipDocs bool
+	// Prune opts into threshold-propagated top-k pruning: the scan
+	// runs in rounds, and after each round the controller tightens a
+	// per-query distance bound (the pool-th smallest live distance so
+	// far) that lets planes skip TTL transfers and whole segments that
+	// cannot beat it. Results are bit-identical to the unpruned path;
+	// scan stats differ (fewer pages/waves/survivors, plus the
+	// PrunedPages/AbortedWaves/PrunedSlots counters) but stay
+	// topology-equal among pruned runs. See DESIGN.md, "Threshold
+	// propagation and pruning".
+	Prune bool
 }
 
 // engineScratch holds the engine-owned pooled buffers of the query
@@ -202,6 +229,16 @@ func (e *Engine) Search(dbID int, query []float32, k int, opt SearchOptions) ([]
 	if err := db.checkQuery(query, k); err != nil {
 		return nil, QueryStats{}, err
 	}
+	if opt.Prune {
+		// Threshold pruning is round-based and served by the batched
+		// scheduler (results are bit-identical; the IBC accounting
+		// follows the batch path's per-plane broadcast count).
+		results, sts, err := e.searchBatch(context.Background(), db, [][]float32{query}, k, opt)
+		if err != nil {
+			return nil, QueryStats{}, err
+		}
+		return results[0], sts[0], nil
+	}
 	var st QueryStats
 	qPacked := e.packQuery(query)
 	if err := e.broadcast(db, qPacked, &st); err != nil {
@@ -240,6 +277,13 @@ func (e *Engine) IVFSearch(dbID int, query []float32, k int, opt SearchOptions) 
 	}
 	if err := db.checkQuery(query, k); err != nil {
 		return nil, QueryStats{}, err
+	}
+	if opt.Prune {
+		results, sts, err := e.ivfSearchBatch(context.Background(), db, [][]float32{query}, k, opt)
+		if err != nil {
+			return nil, QueryStats{}, err
+		}
+		return results[0], sts[0], nil
 	}
 	nprobe := opt.NProbe
 	if nprobe <= 0 {
@@ -338,6 +382,7 @@ type planeScan struct {
 	pages     int
 	scanned   int
 	survivors int
+	pruned    int // slots whose TTL transfer the pruning bound suppressed
 	ttlBytes  int64
 }
 
@@ -350,7 +395,14 @@ type planeScan struct {
 // touched, so concurrent scanPlane calls on different planes share no
 // mutable device state. Survivors are appended to the worker's entry
 // arena.
-func (e *Engine) scanPlane(db *Database, region ssd.Region, sc *workerScratch, span ssd.PlaneSpan, first, last int, filter bool, metaTag *uint8) (planeScan, error) {
+//
+// bound > 0 is the query's current top-k pruning threshold: it rides
+// the GEN_DIST_PAGE command into the plane, and slots strictly above
+// it skip the TTL transfer (counted in planeScan.pruned). Ties at the
+// bound always survive, which — together with the (Dist, Pos)
+// total-order selection downstream — is what keeps pruned results
+// bit-identical to unpruned ones.
+func (e *Engine) scanPlane(db *Database, region ssd.Region, sc *workerScratch, span ssd.PlaneSpan, first, last int, filter bool, metaTag *uint8, bound int) (planeScan, error) {
 	geo := e.SSD.Cfg.Geo
 	firstPage := first / db.embPerPage
 	lastPage := last / db.embPerPage
@@ -393,7 +445,7 @@ func (e *Engine) scanPlane(db *Database, region ssd.Region, sc *workerScratch, s
 		if _, err := e.FSM.Execute(flash.Command{
 			Op: flash.OpGenDistPage, Plane: plane, SlotBytes: db.slotBytes,
 			Mini:  flash.MiniPage{Page: addr, Slot: loSlot},
-			Slots: hiSlot - loSlot + 1, Dists: dists,
+			Slots: hiSlot - loSlot + 1, Dists: dists, Bound: bound,
 		}); err != nil {
 			return ps, err
 		}
@@ -408,6 +460,14 @@ func (e *Engine) scanPlane(db *Database, region ssd.Region, sc *workerScratch, s
 				continue
 			}
 			if metaTag != nil && tag != *metaTag {
+				continue
+			}
+			if bound > 0 && dist > bound {
+				// The entry would have streamed to controller DRAM, but
+				// it cannot displace any of the pool's current top
+				// distances (strict comparison keeps bound ties, so the
+				// rerank pool is unchanged). Skip the transfer.
+				ps.pruned++
 				continue
 			}
 			if _, err := e.FSM.Execute(flash.Command{
@@ -445,7 +505,7 @@ func (e *Engine) scanRange(db *Database, region ssd.Region, first, last int, fil
 	results := e.scr.results[:len(spans)]
 	tasks := e.scr.tasks[:0]
 	run := func(sc *workerScratch, _, i int) error {
-		ps, err := e.scanPlane(db, region, sc, spans[i], first, last, filter, metaTag)
+		ps, err := e.scanPlane(db, region, sc, spans[i], first, last, filter, metaTag, 0)
 		if err != nil {
 			return err
 		}
@@ -472,6 +532,7 @@ func mergeScanStats(results []planeScan, st *QueryStats) (waves, totalPages int)
 		totalPages += ps.pages
 		st.EntriesScanned += ps.scanned
 		st.Survivors += ps.survivors
+		st.PrunedSlots += ps.pruned
 		st.TTLBytes += ps.ttlBytes
 	}
 	return waves, totalPages
@@ -570,8 +631,14 @@ func (e *Engine) finish(db *Database, query []float32, entries []TTLEntry, k int
 	return runTail(&e.scr.src, &e.scr.tail, db.tailParams(e.SSD.Cfg.Geo.Planes()), query, entries, k, opt, st)
 }
 
-// quickselectTTL partitions entries so the k smallest distances occupy
-// entries[:k] — the quickselect kernel the embedded core runs.
+// quickselectTTL partitions entries so the k smallest occupy
+// entries[:k] under the (Dist, Pos) total order — the quickselect
+// kernel the embedded core runs. Selecting under a total order (rather
+// than by Dist alone) makes the rerank pool a pure set function of the
+// entry stream: which boundary-tied entries land in the pool no longer
+// depends on array layout. Threshold pruning relies on this — a pruned
+// stream is a subset of the unpruned one that provably retains every
+// pool member, so total-order selection yields the identical pool.
 func quickselectTTL(es []TTLEntry, k int) {
 	if k <= 0 || k >= len(es) {
 		return
@@ -587,24 +654,33 @@ func quickselectTTL(es []TTLEntry, k int) {
 	}
 }
 
+// ttlLess is the (Dist, Pos) total order of TTL entries (positions are
+// unique within a stream).
+func ttlLess(a, b *TTLEntry) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.Pos < b.Pos
+}
+
 func partitionTTL(es []TTLEntry, lo, hi int) int {
 	mid := lo + (hi-lo)/2
-	if es[mid].Dist < es[lo].Dist {
+	if ttlLess(&es[mid], &es[lo]) {
 		es[mid], es[lo] = es[lo], es[mid]
 	}
-	if es[hi].Dist < es[lo].Dist {
+	if ttlLess(&es[hi], &es[lo]) {
 		es[hi], es[lo] = es[lo], es[hi]
 	}
-	if es[hi].Dist < es[mid].Dist {
+	if ttlLess(&es[hi], &es[mid]) {
 		es[hi], es[mid] = es[mid], es[hi]
 	}
-	pivot := es[mid].Dist
+	pivot := es[mid]
 	i, j := lo, hi
 	for {
-		for es[i].Dist < pivot {
+		for ttlLess(&es[i], &pivot) {
 			i++
 		}
-		for es[j].Dist > pivot {
+		for ttlLess(&pivot, &es[j]) {
 			j--
 		}
 		if i >= j {

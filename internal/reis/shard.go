@@ -334,6 +334,12 @@ func (sh *ShardedEngine) execSearchGroup(ctx context.Context, cmd *HostCommand, 
 			return nil, nil, nil, err
 		}
 	}
+	if opt.Prune {
+		if cmd.Opcode == OpcodeSearch {
+			return sh.searchFlatPruned(ctx, db, queries, cmd.K, opt)
+		}
+		return sh.searchIVFPruned(ctx, db, queries, cmd.K, opt)
+	}
 	if cmd.Opcode == OpcodeSearch {
 		return sh.searchFlat(ctx, db, queries, cmd.K, opt)
 	}
@@ -349,7 +355,14 @@ func (sh *ShardedEngine) execSearchGroup(ctx context.Context, cmd *HostCommand, 
 // reported — so idle shards pay no query encoding or queue round
 // trip. All submitted commands are waited for even on error, so
 // scatter never leaks queue slots.
-func (sh *ShardedEngine) scatter(ctx context.Context, db *ShardedDatabase, queries [][]float32, coarse bool, segs [][]SlotRange, opt SearchOptions) ([]HostResponse, error) {
+//
+// bounds/minDists carry a pruned round's per-query thresholds and
+// per-segment lower bounds (nil on the unpruned paths). Both are
+// global values — bounds are query properties and a lower bound holds
+// for the whole global segment — so every shard receives the same
+// slices verbatim (localSegs preserves the (query, segment) shape) and
+// the shards' abort decisions match the reference device's exactly.
+func (sh *ShardedEngine) scatter(ctx context.Context, db *ShardedDatabase, queries [][]float32, coarse bool, segs [][]SlotRange, bounds []int, minDists [][]int, opt SearchOptions) ([]HostResponse, error) {
 	n := len(sh.shards)
 	resps := make([]HostResponse, n)
 	ids := make([]CommandID, n)
@@ -362,7 +375,7 @@ func (sh *ShardedEngine) scatter(ctx context.Context, db *ShardedDatabase, queri
 		}
 		cmd := HostCommand{
 			Opcode: OpcodeScan, DBID: db.ID, Queries: queries,
-			Scan: &ScanConfig{Coarse: coarse, Segs: local},
+			Scan: &ScanConfig{Coarse: coarse, Segs: local, Bounds: bounds, MinDists: minDists},
 			Opt:  SearchOptions{MetaTag: opt.MetaTag},
 		}
 		id, err := dev.q.SubmitAsync(ctx, cmd)
@@ -496,7 +509,7 @@ func (sh *ShardedEngine) mergeSeg(dst []TTLEntry, resps []HostResponse, qi, si, 
 // the single-device value because the shards' per-plane page loads are
 // identical to the single device's, plane for plane.
 func gatherSegStats(resps []HostResponse, qi, si int, coarse bool, st *QueryStats) {
-	waves, pages := 0, 0
+	waves, pages, aborted := 0, 0, 0
 	for s := range resps {
 		if resps[s].Scan == nil {
 			continue // shard skipped: no work in this phase
@@ -505,11 +518,20 @@ func gatherSegStats(resps []HostResponse, qi, si int, coarse bool, st *QueryStat
 		if r.Waves > waves {
 			waves = r.Waves
 		}
+		if r.AbortedWaves > aborted {
+			aborted = r.AbortedWaves
+		}
 		pages += r.Pages
 		st.EntriesScanned += r.Scanned
 		st.Survivors += r.Survivors
+		st.PrunedPages += r.PrunedPages
+		st.PrunedSlots += r.PrunedSlots
 		st.TTLBytes += r.TTLBytes
 	}
+	// Aborted waves aggregate like real waves: the segment's parallel
+	// critical path, max across shards (= the reference device's value,
+	// because the abort is decided from the same spans geometry).
+	st.AbortedWaves += aborted
 	if coarse {
 		st.CoarseWaves += waves
 		st.CoarsePages += pages
@@ -561,7 +583,7 @@ func (sh *ShardedEngine) searchFlat(ctx context.Context, db *ShardedDatabase, qu
 	for i := range segs {
 		segs[i] = whole
 	}
-	resps, err := sh.scatter(ctx, db, queries, false, segs, opt)
+	resps, err := sh.scatter(ctx, db, queries, false, segs, nil, nil, opt)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -611,7 +633,7 @@ func (sh *ShardedEngine) searchIVF(ctx context.Context, db *ShardedDatabase, que
 	for i := range coarseSegs {
 		coarseSegs[i] = wholeCent
 	}
-	cresps, err := sh.scatter(ctx, db, queries, true, coarseSegs, opt)
+	cresps, err := sh.scatter(ctx, db, queries, true, coarseSegs, nil, nil, opt)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -643,7 +665,7 @@ func (sh *ShardedEngine) searchIVF(ctx context.Context, db *ShardedDatabase, que
 	}
 
 	// Fine phase: scan every query's probed clusters.
-	fresps, err := sh.scatter(ctx, db, queries, false, fineSegs, opt)
+	fresps, err := sh.scatter(ctx, db, queries, false, fineSegs, nil, nil, opt)
 	if err != nil {
 		return nil, nil, nil, err
 	}
