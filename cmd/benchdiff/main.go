@@ -49,6 +49,7 @@ var metricFields = map[string]bool{
 	"ModelSpeedup": true, "NsPerOp": true, "AllocsPerOp": true,
 	"BytesPerOp": true, "AvgBatch": true, "Speedup": true,
 	"FinePages": true, "PrunedPages": true, "AbortedWaves": true,
+	"HitRate": true, "CachedPages": true, "BaseFinePages": true,
 }
 
 // rowKey builds the match key of a row: the experiment id plus every

@@ -67,6 +67,49 @@ func TestDiffSkipsUnmatchedRows(t *testing.T) {
 	}
 }
 
+func TestDiffSkewSectionAbsentFromBaseline(t *testing.T) {
+	// A baseline that predates the skew experiment must not fail the
+	// gate, and the skew metrics (HitRate, CachedPages, Speedup, ...)
+	// must be treated as metrics, not identity: a skew row whose
+	// baseline row exists matches on {Dataset, S, Budget} alone.
+	base := mkReport(1000, 2000, 24.5)
+	cur := mkReport(1000, 2000, 24.5)
+	skewRow := func(qps, hitRate, cached float64) map[string]any {
+		return map[string]any{
+			"Dataset": "skew-3k", "S": 1.2, "Budget": float64(4 << 20),
+			"HitRate": hitRate, "FinePages": 2.0, "CachedPages": cached,
+			"BaseFinePages": 9.0, "ModelQPS": qps, "Speedup": qps / 1000,
+		}
+	}
+	cur.Experiments = append(cur.Experiments, struct {
+		ID   string           `json:"id"`
+		Rows []map[string]any `json:"rows"`
+	}{ID: "skew", Rows: []map[string]any{skewRow(1800, 0.5, 7)}})
+	v, notes := diff(base, cur, options{maxRegressPct: 25})
+	if len(v) != 0 {
+		t.Fatalf("skew section absent from baseline must not violate: %v", v)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "skew") {
+		t.Fatalf("notes: %v", notes)
+	}
+
+	// Once the baseline has the section, metric drift must not break
+	// row matching (metrics excluded from the key) and a ModelQPS
+	// regression must gate.
+	base.Experiments = append(base.Experiments, struct {
+		ID   string           `json:"id"`
+		Rows []map[string]any `json:"rows"`
+	}{ID: "skew", Rows: []map[string]any{skewRow(1800, 0.6, 8)}})
+	if v, _ := diff(base, cur, options{maxRegressPct: 25}); len(v) != 0 {
+		t.Fatalf("metric drift broke skew row matching: %v", v)
+	}
+	cur.Experiments[1].Rows[0]["ModelQPS"] = 900.0
+	v, _ = diff(base, cur, options{maxRegressPct: 25})
+	if len(v) != 1 || !strings.Contains(v[0], "ModelQPS") {
+		t.Fatalf("skew ModelQPS regression not gated: %v", v)
+	}
+}
+
 func TestDiffNotesMissingExperimentOnce(t *testing.T) {
 	base := mkReport(1000, 2000, 24.5)
 	cur := mkReport(1000, 2000, 24.5)

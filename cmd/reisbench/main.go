@@ -11,7 +11,9 @@
 // (vs NDSearch), throughput (batched vs sequential query admission),
 // qdepth (QPS vs submission-queue depth through the async host API),
 // shards (throughput vs device count through the sharded router),
-// prune (threshold-propagated top-k pruning vs the unpruned scan).
+// prune (threshold-propagated top-k pruning vs the unpruned scan),
+// skew (the DRAM caching tier — hot-cluster pinning plus the result
+// cache — under Zipfian query skew and bursty append/delete churn).
 //
 // Profiling and machine-readable output:
 //
@@ -63,7 +65,7 @@ func main() {
 }
 
 func realMain() error {
-	exp := flag.String("exp", "all", "experiment id (fig2|fig3|table4|fig5|fig7|fig8|fig9|asic|fig10|fig11|throughput|qdepth|shards|prune|all)")
+	exp := flag.String("exp", "all", "experiment id (fig2|fig3|table4|fig5|fig7|fig8|fig9|asic|fig10|fig11|throughput|qdepth|shards|prune|skew|all)")
 	scale := flag.Int("scale", 16, "workload scale divisor (larger = smaller functional datasets)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
@@ -84,7 +86,7 @@ func realMain() error {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"fig2", "fig5", "fig7", "fig9", "asic", "fig10", "fig11", "throughput", "qdepth", "shards", "prune"}
+		ids = []string{"fig2", "fig5", "fig7", "fig9", "asic", "fig10", "fig11", "throughput", "qdepth", "shards", "prune", "skew"}
 	}
 	report := jsonReport{
 		Tool:        "reisbench",
@@ -212,6 +214,13 @@ func run(id string, scale int) (any, error) {
 			return nil, err
 		}
 		fmt.Print(experiments.FormatPrune(rows))
+		return rows, nil
+	case "skew":
+		rows, err := experiments.RunSkew(nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(experiments.FormatSkew(rows))
 		return rows, nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", id)

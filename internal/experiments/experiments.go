@@ -243,6 +243,9 @@ func meanStats(agg reis.QueryStats, n int) reis.QueryStats {
 	agg.PrunedPages /= n
 	agg.AbortedWaves /= n
 	agg.PrunedSlots /= n
+	agg.CachedPages /= n
+	agg.CachedSlots /= n
+	agg.ResultCacheHits /= n
 	return agg
 }
 

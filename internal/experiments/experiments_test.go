@@ -216,6 +216,37 @@ func TestRunRAGBreakdown(t *testing.T) {
 	t.Log(FormatRAG(rows))
 }
 
+func TestRunSkewCachingWins(t *testing.T) {
+	// One skew point at two budgets keeps the test light; RunSkew
+	// re-checks the page-partition contract against the budget-0
+	// baseline internally, so a clean return already covers it.
+	rows, err := RunSkew([]float64{1.2}, []int64{0, SkewDefaultBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	base, cached := rows[0], rows[1]
+	if base.Budget != 0 || base.Speedup != 1 || base.HitRate != 0 || base.CachedPages != 0 {
+		t.Fatalf("budget-0 row not a clean baseline: %+v", base)
+	}
+	if cached.HitRate <= 0 {
+		t.Errorf("no result-cache hits under Zipf s=1.2: %+v", cached)
+	}
+	if cached.CachedPages <= 0 {
+		t.Errorf("no pinned-cluster pages served: %+v", cached)
+	}
+	// The tentpole claim: modeled throughput gains at least 1.5x from
+	// the caching tier at the default budget under heavy skew.
+	if cached.Speedup < 1.5 {
+		t.Errorf("speedup %.2fx < 1.5x at s=1.2, default budget", cached.Speedup)
+	}
+	if out := FormatSkew(rows); !strings.Contains(out, "skew-3k") {
+		t.Error("format missing dataset")
+	}
+}
+
 func TestRunShardsScaling(t *testing.T) {
 	rows, err := RunShards(testScale, []string{"NQ"}, []int{1, 2, 4})
 	if err != nil {

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+
+	"reis/internal/ann"
+	"reis/internal/dataset"
+	"reis/internal/reis"
+	"reis/internal/ssd"
+	"reis/internal/xrand"
+)
+
+// SkewRow is one point of the DRAM-caching-tier sweep: a Zipf query
+// skew s served at a cache budget, against the budget-0 baseline of
+// the same command script. HitRate counts result-cache hits over all
+// issued queries; FinePages/CachedPages split the mean per-query fine
+// scan between flash and pinned DRAM copies (on result-cache misses
+// they sum to BaseFinePages, the uncached run's mean — the page
+// partition the engine tests pin per query, re-checked per command by
+// RunSkew itself).
+type SkewRow struct {
+	Dataset string
+	// S is the Zipf exponent of the query popularity distribution
+	// (0 = uniform).
+	S float64
+	// Budget is ssd.Config.CacheDRAMBytes for this run.
+	Budget int64
+	// HitRate is result-cache hits / queries issued.
+	HitRate float64
+	// FinePages / CachedPages / BaseFinePages are mean per-query fine
+	// pages from flash, from pinned DRAM, and in the uncached baseline.
+	FinePages     float64
+	CachedPages   float64
+	BaseFinePages float64
+	// ModelQPS is queries / summed modeled batch makespan at unit
+	// scale; Speedup is ModelQPS over the budget-0 row (1.0 there).
+	ModelQPS float64
+	Speedup  float64
+}
+
+// SkewDefaultBudget is the default cache budget of the sweep: enough
+// to pin every cluster of the skew corpus and hold a working set of
+// packed results, the regime the headline speedup is claimed in.
+const SkewDefaultBudget = 4 << 20
+
+// SkewS and SkewBudgets are the default sweep axes.
+var (
+	SkewS       = []float64{0, 0.8, 1.2}
+	SkewBudgets = []int64{0, 512 << 10, SkewDefaultBudget}
+)
+
+// The skew corpus and script. The corpus is small enough to run
+// functionally but large enough that clusters span distinct binary
+// pages; the script interleaves bursty churn (appends that are deleted
+// the following round — every mutation drops the caches) with batched
+// searches whose query indices follow a Zipf draw over a fixed query
+// set, so repeats inside a round can hit the result cache and hot
+// clusters accumulate probe counts.
+const (
+	skewN        = 4000 // 3600 deployed + 400 append pool
+	skewBase     = 3600
+	skewDim      = 128
+	skewClusters = 64
+	skewQueries  = 400
+	skewRounds   = 8
+	skewCmds     = 6  // search commands per round
+	skewBatch    = 32 // queries per search command
+	skewNProbe   = 8
+	skewK        = 10
+)
+
+// skewWorkload generates the shared corpus: deployed base, append
+// pool, and KMeans cluster structure over the base.
+func skewWorkload() (d *dataset.Dataset, cents [][]float32, assign []int) {
+	d = dataset.Generate(dataset.Config{
+		Name: "skew", N: skewN, Dim: skewDim, Clusters: skewClusters,
+		Queries: skewQueries, DocBytes: 64, Seed: 0xCAFE,
+	})
+	cents, assign = ann.KMeans(d.Vectors[:skewBase], ann.KMeansConfig{K: skewClusters, Seed: 7})
+	return d, cents, assign
+}
+
+// skewRun is one (s, budget) script execution: per-command stats and
+// results for the baseline cross-check, plus the accumulated totals.
+type skewRun struct {
+	stats    [][]reis.QueryStats
+	results  [][][]reis.DocResult
+	queries  int
+	hits     int
+	fine     int
+	cached   int
+	modelSec float64
+}
+
+// nearestCentroid assigns an appended vector to its closest KMeans
+// centroid, the same rule the deployed assignment used.
+func nearestCentroid(v []float32, cents [][]float32) int {
+	best, bestD := 0, math.MaxFloat64
+	for c, cent := range cents {
+		var d float64
+		for j := range v {
+			diff := float64(v[j] - cent[j])
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// runSkewScript executes the churn+search script on a fresh engine at
+// the given cache budget. The RNG seeds depend only on s, so every
+// budget of a sweep point sees the identical command sequence and the
+// runs are comparable command for command.
+func runSkewScript(d *dataset.Dataset, cents [][]float32, assign []int, s float64, budget int64) (*skewRun, error) {
+	cfg := ssd.SSD1()
+	cfg.Geo.BlocksPerPlane = 8
+	cfg.Geo.PagesPerBlock = 16
+	// The churn bursts append into reserved tail capacity (deleted
+	// entries tombstone in place until a compaction), so the deployment
+	// needs overprovision headroom SSD1 does not default to.
+	cfg.OverprovisionPct = 200
+	cfg.CacheDRAMBytes = budget
+	e, err := reis.New(cfg, int64(skewBase*skewDim*3)*4+64<<20, reis.AllOptions())
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	db, err := e.IVFDeploy(reis.DeployConfig{
+		ID: 1, Vectors: d.Vectors[:skewBase], Docs: d.Docs[:skewBase],
+		DocSlotBytes: docSlot(d), Centroids: cents, Assign: assign,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	qr := xrand.New(0x5eed ^ math.Float64bits(s))
+	cr := qr.Split()
+	run := &skewRun{}
+	poolIdx := 0
+	var prevIDs []int
+	for round := 0; round < skewRounds; round++ {
+		if round > 0 {
+			// Bursty churn: append 4-12 pool items, then delete the
+			// previous round's appends. Both mutations atomically drop
+			// the result cache and the pinned pages.
+			burst := 4 + cr.Intn(9)
+			var vecs [][]float32
+			var docs [][]byte
+			var asg []int
+			for i := 0; i < burst; i++ {
+				p := skewBase + poolIdx%(skewN-skewBase)
+				poolIdx++
+				vecs = append(vecs, d.Vectors[p])
+				docs = append(docs, d.Docs[p])
+				asg = append(asg, nearestCentroid(d.Vectors[p], cents))
+			}
+			resp, err := e.Submit(reis.HostCommand{
+				Opcode: reis.OpcodeAppend, DBID: 1,
+				Append: &reis.AppendConfig{Vectors: vecs, Docs: docs, Assign: asg},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if len(prevIDs) > 0 {
+				if _, err := e.Submit(reis.HostCommand{
+					Opcode: reis.OpcodeDelete, DBID: 1,
+					Del: &reis.DeleteConfig{IDs: prevIDs},
+				}); err != nil {
+					return nil, err
+				}
+			}
+			prevIDs = append(prevIDs[:0], resp.AppendedIDs...)
+		}
+		for c := 0; c < skewCmds; c++ {
+			queries := make([][]float32, skewBatch)
+			for i := range queries {
+				queries[i] = d.Queries[qr.Zipf(skewQueries, s)]
+			}
+			resp, err := e.Submit(reis.HostCommand{
+				Opcode: reis.OpcodeIVFSearch, DBID: 1,
+				Queries: queries, K: skewK, NProbe: skewNProbe,
+				Opt: reis.SearchOptions{SkipDocs: true},
+			})
+			if err != nil {
+				return nil, err
+			}
+			run.stats = append(run.stats, resp.QueryStats)
+			run.results = append(run.results, resp.Results)
+			run.queries += len(queries)
+			run.hits += resp.Stats.ResultCacheHits
+			run.fine += resp.Stats.FinePages
+			run.cached += resp.Stats.CachedPages
+			run.modelSec += e.BatchLatency(db, resp.QueryStats, reis.UnitScale()).Makespan.Seconds()
+		}
+	}
+	return run, nil
+}
+
+// checkSkewPartition re-verifies the caching tier's contract on the
+// experiment's own output, command for command against the budget-0
+// run: results bit-identical, result-cache hits did no scan work, and
+// every miss's fine pages partition exactly between flash and DRAM.
+func checkSkewPartition(cached, base *skewRun) error {
+	if len(cached.stats) != len(base.stats) {
+		return fmt.Errorf("skew: %d commands vs %d in baseline", len(cached.stats), len(base.stats))
+	}
+	for ci := range cached.stats {
+		if !reflect.DeepEqual(cached.results[ci], base.results[ci]) {
+			return fmt.Errorf("skew: cmd %d results diverge from uncached baseline", ci)
+		}
+		for qi, st := range cached.stats[ci] {
+			b := base.stats[ci][qi]
+			if st.ResultCacheHits > 0 {
+				if st.FinePages != 0 || st.CachedPages != 0 {
+					return fmt.Errorf("skew: cmd %d q%d hit with scan work %+v", ci, qi, st)
+				}
+				continue
+			}
+			if st.FinePages+st.CachedPages != b.FinePages {
+				return fmt.Errorf("skew: cmd %d q%d partition %d+%d != baseline fine %d",
+					ci, qi, st.FinePages, st.CachedPages, b.FinePages)
+			}
+		}
+	}
+	return nil
+}
+
+// RunSkew measures the DRAM caching tier under Zipfian query skew and
+// bursty churn on REIS-SSD1: for every skew exponent, the identical
+// command script runs at every cache budget (budget 0 is the
+// baseline), and each row reports the hit rate, the flash/DRAM page
+// split, and the modeled-throughput speedup. Like the prune sweep,
+// rows are costed at unit scale: the caching tier targets the
+// deployed (post-mutation) regime where the corpus fits the device,
+// not the paper-scale extrapolation.
+func RunSkew(ss []float64, budgets []int64) ([]SkewRow, error) {
+	if ss == nil {
+		ss = SkewS
+	}
+	if budgets == nil {
+		budgets = SkewBudgets
+	}
+	d, cents, assign := skewWorkload()
+	name := fmt.Sprintf("skew-%dk", skewBase/1000)
+	var rows []SkewRow
+	for _, s := range ss {
+		base, err := runSkewScript(d, cents, assign, s, 0)
+		if err != nil {
+			return nil, err
+		}
+		baseQPS := float64(base.queries) / base.modelSec
+		baseFine := float64(base.fine) / float64(base.queries)
+		for _, budget := range budgets {
+			run := base
+			if budget > 0 {
+				if run, err = runSkewScript(d, cents, assign, s, budget); err != nil {
+					return nil, err
+				}
+				if err := checkSkewPartition(run, base); err != nil {
+					return nil, err
+				}
+			}
+			n := float64(run.queries)
+			qps := n / run.modelSec
+			rows = append(rows, SkewRow{
+				Dataset: name, S: s, Budget: budget,
+				HitRate:       float64(run.hits) / n,
+				FinePages:     float64(run.fine) / n,
+				CachedPages:   float64(run.cached) / n,
+				BaseFinePages: baseFine,
+				ModelQPS:      qps,
+				Speedup:       qps / baseQPS,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatSkew renders the caching-tier sweep.
+func FormatSkew(rows []SkewRow) string {
+	var sb strings.Builder
+	sb.WriteString("DRAM caching tier under Zipfian skew and bursty churn (REIS-SSD1)\n")
+	fmt.Fprintf(&sb, "%-10s %5s %10s %9s %11s %12s %10s %10s %8s\n",
+		"dataset", "s", "budget", "hit rate", "fine pages", "cached pages", "base fine", "model QPS", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %5.2f %9dK %8.1f%% %11.1f %12.1f %10.1f %10.1f %7.2fx\n",
+			r.Dataset, r.S, r.Budget>>10, r.HitRate*100, r.FinePages, r.CachedPages, r.BaseFinePages, r.ModelQPS, r.Speedup)
+	}
+	return sb.String()
+}

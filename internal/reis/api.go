@@ -424,8 +424,12 @@ func (e *Engine) executeCmd(ctx context.Context, cmd *HostCommand) (HostResponse
 		if err == nil {
 			// The scan bound follows the live extent, and recorded
 			// nprobe calibrations no longer cover the mutated corpus.
+			// The caching tier drops every pinned page and cached
+			// result before the mutation's completion is visible, so a
+			// stale hit is impossible by construction.
 			db.regionSlots = db.mut.tailSlots
 			db.calib = nil
+			db.cache.invalidate()
 		}
 		return resp, err
 	default:
@@ -485,8 +489,52 @@ func (e *Engine) executeSearch(ctx context.Context, cmd *HostCommand, queries []
 	if err != nil {
 		return nil, nil, err
 	}
-	if cmd.Opcode == OpcodeSearch {
-		return e.searchBatch(ctx, db, queries, cmd.K, opt)
+	return e.cachedSearch(ctx, db, cmd.Opcode, queries, cmd.K, opt)
+}
+
+// cachedSearch consults the result cache before dispatching the batch. Hits
+// are served as deep copies at controller cost (QueryStats records only
+// ResultCacheHits); the miss subset executes as one batch through the normal
+// path so its per-query stats are bit-identical to an uncached run, then each
+// miss result is inserted. Intra-batch duplicate queries all miss: lookups
+// happen before any insert, keeping hit patterns independent of batch order.
+func (e *Engine) cachedSearch(ctx context.Context, db *Database, op uint8, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
+	c := db.cache
+	if c == nil || c.resBudget <= 0 || len(queries) == 0 {
+		return e.dispatchSearch(ctx, db, op, queries, k, opt)
 	}
-	return e.ivfSearchBatch(ctx, db, queries, cmd.K, opt)
+	results := make([][]DocResult, len(queries))
+	stats := make([]QueryStats, len(queries))
+	keys := make([]string, len(queries))
+	var missIdx []int
+	var missQ [][]float32
+	for i, q := range queries {
+		keys[i] = resultKey(op, k, opt, q)
+		if r, ok := c.lookupResult(keys[i]); ok {
+			results[i] = r
+			stats[i] = QueryStats{ResultCacheHits: 1}
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missQ = append(missQ, q)
+	}
+	if len(missIdx) > 0 {
+		mres, msts, err := e.dispatchSearch(ctx, db, op, missQ, k, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		for j, i := range missIdx {
+			results[i] = mres[j]
+			stats[i] = msts[j]
+			c.storeResult(keys[i], mres[j])
+		}
+	}
+	return results, stats, nil
+}
+
+func (e *Engine) dispatchSearch(ctx context.Context, db *Database, op uint8, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
+	if op == OpcodeSearch {
+		return e.searchBatch(ctx, db, queries, k, opt)
+	}
+	return e.ivfSearchBatch(ctx, db, queries, k, opt)
 }

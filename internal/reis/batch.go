@@ -41,6 +41,11 @@ import (
 type scanSeg struct {
 	first, last int
 	lb          int
+	// pin, when non-nil, is the DRAM copy of the segment: the scan is
+	// served host-side by dbCache.scanPinned instead of plane tasks.
+	// Pinned segments ignore lb — the pages are already resident, so
+	// the scan always runs under the query's current bound.
+	pin *pinnedRange
 }
 
 // segScan is the outcome of one query's scan of one segment: the
@@ -57,6 +62,14 @@ type segScan struct {
 	prunedPages  int
 	abortedWaves int
 	ttlBytes     int64
+	// A pinned segment was scanned from the DRAM hot-cluster cache:
+	// cached holds its surviving entries (ascending by Pos) and
+	// cachedPages/cachedSlots the work, kept apart from the flash
+	// counters above.
+	pinned      bool
+	cached      []TTLEntry
+	cachedPages int
+	cachedSlots int
 }
 
 // queryScan is one query's outcome of a batch scan phase.
@@ -128,6 +141,11 @@ func (e *Engine) batchScan(ctx context.Context, db *Database, region ssd.Region,
 			bound = bounds[qi]
 		}
 		for si, sg := range segs[qi] {
+			if sg.pin != nil {
+				// Pinned segment: served from the DRAM copy at fold
+				// time — no plane task, no IBC, no page sensed.
+				continue
+			}
 			if sg.last < sg.first {
 				// Empty sentinel segment (a shard that owns no page of
 				// the global range): no work, zero stats.
@@ -208,6 +226,16 @@ func (e *Engine) batchScan(ctx context.Context, db *Database, region ssd.Region,
 		out[qi].segs = make([]segScan, len(grid[qi]))
 		for si, scans := range grid[qi] {
 			s := &out[qi].segs[si]
+			if sg := segs[qi][si]; sg.pin != nil {
+				bound := 0
+				if bounds != nil {
+					bound = bounds[qi]
+				}
+				s.pinned = true
+				s.cached, s.cachedPages, s.cachedSlots = db.cache.scanPinned(
+					sg.pin, packed[qi], db.cachedParams(filter, metaTag, bound), nil)
+				continue
+			}
 			s.scans = scans
 			var acc QueryStats
 			s.waves, s.pages = mergeScanStats(scans, &acc)
@@ -343,6 +371,9 @@ func (e *Engine) ivfSearchBatchPacked(ctx context.Context, db *Database, queries
 	if opt.Prune {
 		return e.ivfSearchBatchPruned(ctx, db, queries, packed, k, opt)
 	}
+	if err := e.refreshCache(db); err != nil {
+		return nil, nil, err
+	}
 	nprobe := opt.NProbe
 	if nprobe <= 0 {
 		nprobe = 1
@@ -389,8 +420,14 @@ func (e *Engine) ivfSearchBatchPacked(ctx context.Context, db *Database, queries
 			np = len(cents)
 		}
 		for _, c := range cents[:np] {
-			for _, r := range db.clusterSegs(c.Pos) {
-				fineSegs[qi] = append(fineSegs[qi], scanSeg{first: r.First, last: r.Last})
+			db.cache.probe(c.Pos)
+			pc := db.cache.pinnedFor(c.Pos)
+			for ri, r := range db.clusterSegs(c.Pos) {
+				sg := scanSeg{first: r.First, last: r.Last}
+				if pc != nil {
+					sg.pin = &pc.ranges[ri]
+				}
+				fineSegs[qi] = append(fineSegs[qi], sg)
 			}
 		}
 	}
@@ -427,7 +464,11 @@ func (e *Engine) foldSegs(segs []segScan, st *QueryStats) []TTLEntry {
 	entries := e.scr.entries[:0]
 	for i := range segs {
 		foldSegStats(&segs[i], st)
-		entries = e.appendMergeByPos(entries, segs[i].scans)
+		if segs[i].pinned {
+			entries = append(entries, segs[i].cached...)
+		} else {
+			entries = e.appendMergeByPos(entries, segs[i].scans)
+		}
 	}
 	e.scr.entries = entries
 	return entries

@@ -27,6 +27,17 @@
 // with results bit-identical to the unpruned scan on every topology
 // (see DESIGN.md, "Threshold propagation and pruning").
 //
+// A DRAM caching tier (ssd.Config.CacheDRAMBytes, off by default)
+// serves repeated work at controller cost without ever changing
+// results: the binary pages of the most-probed IVF clusters are pinned
+// in controller DRAM and scanned there (reported as CachedPages/
+// CachedSlots, partitioning exactly against the flash FinePages), and
+// an LRU result cache keyed on the packed query and search options
+// serves exact repeats on the Submit/queue path (ResultCacheHits).
+// Appends, deletes and compactions invalidate both tiers atomically.
+// `reisbench -exp skew` measures the tier under Zipfian query skew
+// (see DESIGN.md, "DRAM caching tier").
+//
 // The engine is functional — every distance comes from real bytes
 // moving through the simulated latches — while latency and energy are
 // derived from the event counts each query accumulates (QueryStats).
@@ -132,6 +143,11 @@ type Database struct {
 	// bitmap, GC row accounting) of a whole-layout deploy; nil for a
 	// shard slice, which is mutated through its router.
 	mut *mutState
+
+	// cache is the DRAM caching tier (hot-cluster pins + result cache);
+	// nil unless the SSD config sets CacheDRAMBytes. A shard slice never
+	// owns one — its router does.
+	cache *dbCache
 }
 
 // recallPoint is one recorded calibration outcome: the smallest nprobe
@@ -387,6 +403,10 @@ func (e *Engine) install(id int, lo *dbLayout, items *layoutItems, start, stride
 		db.rivf = lo.rivf
 		db.regionSlots = lo.regionSlots
 		db.mut = newMutState(lo, e.SSD.Cfg.Geo)
+		if cb := e.SSD.Cfg.CacheDRAMBytes; cb > 0 {
+			geo := e.SSD.Cfg.Geo
+			db.cache = newDBCache(cb, geo.PageBytes, geo.OOBBytes, len(lo.rivf))
+		}
 	} else {
 		// A shard serves explicit scan ranges from the router; its
 		// local slot count covers the owned pages only, and the global

@@ -65,6 +65,13 @@ func fuzzCfg() ssd.Config {
 	cfg.Geo.PageBytes = 2048
 	cfg.Geo.OOBBytes = 640
 	cfg.OverprovisionPct = 300
+	// The DRAM caching tier runs live under the fuzzers: the budget pins
+	// about half the fuzz world's clusters and holds a couple of search
+	// results, so hot-cluster scans, result-cache hits and mutation
+	// invalidation are all exercised on both topologies. A stale hit
+	// after a mutation would surface as a deleted id or a response
+	// divergence.
+	cfg.CacheDRAMBytes = 12 << 10
 	return cfg
 }
 
@@ -141,6 +148,18 @@ func FuzzAppendDeleteSearch(f *testing.F) {
 					if deleted[r.ID] {
 						t.Fatalf("deleted id %d surfaced", r.ID)
 					}
+				}
+				// Re-issue the identical command: with the caching tier on
+				// it now hits the result cache on BOTH topologies, and the
+				// served copy must match the fresh computation (a stale
+				// entry surviving a mutation would surface a deleted id
+				// here, or diverge between the topologies).
+				rresp, _, err := both(cmd)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(rresp.Results, resp.Results) {
+					t.Fatalf("repeated search results diverge from first issue")
 				}
 				// The same search with threshold pruning must return
 				// bit-identical results on this mutated state (both()
@@ -309,6 +328,139 @@ func FuzzPrunedSearch(f *testing.F) {
 		if !reflect.DeepEqual(got.Results, want.Results) {
 			t.Fatalf("pruned results diverge from unpruned (ivf=%v k=%d nprobe=%d append=%d delete=%d)",
 				ivf, k, nprobe, nAppend, nDelete)
+		}
+	})
+}
+
+// FuzzCachedSearch fuzzes the DRAM caching tier's transparency contract
+// directly: the same interleaved search/append/delete sequence runs on
+// one cached and one uncached single-device engine, and every search
+// must return bit-identical results. On unpruned misses the
+// page-partition invariant is checked exactly — the cached engine's
+// flash fine pages plus its DRAM-served pages must equal the uncached
+// engine's fine pages — and a result-cache hit must report zero scan
+// work. CI replays the committed seed corpus
+// (testdata/fuzz/FuzzCachedSearch) on every push; nightly fuzzes it.
+func FuzzCachedSearch(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 0, 1, 0, 2})
+	f.Add([]byte{1, 1, 0, 0, 3, 2, 0, 1, 1, 4, 0, 0})
+	f.Add([]byte{0, 0, 0, 3, 2, 1, 4, 5, 0, 3})
+	f.Add([]byte{1, 0, 1, 7, 2, 2, 0, 4, 3, 1, 0, 5, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 48 {
+			t.Skip()
+		}
+		w := fuzzWorldGet()
+		ivf := data[0]%2 == 1
+		budget := []int64{12 << 10, 64 << 10}[int(data[1])%2]
+		ops := data[2:]
+
+		plainCfg := fuzzCfg()
+		plainCfg.CacheDRAMBytes = 0
+		plain, err := New(plainCfg, 0, AllOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer plain.Close()
+		cachedCfg := fuzzCfg()
+		cachedCfg.CacheDRAMBytes = budget
+		cached, err := New(cachedCfg, 0, AllOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cached.Close()
+
+		deploy := &DeployConfig{ID: 1, Vectors: w.base.Vectors, Docs: w.base.Docs, DocSlotBytes: 64}
+		op := OpcodeDBDeploy
+		searchOp, nprobe := OpcodeSearch, 0
+		if ivf {
+			op = OpcodeIVFDeploy
+			deploy.Centroids = w.cents
+			deploy.Assign = w.assign[:len(w.base.Vectors)]
+			searchOp, nprobe = OpcodeIVFSearch, 3
+		}
+		both := func(cmd HostCommand) (HostResponse, HostResponse, error) {
+			t.Helper()
+			a, errA := plain.Submit(cmd)
+			b, errB := cached.Submit(cmd)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("opcode %#x: plain err %v, cached err %v", cmd.Opcode, errA, errB)
+			}
+			if errA == nil && !reflect.DeepEqual(a.Results, b.Results) {
+				t.Fatalf("opcode %#x: cached results diverge from uncached", cmd.Opcode)
+			}
+			return a, b, errA
+		}
+		if _, _, err := both(HostCommand{Opcode: op, Deploy: deploy}); err != nil {
+			t.Fatal(err)
+		}
+
+		liveIDs := make([]int, len(w.base.Vectors))
+		for i := range liveIDs {
+			liveIDs[i] = i
+		}
+		deleted := map[int]bool{}
+		poolAt := 0
+		for i := 0; i+1 < len(ops); i += 2 {
+			b, arg := ops[i], int(ops[i+1])
+			switch b % 4 {
+			case 0, 1: // search (varying query, occasionally pruned)
+				q := w.base.Queries[arg%len(w.base.Queries)]
+				cmd := HostCommand{Opcode: searchOp, DBID: 1, Queries: [][]float32{q}, K: 5, NProbe: nprobe}
+				pruned := b%4 == 1 && arg%3 == 0
+				cmd.Opt.Prune = pruned
+				pr, cr, err := both(cmd)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st := cr.QueryStats[0]
+				if st.ResultCacheHits > 0 {
+					if st.FinePages != 0 || st.CachedPages != 0 || st.CoarsePages != 0 {
+						t.Fatalf("result-cache hit reports scan work: %+v", st)
+					}
+				} else if !pruned {
+					if got, want := st.FinePages+st.CachedPages, pr.QueryStats[0].FinePages; got != want {
+						t.Fatalf("page partition violated: %d+%d != %d",
+							st.FinePages, st.CachedPages, want)
+					}
+				}
+				for _, r := range cr.Results[0] {
+					if deleted[r.ID] {
+						t.Fatalf("deleted id %d surfaced from cached engine", r.ID)
+					}
+				}
+			case 2: // append 1-3 items from the pool (cycling)
+				n := 1 + arg%3
+				vecs := make([][]float32, n)
+				docs := make([][]byte, n)
+				var assign []int
+				for j := 0; j < n; j++ {
+					k := (poolAt + j) % len(w.pool)
+					vecs[j] = w.pool[k]
+					docs[j] = w.poolDoc[k]
+					if ivf {
+						assign = append(assign, w.assign[len(w.base.Vectors)+k])
+					}
+				}
+				poolAt += n
+				resp, _, err := both(HostCommand{Opcode: OpcodeAppend, DBID: 1,
+					Append: &AppendConfig{Vectors: vecs, Docs: docs, Assign: assign}})
+				if err != nil {
+					continue
+				}
+				liveIDs = append(liveIDs, resp.AppendedIDs...)
+			case 3: // delete one live id
+				if len(liveIDs) == 0 {
+					continue
+				}
+				k := arg % len(liveIDs)
+				id := liveIDs[k]
+				if _, _, err := both(HostCommand{Opcode: OpcodeDelete, DBID: 1, Del: &DeleteConfig{IDs: []int{id}}}); err != nil {
+					t.Fatal(err)
+				}
+				liveIDs = append(liveIDs[:k], liveIDs[k+1:]...)
+				deleted[id] = true
+			}
 		}
 	})
 }

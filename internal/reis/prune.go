@@ -250,6 +250,9 @@ func (e *Engine) ivfSearchBatchPruned(ctx context.Context, db *Database, queries
 	if nprobe > nlist {
 		nprobe = nlist
 	}
+	if err := e.refreshCache(db); err != nil {
+		return nil, nil, err
+	}
 
 	// Coarse phase, identical to the unpruned batch path.
 	coarseSegs := make([][]scanSeg, nq)
@@ -289,6 +292,7 @@ func (e *Engine) ivfSearchBatchPruned(ctx context.Context, db *Database, queries
 		}
 		sel[qi] = make([]prunedCluster, np)
 		for i, c := range cents[:np] {
+			db.cache.probe(c.Pos)
 			pc := prunedCluster{cluster: c.Pos}
 			if radius != nil {
 				pc.lb = clusterLB(c.Dist, radius[c.Pos])
@@ -319,8 +323,13 @@ func (e *Engine) ivfSearchBatchPruned(ctx context.Context, db *Database, queries
 			bounds[qi] = trackers[qi].bound()
 			list := sel[qi]
 			for i := start; i < start+size && i < len(list); i++ {
-				for _, sr := range db.clusterSegs(list[i].cluster) {
-					segs[qi] = append(segs[qi], scanSeg{first: sr.First, last: sr.Last, lb: list[i].lb})
+				pc := db.cache.pinnedFor(list[i].cluster)
+				for ri, sr := range db.clusterSegs(list[i].cluster) {
+					sg := scanSeg{first: sr.First, last: sr.Last, lb: list[i].lb}
+					if pc != nil {
+						sg.pin = &pc.ranges[ri]
+					}
+					segs[qi] = append(segs[qi], sg)
 				}
 			}
 		}
@@ -335,7 +344,11 @@ func (e *Engine) ivfSearchBatchPruned(ctx context.Context, db *Database, queries
 			for si := range scans[qi].segs {
 				seg := &scans[qi].segs[si]
 				foldSegStats(seg, st)
-				accs[qi] = e.appendMergeByPos(accs[qi], seg.scans)
+				if seg.pinned {
+					accs[qi] = append(accs[qi], seg.cached...)
+				} else {
+					accs[qi] = e.appendMergeByPos(accs[qi], seg.scans)
+				}
 			}
 			feedTracker(&trackers[qi], accs[qi][mark:], tomb)
 		}
@@ -368,4 +381,6 @@ func foldSegStats(seg *segScan, st *QueryStats) {
 	st.PrunedPages += seg.prunedPages
 	st.AbortedWaves += seg.abortedWaves
 	st.TTLBytes += seg.ttlBytes
+	st.CachedPages += seg.cachedPages
+	st.CachedSlots += seg.cachedSlots
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"slices"
+
+	"reis/internal/vecmath"
 )
 
 // This file is the sharded half of threshold-propagated top-k pruning
@@ -103,6 +105,11 @@ func (sh *ShardedEngine) searchIVFPruned(ctx context.Context, db *ShardedDatabas
 	if nprobe > nlist {
 		nprobe = nlist
 	}
+	// Refresh the hot-cluster pins at the same command boundary the
+	// single device does (ivfSearchBatchPruned refreshes itself).
+	if err := sh.refreshCache(db); err != nil {
+		return nil, nil, nil, err
+	}
 
 	// Coarse phase, identical to the unpruned sharded path.
 	coarseSegs := make([][]SlotRange, nq)
@@ -136,6 +143,7 @@ func (sh *ShardedEngine) searchIVFPruned(ctx context.Context, db *ShardedDatabas
 		}
 		sel[qi] = make([]prunedCluster, np)
 		for i, c := range cents[:np] {
+			db.cache.probe(c.Pos)
 			sel[qi][i] = prunedCluster{cluster: c.Pos, lb: clusterLB(c.Dist, db.mut.radius[c.Pos])}
 		}
 		if np > maxSel {
@@ -157,6 +165,16 @@ func (sh *ShardedEngine) searchIVFPruned(ctx context.Context, db *ShardedDatabas
 	perShard := perShardStats(cresps, nq, nil)
 	segs := make([][]SlotRange, nq)
 	lbs := make([][]int, nq)
+	// pins parallels segs per round: a non-nil entry is served from the
+	// router's hot-cluster cache under the round's bound (never
+	// lb-aborted — the pages are already resident), and its segs slot
+	// holds the empty sentinel so no shard scans it.
+	var pins [][]*pinnedRange
+	var packed [][]byte
+	if db.cache != nil {
+		pins = make([][]*pinnedRange, nq)
+		packed = make([][]byte, nq)
+	}
 	for r := 0; ; r++ {
 		start, size := probeWindow(r)
 		if start >= maxSel {
@@ -165,12 +183,29 @@ func (sh *ShardedEngine) searchIVFPruned(ctx context.Context, db *ShardedDatabas
 		for qi := range segs {
 			segs[qi] = segs[qi][:0]
 			lbs[qi] = lbs[qi][:0]
+			if pins != nil {
+				pins[qi] = pins[qi][:0]
+			}
 			bounds[qi] = trackers[qi].bound()
 			list := sel[qi]
 			for i := start; i < start+size && i < len(list); i++ {
+				pc := db.cache.pinnedFor(list[i].cluster)
 				for _, sr := range db.mut.buckets[list[i].cluster] {
-					segs[qi] = append(segs[qi], sr)
+					if pc != nil {
+						segs[qi] = append(segs[qi], SlotRange{First: 0, Last: -1})
+					} else {
+						segs[qi] = append(segs[qi], sr)
+					}
 					lbs[qi] = append(lbs[qi], list[i].lb)
+				}
+				if pins != nil {
+					for ri := range db.mut.buckets[list[i].cluster] {
+						if pc != nil {
+							pins[qi] = append(pins[qi], &pc.ranges[ri])
+						} else {
+							pins[qi] = append(pins[qi], nil)
+						}
+					}
 				}
 			}
 		}
@@ -186,6 +221,17 @@ func (sh *ShardedEngine) searchIVFPruned(ctx context.Context, db *ShardedDatabas
 			st.IBCBroadcasts += gatherIBC(resps, qi)
 			mark := len(accs[qi])
 			for si := range segs[qi] {
+				if pins != nil && pins[qi][si] != nil {
+					if packed[qi] == nil {
+						packed[qi] = vecmath.PackBinaryBytes(vecmath.BinaryQuantize(queries[qi], nil), nil)
+					}
+					var cp, cs int
+					accs[qi], cp, cs = db.cache.scanPinned(pins[qi][si], packed[qi],
+						db.cachedParams(sh.opts.DistanceFilter, opt.MetaTag, bounds[qi]), accs[qi])
+					st.CachedPages += cp
+					st.CachedSlots += cs
+					continue
+				}
 				gatherSegStats(resps, qi, si, false, st)
 				accs[qi] = sh.mergeSeg(accs[qi], resps, qi, si, db.lay.embPerPage)
 			}

@@ -71,6 +71,17 @@ type QueryStats struct {
 	// TTL transfer the threshold suppressed (they could not enter the
 	// rerank pool); disjoint from Survivors.
 	PrunedSlots int
+	// CachedPages/CachedSlots count pages and slots scanned from the
+	// DRAM hot-cluster cache instead of flash. They are NOT folded into
+	// FinePages/EntriesScanned — those keep counting flash work only, so
+	// the page-partition invariant (CachedPages + flash FinePages ==
+	// uncached FinePages) is checkable and the timing model can cost
+	// DRAM reads instead of flash sense+transfer.
+	CachedPages int
+	CachedSlots int
+	// ResultCacheHits is 1 when the whole query was served from the
+	// result cache (every other counter is then zero).
+	ResultCacheHits int
 }
 
 // Add accumulates other into s (for batch reporting).
@@ -94,6 +105,9 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.PrunedPages += o.PrunedPages
 	s.AbortedWaves += o.AbortedWaves
 	s.PrunedSlots += o.PrunedSlots
+	s.CachedPages += o.CachedPages
+	s.CachedSlots += o.CachedSlots
+	s.ResultCacheHits += o.ResultCacheHits
 }
 
 // DocResult is one retrieved document chunk.
@@ -292,6 +306,9 @@ func (e *Engine) IVFSearch(dbID int, query []float32, k int, opt SearchOptions) 
 	if nprobe > len(db.rivf) {
 		nprobe = len(db.rivf)
 	}
+	if err := e.refreshCache(db); err != nil {
+		return nil, QueryStats{}, err
+	}
 	var st QueryStats
 	qPacked := e.packQuery(query)
 	if err := e.broadcast(db, qPacked, &st); err != nil {
@@ -322,7 +339,18 @@ func (e *Engine) IVFSearch(dbID int, query []float32, k int, opt SearchOptions) 
 	// range plus any appended runs), scanned in list order.
 	entries := e.scr.entries[:0]
 	for _, c := range cents[:nprobe] {
-		for _, r := range db.clusterSegs(c.Pos) {
+		db.cache.probe(c.Pos)
+		pc := db.cache.pinnedFor(c.Pos)
+		for ri, r := range db.clusterSegs(c.Pos) {
+			if pc != nil {
+				// Pinned cluster: scan the DRAM copy with the same
+				// kernel and predicates; no flash page is sensed.
+				var cp, cs int
+				entries, cp, cs = db.cache.scanPinned(&pc.ranges[ri], qPacked, db.cachedParams(e.Opts.DistanceFilter, opt.MetaTag, 0), entries)
+				st.CachedPages += cp
+				st.CachedSlots += cs
+				continue
+			}
 			var w, p int
 			entries, w, p, err = e.scanRange(db, db.rec.Embeddings, r.First, r.Last, e.Opts.DistanceFilter, opt.MetaTag, &st, entries)
 			if err != nil {

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"reis/internal/ssd"
+	"reis/internal/vecmath"
 )
 
 // This file implements the sharded topology: one database partitioned
@@ -110,6 +111,13 @@ type ShardedDatabase struct {
 	// code, which is what makes sharded mutation outcomes bit-identical
 	// to the reference device.
 	mut *mutState
+
+	// cache is the router's DRAM caching tier (nil unless the shared
+	// config sets CacheDRAMBytes). The shard-local Databases never
+	// consult one: pinned-cluster scans and result-cache hits are
+	// served by the router before any scatter, so cached work appears
+	// only in the aggregate QueryStats, never in a per-shard row.
+	cache *dbCache
 }
 
 // Live returns the number of live (not tombstoned) entries.
@@ -248,6 +256,11 @@ func (sh *ShardedEngine) deploy(cfg DeployConfig) (*ShardedDatabase, error) {
 	}
 	items := lo.buildItems(&cfg)
 	db := &ShardedDatabase{ID: cfg.ID, Dim: lo.dim, N: lo.n, lay: lo, mut: newMutState(lo, sh.cfg.Geo)}
+	if cb := sh.cfg.CacheDRAMBytes; cb > 0 {
+		// Sized from the single-device-equivalent config, so the pin
+		// budget and page cost match the reference device exactly.
+		db.cache = newDBCache(cb, sh.cfg.Geo.PageBytes, sh.cfg.Geo.OOBBytes, len(lo.rivf))
+	}
 	for s, dev := range sh.shards {
 		local, err := dev.e.deployShard(cfg.ID, lo, items, s, len(sh.shards))
 		if err != nil {
@@ -300,6 +313,7 @@ func (sh *ShardedEngine) execCmd(ctx context.Context, cmd *HostCommand) (HostRes
 		resp, err := executeMutation(db.mut, shardMutTarget{sh: sh, db: db}, cmd)
 		if err == nil {
 			db.calib = nil
+			db.cache.invalidate()
 		}
 		return resp, err
 	default:
@@ -311,8 +325,17 @@ func (sh *ShardedEngine) execCmd(ctx context.Context, cmd *HostCommand) (HostRes
 
 // execSearchGroup runs the scatter-gather pipeline for queries — one
 // command's Q operand, or a coalesced group's concatenation (host
-// interface).
+// interface). Host commands consult the result cache.
 func (sh *ShardedEngine) execSearchGroup(ctx context.Context, cmd *HostCommand, queries [][]float32) ([][]DocResult, []QueryStats, [][]QueryStats, error) {
+	return sh.searchGroup(ctx, cmd, queries, true)
+}
+
+// searchGroup is the router's search execution core. useCache selects
+// the result-cache wrap: host commands (Submit and the queue pairs)
+// consult it, while the direct API methods and calibration bypass it —
+// the same split the single-device engine makes around cachedSearch, so
+// a sharded run and its reference hold identical cache state.
+func (sh *ShardedEngine) searchGroup(ctx context.Context, cmd *HostCommand, queries [][]float32, useCache bool) ([][]DocResult, []QueryStats, [][]QueryStats, error) {
 	sh.execMu.Lock()
 	defer sh.execMu.Unlock()
 	if sh.closed {
@@ -334,16 +357,65 @@ func (sh *ShardedEngine) execSearchGroup(ctx context.Context, cmd *HostCommand, 
 			return nil, nil, nil, err
 		}
 	}
-	if opt.Prune {
-		if cmd.Opcode == OpcodeSearch {
-			return sh.searchFlatPruned(ctx, db, queries, cmd.K, opt)
+	if !useCache || db.cache == nil || db.cache.resBudget <= 0 {
+		return sh.dispatchGroup(ctx, db, cmd.Opcode, queries, cmd.K, opt)
+	}
+	// Result-cache wrap, mirroring Engine.cachedSearch: look every query
+	// up first (intra-batch duplicates all miss), execute the miss
+	// subset as one batch so its per-query stats are bit-identical to an
+	// uncached run, then insert. Hits carry zero per-shard rows — no
+	// shard did any work for them.
+	nq := len(queries)
+	results := make([][]DocResult, nq)
+	sts := make([]QueryStats, nq)
+	keys := make([]string, nq)
+	var missIdx []int
+	var missQ [][]float32
+	for i, q := range queries {
+		keys[i] = resultKey(cmd.Opcode, cmd.K, opt, q)
+		if r, ok := db.cache.lookupResult(keys[i]); ok {
+			results[i] = r
+			sts[i] = QueryStats{ResultCacheHits: 1}
+			continue
 		}
-		return sh.searchIVFPruned(ctx, db, queries, cmd.K, opt)
+		missIdx = append(missIdx, i)
+		missQ = append(missQ, q)
 	}
-	if cmd.Opcode == OpcodeSearch {
-		return sh.searchFlat(ctx, db, queries, cmd.K, opt)
+	perShard := make([][]QueryStats, len(sh.shards))
+	for s := range perShard {
+		perShard[s] = make([]QueryStats, nq)
 	}
-	return sh.searchIVF(ctx, db, queries, cmd.K, opt)
+	if len(missIdx) > 0 {
+		mres, msts, mper, err := sh.dispatchGroup(ctx, db, cmd.Opcode, missQ, cmd.K, opt)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for j, i := range missIdx {
+			results[i] = mres[j]
+			sts[i] = msts[j]
+			db.cache.storeResult(keys[i], mres[j])
+		}
+		for s := range perShard {
+			for j, i := range missIdx {
+				perShard[s][i] = mper[s][j]
+			}
+		}
+	}
+	return results, sts, perShard, nil
+}
+
+// dispatchGroup routes a resolved search batch to its pipeline.
+func (sh *ShardedEngine) dispatchGroup(ctx context.Context, db *ShardedDatabase, op uint8, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, [][]QueryStats, error) {
+	if opt.Prune {
+		if op == OpcodeSearch {
+			return sh.searchFlatPruned(ctx, db, queries, k, opt)
+		}
+		return sh.searchIVFPruned(ctx, db, queries, k, opt)
+	}
+	if op == OpcodeSearch {
+		return sh.searchFlat(ctx, db, queries, k, opt)
+	}
+	return sh.searchIVF(ctx, db, queries, k, opt)
 }
 
 // scatter fans one scan phase out to the shards through their queue
@@ -626,6 +698,12 @@ func (sh *ShardedEngine) searchIVF(ctx context.Context, db *ShardedDatabase, que
 	if nprobe > nlist {
 		nprobe = nlist
 	}
+	// Refresh the hot-cluster pins at the same command boundary the
+	// single device does, so both topologies decay the probe counters
+	// and recompute the pin set in lockstep.
+	if err := sh.refreshCache(db); err != nil {
+		return nil, nil, nil, err
+	}
 
 	// Coarse phase: every query ranks the whole centroid region.
 	coarseSegs := make([][]SlotRange, len(queries))
@@ -643,6 +721,15 @@ func (sh *ShardedEngine) searchIVF(ctx context.Context, db *ShardedDatabase, que
 	// clusters, derive the fine segments from the global R-IVF table.
 	sts := make([]QueryStats, len(queries))
 	fineSegs := make([][]SlotRange, len(queries))
+	// pinSegs parallels fineSegs: a non-nil entry means that segment is
+	// served from the router's hot-cluster cache, and its fineSegs slot
+	// holds the empty sentinel so no shard scans it.
+	var pinSegs [][]*pinnedRange
+	var packed [][]byte
+	if db.cache != nil {
+		pinSegs = make([][]*pinnedRange, len(queries))
+		packed = make([][]byte, len(queries))
+	}
 	for qi := range queries {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, nil, err
@@ -660,7 +747,21 @@ func (sh *ShardedEngine) searchIVF(ctx context.Context, db *ShardedDatabase, que
 			np = len(cents)
 		}
 		for _, c := range cents[:np] {
-			fineSegs[qi] = append(fineSegs[qi], db.mut.buckets[c.Pos]...)
+			if db.cache == nil {
+				fineSegs[qi] = append(fineSegs[qi], db.mut.buckets[c.Pos]...)
+				continue
+			}
+			db.cache.probe(c.Pos)
+			pc := db.cache.pinnedFor(c.Pos)
+			for ri, sr := range db.mut.buckets[c.Pos] {
+				if pc != nil {
+					fineSegs[qi] = append(fineSegs[qi], SlotRange{First: 0, Last: -1})
+					pinSegs[qi] = append(pinSegs[qi], &pc.ranges[ri])
+				} else {
+					fineSegs[qi] = append(fineSegs[qi], sr)
+					pinSegs[qi] = append(pinSegs[qi], nil)
+				}
+			}
 		}
 	}
 
@@ -678,6 +779,17 @@ func (sh *ShardedEngine) searchIVF(ctx context.Context, db *ShardedDatabase, que
 		st.IBCBroadcasts += gatherIBC(fresps, qi)
 		entries := sh.scr.entries[:0]
 		for si := range fineSegs[qi] {
+			if pinSegs != nil && pinSegs[qi][si] != nil {
+				if packed[qi] == nil {
+					packed[qi] = vecmath.PackBinaryBytes(vecmath.BinaryQuantize(queries[qi], nil), nil)
+				}
+				var cp, cs int
+				entries, cp, cs = db.cache.scanPinned(pinSegs[qi][si], packed[qi],
+					db.cachedParams(sh.opts.DistanceFilter, opt.MetaTag, 0), entries)
+				st.CachedPages += cp
+				st.CachedSlots += cs
+				continue
+			}
 			gatherSegStats(fresps, qi, si, false, st)
 			entries = sh.mergeSeg(entries, fresps, qi, si, db.lay.embPerPage)
 		}
@@ -748,8 +860,8 @@ func (t *shardTailSource) readDocPage(ts *tailScratch, page int) ([]byte, int, e
 // match the batch-admission path (a query is broadcast only to planes
 // that scan it).
 func (sh *ShardedEngine) Search(dbID int, query []float32, k int, opt SearchOptions) ([]DocResult, QueryStats, error) {
-	results, sts, _, err := sh.execSearchGroup(context.Background(),
-		&HostCommand{Opcode: OpcodeSearch, DBID: dbID, K: k, Opt: opt}, [][]float32{query})
+	results, sts, _, err := sh.searchGroup(context.Background(),
+		&HostCommand{Opcode: OpcodeSearch, DBID: dbID, K: k, Opt: opt}, [][]float32{query}, false)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
@@ -758,15 +870,15 @@ func (sh *ShardedEngine) Search(dbID int, query []float32, k int, opt SearchOpti
 
 // SearchBatch runs a query batch through the sharded path.
 func (sh *ShardedEngine) SearchBatch(dbID int, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
-	results, sts, _, err := sh.execSearchGroup(context.Background(),
-		&HostCommand{Opcode: OpcodeSearch, DBID: dbID, K: k, Opt: opt}, queries)
+	results, sts, _, err := sh.searchGroup(context.Background(),
+		&HostCommand{Opcode: OpcodeSearch, DBID: dbID, K: k, Opt: opt}, queries, false)
 	return results, sts, err
 }
 
 // IVFSearch runs one IVF query through the sharded path.
 func (sh *ShardedEngine) IVFSearch(dbID int, query []float32, k int, opt SearchOptions) ([]DocResult, QueryStats, error) {
-	results, sts, _, err := sh.execSearchGroup(context.Background(),
-		&HostCommand{Opcode: OpcodeIVFSearch, DBID: dbID, K: k, Opt: opt}, [][]float32{query})
+	results, sts, _, err := sh.searchGroup(context.Background(),
+		&HostCommand{Opcode: OpcodeIVFSearch, DBID: dbID, K: k, Opt: opt}, [][]float32{query}, false)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
@@ -775,8 +887,8 @@ func (sh *ShardedEngine) IVFSearch(dbID int, query []float32, k int, opt SearchO
 
 // IVFSearchBatch runs an IVF query batch through the sharded path.
 func (sh *ShardedEngine) IVFSearchBatch(dbID int, queries [][]float32, k int, opt SearchOptions) ([][]DocResult, []QueryStats, error) {
-	results, sts, _, err := sh.execSearchGroup(context.Background(),
-		&HostCommand{Opcode: OpcodeIVFSearch, DBID: dbID, K: k, Opt: opt}, queries)
+	results, sts, _, err := sh.searchGroup(context.Background(),
+		&HostCommand{Opcode: OpcodeIVFSearch, DBID: dbID, K: k, Opt: opt}, queries, false)
 	return results, sts, err
 }
 

@@ -46,6 +46,10 @@ func (sh *ShardedEngine) latency(db *ShardedDatabase, st QueryStats, perShard []
 		}
 		energy += dev.e.energy(db.locals[s], perShard[s], sc, 0)
 	}
+	// Cached work (pinned-cluster scans, result-cache hits) is served by
+	// the router, not any member device; its stats appear only in the
+	// aggregate st, never in a per-shard row.
+	b.Fine += cachedScanTime(sh.cfg, db.lay.slotBytes, st, sc)
 	b.Rerank = rerankTimeFor(sh.cfg, db.lay.int8Bytes, db.Dim, st)
 	b.Docs = docsTimeFor(sh.cfg, st)
 	b.Total = b.IBC + b.Coarse + b.Fine + b.Rerank + b.Docs
@@ -99,7 +103,8 @@ func (sh *ShardedEngine) BatchLatency(dbID int, sts []QueryStats, perShard [][]Q
 		p, c, co := tailOccupancy(sh.cfg, db.lay.int8Bytes, db.Dim, sts[i])
 		tailPlane += p
 		tailChannel += c
-		tailCore += co
+		// Cached scans and result-cache hits occupy the router core.
+		tailCore += co + cachedScanTime(sh.cfg, db.lay.slotBytes, sts[i], sc)
 	}
 	// The busiest shard bounds the scatter side; the tail's resources
 	// serialize on the router.

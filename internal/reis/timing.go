@@ -57,7 +57,13 @@ func (e *Engine) Latency(db *Database, st QueryStats, sc Scale) Breakdown {
 	coarseEntries := float64(st.CoarseEntries) * sc.Coarse
 	fineSurvivors := e.fineSurvivors(st, sc)
 
-	tIBC := e.ibcTime()
+	// IBC is the query broadcast into the plane latches; a query that
+	// scanned no flash pages (a result-cache hit, or a fully pinned/
+	// compacted-away plan) never issued it.
+	var tIBC time.Duration
+	if st.CoarsePages+st.FinePages > 0 {
+		tIBC = e.ibcTime()
+	}
 	tCoarse := e.scanPhaseTime(
 		scanPagesScaled(st.CoarsePages, st.CoarseEntries, sc.Coarse, db.embPerPage),
 		coarseEntries*float64(entryBytes),
@@ -68,6 +74,8 @@ func (e *Engine) Latency(db *Database, st QueryStats, sc Scale) Breakdown {
 		fineSurvivors*float64(entryBytes),
 		fineSurvivors,
 	)
+
+	tFine += cachedScanTime(e.SSD.Cfg, db.slotBytes, st, sc)
 
 	tRerank := e.rerankTime(db, st)
 	tDocs := e.docsTime(st)
@@ -192,6 +200,24 @@ func (e *Engine) scanPhaseTime(pages, ttlBytes, selectInput float64) time.Durati
 	return read + computeTotal + xfer + sel
 }
 
+// cachedScanTime costs host-side caching-tier work, which never touches
+// flash: pinned-cluster scans stream each slot out of controller DRAM
+// and XOR+popcount it word-at-a-time on the core, and result-cache hits
+// pay a fixed number of DRAM accesses for the lookup plus deep copy.
+// Cached slots are dataset-proportional, so they scale with sc.Fine;
+// the per-hit constant does not grow with the database. Energy is not
+// modeled for cached work (controller DRAM traffic is orders of
+// magnitude below a flash sense and is dominated by IdlePower).
+func cachedScanTime(cfg ssd.Config, slotBytes int, st QueryStats, sc Scale) time.Duration {
+	if st.CachedSlots == 0 && st.ResultCacheHits == 0 {
+		return 0
+	}
+	perSlot := cfg.DRAMAccessNs + float64(slotBytes/4)*cfg.CoreCycleNs()
+	ns := float64(st.CachedSlots)*sc.Fine*perSlot +
+		float64(st.ResultCacheHits*resultCacheHitAccesses)*cfg.DRAMAccessNs
+	return time.Duration(ns) * time.Nanosecond
+}
+
 // energy sums per-event energies plus background power over the query.
 func (e *Engine) energy(db *Database, st QueryStats, sc Scale, total time.Duration) float64 {
 	p := e.SSD.Cfg.Flash
@@ -203,8 +229,10 @@ func (e *Engine) energy(db *Database, st QueryStats, sc Scale, total time.Durati
 	entryBytes := float64(db.ttlEntryBytes())
 	ttlBytes := (float64(st.CoarseEntries)*sc.Coarse + e.fineSurvivors(st, sc)) * entryBytes
 	xferBytes := ttlBytes +
-		float64(st.RerankCount*db.int8Bytes) + float64(st.DocBytes) +
-		float64(geo.Dies()*geo.PageBytes) // IBC broadcast
+		float64(st.RerankCount*db.int8Bytes) + float64(st.DocBytes)
+	if st.CoarsePages+st.FinePages > 0 {
+		xferBytes += float64(geo.Dies() * geo.PageBytes) // IBC broadcast
+	}
 
 	j := slcPages*(p.EnergyReadPage+p.EnergyLatchXOR+p.EnergyBitCount) +
 		tlcPages*p.EnergyReadPage +
@@ -319,8 +347,10 @@ func (e *Engine) occupancy(db *Database, st QueryStats, sc Scale) (plane, channe
 		time.Duration(st.RerankWaves+docWaves)*tTLC
 
 	ttlBytes := (coarseEntries + fineSurvivors) * entryBytes
-	channel = e.ibcTime() +
-		bytesTime(ttlBytes, geo.InternalBandwidth()) +
+	if st.CoarsePages+st.FinePages > 0 {
+		channel = e.ibcTime()
+	}
+	channel += bytesTime(ttlBytes, geo.InternalBandwidth()) +
 		bytesTime(float64(st.RerankCount*db.int8Bytes), geo.InternalBandwidth()) +
 		bytesTime(float64(st.DocBytes), geo.InternalBandwidth()) +
 		bytesTime(float64(st.DocBytes), cfg.HostReadBandwidth)
@@ -329,7 +359,8 @@ func (e *Engine) occupancy(db *Database, st QueryStats, sc Scale) (plane, channe
 	core = cfg.QuickselectTime(int(selectInput)) +
 		time.Duration(selectInput*cfg.DRAMAccessNs)*time.Nanosecond +
 		cfg.RerankTime(st.RerankCount, db.Dim) +
-		cfg.QuicksortTime(st.SortedEntries)
+		cfg.QuicksortTime(st.SortedEntries) +
+		cachedScanTime(cfg, db.slotBytes, st, sc)
 	return plane, channel, core
 }
 

@@ -35,6 +35,15 @@ type Config struct {
 	// rule of thumb).
 	DRAMBytes int64
 
+	// CacheDRAMBytes is the slice of controller DRAM the engine may use
+	// as a caching tier above the flash scan path: binary pages of the
+	// most-probed IVF clusters are pinned there (page + OOB bytes per
+	// page) and scanned at DRAM cost, and a small result cache serves
+	// repeated queries at controller cost. 0 — the preset default —
+	// disables the tier entirely, preserving the uncached behavior of
+	// every path bit for bit.
+	CacheDRAMBytes int64
+
 	// OverprovisionPct reserves extra region capacity at deployment, as
 	// a percentage of each region's live page count, so databases can
 	// grow in place (OpcodeAppend) and garbage collection has free

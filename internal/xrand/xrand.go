@@ -12,6 +12,7 @@ package xrand
 import (
 	"math"
 	"math/bits"
+	"sort"
 )
 
 // RNG is a deterministic SplitMix64 pseudo-random number generator.
@@ -22,6 +23,11 @@ type RNG struct {
 	// cached spare Gaussian sample from the Box-Muller transform.
 	haveSpare bool
 	spare     float64
+
+	// memoized Zipf CDF table for the last (n, s) pair sampled.
+	zipfN   int
+	zipfS   float64
+	zipfCDF []float64
 }
 
 // New returns a generator seeded with seed.
@@ -107,6 +113,41 @@ func (r *RNG) Perm(n int) []int {
 		p[i], p[j] = p[j], p[i]
 	}
 	return p
+}
+
+// Zipf returns a sample in [0, n) distributed with P(i) proportional to
+// 1/(i+1)^s, so rank 0 is the most popular element. s = 0 degenerates
+// to the uniform distribution. The sampler is rejection-free: one
+// Float64 draw is inverted through a cumulative-distribution table, so
+// the number of generator steps per sample is fixed and the output
+// stream stays aligned across platforms. The table is memoized on the
+// generator per (n, s) pair, making repeated draws O(log n).
+// It panics if n <= 0 or s < 0.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 0 {
+		panic("xrand: Zipf with non-positive n")
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic("xrand: Zipf with negative s")
+	}
+	if r.zipfCDF == nil || r.zipfN != n || r.zipfS != s {
+		cdf := make([]float64, n)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += math.Pow(float64(i+1), -s)
+			cdf[i] = sum
+		}
+		for i := range cdf {
+			cdf[i] /= sum
+		}
+		// Guard against accumulated rounding leaving the final bucket
+		// fractionally below 1: every u in [0, 1) must land in range.
+		cdf[n-1] = 1
+		r.zipfN, r.zipfS, r.zipfCDF = n, s, cdf
+	}
+	u := r.Float64()
+	// Smallest i with u < cdf[i]; u < 1 = cdf[n-1] keeps it in range.
+	return sort.Search(n, func(i int) bool { return u < r.zipfCDF[i] })
 }
 
 // Shuffle pseudo-randomizes the order of n elements by calling swap.

@@ -178,6 +178,119 @@ func TestIntnPropertyInRange(t *testing.T) {
 	}
 }
 
+func TestZipfRangeAndDeterminism(t *testing.T) {
+	a, b := New(77), New(77)
+	for _, n := range []int{1, 2, 10, 1000} {
+		for _, s := range []float64{0, 0.5, 0.8, 1.2, 2} {
+			for i := 0; i < 200; i++ {
+				va, vb := a.Zipf(n, s), b.Zipf(n, s)
+				if va != vb {
+					t.Fatalf("Zipf(%d, %g) streams diverged: %d != %d", n, s, va, vb)
+				}
+				if va < 0 || va >= n {
+					t.Fatalf("Zipf(%d, %g) = %d out of range", n, s, va)
+				}
+			}
+		}
+	}
+}
+
+func TestZipfConsumesOneDrawPerSample(t *testing.T) {
+	// Memoization must not change how many generator steps a sample
+	// consumes: interleaving Zipf calls with other draws must keep two
+	// same-seeded streams aligned even when one rebuilds its CDF table
+	// more often than the other.
+	a, b := New(31), New(31)
+	_ = a.Zipf(100, 1.2) // warm a's table for (100, 1.2)
+	_ = b.Zipf(100, 1.2)
+	_ = a.Zipf(50, 0.8) // force a to rebuild on the next (100, 1.2) call
+	_ = b.Zipf(50, 0.8)
+	_ = a.Zipf(100, 1.2)
+	_ = b.Zipf(100, 1.2)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("underlying streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	r := New(123)
+	const n, trials = 100, 200000
+	for _, s := range []float64{0, 1.2} {
+		counts := make([]int, n)
+		for i := 0; i < trials; i++ {
+			counts[r.Zipf(n, s)]++
+		}
+		if s == 0 {
+			// Uniform: every bucket within 15% of trials/n.
+			expect := trials / n
+			for i, c := range counts {
+				if c < expect*85/100 || c > expect*115/100 {
+					t.Errorf("s=0 bucket %d count %d deviates >15%% from %d", i, c, expect)
+				}
+			}
+			continue
+		}
+		// Skewed: counts non-increasing in aggregate (head dominates),
+		// and the empirical head mass matches the analytic CDF closely.
+		if counts[0] <= counts[n-1] {
+			t.Errorf("s=%g rank 0 count %d not above rank %d count %d", s, counts[0], n-1, counts[n-1])
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += math.Pow(float64(i+1), -s)
+		}
+		head := 0.0
+		for i := 0; i < 10; i++ {
+			head += math.Pow(float64(i+1), -s)
+		}
+		wantHead := head / sum
+		gotHead := 0.0
+		for i := 0; i < 10; i++ {
+			gotHead += float64(counts[i])
+		}
+		gotHead /= trials
+		if math.Abs(gotHead-wantHead) > 0.02 {
+			t.Errorf("s=%g top-10 mass %g, want ~%g", s, gotHead, wantHead)
+		}
+	}
+}
+
+func TestZipfCrossSplitDeterminism(t *testing.T) {
+	// A generator derived via Split must produce the same Zipf stream
+	// as an independently constructed generator with the same derived
+	// seed — the sampler state is a pure function of the SplitMix64
+	// stream, not of the parent's memoized table.
+	parent := New(55)
+	_ = parent.Zipf(64, 1.2) // warm the parent's table
+	child := parent.Split()
+	probe := New(55)
+	_ = probe.Zipf(64, 1.2)
+	ref := probe.Split()
+	for i := 0; i < 500; i++ {
+		if c, w := child.Zipf(32, 0.8), ref.Zipf(32, 0.8); c != w {
+			t.Fatalf("split child Zipf diverged at step %d: %d != %d", i, c, w)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-1, 1}, {10, -0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Zipf(%d, %g) did not panic", tc.n, tc.s)
+				}
+			}()
+			New(1).Zipf(tc.n, tc.s)
+		}()
+	}
+}
+
 func TestZeroValueUsable(t *testing.T) {
 	var r RNG
 	_ = r.Uint64() // must not panic
