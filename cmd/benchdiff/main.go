@@ -50,6 +50,7 @@ var metricFields = map[string]bool{
 	"BytesPerOp": true, "AvgBatch": true, "Speedup": true,
 	"FinePages": true, "PrunedPages": true, "AbortedWaves": true,
 	"HitRate": true, "CachedPages": true, "BaseFinePages": true,
+	"Failovers": true, "Retirements": true,
 }
 
 // rowKey builds the match key of a row: the experiment id plus every

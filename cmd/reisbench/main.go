@@ -13,7 +13,10 @@
 // shards (throughput vs device count through the sharded router),
 // prune (threshold-propagated top-k pruning vs the unpruned scan),
 // skew (the DRAM caching tier — hot-cluster pinning plus the result
-// cache — under Zipfian query skew and bursty append/delete churn).
+// cache — under Zipfian query skew and bursty append/delete churn),
+// replicas (the replicated serving tier: concurrent single-query
+// commands routed over a replica group, with and without one member
+// slowed by QoS-weighted ballast).
 //
 // Profiling and machine-readable output:
 //
@@ -65,7 +68,7 @@ func main() {
 }
 
 func realMain() error {
-	exp := flag.String("exp", "all", "experiment id (fig2|fig3|table4|fig5|fig7|fig8|fig9|asic|fig10|fig11|throughput|qdepth|shards|prune|skew|all)")
+	exp := flag.String("exp", "all", "experiment id (fig2|fig3|table4|fig5|fig7|fig8|fig9|asic|fig10|fig11|throughput|qdepth|shards|prune|skew|replicas|all)")
 	scale := flag.Int("scale", 16, "workload scale divisor (larger = smaller functional datasets)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
@@ -86,7 +89,7 @@ func realMain() error {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"fig2", "fig5", "fig7", "fig9", "asic", "fig10", "fig11", "throughput", "qdepth", "shards", "prune", "skew"}
+		ids = []string{"fig2", "fig5", "fig7", "fig9", "asic", "fig10", "fig11", "throughput", "qdepth", "shards", "prune", "skew", "replicas"}
 	}
 	report := jsonReport{
 		Tool:        "reisbench",
@@ -221,6 +224,13 @@ func run(id string, scale int) (any, error) {
 			return nil, err
 		}
 		fmt.Print(experiments.FormatSkew(rows))
+		return rows, nil
+	case "replicas":
+		rows, err := experiments.RunReplicas(scale, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(experiments.FormatReplicas(rows))
 		return rows, nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", id)

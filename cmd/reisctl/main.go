@@ -13,8 +13,15 @@
 // the wear/erase accounting and verifying results survive compaction
 // bit for bit.
 //
+// With -replicas N the corpus is instead deployed onto a replica group
+// (broadcast under the mutation barrier), each query is routed to one
+// member by power-of-two-choices over queue occupancy, and every
+// replica is then probed directly to show the group's determinism
+// contract: identical answers no matter which member serves them.
+//
 //	reisctl -n 4000 -queries 5 -k 3 -nprobe 8 -qdepth 16 -shards 2
 //	reisctl -n 3000 -queries 4 -churn
+//	reisctl -n 3000 -queries 6 -replicas 3 -churn
 package main
 
 import (
@@ -24,10 +31,12 @@ import (
 	"log"
 	"reflect"
 	"runtime"
+	"sync"
 
 	"reis/internal/ann"
 	"reis/internal/dataset"
 	"reis/internal/reis"
+	"reis/internal/serve"
 	"reis/internal/ssd"
 )
 
@@ -39,6 +48,12 @@ type retrievalHost interface {
 	NewQueue(reis.QueueConfig) (*reis.Queue, error)
 }
 
+// submitHost is the narrower surface the churn demo needs; the replica
+// group serves it too (mutations broadcast to every member).
+type submitHost interface {
+	Submit(reis.HostCommand) (reis.HostResponse, error)
+}
+
 func main() {
 	n := flag.Int("n", 4000, "database entries")
 	dim := flag.Int("dim", 256, "embedding dimensionality")
@@ -48,6 +63,7 @@ func main() {
 	device := flag.String("device", "ssd1", "device preset (ssd1|ssd2)")
 	qdepth := flag.Int("qdepth", 16, "submission queue depth")
 	shards := flag.Int("shards", 1, "simulated devices (scatter-gather when > 1)")
+	replicas := flag.Int("replicas", 1, "replica hosts; searches route by queue occupancy when > 1")
 	churn := flag.Bool("churn", false, "demo online mutability: append, delete, compact")
 	flag.Parse()
 
@@ -70,6 +86,10 @@ func main() {
 	cents, assign := ann.KMeans(data.Vectors, ann.KMeansConfig{K: 32, Seed: 1})
 
 	hint := int64(*n)*int64(*dim)*16 + 64<<20
+	if *replicas > 1 {
+		runReplicated(cfg, data, cents, assign, hint, *replicas, *shards, *qdepth, *k, *nprobe, *churn)
+		return
+	}
 	var host retrievalHost
 	var sharded *reis.ShardedEngine
 	var engine *reis.Engine
@@ -131,16 +151,7 @@ func main() {
 		resp = cs[0].Resp
 		break
 	}
-	for qi, results := range resp.Results {
-		fmt.Printf("query %d:\n", qi)
-		for rank, r := range results {
-			header := r.Doc
-			if len(header) > 48 {
-				header = header[:48]
-			}
-			fmt.Printf("  #%d id=%-6d dist=%-8.0f %q\n", rank+1, r.ID, r.Dist, header)
-		}
-	}
+	printHits(resp.Results)
 	st := resp.Stats
 	fmt.Printf("\nbatch device stats: %d pages sensed (%d coarse, %d fine), %d entries scanned, %d TTL survivors, %d doc pages\n",
 		st.CoarsePages+st.FinePages, st.CoarsePages, st.FinePages,
@@ -175,11 +186,106 @@ func main() {
 	}
 }
 
+// printHits renders one batch's retrieved chunks.
+func printHits(results [][]reis.DocResult) {
+	for qi, rs := range results {
+		fmt.Printf("query %d:\n", qi)
+		for rank, r := range rs {
+			header := r.Doc
+			if len(header) > 48 {
+				header = header[:48]
+			}
+			fmt.Printf("  #%d id=%-6d dist=%-8.0f %q\n", rank+1, r.ID, r.Dist, header)
+		}
+	}
+}
+
+// runReplicated is the -replicas demo: deploy onto a replica group
+// (one broadcast under the mutation barrier), route each query to a
+// member by power-of-two-choices over queue occupancy, then probe
+// every replica directly to show all members answer identically.
+func runReplicated(cfg ssd.Config, data *dataset.Dataset, cents [][]float32, assign []int,
+	hint int64, replicas, shards, qdepth, k, nprobe int, churn bool) {
+	hosts := make([]serve.Host, replicas)
+	for i := range hosts {
+		var err error
+		if shards > 1 {
+			hosts[i], err = reis.NewSharded(cfg, shards, hint, reis.AllOptions())
+		} else {
+			hosts[i], err = reis.New(cfg, hint, reis.AllOptions())
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	group, err := serve.NewGroup(hosts, serve.Config{QueueDepth: qdepth})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer group.Close()
+	log.Printf("deploying database onto %d replica(s) x %d device(s) (%s; one broadcast)...",
+		replicas, shards, cfg.Name)
+	if _, err := group.Submit(reis.HostCommand{
+		Opcode: reis.OpcodeIVFDeploy,
+		Deploy: &reis.DeployConfig{
+			ID: 1, Vectors: data.Vectors, Docs: data.Docs, DocSlotBytes: 512,
+			Centroids: cents, Assign: assign,
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Route each query as its own command: concurrent submitters keep
+	// queue occupancies uneven, so the router has choices to make.
+	results := make([][]reis.DocResult, len(data.Queries))
+	var wg sync.WaitGroup
+	for qi, q := range data.Queries {
+		wg.Add(1)
+		go func(qi int, q []float32) {
+			defer wg.Done()
+			resp, err := group.Do(context.Background(), reis.HostCommand{
+				Opcode: reis.OpcodeIVFSearch, DBID: 1,
+				Queries: [][]float32{q}, K: k, NProbe: nprobe,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			results[qi] = resp.Results[0]
+		}(qi, q)
+	}
+	wg.Wait()
+	printHits(results)
+	st := group.Stats()
+	fmt.Printf("\ngroup stats: %d routed, %d failovers, %d rejected, %d retirements, %d broadcasts\n",
+		st.Routed, st.Failovers, st.Rejected, st.Retirements, st.Broadcasts)
+
+	// The determinism contract: every member, probed directly, returns
+	// the routed answers bit for bit.
+	batch := reis.HostCommand{
+		Opcode: reis.OpcodeIVFSearch, DBID: 1,
+		Queries: data.Queries, K: k, NProbe: nprobe,
+	}
+	for i := 0; i < group.Replicas(); i++ {
+		resp, err := group.Host(i).Submit(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replica %d matches routed results bit for bit: %v\n",
+			i, reflect.DeepEqual(resp.Results, results))
+	}
+
+	if churn {
+		// Mutations broadcast to every replica under the barrier, so
+		// the same churn script drives the whole group.
+		runChurn(group, data, cents, k, nprobe)
+	}
+}
+
 // runChurn drives the online-mutability opcodes end to end: append
 // the query vectors as new documents, verify each query now retrieves
 // its own appended chunk, tombstone them again, and compact —
 // checking that results survive garbage collection bit for bit.
-func runChurn(host retrievalHost, data *dataset.Dataset, cents [][]float32, k, nprobe int) {
+func runChurn(host submitHost, data *dataset.Dataset, cents [][]float32, k, nprobe int) {
 	fmt.Println("\n-- online churn: append / delete / compact --")
 	search := func() reis.HostResponse {
 		resp, err := host.Submit(reis.HostCommand{

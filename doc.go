@@ -35,12 +35,26 @@
 // its single-device reference (DESIGN.md, "Mutability and garbage
 // collection").
 //
+// Above the engines, internal/serve is the replicated serving tier:
+// serve.NewGroup replicates the corpus across N hosts (single-device
+// or sharded), routes each search to one member by
+// power-of-two-choices over queue occupancy, fails over on
+// reis.ErrQueueFull with streak-based retirement and occupancy-based
+// readmission, and broadcasts every mutation to all members under a
+// barrier with cross-replica response verification — responses stay
+// bit-identical no matter how many replicas serve them.
+// serve.NewGateway wraps a group in a production HTTP layer:
+// middleware chain (request IDs, bearer auth, per-tenant rate
+// limiting, per-route metrics), NDJSON streaming for batches,
+// 503 + Retry-After backpressure, and graceful drain (DESIGN.md,
+// "Replicated serving and gateway").
+//
 // Runnable entry points are cmd/reisbench (regenerates every table and
-// figure of the paper, plus the throughput, queue-depth and shard
-// scale-out sweeps), cmd/reisctl (deploy + async search against a
-// simulated device or a -shards topology), and the examples/ directory
-// (examples/ragserver serves concurrent HTTP requests through one
-// queue pair, optionally sharded). The root-level benchmarks in
+// figure of the paper, plus the throughput, queue-depth, shard
+// scale-out and replicated-serving sweeps), cmd/reisctl (deploy +
+// async search against a simulated device, a -shards topology, or a
+// -replicas group), and the examples/ directory (examples/ragserver is
+// the gateway over a replica group). The root-level benchmarks in
 // bench_test.go drive the same experiment runners through
 // `go test -bench`.
 package reis

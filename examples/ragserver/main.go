@@ -1,22 +1,23 @@
 // Ragserver: an HTTP retrieval service backed by the in-storage
-// engine — the shape of the serving tier a RAG pipeline would put in
-// front of REIS.
+// engine — the serving tier a RAG pipeline would put in front of REIS,
+// now built on the internal/serve replica group and gateway.
 //
-// Concurrent requests are served through one asynchronous queue pair:
-// each HTTP handler submits a single-query IVF_Search command under
-// the request's context and waits for its completion. The queue's
-// dispatcher coalesces simultaneous requests into batched executions
-// (per-request results are bit-identical either way), a saturated
-// queue surfaces as 503 backpressure, and a client that disconnects
-// cancels its command.
+// The corpus is deployed onto -replicas identical hosts (each a single
+// simulated device, or a -shards scatter-gather stripe-set). Every
+// request is routed to one replica by power-of-two-choices over queue
+// occupancy, fails over when a replica's queue saturates, and mutation
+// commands would broadcast to all replicas — so responses are
+// bit-identical no matter how many replicas serve them. The gateway
+// layers a middleware chain on top: request IDs, optional bearer auth,
+// per-tenant rate limiting, per-route metrics, NDJSON streaming for
+// batches, 503 + Retry-After backpressure, and graceful drain on
+// SIGINT/SIGTERM (stop admitting, finish in-flight, close the group).
 //
-//	go run ./examples/ragserver -addr :8080 -shards 2
-//	curl 'localhost:8080/search?q=17&k=3'      (q = sample query index)
+//	go run ./examples/ragserver -addr :8080 -replicas 3 -shards 2
+//	curl 'localhost:8080/search?q=17&k=3'            (q = sample query index)
+//	curl -N 'localhost:8080/search/stream?q=1,2,3'   (NDJSON, per-query flush)
 //	curl 'localhost:8080/stats'
-//
-// With -shards N the corpus is partitioned across N simulated devices
-// and every request is served by scatter-gather; responses are
-// bit-identical to the single-device server.
+//	curl 'localhost:8080/healthz'
 //
 // Because the device is simulated, queries are addressed by index into
 // a held-out sample set rather than by free text (there is no encoder
@@ -24,37 +25,31 @@
 package main
 
 import (
-	"encoding/json"
-	"errors"
+	"context"
 	"flag"
 	"log"
 	"net/http"
-	"strconv"
-	"sync"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"reis/internal/ann"
 	"reis/internal/dataset"
 	"reis/internal/reis"
+	"reis/internal/serve"
 	"reis/internal/ssd"
 )
-
-type server struct {
-	queue *reis.Queue
-	data  *dataset.Dataset
-	// latency models one request's device latency from its completion
-	// (single-device or sharded, depending on -shards).
-	latency func(resp reis.HostResponse) string
-
-	mu      sync.Mutex // guards the served-traffic counters only
-	queries int64
-	stats   reis.QueryStats
-}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	n := flag.Int("n", 8000, "corpus size")
-	qdepth := flag.Int("qdepth", 64, "submission queue depth (concurrent request budget)")
-	shards := flag.Int("shards", 1, "simulated devices (scatter-gather when > 1)")
+	qdepth := flag.Int("qdepth", 64, "per-replica queue depth (concurrent request budget)")
+	replicas := flag.Int("replicas", 1, "replica hosts (each holds the full corpus)")
+	shards := flag.Int("shards", 1, "simulated devices per replica (scatter-gather when > 1)")
+	auth := flag.String("auth", "", "bearer token required on search routes (empty disables auth)")
+	rate := flag.Float64("rate", 0, "per-tenant request rate limit in req/s (0 disables)")
+	burst := flag.Int("burst", 0, "rate-limit burst (default: ceil(rate))")
 	flag.Parse()
 
 	data := dataset.Generate(dataset.Config{
@@ -66,121 +61,88 @@ func main() {
 	cfg.Geo.BlocksPerPlane = 8
 	cfg.Geo.PagesPerBlock = 16
 	hint := int64(*n)*384*16 + 128<<20
-	deploy := reis.DeployConfig{
-		ID: 1, Vectors: data.Vectors, Docs: data.Docs, DocSlotBytes: 1024,
-		Centroids: cents, Assign: assign,
-	}
-	s := &server{data: data}
-	if *shards > 1 {
-		sh, err := reis.NewSharded(cfg, *shards, hint, reis.AllOptions())
+
+	hosts := make([]serve.Host, *replicas)
+	for i := range hosts {
+		var err error
+		if *shards > 1 {
+			hosts[i], err = reis.NewSharded(cfg, *shards, hint, reis.AllOptions())
+		} else {
+			hosts[i], err = reis.New(cfg, hint, reis.AllOptions())
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := sh.IVFDeploy(deploy); err != nil {
+	}
+	group, err := serve.NewGroup(hosts, serve.Config{QueueDepth: *qdepth})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Deploy through the group: the command broadcasts to every
+	// replica under the mutation barrier, so all members hold
+	// bit-identical state from the start.
+	if _, err := group.Submit(reis.HostCommand{
+		Opcode: reis.OpcodeIVFDeploy,
+		Deploy: &reis.DeployConfig{
+			ID: 1, Vectors: data.Vectors, Docs: data.Docs, DocSlotBytes: 1024,
+			Centroids: cents, Assign: assign,
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	gw := serve.NewGateway(group, serve.GatewayConfig{
+		Queries: data.Queries, DefaultK: 5, NProbe: 6,
+		AuthToken: *auth, RateLimit: *rate, RateBurst: *burst,
+		RetryAfter: time.Second,
+		Latency:    latencyModel(hosts[0]),
+	})
+	srv := &http.Server{Addr: *addr, Handler: gw.Handler()}
+	log.Printf("ragserver: %d docs on %d replica(s) x %d device(s) (%s); queue depth %d; listening on %s",
+		*n, *replicas, *shards, cfg.Name, *qdepth, *addr)
+
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatal(err)
 		}
-		if s.queue, err = sh.NewQueue(reis.QueueConfig{Depth: *qdepth}); err != nil {
-			log.Fatal(err)
+	}()
+
+	// Graceful drain: stop accepting, let the gateway finish in-flight
+	// requests, then close the replica group.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("ragserver: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	if err := gw.Drain(ctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	log.Print("ragserver: drained, bye")
+}
+
+// latencyModel renders a response's modeled device latency using one
+// replica's timing model (replicas are identical, so any member's
+// model applies).
+func latencyModel(h serve.Host) func(reis.HostResponse) string {
+	switch e := h.(type) {
+	case *reis.Engine:
+		return func(resp reis.HostResponse) string {
+			db, err := e.DB(1)
+			if err != nil {
+				return err.Error()
+			}
+			return e.Latency(db, resp.QueryStats[0], reis.UnitScale()).Total.String()
 		}
-		s.latency = func(resp reis.HostResponse) string {
-			bd, err := sh.Latency(1, resp.QueryStats[0], resp.ShardStats(0), reis.UnitScale())
+	case *reis.ShardedEngine:
+		return func(resp reis.HostResponse) string {
+			bd, err := e.Latency(1, resp.QueryStats[0], resp.ShardStats(0), reis.UnitScale())
 			if err != nil {
 				return err.Error()
 			}
 			return bd.Total.String()
 		}
-	} else {
-		engine, err := reis.New(cfg, hint, reis.AllOptions())
-		if err != nil {
-			log.Fatal(err)
-		}
-		db, err := engine.IVFDeploy(deploy)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if s.queue, err = engine.NewQueue(reis.QueueConfig{Depth: *qdepth}); err != nil {
-			log.Fatal(err)
-		}
-		s.latency = func(resp reis.HostResponse) string {
-			return engine.Latency(db, resp.QueryStats[0], reis.UnitScale()).Total.String()
-		}
 	}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/search", s.handleSearch)
-	mux.HandleFunc("/stats", s.handleStats)
-	log.Printf("ragserver: %d docs deployed on %dx %s; queue depth %d; listening on %s",
-		*n, *shards, cfg.Name, *qdepth, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
-}
-
-func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	qIdx, err := strconv.Atoi(r.URL.Query().Get("q"))
-	if err != nil || qIdx < 0 || qIdx >= len(s.data.Queries) {
-		http.Error(w, "q must be a sample-query index", http.StatusBadRequest)
-		return
-	}
-	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
-	if k <= 0 {
-		k = 5
-	}
-	// One command per request, bounded by the request's own context:
-	// a dropped connection cancels the search, a full queue is
-	// backpressure the client can retry.
-	id, err := s.queue.SubmitAsync(r.Context(), reis.HostCommand{
-		Opcode: reis.OpcodeIVFSearch, DBID: 1,
-		Queries: [][]float32{s.data.Queries[qIdx]}, K: k,
-		Opt: reis.SearchOptions{NProbe: 6},
-	})
-	if errors.Is(err, reis.ErrQueueFull) {
-		http.Error(w, "retrieval queue saturated, retry", http.StatusServiceUnavailable)
-		return
-	}
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	resp, err := s.queue.Wait(r.Context(), id)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	st := resp.QueryStats[0]
-	deviceLat := s.latency(resp)
-	s.mu.Lock()
-	s.queries++
-	s.stats.Add(st)
-	s.mu.Unlock()
-
-	type hit struct {
-		ID   int     `json:"id"`
-		Dist float32 `json:"dist"`
-		Doc  string  `json:"doc"`
-	}
-	out := struct {
-		Hits      []hit  `json:"hits"`
-		DeviceLat string `json:"device_latency"`
-	}{DeviceLat: deviceLat}
-	for _, res := range resp.Results[0] {
-		out.Hits = append(out.Hits, hit{ID: res.ID, Dist: res.Dist, Doc: string(res.Doc[:64])})
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(out); err != nil {
-		log.Printf("encode: %v", err)
-	}
-}
-
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	queries, device := s.queries, s.stats
-	s.mu.Unlock()
-	qst := s.queue.Stats()
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(struct {
-		Queries int64           `json:"queries"`
-		Device  reis.QueryStats `json:"device_totals"`
-		Queue   reis.QueueStats `json:"queue"`
-	}{queries, device, qst}); err != nil {
-		log.Printf("encode: %v", err)
-	}
+	return nil
 }

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"reis/internal/reis"
+	"reis/internal/serve"
+	"reis/internal/ssd"
+)
+
+// ReplicaRow is one point of the replicated-serving sweep: the whole
+// workload query set served as single-query commands through a replica
+// group of the given size, from concurrent submitters. Results are
+// bit-identical across rows (the serving tier's determinism contract);
+// rows differ in wall-clock throughput and in how much routing work
+// (failovers, retirements) the group had to do.
+//
+// Mode "uniform" leaves every replica alone. Mode "slowed" drags
+// replica 0 with a QoS-weighted ballast tenant: a background goroutine
+// keeps ballast commands for a second database pending on replica 0's
+// routed queue, whose stride weights give the ballast 8x the dispatch
+// share — so replica 0 serves foreground commands an order of
+// magnitude slower and its occupancy stays high. A 1-replica group has
+// nowhere else to route (QPS collapses); a 2+-replica group steers
+// around the slow member and sustains its throughput — the failover
+// story the acceptance criterion pins.
+type ReplicaRow struct {
+	Dataset  string
+	Mode     string
+	Replicas int
+	// WallQPS / NsPerOp are wall-clock (report-only, machine-local).
+	WallQPS float64
+	NsPerOp float64
+	// Failovers / Retirements are group routing counters for the run.
+	Failovers   float64
+	Retirements float64
+}
+
+// ReplicaCounts is the default replica sweep.
+var ReplicaCounts = []int{1, 2, 3}
+
+// ballastDB is the second database id the slowed mode deploys on
+// replica 0 only (group deploys broadcast; this one goes direct).
+const ballastDB = 9
+
+// RunReplicas measures serving throughput versus replica count, with
+// and without one slowed member, on REIS-SSD1-class devices.
+func RunReplicas(scale int, datasets []string, counts []int) ([]ReplicaRow, error) {
+	if datasets == nil {
+		datasets = []string{"NQ"}
+	}
+	if counts == nil {
+		counts = ReplicaCounts
+	}
+	var rows []ReplicaRow
+	for _, name := range datasets {
+		w := LoadWorkload(name, scale)
+		for _, mode := range []string{"uniform", "slowed"} {
+			for _, n := range counts {
+				row, err := runReplicaRow(w, name, mode, n)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// runReplicaRow builds an n-replica group, serves the query set from 4
+// concurrent submitters (3 rounds over the set, single-query IVF
+// commands routed per command), and reads the routing counters.
+func runReplicaRow(w *Workload, dataset, mode string, n int) (ReplicaRow, error) {
+	cfg := ssd.SSD1()
+	cfg.Geo.BlocksPerPlane = 8
+	cfg.Geo.PagesPerBlock = 16
+	need := int64(w.Data.Len()) * int64(w.Data.Dim*3)
+	hosts := make([]serve.Host, n)
+	for i := range hosts {
+		e, err := reis.New(cfg, need*4+64<<20, reis.AllOptions())
+		if err != nil {
+			return ReplicaRow{}, err
+		}
+		hosts[i] = e
+	}
+	const depth = 16
+	gcfg := serve.Config{QueueDepth: depth, Seed: 17}
+	if mode == "slowed" {
+		// Deploy the ballast database on replica 0 only, then weight
+		// its routed queue so the ballast tenant gets 8x the dispatch
+		// share of the foreground database — the QoS-level "slow
+		// device" of the sweep.
+		nb := min(256, w.Data.Len())
+		if _, err := hosts[0].Submit(reis.HostCommand{Opcode: reis.OpcodeDBDeploy, Deploy: &reis.DeployConfig{
+			ID: ballastDB, Vectors: w.Data.Vectors[:nb], Docs: w.Data.Docs[:nb],
+			DocSlotBytes: docSlot(w.Data),
+		}}); err != nil {
+			return ReplicaRow{}, err
+		}
+		gcfg.QueueConfig = func(i int) reis.QueueConfig {
+			if i == 0 {
+				return reis.QueueConfig{Depth: depth, Weights: map[int]int{1: 1, ballastDB: 8}}
+			}
+			return reis.QueueConfig{Depth: depth}
+		}
+	}
+	g, err := serve.NewGroup(hosts, gcfg)
+	if err != nil {
+		return ReplicaRow{}, err
+	}
+	defer g.Close()
+	if _, err := g.Submit(reis.HostCommand{Opcode: reis.OpcodeIVFDeploy, Deploy: &reis.DeployConfig{
+		ID: 1, Vectors: w.Data.Vectors, Docs: w.Data.Docs,
+		DocSlotBytes: docSlot(w.Data), Centroids: w.Centroids, Assign: w.Assign,
+	}}); err != nil {
+		return ReplicaRow{}, err
+	}
+
+	stop := make(chan struct{})
+	var ballastWG sync.WaitGroup
+	if mode == "slowed" {
+		// Keep ballast commands pending on replica 0's routed queue so
+		// its occupancy stays high and its foreground dispatch share
+		// stays low. ErrQueueFull just means the queue is already
+		// loaded — exactly the pressure we want.
+		ballastWG.Add(1)
+		go func() {
+			defer ballastWG.Done()
+			q := g.Queue(0)
+			cmd := reis.HostCommand{
+				Opcode: reis.OpcodeSearch, DBID: ballastDB,
+				Queries: w.Data.Queries[:1], K: 1,
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Hold all but two slots, never the whole depth: the
+				// point is a loaded, slow replica — not one whose
+				// admission the ballast wins outright (a 1-replica
+				// group would then never accept a foreground command
+				// at all).
+				if q.Outstanding() >= depth-2 {
+					q.Reap(0)
+					time.Sleep(50 * time.Microsecond)
+					continue
+				}
+				if _, err := q.SubmitAsync(context.Background(), cmd); err != nil {
+					runtime.Gosched()
+				}
+				q.Reap(0)
+			}
+		}()
+	}
+
+	const submitters, rounds = 4, 3
+	queries := w.Data.Queries
+	nq := len(queries)
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errc := make(chan error, submitters)
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for it := 0; it < rounds*nq/submitters; it++ {
+				qi := (s + it*submitters) % nq
+				cmd := reis.HostCommand{
+					Opcode: reis.OpcodeIVFSearch, DBID: 1,
+					Queries: [][]float32{queries[qi]}, K: 10, NProbe: 8,
+				}
+				for {
+					_, err := g.Do(context.Background(), cmd)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, reis.ErrQueueFull) {
+						errc <- err
+						return
+					}
+					runtime.Gosched() // whole group saturated: retry
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errc)
+	wall := time.Since(start)
+	close(stop)
+	ballastWG.Wait()
+	runtime.ReadMemStats(&m1)
+	if err := <-errc; err != nil {
+		return ReplicaRow{}, err
+	}
+	st := g.Stats()
+	served := float64(submitters * (rounds * nq / submitters))
+	return ReplicaRow{
+		Dataset: dataset, Mode: mode, Replicas: n,
+		WallQPS:     served / wall.Seconds(),
+		NsPerOp:     float64(wall.Nanoseconds()) / served,
+		Failovers:   float64(st.Failovers),
+		Retirements: float64(st.Retirements),
+	}, nil
+}
+
+// FormatReplicas renders the replicated-serving sweep.
+func FormatReplicas(rows []ReplicaRow) string {
+	var sb strings.Builder
+	sb.WriteString("Replicated serving: concurrent single-query commands over N replicas (REIS-SSD1 class)\n")
+	fmt.Fprintf(&sb, "%-10s %-10s %9s %10s %10s %10s %12s\n",
+		"dataset", "mode", "replicas", "wall QPS", "ns/op", "failovers", "retirements")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %-10s %9d %10.1f %10.0f %10.0f %12.0f\n",
+			r.Dataset, r.Mode, r.Replicas, r.WallQPS, r.NsPerOp, r.Failovers, r.Retirements)
+	}
+	return sb.String()
+}

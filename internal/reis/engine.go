@@ -220,6 +220,11 @@ func (e *Engine) db(id int) (*Database, error) {
 // implementation (part of the host interface).
 func (e *Engine) registry() *queueRegistry { return &e.reg }
 
+// Ready reports whether the engine can accept commands: true from
+// construction until Close. Replica routers use it as the health
+// probe behind a serving group's liveness endpoint.
+func (e *Engine) Ready() bool { return !e.reg.isClosed() }
+
 // dropDB unregisters a database, making its id reusable — the shard
 // router's rollback when a multi-device deploy fails partway. The
 // allocator is a bump cursor, so the dropped regions' stripes are not

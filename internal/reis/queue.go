@@ -103,6 +103,13 @@ func (r *queueRegistry) remove(q *Queue) {
 	}
 }
 
+// isClosed reports whether the host has been torn down (closeAll ran).
+func (r *queueRegistry) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
 // closeAll marks the registry closed and hands the caller the pairs to
 // close. Subsequent and concurrent calls return nil.
 func (r *queueRegistry) closeAll() []*Queue {
@@ -407,6 +414,18 @@ func (q *Queue) Outstanding() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.outstanding
+}
+
+// Depth returns the pair's configured capacity — the bound admission
+// control enforces (SubmitAsync fails with ErrQueueFull at Depth
+// outstanding commands).
+func (q *Queue) Depth() int { return q.cfg.Depth }
+
+// Occupancy returns Outstanding()/Depth() in [0, 1] — the load signal
+// replica routers compare across queue pairs (least-loaded /
+// power-of-two-choices routing; see internal/serve).
+func (q *Queue) Occupancy() float64 {
+	return float64(q.Outstanding()) / float64(q.cfg.Depth)
 }
 
 // Stats returns a snapshot of the pair's event counters.

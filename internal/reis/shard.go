@@ -166,6 +166,22 @@ func NewSharded(cfg ssd.Config, n int, capacityHint int64, opts Options) (*Shard
 // Shards returns the number of member devices.
 func (sh *ShardedEngine) Shards() int { return len(sh.shards) }
 
+// Ready reports whether the router can accept commands: true from
+// construction until Close, and only while every member device is
+// still ready (a closed member would fail any scatter that touches
+// it). The same health probe Engine.Ready provides.
+func (sh *ShardedEngine) Ready() bool {
+	if sh.reg.isClosed() {
+		return false
+	}
+	for _, d := range sh.shards {
+		if !d.e.Ready() {
+			return false
+		}
+	}
+	return true
+}
+
 // Shard exposes member device s (for tests and tools).
 func (sh *ShardedEngine) Shard(s int) *Engine { return sh.shards[s].e }
 

@@ -1,0 +1,537 @@
+// The production gateway over a replica Group: a composable net/http
+// middleware chain (request IDs, bearer auth, per-tenant token-bucket
+// rate limiting, per-route metrics/latency), JSON search, NDJSON
+// streaming batch search (per-query results flush as they complete),
+// health and stats endpoints, backpressure with Retry-After, and
+// graceful drain (stop admitting, finish in-flight, then Close the
+// group).
+
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reis/internal/reis"
+)
+
+// Middleware wraps an http.Handler — the composable unit of the
+// gateway's chain.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies middlewares outermost-first: Chain(h, a, b) serves
+// requests through a(b(h)).
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// GatewayConfig configures a Gateway. The zero value serves database 1
+// with k=5, nprobe=6, no auth and no rate limit.
+type GatewayConfig struct {
+	// DBID is the database searches address (zero means 1).
+	DBID int
+	// DefaultK / NProbe are the per-query defaults when the request
+	// omits k (zero means 5 and 6).
+	DefaultK int
+	NProbe   int
+	// Queries is the held-out sample query set requests address by
+	// index (?q=17) — the device is simulated, so there is no text
+	// encoder in front.
+	Queries [][]float32
+	// AuthToken, when non-empty, requires "Authorization: Bearer
+	// <token>" on every route except /healthz.
+	AuthToken string
+	// RateLimit is the per-tenant sustained request rate in req/s
+	// (token bucket; zero disables limiting). RateBurst is the bucket
+	// capacity (zero means max(1, ceil(RateLimit))).
+	RateLimit float64
+	RateBurst int
+	// RetryAfter is the hint returned with 503/429 responses (zero
+	// means 1s).
+	RetryAfter time.Duration
+	// Latency, when non-nil, renders a response's modeled device
+	// latency for the search endpoints (e.g. one replica's timing
+	// model).
+	Latency func(reis.HostResponse) string
+	// now is the clock the rate limiter reads (tests inject a fake).
+	now func() time.Time
+}
+
+// routeMetrics accumulates one route's counters.
+type routeMetrics struct {
+	Requests uint64 `json:"requests"`
+	// Status4xx / Status5xx count error responses; Rejected counts the
+	// 503s caused by a saturated replica group (every Rejected is also
+	// a Status5xx).
+	Status4xx uint64 `json:"status_4xx"`
+	Status5xx uint64 `json:"status_5xx"`
+	Rejected  uint64 `json:"rejected"`
+	// TotalNs / MaxNs aggregate handler latency.
+	TotalNs int64 `json:"total_ns"`
+	MaxNs   int64 `json:"max_ns"`
+}
+
+// Gateway is the HTTP front of a replica group.
+type Gateway struct {
+	group *Group
+	cfg   GatewayConfig
+
+	handler  http.Handler
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	reqSeq   atomic.Uint64
+
+	mu      sync.Mutex
+	routes  map[string]*routeMetrics
+	buckets map[string]*bucket
+	queries int64
+	device  reis.QueryStats
+}
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewGateway builds the gateway and its route table. The gateway does
+// not take ownership of the group until Drain is called (which closes
+// it after the last in-flight request).
+func NewGateway(g *Group, cfg GatewayConfig) *Gateway {
+	if cfg.DBID == 0 {
+		cfg.DBID = 1
+	}
+	if cfg.DefaultK == 0 {
+		cfg.DefaultK = 5
+	}
+	if cfg.NProbe == 0 {
+		cfg.NProbe = 6
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.RateLimit > 0 && cfg.RateBurst == 0 {
+		cfg.RateBurst = max(1, int(cfg.RateLimit+0.999))
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	gw := &Gateway{
+		group:   g,
+		cfg:     cfg,
+		routes:  make(map[string]*routeMetrics),
+		buckets: make(map[string]*bucket),
+	}
+	protected := func(route string, h http.HandlerFunc) http.Handler {
+		return Chain(h, gw.requestID(), gw.metrics(route), gw.admit(), gw.auth(), gw.rateLimit())
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/search", protected("/search", gw.handleSearch))
+	mux.Handle("/search/stream", protected("/search/stream", gw.handleStream))
+	mux.Handle("/stats", protected("/stats", gw.handleStats))
+	// Health stays reachable without auth/limits so probes see drain
+	// state and replica health directly.
+	mux.Handle("/healthz", Chain(http.HandlerFunc(gw.handleHealthz), gw.requestID(), gw.metrics("/healthz")))
+	gw.handler = mux
+	return gw
+}
+
+// Handler returns the gateway's root handler.
+func (gw *Gateway) Handler() http.Handler { return gw.handler }
+
+// Draining reports whether Drain has been initiated.
+func (gw *Gateway) Draining() bool { return gw.draining.Load() }
+
+// Drain gracefully shuts the gateway down: stop admitting requests
+// (503 + Retry-After), wait for in-flight handlers bounded by ctx,
+// then Close the replica group. Safe to call once the HTTP listener
+// has stopped accepting or while it still runs.
+func (gw *Gateway) Drain(ctx context.Context) error {
+	gw.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		gw.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return gw.group.Close()
+}
+
+// statusWriter records the response status for the metrics middleware
+// and forwards Flush so streaming handlers keep working underneath the
+// chain.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// requestID assigns every request an id (or propagates the client's)
+// and echoes it on the response.
+func (gw *Gateway) requestID() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get("X-Request-ID")
+			if id == "" {
+				id = fmt.Sprintf("req-%d", gw.reqSeq.Add(1))
+			}
+			w.Header().Set("X-Request-ID", id)
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// metrics records per-route request counts, error classes and handler
+// latency.
+func (gw *Gateway) metrics(route string) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			elapsed := time.Since(start).Nanoseconds()
+			gw.mu.Lock()
+			m := gw.routes[route]
+			if m == nil {
+				m = &routeMetrics{}
+				gw.routes[route] = m
+			}
+			m.Requests++
+			switch {
+			case sw.status >= 500:
+				m.Status5xx++
+			case sw.status >= 400:
+				m.Status4xx++
+			}
+			m.TotalNs += elapsed
+			if elapsed > m.MaxNs {
+				m.MaxNs = elapsed
+			}
+			gw.mu.Unlock()
+		})
+	}
+}
+
+// admit gates admission on drain state and tracks in-flight handlers.
+func (gw *Gateway) admit() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if gw.draining.Load() {
+				gw.reject(w, "gateway draining")
+				return
+			}
+			gw.inflight.Add(1)
+			defer gw.inflight.Done()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// auth enforces the configured bearer token.
+func (gw *Gateway) auth() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if gw.cfg.AuthToken != "" {
+				got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+				if !ok || got != gw.cfg.AuthToken {
+					http.Error(w, "missing or invalid bearer token", http.StatusUnauthorized)
+					return
+				}
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// tenant identifies the caller for rate limiting: an explicit
+// X-Tenant header, else the bearer token, else "anon".
+func tenant(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	if tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer "); ok {
+		return tok
+	}
+	return "anon"
+}
+
+// rateLimit enforces the per-tenant token bucket.
+func (gw *Gateway) rateLimit() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if gw.cfg.RateLimit > 0 && !gw.allow(tenant(r)) {
+				w.Header().Set("Retry-After", retryAfterSeconds(gw.cfg.RetryAfter))
+				http.Error(w, "tenant rate limit exceeded", http.StatusTooManyRequests)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// allow takes one token from the tenant's bucket, refilling it at
+// RateLimit tokens/s up to RateBurst.
+func (gw *Gateway) allow(tenant string) bool {
+	now := gw.cfg.now()
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	b := gw.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: float64(gw.cfg.RateBurst), last: now}
+		gw.buckets[tenant] = b
+	}
+	b.tokens = min(float64(gw.cfg.RateBurst), b.tokens+now.Sub(b.last).Seconds()*gw.cfg.RateLimit)
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// minimum 1 — the header's granularity).
+func retryAfterSeconds(d time.Duration) string {
+	s := int(d.Round(time.Second) / time.Second)
+	return strconv.Itoa(max(1, s))
+}
+
+// reject answers 503 with the Retry-After hint and counts the
+// rejection against the route's metrics.
+func (gw *Gateway) reject(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", retryAfterSeconds(gw.cfg.RetryAfter))
+	http.Error(w, msg+", retry later", http.StatusServiceUnavailable)
+}
+
+// noteRejected bumps a route's saturation counter (the Retry-After
+// 503s satellite metric).
+func (gw *Gateway) noteRejected(route string) {
+	gw.mu.Lock()
+	m := gw.routes[route]
+	if m == nil {
+		m = &routeMetrics{}
+		gw.routes[route] = m
+	}
+	m.Rejected++
+	gw.mu.Unlock()
+}
+
+// parseQueryIndexes parses the ?q= operand: one or more sample-query
+// indexes, comma-separated.
+func (gw *Gateway) parseQueryIndexes(r *http.Request) ([]int, error) {
+	raw := r.URL.Query().Get("q")
+	if raw == "" {
+		return nil, errors.New("q is required (sample-query index)")
+	}
+	var idxs []int
+	for _, part := range strings.Split(raw, ",") {
+		i, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || i < 0 || i >= len(gw.cfg.Queries) {
+			return nil, fmt.Errorf("q must be sample-query indexes in [0, %d)", len(gw.cfg.Queries))
+		}
+		idxs = append(idxs, i)
+	}
+	return idxs, nil
+}
+
+// searchCmd builds the single-query IVF_Search command for sample
+// query qi.
+func (gw *Gateway) searchCmd(qi, k int) reis.HostCommand {
+	if k <= 0 {
+		k = gw.cfg.DefaultK
+	}
+	return reis.HostCommand{
+		Opcode: reis.OpcodeIVFSearch, DBID: gw.cfg.DBID,
+		Queries: [][]float32{gw.cfg.Queries[qi]}, K: k,
+		Opt: reis.SearchOptions{NProbe: gw.cfg.NProbe},
+	}
+}
+
+// hit is one retrieved document in a JSON response.
+type hit struct {
+	ID   int     `json:"id"`
+	Dist float32 `json:"dist"`
+	Doc  string  `json:"doc"`
+}
+
+// hits renders one query's results (document bodies truncated for
+// transport).
+func hits(results []reis.DocResult) []hit {
+	out := make([]hit, 0, len(results))
+	for _, res := range results {
+		doc := res.Doc
+		if len(doc) > 64 {
+			doc = doc[:64]
+		}
+		out = append(out, hit{ID: res.ID, Dist: res.Dist, Doc: string(doc)})
+	}
+	return out
+}
+
+// record folds one completed search into the gateway's served-traffic
+// totals.
+func (gw *Gateway) record(st reis.QueryStats) {
+	gw.mu.Lock()
+	gw.queries++
+	gw.device.Add(st)
+	gw.mu.Unlock()
+}
+
+// handleSearch serves one sample query: GET /search?q=17&k=3.
+func (gw *Gateway) handleSearch(w http.ResponseWriter, r *http.Request) {
+	idxs, err := gw.parseQueryIndexes(r)
+	if err != nil || len(idxs) != 1 {
+		http.Error(w, "q must be a single sample-query index (use /search/stream for batches)", http.StatusBadRequest)
+		return
+	}
+	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+	// One command per request, routed to the least-loaded replica and
+	// bounded by the request's own context: a dropped connection
+	// cancels the search, a saturated group is backpressure the client
+	// can retry after the hinted delay.
+	resp, err := gw.group.Do(r.Context(), gw.searchCmd(idxs[0], k))
+	if errors.Is(err, reis.ErrQueueFull) {
+		gw.noteRejected("/search")
+		gw.reject(w, "retrieval queues saturated")
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	gw.record(resp.QueryStats[0])
+	out := struct {
+		Hits      []hit  `json:"hits"`
+		DeviceLat string `json:"device_latency,omitempty"`
+	}{Hits: hits(resp.Results[0])}
+	if gw.cfg.Latency != nil {
+		out.DeviceLat = gw.cfg.Latency(resp)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// streamLine is one NDJSON line of a batch response.
+type streamLine struct {
+	Q         int    `json:"q"`
+	Hits      []hit  `json:"hits,omitempty"`
+	DeviceLat string `json:"device_latency,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// handleStream serves a batch of sample queries as NDJSON, flushing
+// each query's line as its replica completes it (completion order, not
+// request order — every line carries its query index):
+// GET /search/stream?q=1,2,3&k=5.
+func (gw *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
+	idxs, err := gw.parseQueryIndexes(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+	// Fan the batch out: each query is its own routed command, so the
+	// group spreads the batch across replicas and the fastest results
+	// stream back first.
+	lines := make(chan streamLine, len(idxs))
+	var wg sync.WaitGroup
+	for _, qi := range idxs {
+		wg.Add(1)
+		go func(qi int) {
+			defer wg.Done()
+			resp, err := gw.group.Do(r.Context(), gw.searchCmd(qi, k))
+			if err != nil {
+				if errors.Is(err, reis.ErrQueueFull) {
+					gw.noteRejected("/search/stream")
+				}
+				lines <- streamLine{Q: qi, Error: err.Error()}
+				return
+			}
+			gw.record(resp.QueryStats[0])
+			line := streamLine{Q: qi, Hits: hits(resp.Results[0])}
+			if gw.cfg.Latency != nil {
+				line.DeviceLat = gw.cfg.Latency(resp)
+			}
+			lines <- line
+		}(qi)
+	}
+	go func() {
+		wg.Wait()
+		close(lines)
+	}()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for line := range lines {
+		if err := enc.Encode(line); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleStats reports served-traffic totals, per-route metrics, group
+// routing stats and per-replica queue state.
+func (gw *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
+	gw.mu.Lock()
+	queries, device := gw.queries, gw.device
+	routes := make(map[string]routeMetrics, len(gw.routes))
+	for k, m := range gw.routes {
+		routes[k] = *m
+	}
+	gw.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Queries int64                   `json:"queries"`
+		Device  reis.QueryStats         `json:"device_totals"`
+		Routes  map[string]routeMetrics `json:"routes"`
+		Group   GroupStats              `json:"group"`
+	}{queries, device, routes, gw.group.Stats()})
+}
+
+// handleHealthz is the liveness probe: 200 while serving, 503 when
+// draining or when no replica is healthy.
+func (gw *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if gw.draining.Load() || !gw.group.Ready() {
+		gw.reject(w, "not serving")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}

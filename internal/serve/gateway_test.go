@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"reis/internal/reis"
+)
+
+// newTestGateway builds a gateway over a fresh single-replica group
+// with the IVF test corpus deployed. Callers that don't Drain get the
+// group closed at cleanup.
+func newTestGateway(t *testing.T, cfg GatewayConfig, groupCfg Config) (*Gateway, *Group) {
+	t.Helper()
+	g, err := NewGroup([]Host{newHost(t, 0, 1)}, groupCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	if _, err := g.Submit(reis.HostCommand{Opcode: reis.OpcodeIVFDeploy, Deploy: &reis.DeployConfig{
+		ID: 1, Vectors: svData.Vectors[:svBase], Docs: svData.Docs[:svBase], DocSlotBytes: 256,
+		Centroids: svCents, Assign: svAssign,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Queries = svData.Queries
+	cfg.NProbe = 4
+	return NewGateway(g, cfg), g
+}
+
+func get(gw *Gateway, target string, hdr map[string]string) *httptest.ResponseRecorder {
+	r := httptest.NewRequest(http.MethodGet, target, nil)
+	for k, v := range hdr {
+		r.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	gw.Handler().ServeHTTP(w, r)
+	return w
+}
+
+// TestGatewaySearch covers the happy path: JSON hits, a generated
+// request id echoed on the response, and client-supplied ids
+// propagated.
+func TestGatewaySearch(t *testing.T) {
+	gw, _ := newTestGateway(t, GatewayConfig{}, Config{})
+	w := get(gw, "/search?q=0&k=3", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if id := w.Header().Get("X-Request-ID"); id == "" {
+		t.Fatal("no X-Request-ID on response")
+	}
+	var out struct {
+		Hits []struct {
+			ID   int     `json:"id"`
+			Dist float32 `json:"dist"`
+		} `json:"hits"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Hits) != 3 {
+		t.Fatalf("got %d hits, want 3", len(out.Hits))
+	}
+	w = get(gw, "/search?q=1", map[string]string{"X-Request-ID": "client-7"})
+	if got := w.Header().Get("X-Request-ID"); got != "client-7" {
+		t.Fatalf("request id %q not propagated", got)
+	}
+	if w = get(gw, "/search?q=notanumber", nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad q: status %d, want 400", w.Code)
+	}
+}
+
+// TestGatewayAuth: with a token configured, search routes require the
+// bearer header while the health probe stays open.
+func TestGatewayAuth(t *testing.T) {
+	gw, _ := newTestGateway(t, GatewayConfig{AuthToken: "s3cret"}, Config{})
+	if w := get(gw, "/search?q=0", nil); w.Code != http.StatusUnauthorized {
+		t.Fatalf("no token: status %d, want 401", w.Code)
+	}
+	if w := get(gw, "/search?q=0", map[string]string{"Authorization": "Bearer wrong"}); w.Code != http.StatusUnauthorized {
+		t.Fatalf("wrong token: status %d, want 401", w.Code)
+	}
+	if w := get(gw, "/search?q=0", map[string]string{"Authorization": "Bearer s3cret"}); w.Code != http.StatusOK {
+		t.Fatalf("right token: status %d, want 200", w.Code)
+	}
+	if w := get(gw, "/healthz", nil); w.Code != http.StatusOK {
+		t.Fatalf("healthz behind auth: status %d, want 200", w.Code)
+	}
+}
+
+// TestGatewayRateLimit: per-tenant token buckets refill at the
+// configured rate (driven by an injected clock) and 429 with a
+// Retry-After hint when empty; tenants are isolated.
+func TestGatewayRateLimit(t *testing.T) {
+	now := time.Unix(1000, 0)
+	gw, _ := newTestGateway(t, GatewayConfig{
+		RateLimit: 1, RateBurst: 2,
+		now: func() time.Time { return now },
+	}, Config{})
+	tenantA := map[string]string{"X-Tenant": "a"}
+	for i := 0; i < 2; i++ {
+		if w := get(gw, "/search?q=0", tenantA); w.Code != http.StatusOK {
+			t.Fatalf("request %d within burst: status %d", i, w.Code)
+		}
+	}
+	w := get(gw, "/search?q=0", tenantA)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over burst: status %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Another tenant has its own bucket.
+	if w := get(gw, "/search?q=0", map[string]string{"X-Tenant": "b"}); w.Code != http.StatusOK {
+		t.Fatalf("tenant b throttled by tenant a: status %d", w.Code)
+	}
+	// One second refills one token.
+	now = now.Add(time.Second)
+	if w := get(gw, "/search?q=0", tenantA); w.Code != http.StatusOK {
+		t.Fatalf("after refill: status %d", w.Code)
+	}
+}
+
+// TestGatewayQueueFullRetryAfter pins the backpressure satellite: a
+// saturated replica group surfaces as 503 with a Retry-After hint and
+// the rejection is counted in the route metrics (the old ragserver
+// returned a bare 503 with neither).
+func TestGatewayQueueFullRetryAfter(t *testing.T) {
+	gw, g := newTestGateway(t, GatewayConfig{RetryAfter: 2 * time.Second}, Config{QueueDepth: 1})
+	// Park a command on the only replica's depth-1 queue: its
+	// completion is never consumed, so the slot stays occupied and
+	// every routed submission deterministically rejects.
+	if _, err := g.Queue(0).SubmitAsync(context.Background(), reis.HostCommand{
+		Opcode: reis.OpcodeIVFSearch, DBID: 1, Queries: svData.Queries[:1], K: 3, NProbe: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w := get(gw, "/search?q=0", nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After %q, want \"2\"", got)
+	}
+	sw := get(gw, "/stats", nil)
+	var stats struct {
+		Routes map[string]routeMetrics `json:"routes"`
+		Group  GroupStats              `json:"group"`
+	}
+	if err := json.Unmarshal(sw.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if m := stats.Routes["/search"]; m.Rejected != 1 || m.Status5xx != 1 {
+		t.Fatalf("rejection not counted: %+v", m)
+	}
+	if stats.Group.Rejected == 0 {
+		t.Fatalf("group rejection counter empty: %+v", stats.Group)
+	}
+}
+
+// TestGatewayStream: a batch request streams NDJSON, one line per
+// query as it completes, each carrying its query index.
+func TestGatewayStream(t *testing.T) {
+	gw, _ := newTestGateway(t, GatewayConfig{}, Config{})
+	w := get(gw, "/search/stream?q=0,1,2&k=4", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !w.Flushed {
+		t.Fatal("stream never flushed")
+	}
+	seen := map[int]bool{}
+	sc := bufio.NewScanner(strings.NewReader(w.Body.String()))
+	for sc.Scan() {
+		var line struct {
+			Q     int    `json:"q"`
+			Hits  []any  `json:"hits"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.Error != "" {
+			t.Fatalf("query %d failed: %s", line.Q, line.Error)
+		}
+		if len(line.Hits) != 4 {
+			t.Fatalf("query %d: %d hits, want 4", line.Q, len(line.Hits))
+		}
+		seen[line.Q] = true
+	}
+	if len(seen) != 3 || !seen[0] || !seen[1] || !seen[2] {
+		t.Fatalf("streamed queries %v, want {0,1,2}", seen)
+	}
+}
+
+// TestGatewayDrain: draining stops admission with 503 + Retry-After,
+// flips the health probe, finishes in-flight work, and closes the
+// replica group.
+func TestGatewayDrain(t *testing.T) {
+	gw, g := newTestGateway(t, GatewayConfig{}, Config{})
+	if w := get(gw, "/healthz", nil); w.Code != http.StatusOK {
+		t.Fatalf("pre-drain healthz: %d", w.Code)
+	}
+	if err := gw.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	w := get(gw, "/search?q=0", nil)
+	if w.Code != http.StatusServiceUnavailable || w.Header().Get("Retry-After") == "" {
+		t.Fatalf("post-drain search: status %d, Retry-After %q", w.Code, w.Header().Get("Retry-After"))
+	}
+	if w := get(gw, "/healthz", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain healthz: %d, want 503", w.Code)
+	}
+	if _, err := g.Do(context.Background(), reis.HostCommand{
+		Opcode: reis.OpcodeIVFSearch, DBID: 1, Queries: svData.Queries[:1], K: 3, NProbe: 4,
+	}); err != ErrGroupClosed {
+		t.Fatalf("group not closed after drain: %v", err)
+	}
+}

@@ -1,0 +1,466 @@
+// Package serve implements the replicated serving tier: a Group of N
+// replicas — single-device engines or sharded routers — holding the
+// same corpus, fronted by load-aware routing and a production HTTP
+// gateway (gateway.go).
+//
+// Routing. Each search command goes to exactly one replica, chosen by
+// power-of-two-choices over per-queue occupancy (two distinct replicas
+// sampled, the one with fewer outstanding commands wins; with a single
+// healthy replica the choice is degenerate). Routing is free to be
+// random because replicas are bit-identical by construction: any
+// replica's answer is THE answer, so the group's results are
+// bit-identical to a single replica no matter how commands are spread
+// (pinned by TestReplicaGroupMatchesSingleReplica).
+//
+// Failover and health. When the chosen replica's queue rejects with
+// ErrQueueFull, the command fails over through the remaining replicas
+// in ascending-occupancy order. A replica that rejects FailStreak
+// consecutive submissions is retired — taken out of the routing set —
+// and readmitted once its queue drains below ReadmitBelow of its
+// depth. Retirement is purely a load signal: a retired replica still
+// receives every mutation broadcast, so its data never diverges and
+// readmission needs no catch-up.
+//
+// Mutation barrier. Deploys and mutations (Append/Delete/Compact)
+// broadcast to ALL replicas under a write barrier (an RWMutex searches
+// hold in read mode for their whole submit-to-completion window): new
+// searches stop admitting, in-flight ones finish, then every replica
+// applies the mutation through its host's blocking submit path and the
+// responses are checked bit-identical before the barrier lifts.
+// Replicas therefore observe the same totally-ordered mutation history
+// and never diverge.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"reis/internal/reis"
+	"reis/internal/xrand"
+)
+
+// Host is the engine surface one replica exposes to the group —
+// satisfied by both *reis.Engine and *reis.ShardedEngine.
+type Host interface {
+	// Submit executes one command synchronously (blocking admission on
+	// the host's built-in queue pair) — the broadcast path mutations
+	// take.
+	Submit(reis.HostCommand) (reis.HostResponse, error)
+	// NewQueue creates the replica's routed queue pair.
+	NewQueue(reis.QueueConfig) (*reis.Queue, error)
+	// Ready is the health probe: false once the host is closed.
+	Ready() bool
+	Close() error
+}
+
+var (
+	// ErrNoReplicas: NewGroup needs at least one host.
+	ErrNoReplicas = errors.New("serve: replica group needs at least one host")
+	// ErrAllSaturated: every replica (healthy and retired) rejected the
+	// command with ErrQueueFull; the wrapped error chain also matches
+	// reis.ErrQueueFull so callers keep their existing backpressure
+	// handling.
+	ErrAllSaturated = errors.New("serve: every replica queue is full")
+	// ErrDiverged: a mutation broadcast produced non-identical
+	// responses across replicas — the determinism contract is broken
+	// (or the hosts were not built over the same corpus).
+	ErrDiverged = errors.New("serve: replica responses diverged")
+	// ErrGroupClosed: the group has been Closed.
+	ErrGroupClosed = errors.New("serve: group closed")
+)
+
+// Config tunes a replica group. The zero value is usable.
+type Config struct {
+	// QueueDepth is the per-replica routed queue depth (zero means
+	// reis.DefaultQueueDepth).
+	QueueDepth int
+	// QueueConfig, when non-nil, builds replica i's queue configuration
+	// instead of the uniform {Depth: QueueDepth} — the hook experiments
+	// use to slow one replica with QoS weights.
+	QueueConfig func(i int) reis.QueueConfig
+	// FailStreak is the consecutive-ErrQueueFull count that retires a
+	// replica (zero means 3).
+	FailStreak int
+	// ReadmitBelow is the occupancy fraction at or below which a
+	// retired replica rejoins the routing set (zero means 0.5).
+	ReadmitBelow float64
+	// Seed seeds the routing RNG (zero means 1). Routing randomness
+	// never affects results — only which replica does the work.
+	Seed uint64
+}
+
+// ReplicaStats is one replica's routing view in a stats snapshot.
+type ReplicaStats struct {
+	Routed      uint64 `json:"routed"`
+	Rejected    uint64 `json:"rejected"`
+	Retired     bool   `json:"retired"`
+	Ready       bool   `json:"ready"`
+	Outstanding int    `json:"outstanding"`
+	Depth       int    `json:"depth"`
+}
+
+// GroupStats is a snapshot of the group's routing counters.
+type GroupStats struct {
+	// Routed counts search commands accepted by some replica;
+	// Failovers counts those accepted only after at least one
+	// rejection; Rejected counts per-replica ErrQueueFull rejections
+	// (one command may contribute several).
+	Routed    uint64 `json:"routed"`
+	Failovers uint64 `json:"failovers"`
+	Rejected  uint64 `json:"rejected"`
+	// Broadcasts counts mutation/deploy commands applied to every
+	// replica under the barrier.
+	Broadcasts uint64 `json:"broadcasts"`
+	// Retirements / Readmissions count health transitions.
+	Retirements  uint64         `json:"retirements"`
+	Readmissions uint64         `json:"readmissions"`
+	Replicas     []ReplicaStats `json:"replicas"`
+}
+
+// replica is one member host plus the group's routed queue into it.
+type replica struct {
+	host Host
+	q    *reis.Queue
+
+	// Health/routing state, guarded by Group.mu.
+	retired bool
+	streak  int
+	routed  uint64
+	rejects uint64
+}
+
+// Group is a replica group: N hosts over the same corpus behind one
+// routing front. All methods are safe for concurrent use.
+type Group struct {
+	cfg  Config
+	reps []*replica
+
+	// barrier orders searches against mutations: searches hold the
+	// read side from submission through completion; broadcasts hold
+	// the write side while every replica applies the mutation.
+	barrier sync.RWMutex
+
+	mu     sync.Mutex // routing + health state, RNG, counters
+	rng    *xrand.RNG
+	stats  GroupStats
+	closed bool
+}
+
+// NewGroup builds a replica group over hosts, creating one routed
+// queue pair per replica. The group takes ownership: Close closes the
+// queues and the hosts. The caller must have built every host over
+// identical data (or deploy through the group, whose deploy commands
+// broadcast).
+func NewGroup(hosts []Host, cfg Config) (*Group, error) {
+	if len(hosts) == 0 {
+		return nil, ErrNoReplicas
+	}
+	if cfg.FailStreak <= 0 {
+		cfg.FailStreak = 3
+	}
+	if cfg.ReadmitBelow <= 0 {
+		cfg.ReadmitBelow = 0.5
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	g := &Group{cfg: cfg, rng: xrand.New(cfg.Seed)}
+	for i, h := range hosts {
+		qc := reis.QueueConfig{Depth: cfg.QueueDepth}
+		if cfg.QueueConfig != nil {
+			qc = cfg.QueueConfig(i)
+		}
+		q, err := h.NewQueue(qc)
+		if err != nil {
+			for _, r := range g.reps {
+				r.q.Close()
+			}
+			return nil, fmt.Errorf("serve: replica %d queue: %w", i, err)
+		}
+		g.reps = append(g.reps, &replica{host: h, q: q})
+	}
+	return g, nil
+}
+
+// Replicas returns the group size.
+func (g *Group) Replicas() int { return len(g.reps) }
+
+// Queue exposes replica i's routed queue pair (tests and load
+// injection).
+func (g *Group) Queue(i int) *reis.Queue { return g.reps[i].q }
+
+// Host exposes replica i's host (tests and tools; e.g. costing a
+// response with one replica's timing model).
+func (g *Group) Host(i int) Host { return g.reps[i].host }
+
+// Ready reports whether at least one replica host is healthy — the
+// group-level liveness probe behind the gateway's health endpoint.
+func (g *Group) Ready() bool {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return false
+	}
+	g.mu.Unlock()
+	for _, r := range g.reps {
+		if r.host.Ready() {
+			return true
+		}
+	}
+	return false
+}
+
+// Retire removes replica i from the routing set (manual override; the
+// router also retires automatically on a rejection streak). In-flight
+// commands on the replica complete normally, and the replica keeps
+// receiving mutation broadcasts.
+func (g *Group) Retire(i int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.reps[i].retired {
+		g.reps[i].retired = true
+		g.stats.Retirements++
+	}
+}
+
+// Readmit returns replica i to the routing set (manual override; the
+// router also readmits automatically once the queue drains).
+func (g *Group) Readmit(i int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.reps[i].retired {
+		g.reps[i].retired = false
+		g.reps[i].streak = 0
+		g.stats.Readmissions++
+	}
+}
+
+// Stats returns a snapshot of the routing counters and per-replica
+// state.
+func (g *Group) Stats() GroupStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := g.stats
+	out.Replicas = make([]ReplicaStats, len(g.reps))
+	for i, r := range g.reps {
+		out.Replicas[i] = ReplicaStats{
+			Routed: r.routed, Rejected: r.rejects, Retired: r.retired,
+			Ready: r.host.Ready(), Outstanding: r.q.Outstanding(), Depth: r.q.Depth(),
+		}
+	}
+	return out
+}
+
+// Close closes every replica's routed queue and host. Idempotent.
+func (g *Group) Close() error {
+	g.mu.Lock()
+	g.closed = true
+	g.mu.Unlock()
+	for _, r := range g.reps {
+		r.q.Close()
+		r.host.Close()
+	}
+	return nil
+}
+
+// isBroadcastOp reports whether the opcode mutates replica state and
+// must be applied to every replica (deploys included: a group-deployed
+// database exists on all members).
+func isBroadcastOp(op uint8) bool {
+	switch op {
+	case reis.OpcodeDBDeploy, reis.OpcodeIVFDeploy,
+		reis.OpcodeAppend, reis.OpcodeDelete, reis.OpcodeCompact:
+		return true
+	}
+	return false
+}
+
+// Submit executes one command through the group synchronously:
+// searches route to one replica, mutations broadcast to all.
+func (g *Group) Submit(cmd reis.HostCommand) (reis.HostResponse, error) {
+	return g.Do(context.Background(), cmd)
+}
+
+// Do executes one command through the group under ctx. Search results
+// are bit-identical regardless of which replica serves them; mutation
+// responses are verified identical across replicas before returning.
+func (g *Group) Do(ctx context.Context, cmd reis.HostCommand) (reis.HostResponse, error) {
+	if isBroadcastOp(cmd.Opcode) {
+		return g.broadcast(ctx, cmd)
+	}
+	g.barrier.RLock()
+	defer g.barrier.RUnlock()
+	order, err := g.route()
+	if err != nil {
+		return reis.HostResponse{}, err
+	}
+	var lastErr error
+	for hop, i := range order {
+		r := g.reps[i]
+		id, err := r.q.SubmitAsync(ctx, cmd)
+		if err == nil {
+			g.noteAccept(i, hop > 0)
+			return r.q.Wait(ctx, id)
+		}
+		if !errors.Is(err, reis.ErrQueueFull) {
+			return reis.HostResponse{}, err
+		}
+		g.noteReject(i)
+		lastErr = err
+	}
+	return reis.HostResponse{}, fmt.Errorf("%w: %w", ErrAllSaturated, lastErr)
+}
+
+// route returns replica indexes in submission-preference order: the
+// power-of-two-choices winner among healthy replicas first, then the
+// remaining healthy replicas by ascending occupancy (the failover
+// chain), then retired replicas by ascending occupancy (last resort —
+// a command is only refused when literally every queue is full). It
+// also runs the readmission check: a retired replica whose queue has
+// drained to ReadmitBelow of its depth rejoins the healthy set.
+func (g *Group) route() ([]int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, ErrGroupClosed
+	}
+	type cand struct {
+		i, out  int
+		retired bool
+	}
+	cands := make([]cand, len(g.reps))
+	healthy := 0
+	for i, r := range g.reps {
+		out := r.q.Outstanding()
+		if r.retired && float64(out) <= g.cfg.ReadmitBelow*float64(r.q.Depth()) {
+			r.retired = false
+			r.streak = 0
+			g.stats.Readmissions++
+		}
+		cands[i] = cand{i: i, out: out, retired: r.retired}
+		if !r.retired {
+			healthy++
+		}
+	}
+	// Ascending occupancy, healthy before retired, index breaking ties
+	// (deterministic given the occupancy snapshot).
+	sort.Slice(cands, func(a, b int) bool {
+		ca, cb := cands[a], cands[b]
+		if ca.retired != cb.retired {
+			return !ca.retired
+		}
+		if ca.out != cb.out {
+			return ca.out < cb.out
+		}
+		return ca.i < cb.i
+	})
+	order := make([]int, len(cands))
+	for i, c := range cands {
+		order[i] = c.i
+	}
+	if healthy >= 2 {
+		// Power-of-two-choices over the healthy prefix: sample two
+		// distinct replicas, promote the less loaded of the pair to the
+		// front. Cheaper than a full scan at scale, and it keeps a
+		// mildly stale occupancy signal from herding every command onto
+		// one replica.
+		a := g.rng.Intn(healthy)
+		b := g.rng.Intn(healthy - 1)
+		if b >= a {
+			b++
+		}
+		if cands[b].out < cands[a].out || (cands[b].out == cands[a].out && cands[b].i < cands[a].i) {
+			a = b
+		}
+		order[0], order[a] = order[a], order[0]
+	}
+	return order, nil
+}
+
+// noteAccept records a successful submission on replica i.
+func (g *Group) noteAccept(i int, failover bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r := g.reps[i]
+	r.streak = 0
+	r.routed++
+	g.stats.Routed++
+	if failover {
+		g.stats.Failovers++
+	}
+}
+
+// noteReject records an ErrQueueFull rejection on replica i and
+// retires it when the consecutive-rejection streak reaches the
+// configured threshold.
+func (g *Group) noteReject(i int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r := g.reps[i]
+	r.rejects++
+	r.streak++
+	g.stats.Rejected++
+	if !r.retired && r.streak >= g.cfg.FailStreak {
+		r.retired = true
+		g.stats.Retirements++
+	}
+}
+
+// broadcast applies one mutation/deploy command to every replica under
+// the write barrier, waits for all of them (the barrier proper), and
+// verifies the responses are bit-identical before lifting it. Retired
+// replicas are included — retirement is a load signal, not a data
+// state, so readmission never needs catch-up.
+func (g *Group) broadcast(ctx context.Context, cmd reis.HostCommand) (reis.HostResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return reis.HostResponse{}, err
+	}
+	g.barrier.Lock()
+	defer g.barrier.Unlock()
+	g.mu.Lock()
+	closed := g.closed
+	g.mu.Unlock()
+	if closed {
+		return reis.HostResponse{}, ErrGroupClosed
+	}
+	n := len(g.reps)
+	resps := make([]reis.HostResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, r := range g.reps {
+		wg.Add(1)
+		go func(i int, h Host) {
+			defer wg.Done()
+			// The host's blocking submit path: a mutation is never
+			// dropped because a routed queue is momentarily full.
+			resps[i], errs[i] = h.Submit(cmd)
+		}(i, r.host)
+	}
+	wg.Wait()
+	// An error must be unanimous too: replicas run the same validated
+	// command over the same state, so a mixed outcome is divergence.
+	if errs[0] != nil {
+		for i := 1; i < n; i++ {
+			if errs[i] == nil {
+				return reis.HostResponse{}, fmt.Errorf("%w: replica 0 failed (%v), replica %d succeeded", ErrDiverged, errs[0], i)
+			}
+		}
+		return reis.HostResponse{}, errs[0]
+	}
+	for i := 1; i < n; i++ {
+		if errs[i] != nil {
+			return reis.HostResponse{}, fmt.Errorf("%w: replica %d failed (%v), replica 0 succeeded", ErrDiverged, i, errs[i])
+		}
+		if !reflect.DeepEqual(resps[i], resps[0]) {
+			return reis.HostResponse{}, fmt.Errorf("%w: opcode %#x response differs between replica 0 and %d", ErrDiverged, cmd.Opcode, i)
+		}
+	}
+	g.mu.Lock()
+	g.stats.Broadcasts++
+	g.mu.Unlock()
+	return resps[0], nil
+}
