@@ -51,6 +51,10 @@ var metricFields = map[string]bool{
 	"FinePages": true, "PrunedPages": true, "AbortedWaves": true,
 	"HitRate": true, "CachedPages": true, "BaseFinePages": true,
 	"Failovers": true, "Retirements": true,
+	// GC wear metrics (report-only): write amplification and erase
+	// skew from the churn experiment.
+	"WriteAmp": true, "MaxBlockErase": true, "CompactedRows": true,
+	"BlockErases": true,
 }
 
 // rowKey builds the match key of a row: the experiment id plus every

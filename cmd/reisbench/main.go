@@ -16,7 +16,9 @@
 // cache — under Zipfian query skew and bursty append/delete churn),
 // replicas (the replicated serving tier: concurrent single-query
 // commands routed over a replica group, with and without one member
-// slowed by QoS-weighted ballast).
+// slowed by QoS-weighted ballast), churn (GC wear under sustained
+// append/delete/compact churn: wear-leveled vs first-fit placement of
+// recycled rows, with write amplification and max-erase skew).
 //
 // Profiling and machine-readable output:
 //
@@ -68,7 +70,7 @@ func main() {
 }
 
 func realMain() error {
-	exp := flag.String("exp", "all", "experiment id (fig2|fig3|table4|fig5|fig7|fig8|fig9|asic|fig10|fig11|throughput|qdepth|shards|prune|skew|replicas|all)")
+	exp := flag.String("exp", "all", "experiment id (fig2|fig3|table4|fig5|fig7|fig8|fig9|asic|fig10|fig11|throughput|qdepth|shards|prune|skew|replicas|churn|all)")
 	scale := flag.Int("scale", 16, "workload scale divisor (larger = smaller functional datasets)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
@@ -89,7 +91,7 @@ func realMain() error {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"fig2", "fig5", "fig7", "fig9", "asic", "fig10", "fig11", "throughput", "qdepth", "shards", "prune", "skew", "replicas"}
+		ids = []string{"fig2", "fig5", "fig7", "fig9", "asic", "fig10", "fig11", "throughput", "qdepth", "shards", "prune", "skew", "replicas", "churn"}
 	}
 	report := jsonReport{
 		Tool:        "reisbench",
@@ -224,6 +226,13 @@ func run(id string, scale int) (any, error) {
 			return nil, err
 		}
 		fmt.Print(experiments.FormatSkew(rows))
+		return rows, nil
+	case "churn":
+		rows, err := experiments.RunChurn()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(experiments.FormatChurn(rows))
 		return rows, nil
 	case "replicas":
 		rows, err := experiments.RunReplicas(scale, nil, nil)

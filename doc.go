@@ -24,16 +24,21 @@
 // "Sharded topology").
 //
 // Deployed databases are mutable online: OpcodeAppend writes new
-// items out-of-place into reserved free blocks (ssd.Config's
-// OverprovisionPct; ssd.ErrRegionFull on exhaustion), OpcodeDelete
-// tombstones entries in a controller-DRAM bitmap consulted by the
-// controller tail, and OpcodeCompact runs the explicit-quiesce
-// garbage collector — copying live entries forward in scan order,
-// erasing victim blocks, and reporting wear/erase counts in
-// HostResponse.Wear. Compaction provably preserves search results,
-// and every mutation is bit-identical between a sharded topology and
-// its single-device reference (DESIGN.md, "Mutability and garbage
-// collection").
+// items out-of-place into wear-leveled free rows (least-worn-first
+// placement over reserved overprovision blocks and rows recycled by
+// GC; ssd.ErrRegionFull on true exhaustion), OpcodeDelete tombstones
+// entries in a controller-DRAM bitmap consulted by the controller
+// tail, and OpcodeCompact runs the garbage collector as a background
+// queue flight — per-row copy-forward steps interleaved with
+// foreground searches under a QoS stride weight, every step boundary
+// a consistent state, with write amplification and erase-skew
+// reported in HostResponse.Wear. Compaction provably preserves search
+// results even mid-flight, every committed mutation is recorded in an
+// append-only journal whose prefixes rebuild the exact pre-crash
+// state on a fresh deploy (Engine.ReplayJournal), and every mutation
+// is bit-identical between a sharded topology and its single-device
+// reference (DESIGN.md, "Mutability and garbage collection" and
+// "Concurrent GC, wear leveling, and recovery").
 //
 // Above the engines, internal/serve is the replicated serving tier:
 // serve.NewGroup replicates the corpus across N hosts (single-device

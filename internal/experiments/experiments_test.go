@@ -287,3 +287,34 @@ func TestRunShardsScaling(t *testing.T) {
 		}
 	}
 }
+
+func TestRunChurnWearLeveling(t *testing.T) {
+	rows, err := RunChurn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	wl, ff := rows[0], rows[1]
+	if wl.Placement != "wear-leveled" || ff.Placement != "first-fit" {
+		t.Fatalf("unexpected placement order: %q, %q", wl.Placement, ff.Placement)
+	}
+	if wl.CompactedRows < churnRounds || ff.CompactedRows < churnRounds {
+		t.Fatalf("churn barely compacted: %+v / %+v", wl, ff)
+	}
+	// The wear-leveling claim: least-worn-first placement strictly
+	// reduces the maximum per-block erase count under identical churn.
+	if wl.MaxBlockErase == 0 || wl.MaxBlockErase >= ff.MaxBlockErase {
+		t.Errorf("wear-leveled max erase %.0f not below first-fit %.0f", wl.MaxBlockErase, ff.MaxBlockErase)
+	}
+	// Copy-forward re-programs survivors, so amplification is > 1 and
+	// identical across placement policies (same data motion, different
+	// physical rows).
+	if wl.WriteAmp <= 1 || wl.WriteAmp != ff.WriteAmp {
+		t.Errorf("write amplification off: wear-leveled %.3f, first-fit %.3f", wl.WriteAmp, ff.WriteAmp)
+	}
+	if out := FormatChurn(rows); !strings.Contains(out, "first-fit") {
+		t.Error("format missing placement")
+	}
+}

@@ -227,6 +227,23 @@ func (d *Device) EraseCount(a Address) int64 {
 	return d.eraseCount[a.PlaneIndex(d.Geo)][a.Block].Load()
 }
 
+// BlockMaxErase reports the highest erase count the given block index
+// has seen across all planes — the per-row wear figure wear-leveled
+// placement consults (a plane-striped region row is block `block` on
+// every plane).
+func (d *Device) BlockMaxErase(block int) int64 {
+	var m int64
+	if block < 0 || block >= d.Geo.BlocksPerPlane {
+		return 0
+	}
+	for p := range d.eraseCount {
+		if n := d.eraseCount[p][block].Load(); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
 // MaxEraseCount returns the highest per-block erase count on the
 // device — the wear-skew figure GC surfaces to the host.
 func (d *Device) MaxEraseCount() int64 {

@@ -12,7 +12,8 @@ import (
 // (the scatter operand a shard router sends to each member device);
 // OpcodeAppend/OpcodeDelete/OpcodeCompact are the online-mutability
 // extension (out-of-place appends, tombstone deletes, and the
-// explicit-quiesce garbage collector — see mutate.go and DESIGN.md).
+// background garbage collector, which the queue scheduler interleaves
+// with searches step by step — see mutate.go, queue.go and DESIGN.md).
 const (
 	OpcodeDBDeploy  uint8 = 0x80
 	OpcodeIVFDeploy uint8 = 0x81
@@ -284,6 +285,13 @@ func isSearchOp(op uint8) bool { return op == OpcodeSearch || op == OpcodeIVFSea
 // isDeployOp reports whether the opcode carries a DeployConfig payload.
 func isDeployOp(op uint8) bool { return op == OpcodeDBDeploy || op == OpcodeIVFDeploy }
 
+// isMutationOp reports whether the opcode mutates a deployed database —
+// the commands the journal records and the queue holds back behind an
+// active background-GC flight on the same database.
+func isMutationOp(op uint8) bool {
+	return op == OpcodeAppend || op == OpcodeDelete || op == OpcodeCompact
+}
+
 // resolveSearchOptions folds a command's NProbe / TargetRecall operands
 // into the SearchOptions handed to the execution core — the single
 // normalization point shared by the synchronous Submit wrapper and the
@@ -430,6 +438,7 @@ func (e *Engine) executeCmd(ctx context.Context, cmd *HostCommand) (HostResponse
 			db.regionSlots = db.mut.tailSlots
 			db.calib = nil
 			db.cache.invalidate()
+			e.jl.logCmd(cmd)
 		}
 		return resp, err
 	default:
@@ -463,9 +472,7 @@ func executeMutation(m *mutState, t mutTarget, cmd *HostCommand) (HostResponse, 
 			return HostResponse{}, err
 		}
 		wear := &WearStats{}
-		if _, w, err := t.eraseBinPages(0); err == nil {
-			wear.MaxBlockErase = w
-		}
+		m.fillWear(wear, t)
 		return HostResponse{Done: true, Wear: wear}, nil
 	default: // OpcodeCompact
 		wear, err := mutCompact(m, t, cmd.Compact.MinLiveRatio)

@@ -16,7 +16,7 @@ import (
 //     IVF clusters are pinned in controller DRAM, selected by decayed
 //     probe-frequency counters, and scanned with the same
 //     XorPopCountSlots kernel the planes run — same distances, same
-//     filter and bound predicates, same (Dist, Pos) entry order — so
+//     filter and bound predicates, same (Dist, DADR) entry order — so
 //     results are bit-identical to the flash scan while the work is
 //     reported in the separate CachedPages/CachedSlots counters.
 //   - Result cache: a byte-accounted LRU over finished per-query

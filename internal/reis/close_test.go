@@ -3,6 +3,7 @@ package reis
 import (
 	"context"
 	"errors"
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -190,5 +191,134 @@ func TestSubmitAfterDefaultQueueClosed(t *testing.T) {
 	}
 	if _, err := e.Submit(cmd); err != nil {
 		t.Fatalf("Submit after default queue closed: %v", err)
+	}
+}
+
+// TestCloseRejectsUndispatchedMutations: mutations queued but not yet
+// dispatched when the queue closes are rejected deterministically with
+// ErrQueueClosed — never half-applied: the engine's state, journal and
+// search results are untouched.
+func TestCloseRejectsUndispatchedMutations(t *testing.T) {
+	c := newMutCorpus()
+	e, err := New(mutTestCfg(), 64<<20, AllOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	resps := runMutScript(t, e, c, true, 0)
+	before := resps[len(resps)-1].Results
+	jlBefore := len(e.JournalBytes())
+	db, err := e.DB(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveBefore := db.Live()
+
+	q, err := e.NewQueue(QueueConfig{Depth: 8, NoCoalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.pause()
+	ctx := context.Background()
+	a2 := c.assign[len(c.base)+len(c.batch1):]
+	ids := make([]CommandID, 0, 3)
+	for _, cmd := range []HostCommand{
+		{Opcode: OpcodeAppend, DBID: 1, Append: &AppendConfig{Vectors: c.batch2, Docs: c.b2Docs, Assign: a2}},
+		{Opcode: OpcodeDelete, DBID: 1, Del: &DeleteConfig{IDs: []int{0}}},
+		{Opcode: OpcodeCompact, DBID: 1, Compact: &CompactConfig{MinLiveRatio: 0.9}},
+	} {
+		id, err := q.SubmitAsync(ctx, cmd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if _, err := q.Wait(ctx, id); !errors.Is(err, ErrQueueClosed) {
+			t.Fatalf("queued mutation %d: error %v, want ErrQueueClosed", i, err)
+		}
+	}
+	if got := len(e.JournalBytes()); got != jlBefore {
+		t.Fatalf("rejected mutations reached the journal: %d bytes, want %d", got, jlBefore)
+	}
+	if got := db.Live(); got != liveBefore {
+		t.Fatalf("rejected mutations changed Live(): %d, want %d", got, liveBefore)
+	}
+	after, err := e.Submit(HostCommand{Opcode: OpcodeIVFSearch, DBID: 1, Queries: testData.Queries, K: 10, NProbe: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after.Results, before) {
+		t.Fatal("rejected mutations changed search results")
+	}
+}
+
+// TestCloseAbortsBackgroundGC: closing a queue with a compaction in
+// flight aborts the flight at a step boundary — the original command
+// completes with ErrQueueClosed, the rows already collected stay
+// collected (every step commits a consistent state), searches are
+// bit-identical to before, and a later compaction finishes the job.
+func TestCloseAbortsBackgroundGC(t *testing.T) {
+	c := newMutCorpus()
+	e, err := New(gcRefCfg(1), 64<<20, AllOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	resps := runMutScript(t, e, c, true, 0)
+	before := resps[len(resps)-1].Results
+
+	q, err := e.NewQueue(QueueConfig{Depth: 8, NoCoalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the first committed copy-forward step, freeze the
+	// dispatcher (pause is a flag set, safe from the dispatcher's own
+	// goroutine) so Close provably races a live flight.
+	stepped := make(chan struct{}, 1)
+	e.testGCStepHook = func() {
+		q.pause()
+		select {
+		case stepped <- struct{}{}:
+		default:
+		}
+	}
+	ctx := context.Background()
+	id, err := q.SubmitAsync(ctx, HostCommand{Opcode: OpcodeCompact, DBID: 1,
+		Compact: &CompactConfig{MinLiveRatio: 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-stepped
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e.testGCStepHook = nil
+	if _, err := q.Wait(ctx, id); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("in-flight compaction: error %v, want ErrQueueClosed", err)
+	}
+	after, _, err := e.IVFSearchBatch(1, testData.Queries, 10, SearchOptions{NProbe: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, before) {
+		t.Fatal("aborted compaction left an inconsistent state")
+	}
+	wear, err := e.Compact(1, 0.9)
+	if err != nil {
+		t.Fatalf("compaction after aborted flight: %v", err)
+	}
+	if wear.CompactedRows == 0 {
+		t.Fatalf("nothing left to collect: the aborted flight ran to completion, %+v", wear)
+	}
+	again, _, err := e.IVFSearchBatch(1, testData.Queries, 10, SearchOptions{NProbe: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, before) {
+		t.Fatal("finishing compaction changed search results")
 	}
 }

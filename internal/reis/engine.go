@@ -66,6 +66,12 @@ type Options struct {
 	// MPIBC broadcasts the query to all planes of a die concurrently
 	// (Sec 4.3.4).
 	MPIBC bool
+	// FirstFitPlacement disables wear-aware free-row selection for
+	// appends and GC copy-forward: the lowest free physical row wins,
+	// as the original bump allocator would place. Kept as the baseline
+	// of the wear-leveling experiment; leave false for production
+	// behaviour.
+	FirstFitPlacement bool
 }
 
 // AllOptions enables every optimization (the default REIS config).
@@ -98,6 +104,17 @@ type Engine struct {
 	scr engineScratch
 
 	dbs map[int]*Database
+
+	// jl is the append-only mutation journal: every committed append,
+	// delete and compact is recorded under execMu, so replaying any
+	// journal prefix on a fresh deploy reproduces the pre-crash state
+	// bit for bit (see journal.go and DESIGN.md, "Concurrent GC, wear
+	// leveling, and recovery").
+	jl journal
+
+	// testGCStepHook, when set, runs after each committed background GC
+	// step with no locks held — the interleaving tests' probe point.
+	testGCStepHook func()
 
 	// reg tracks the queue pairs created with NewQueue for Close-time
 	// teardown, plus the built-in pair behind the synchronous Submit
@@ -371,6 +388,13 @@ func (e *Engine) install(id int, lo *dbLayout, items *layoutItems, start, stride
 	if embR, err = alloc(lo.embPages, lo.embCap, flash.ModeSLCESP, "embedding"); err != nil {
 		return nil, err
 	}
+	// The binary region is row-mapped from birth: GC reclaims its
+	// erase rows (one block per plane, on every shard the same block
+	// index) back into the append free pool. The initial map is the
+	// identity over the deployed rows; the row count is driven by the
+	// global layout so every shard's map stays identical.
+	embR.EnableRowMap(e.SSD.Cfg.Geo.PagesPerBlock,
+		ceilDiv(lo.embPages, localPlanes*stride*lo.ppb))
 	if centR, err = alloc(lo.centPages, lo.centPages, flash.ModeSLCESP, "centroid"); err != nil {
 		return nil, err
 	}
@@ -407,7 +431,7 @@ func (e *Engine) install(id int, lo *dbLayout, items *layoutItems, start, stride
 		// reads them; the layout's metaTags exist for that encoding.)
 		db.rivf = lo.rivf
 		db.regionSlots = lo.regionSlots
-		db.mut = newMutState(lo, e.SSD.Cfg.Geo)
+		db.mut = newMutState(lo, e.SSD.Cfg.Geo, e.Opts.FirstFitPlacement)
 		if cb := e.SSD.Cfg.CacheDRAMBytes; cb > 0 {
 			geo := e.SSD.Cfg.Geo
 			db.cache = newDBCache(cb, geo.PageBytes, geo.OOBBytes, len(lo.rivf))
@@ -596,10 +620,85 @@ func (e *Engine) Append(dbID int, cfg AppendConfig) ([]int, error) {
 // Delete implements the OpcodeDelete host command synchronously.
 func (e *Engine) Delete(dbID int, ids ...int) error { return submitDelete(e, dbID, ids) }
 
-// Compact implements the OpcodeCompact host command synchronously —
-// the explicit quiesce point at which garbage collection may run.
+// Compact implements the OpcodeCompact host command: garbage
+// collection of under-occupied GC rows. Through a queue the collector
+// runs as a background activity, one copy-forward step per victim row
+// interleaved with foreground searches; this synchronous wrapper
+// blocks until the command completes either way.
 func (e *Engine) Compact(dbID int, minLiveRatio float64) (WearStats, error) {
 	return submitCompact(e, dbID, minLiveRatio)
+}
+
+// gcPlan, gcStep and gcFinish are the scheduler's view of one
+// background compaction (the host side of queue.go's GC flights):
+// plan the victim rows once, collect one row per step, then complete
+// the command. Each acquires the execution lock on its own, so
+// foreground searches run between any two steps.
+func (e *Engine) gcPlan(cmd *HostCommand) ([]int, error) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	db, err := e.db(cmd.DBID)
+	if err != nil {
+		return nil, err
+	}
+	if db.mut == nil {
+		return nil, fmt.Errorf("reis: database %d is a shard slice; mutate through its router", cmd.DBID)
+	}
+	return mutGCVictims(db.mut, cmd.Compact.MinLiveRatio), nil
+}
+
+func (e *Engine) gcStep(cmd *HostCommand, row int, acc *WearStats) error {
+	e.execMu.Lock()
+	db, err := e.db(cmd.DBID)
+	if err != nil {
+		e.execMu.Unlock()
+		return err
+	}
+	err = mutGCStep(db.mut, engineMutTarget{e, db}, row, acc)
+	if err == nil {
+		db.regionSlots = db.mut.tailSlots
+		db.calib = nil
+		db.cache.invalidate()
+	}
+	hook := e.testGCStepHook
+	e.execMu.Unlock()
+	if err == nil && hook != nil {
+		hook()
+	}
+	return err
+}
+
+func (e *Engine) gcFinish(cmd *HostCommand, acc *WearStats) (HostResponse, error) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	db, err := e.db(cmd.DBID)
+	if err != nil {
+		return HostResponse{}, err
+	}
+	db.mut.fillWear(acc, engineMutTarget{e, db})
+	e.jl.logCompact(cmd.DBID, cmd.Compact.MinLiveRatio)
+	w := *acc
+	return HostResponse{Done: true, Wear: &w}, nil
+}
+
+// JournalBytes returns a copy of the mutation journal: the byte-exact
+// record of every committed append, delete and compact since the
+// engine started. Persist it (at any prefix ending on a record
+// boundary) and replay it on a freshly deployed engine to reconstruct
+// the pre-crash state.
+func (e *Engine) JournalBytes() []byte {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	return append([]byte(nil), e.jl.buf...)
+}
+
+// ReplayJournal re-applies a journal (or any record-aligned prefix of
+// one) through the normal command path. The databases it names must be
+// deployed with the same deploy configuration as the journaling
+// engine's; replayed mutations are journaled again, so the rebuilt
+// engine's journal continues where the prefix ended.
+func (e *Engine) ReplayJournal(data []byte) error {
+	return replayJournal(e, data)
 }
 
 // Record exposes the R-DB record (for tests and tools).

@@ -1,0 +1,502 @@
+package reis
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"reis/internal/ssd"
+)
+
+// The background-GC tests need a corpus that spans MANY erase rows:
+// under shardTestCfg the whole mutation corpus fits inside a single GC
+// row (8 global planes x 16 pages per block = 128 row pages), so a
+// compaction is one copy-forward step and nothing can interleave.
+// gcTestCfg shrinks the block shape instead — two pages per block, two
+// planes per single-die, single-channel device — so a GC row is 4n
+// pages on an n-shard topology and the mutation corpus spreads across
+// a dozen-plus victim rows.
+func gcTestCfg() ssd.Config {
+	cfg := shardTestCfg()
+	cfg.Geo.Channels = 1
+	cfg.Geo.DiesPerChannel = 1
+	cfg.Geo.PlanesPerDie = 2
+	cfg.Geo.BlocksPerPlane = 256
+	cfg.Geo.PagesPerBlock = 2
+	cfg.Geo.PageBytes = 2048
+	cfg.Geo.OOBBytes = 189 // 21 embedding slots per page (OOB-bound)
+	cfg.OverprovisionPct = 200
+	return cfg
+}
+
+// gcRefCfg is the single-device equivalent of n shards of gcTestCfg.
+func gcRefCfg(n int) ssd.Config {
+	cfg := gcTestCfg()
+	cfg.Geo.Channels *= n
+	return cfg
+}
+
+// TestBackgroundGCInterleavedSearches is TestCompactPreservesResults
+// extended into an interleaving test, on a layout where compaction
+// takes many copy-forward steps: after every committed step of a
+// background compaction, a search issued between steps must be
+// bit-identical to the never-compacted state AND to the fully
+// compacted state — on flat and IVF databases, across 1/2/4 shards —
+// with no quiesce anywhere in the mutation API.
+func TestBackgroundGCInterleavedSearches(t *testing.T) {
+	c := newMutCorpus()
+	for _, ivf := range []bool{false, true} {
+		name := "flat"
+		if ivf {
+			name = "ivf"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, n := range shardCounts {
+				t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+					var h submitter
+					var setHook func(func())
+					var direct func() ([][]DocResult, error)
+					if n == 1 {
+						e, err := New(gcRefCfg(1), 64<<20, AllOptions())
+						if err != nil {
+							t.Fatal(err)
+						}
+						t.Cleanup(func() { e.Close() })
+						h = e
+						setHook = func(fn func()) { e.testGCStepHook = fn }
+						direct = func() ([][]DocResult, error) {
+							if ivf {
+								r, _, err := e.IVFSearchBatch(1, testData.Queries, 10, SearchOptions{NProbe: 4})
+								return r, err
+							}
+							r, _, err := e.SearchBatch(1, testData.Queries, 10, SearchOptions{})
+							return r, err
+						}
+					} else {
+						sh, err := NewSharded(gcTestCfg(), n, 64<<20, AllOptions())
+						if err != nil {
+							t.Fatal(err)
+						}
+						t.Cleanup(func() { sh.Close() })
+						h = sh
+						setHook = func(fn func()) { sh.testGCStepHook = fn }
+						direct = func() ([][]DocResult, error) {
+							if ivf {
+								r, _, err := sh.IVFSearchBatch(1, testData.Queries, 10, SearchOptions{NProbe: 4})
+								return r, err
+							}
+							r, _, err := sh.SearchBatch(1, testData.Queries, 10, SearchOptions{})
+							return r, err
+						}
+					}
+
+					resps := runMutScript(t, h, c, ivf, 0)
+					want := resps[len(resps)-1].Results
+
+					// The hook runs on the dispatcher goroutine right after
+					// each copy-forward step commits; the direct search path
+					// (not Submit — that would feed the queue we are inside
+					// of) observes the intermediate remapped state.
+					var steps [][][]DocResult
+					setHook(func() {
+						r, err := direct()
+						if err != nil {
+							t.Errorf("mid-GC search: %v", err)
+						}
+						steps = append(steps, r)
+					})
+					resp, err := h.Submit(HostCommand{Opcode: OpcodeCompact, DBID: 1,
+						Compact: &CompactConfig{MinLiveRatio: 0.9}})
+					setHook(nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if resp.Wear.CompactedRows < 2 {
+						t.Fatalf("compaction took %d steps; the interleaving test needs >= 2", resp.Wear.CompactedRows)
+					}
+					if len(steps) != resp.Wear.CompactedRows {
+						t.Fatalf("hook ran %d times for %d compacted rows", len(steps), resp.Wear.CompactedRows)
+					}
+					for i, s := range steps {
+						if !reflect.DeepEqual(s, want) {
+							t.Fatalf("search after GC step %d/%d differs from the never-compacted state", i+1, len(steps))
+						}
+					}
+					after, err := direct()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(after, want) {
+						t.Fatal("fully compacted state differs from the never-compacted state")
+					}
+					again, err := h.Submit(HostCommand{Opcode: OpcodeCompact, DBID: 1,
+						Compact: &CompactConfig{MinLiveRatio: 0.9}})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if again.Wear.CompactedRows != 0 || again.Wear.BlockErases != 0 || again.Wear.PagesProgrammed != 0 {
+						t.Fatalf("second compaction was not a no-op: %+v", again.Wear)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestBackgroundGCInterleavesWithSearches pins the queue-level
+// behaviour: a compaction submitted to an explicit queue pair is
+// arbitrated against foreground searches by the stride scheduler, so
+// searches COMPLETE while the compaction is still in flight (the GC
+// never monopolizes the dispatcher), and their results match the
+// pre-compaction state.
+func TestBackgroundGCInterleavesWithSearches(t *testing.T) {
+	c := newMutCorpus()
+	e, err := New(gcRefCfg(1), 64<<20, AllOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	resps := runMutScript(t, e, c, true, 0)
+	want := resps[len(resps)-1].Results
+
+	const nSearch = 3
+	var mu sync.Mutex
+	var order []CommandID
+	comps := map[CommandID]Completion{}
+	done := make(chan struct{})
+	q, err := e.NewQueue(QueueConfig{Depth: 16, NoCoalesce: true, OnComplete: func(cp Completion) {
+		mu.Lock()
+		order = append(order, cp.ID)
+		comps[cp.ID] = cp
+		n := len(order)
+		mu.Unlock()
+		if n == nSearch+1 {
+			close(done)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { q.Close() })
+
+	// Pause so the admission order is fixed before dispatch begins:
+	// the compaction first, then the searches it must not starve.
+	q.pause()
+	ctx := context.Background()
+	compID, err := q.SubmitAsync(ctx, HostCommand{Opcode: OpcodeCompact, DBID: 1,
+		Compact: &CompactConfig{MinLiveRatio: 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	searchIDs := make([]CommandID, nSearch)
+	for i := range searchIDs {
+		searchIDs[i], err = q.SubmitAsync(ctx, HostCommand{
+			Opcode: OpcodeIVFSearch, DBID: 1, Queries: testData.Queries, K: 10, NProbe: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.resume()
+	<-done
+
+	idxOf := func(id CommandID) int {
+		for i, x := range order {
+			if x == id {
+				return i
+			}
+		}
+		return -1
+	}
+	comp := comps[compID]
+	if comp.Err != nil {
+		t.Fatalf("compaction: %v", comp.Err)
+	}
+	if comp.Resp.Wear.CompactedRows < 2 {
+		t.Fatalf("compaction took %d steps; need >= 2 for an interleaving test", comp.Resp.Wear.CompactedRows)
+	}
+	for i, id := range searchIDs {
+		cp := comps[id]
+		if cp.Err != nil {
+			t.Fatalf("search %d: %v", i, cp.Err)
+		}
+		if !reflect.DeepEqual(cp.Resp.Results, want) {
+			t.Fatalf("search %d results differ from the pre-compaction state", i)
+		}
+	}
+	if idxOf(searchIDs[0]) > idxOf(compID) {
+		t.Fatalf("no search completed before the background compaction (completion order %v, compact %d)", order, compID)
+	}
+}
+
+// TestGCHoldsBackMutationsDuringFlight: a mutation on a database with
+// a compaction in flight is held back until the flight retires — the
+// journal order equals the application order — while searches keep
+// flowing. No quiesce call exists; the ordering is the scheduler's.
+func TestGCHoldsBackMutationsDuringFlight(t *testing.T) {
+	c := newMutCorpus()
+	e, err := New(gcRefCfg(1), 64<<20, AllOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	runMutScript(t, e, c, true, 0)
+	jlBefore := len(e.JournalBytes())
+
+	var mu sync.Mutex
+	var order []CommandID
+	comps := map[CommandID]Completion{}
+	done := make(chan struct{})
+	q, err := e.NewQueue(QueueConfig{Depth: 16, NoCoalesce: true, OnComplete: func(cp Completion) {
+		mu.Lock()
+		order = append(order, cp.ID)
+		comps[cp.ID] = cp
+		n := len(order)
+		mu.Unlock()
+		if n == 3 {
+			close(done)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { q.Close() })
+
+	a2 := c.assign[len(c.base)+len(c.batch1):]
+	q.pause()
+	ctx := context.Background()
+	compID, err := q.SubmitAsync(ctx, HostCommand{Opcode: OpcodeCompact, DBID: 1,
+		Compact: &CompactConfig{MinLiveRatio: 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appID, err := q.SubmitAsync(ctx, HostCommand{Opcode: OpcodeAppend, DBID: 1,
+		Append: &AppendConfig{Vectors: c.batch2, Docs: c.b2Docs, Assign: a2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srchID, err := q.SubmitAsync(ctx, HostCommand{
+		Opcode: OpcodeIVFSearch, DBID: 1, Queries: testData.Queries[:4], K: 10, NProbe: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.resume()
+	<-done
+
+	for id, what := range map[CommandID]string{compID: "compact", appID: "append", srchID: "search"} {
+		if cp := comps[id]; cp.Err != nil {
+			t.Fatalf("%s: %v", what, cp.Err)
+		}
+	}
+	idxOf := func(id CommandID) int {
+		for i, x := range order {
+			if x == id {
+				return i
+			}
+		}
+		return -1
+	}
+	if idxOf(appID) < idxOf(compID) {
+		t.Fatalf("append completed before the in-flight compaction (order %v)", order)
+	}
+
+	// Journal order == application order: the compaction record lands
+	// at the pre-existing tail, the held-back append after it.
+	jl := e.JournalBytes()
+	offs, err := journalOffsets(jl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 6 {
+		t.Fatalf("journal has %d records, want 5", len(offs)-1)
+	}
+	if offs[3] != jlBefore {
+		t.Fatalf("compaction journaled at offset %d, want the pre-flight tail %d", offs[3], jlBefore)
+	}
+	if jl[offs[3]] != OpcodeCompact || jl[offs[4]] != OpcodeAppend {
+		t.Fatalf("journal tail opcodes %#x,%#x; want compact,append", jl[offs[3]], jl[offs[4]])
+	}
+}
+
+// runChurn drives an append/delete/compact churn workload against a
+// flat database: each round tombstones a fresh slice of the base and
+// the whole previous round's batch, compacts, and appends a new batch.
+// The logical tail grows past the planned region capacity, so it only
+// survives because freed GC rows are recycled into subsequent appends.
+func runChurn(t *testing.T, e *Engine, rounds, batch int) WearStats {
+	t.Helper()
+	base := testData.Vectors[:900]
+	baseDocs := testData.Docs[:900]
+	pool := scaleInto(testData.Vectors[900:], maxAbs(base))
+	poolDocs := testData.Docs[900:]
+	if _, err := e.Submit(HostCommand{Opcode: OpcodeDBDeploy, Deploy: &DeployConfig{
+		ID: 1, Vectors: base, Docs: baseDocs, DocSlotBytes: 256,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	var acc WearStats
+	var prev []int
+	at := 0
+	for r := 0; r < rounds; r++ {
+		// Tombstone 15 consecutive base entries (their row drops below
+		// the live threshold, forcing survivor relocation) plus the
+		// whole previous batch.
+		del := make([]int, 0, 15+len(prev))
+		for id := r * 30; id < r*30+15; id++ {
+			del = append(del, id)
+		}
+		del = append(del, prev...)
+		if err := e.Delete(1, del...); err != nil {
+			t.Fatalf("round %d delete: %v", r, err)
+		}
+		wear, err := e.Compact(1, 0.9)
+		if err != nil {
+			t.Fatalf("round %d compact: %v", r, err)
+		}
+		acc.CompactedRows += wear.CompactedRows
+		acc.BlockErases += wear.BlockErases
+		acc.CopiedEntries += wear.CopiedEntries
+		acc.FreedPages += wear.FreedPages
+		vecs := make([][]float32, batch)
+		docs := make([][]byte, batch)
+		for j := range vecs {
+			vecs[j] = pool[(at+j)%len(pool)]
+			docs[j] = poolDocs[(at+j)%len(poolDocs)]
+		}
+		at += batch
+		ids, err := e.Append(1, AppendConfig{Vectors: vecs, Docs: docs})
+		if err != nil {
+			t.Fatalf("round %d append: %v", r, err)
+		}
+		prev = ids
+	}
+	return acc
+}
+
+// TestChurnRecyclesFreedRows is the long-churn regression test: before
+// freed extents were recycled, a sustained append/delete/compact
+// workload exhausted the embedding region's fresh rows and died with a
+// spurious ssd.ErrRegionFull even though the live set fit comfortably.
+// Now the logical tail runs past the planned capacity on recycled rows
+// while the physical footprint stays fixed.
+func TestChurnRecyclesFreedRows(t *testing.T) {
+	const rounds, batch = 20, 63
+	e, err := New(gcRefCfg(1), 64<<20, AllOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	acc := runChurn(t, e, rounds, batch)
+	if acc.CompactedRows < rounds {
+		t.Fatalf("churn compacted only %d rows over %d rounds", acc.CompactedRows, rounds)
+	}
+	if acc.FreedPages == 0 {
+		t.Fatalf("churn freed no pages: %+v", acc)
+	}
+	db, err := e.DB(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.mut.binPages <= db.mut.capBin {
+		t.Fatalf("logical tail %d pages never exceeded the planned capacity %d: churn too light to prove recycling",
+			db.mut.binPages, db.mut.capBin)
+	}
+	if got, want := db.Live(), 900-15*rounds+batch; got != want {
+		t.Fatalf("Live() = %d, want %d", got, want)
+	}
+	res, _, err := e.Search(1, testData.Queries[0], 10, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("search after churn returned %d results", len(res))
+	}
+}
+
+// TestWearLeveledPlacementReducesSkew: under the same churn workload,
+// least-worn-first row placement (the default) yields a strictly lower
+// maximum per-block erase count than the PR-5-era first-fit placement,
+// which hammers the lowest freed rows.
+func TestWearLeveledPlacementReducesSkew(t *testing.T) {
+	churn := func(opts Options) int64 {
+		e, err := New(gcRefCfg(1), 64<<20, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		runChurn(t, e, 20, 63)
+		return e.SSD.Dev.MaxEraseCount()
+	}
+	ff := AllOptions()
+	ff.FirstFitPlacement = true
+	firstFit := churn(ff)
+	wearLeveled := churn(AllOptions())
+	if wearLeveled == 0 {
+		t.Fatal("churn erased nothing under wear-leveled placement")
+	}
+	if wearLeveled >= firstFit {
+		t.Fatalf("wear-leveled MaxBlockErase %d not below first-fit %d", wearLeveled, firstFit)
+	}
+}
+
+// TestWearStatsSumAcrossShards is the wear-accounting property test:
+// for shards 1/2/4 against the N-times-channels single-device
+// reference, the compaction's cumulative WearStats are bit-identical,
+// the per-device program/erase counters sum exactly to the reference
+// device's, MaxBlockErase is the true maximum over every shard's
+// blocks, and the write-amplification ratio is exactly
+// BytesProgrammed/PayloadBytes.
+func TestWearStatsSumAcrossShards(t *testing.T) {
+	c := newMutCorpus()
+	for _, n := range shardCounts {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			ref, err := New(gcRefCfg(n), 64<<20, AllOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { ref.Close() })
+			want := runMutScript(t, ref, c, true, 0.9)
+			sh, err := NewSharded(gcTestCfg(), n, 64<<20, AllOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { sh.Close() })
+			got := runMutScript(t, sh, c, true, 0.9)
+
+			refWear, shWear := want[8].Wear, got[8].Wear
+			if !reflect.DeepEqual(refWear, shWear) {
+				t.Fatalf("compaction wear diverges\nsharded   %+v\nreference %+v", shWear, refWear)
+			}
+			if shWear.PayloadBytes == 0 || shWear.BytesProgrammed < shWear.PayloadBytes {
+				t.Fatalf("write amplification accounting off: %+v", shWear)
+			}
+			if want := float64(shWear.BytesProgrammed) / float64(shWear.PayloadBytes); shWear.WriteAmp != want {
+				t.Fatalf("WriteAmp = %v, want %v", shWear.WriteAmp, want)
+			}
+
+			var progSum, eraseSum, maxErase int64
+			for s := 0; s < n; s++ {
+				d := sh.Shard(s).SSD.Dev
+				progSum += d.Stats.PagePrograms.Load()
+				eraseSum += d.Stats.BlockErases.Load()
+				if m := d.MaxEraseCount(); m > maxErase {
+					maxErase = m
+				}
+			}
+			refDev := ref.SSD.Dev
+			if progSum != refDev.Stats.PagePrograms.Load() {
+				t.Fatalf("page programs: shards sum %d, reference %d", progSum, refDev.Stats.PagePrograms.Load())
+			}
+			if eraseSum != refDev.Stats.BlockErases.Load() {
+				t.Fatalf("block erases: shards sum %d, reference %d", eraseSum, refDev.Stats.BlockErases.Load())
+			}
+			if maxErase != refDev.MaxEraseCount() {
+				t.Fatalf("max block erase: shards max %d, reference %d", maxErase, refDev.MaxEraseCount())
+			}
+			if shWear.MaxBlockErase != maxErase {
+				t.Fatalf("Wear.MaxBlockErase %d, device max %d", shWear.MaxBlockErase, maxErase)
+			}
+		})
+	}
+}

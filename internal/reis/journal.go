@@ -1,0 +1,264 @@
+package reis
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The mutation journal is the durability half of online mutability: an
+// append-only byte log of every committed mutation command, written
+// under the host's execution lock in exactly the order the commands
+// were applied. Deploys are not journaled — recovery re-deploys from
+// the (immutable) deploy configuration, then replays the journal, and
+// the determinism of the mutation path guarantees the rebuilt state is
+// bit-identical to the pre-crash one. Because background GC holds back
+// later mutations on a database until its compaction flight completes
+// (queue.go), journal order equals application order even with the
+// collector interleaving searches.
+//
+// Record format (all integers little-endian, uvarint = unsigned
+// varint as in encoding/binary):
+//
+//	record  := opcode:u8 dbid:uvarint body
+//	append  := n:uvarint dim:uvarint vec[n*dim]:f32bits
+//	           { doclen:uvarint docbytes }*n
+//	           nassign:uvarint { cluster:uvarint }*nassign
+//	           tags:u8 { tag:u8 }*n        (tags=1 iff MetaTags present)
+//	delete  := nids:uvarint { id:uvarint }*nids
+//	compact := minLiveRatio:f64bits
+//
+// Any prefix of the log that ends on a record boundary is a valid
+// journal — the crash-recovery oracle cuts at every boundary (see
+// journalOffsets) and replays the prefix on a fresh deploy.
+type journal struct {
+	buf []byte
+}
+
+func (j *journal) u8(v uint8)       { j.buf = append(j.buf, v) }
+func (j *journal) uvarint(v uint64) { j.buf = binary.AppendUvarint(j.buf, v) }
+func (j *journal) f32(v float32) {
+	j.buf = binary.LittleEndian.AppendUint32(j.buf, math.Float32bits(v))
+}
+func (j *journal) f64(v float64) {
+	j.buf = binary.LittleEndian.AppendUint64(j.buf, math.Float64bits(v))
+}
+
+// logCmd records one committed mutation command. The caller holds the
+// host's execution lock and has already applied the command.
+func (j *journal) logCmd(cmd *HostCommand) {
+	switch cmd.Opcode {
+	case OpcodeAppend:
+		j.logAppend(cmd.DBID, cmd.Append)
+	case OpcodeDelete:
+		j.logDelete(cmd.DBID, cmd.Del.IDs)
+	case OpcodeCompact:
+		j.logCompact(cmd.DBID, cmd.Compact.MinLiveRatio)
+	}
+}
+
+func (j *journal) logAppend(dbID int, cfg *AppendConfig) {
+	j.u8(OpcodeAppend)
+	j.uvarint(uint64(dbID))
+	n := len(cfg.Vectors)
+	dim := 0
+	if n > 0 {
+		dim = len(cfg.Vectors[0])
+	}
+	j.uvarint(uint64(n))
+	j.uvarint(uint64(dim))
+	for _, v := range cfg.Vectors {
+		for _, x := range v {
+			j.f32(x)
+		}
+	}
+	for _, d := range cfg.Docs {
+		j.uvarint(uint64(len(d)))
+		j.buf = append(j.buf, d...)
+	}
+	j.uvarint(uint64(len(cfg.Assign)))
+	for _, c := range cfg.Assign {
+		j.uvarint(uint64(c))
+	}
+	if cfg.MetaTags != nil {
+		j.u8(1)
+		j.buf = append(j.buf, cfg.MetaTags...)
+	} else {
+		j.u8(0)
+	}
+}
+
+func (j *journal) logDelete(dbID int, ids []int) {
+	j.u8(OpcodeDelete)
+	j.uvarint(uint64(dbID))
+	j.uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		j.uvarint(uint64(id))
+	}
+}
+
+func (j *journal) logCompact(dbID int, minLiveRatio float64) {
+	j.u8(OpcodeCompact)
+	j.uvarint(uint64(dbID))
+	j.f64(minLiveRatio)
+}
+
+// journalReader decodes records back into host commands.
+type journalReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *journalReader) u8() (uint8, error) {
+	if r.pos >= len(r.data) {
+		return 0, fmt.Errorf("reis: truncated journal record at offset %d", r.pos)
+	}
+	v := r.data[r.pos]
+	r.pos++
+	return v, nil
+}
+
+func (r *journalReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("reis: bad journal varint at offset %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *journalReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.data) {
+		return nil, fmt.Errorf("reis: truncated journal record at offset %d (need %d bytes)", r.pos, n)
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+// next decodes the record starting at the reader's position. The
+// returned command aliases the journal bytes (documents, tags); the
+// mutation path copies what it stores.
+func (r *journalReader) next() (HostCommand, error) {
+	op, err := r.u8()
+	if err != nil {
+		return HostCommand{}, err
+	}
+	dbID, err := r.uvarint()
+	if err != nil {
+		return HostCommand{}, err
+	}
+	cmd := HostCommand{Opcode: op, DBID: int(dbID)}
+	switch op {
+	case OpcodeAppend:
+		n, err := r.uvarint()
+		if err != nil {
+			return HostCommand{}, err
+		}
+		dim, err := r.uvarint()
+		if err != nil {
+			return HostCommand{}, err
+		}
+		cfg := &AppendConfig{Vectors: make([][]float32, n), Docs: make([][]byte, n)}
+		for i := range cfg.Vectors {
+			raw, err := r.bytes(int(dim) * 4)
+			if err != nil {
+				return HostCommand{}, err
+			}
+			v := make([]float32, dim)
+			for d := range v {
+				v[d] = math.Float32frombits(binary.LittleEndian.Uint32(raw[d*4:]))
+			}
+			cfg.Vectors[i] = v
+		}
+		for i := range cfg.Docs {
+			dl, err := r.uvarint()
+			if err != nil {
+				return HostCommand{}, err
+			}
+			if cfg.Docs[i], err = r.bytes(int(dl)); err != nil {
+				return HostCommand{}, err
+			}
+		}
+		nassign, err := r.uvarint()
+		if err != nil {
+			return HostCommand{}, err
+		}
+		if nassign > 0 {
+			cfg.Assign = make([]int, nassign)
+			for i := range cfg.Assign {
+				c, err := r.uvarint()
+				if err != nil {
+					return HostCommand{}, err
+				}
+				cfg.Assign[i] = int(c)
+			}
+		}
+		tagged, err := r.u8()
+		if err != nil {
+			return HostCommand{}, err
+		}
+		if tagged != 0 {
+			if cfg.MetaTags, err = r.bytes(int(n)); err != nil {
+				return HostCommand{}, err
+			}
+		}
+		cmd.Append = cfg
+	case OpcodeDelete:
+		nids, err := r.uvarint()
+		if err != nil {
+			return HostCommand{}, err
+		}
+		ids := make([]int, nids)
+		for i := range ids {
+			id, err := r.uvarint()
+			if err != nil {
+				return HostCommand{}, err
+			}
+			ids[i] = int(id)
+		}
+		cmd.Del = &DeleteConfig{IDs: ids}
+	case OpcodeCompact:
+		raw, err := r.bytes(8)
+		if err != nil {
+			return HostCommand{}, err
+		}
+		cmd.Compact = &CompactConfig{MinLiveRatio: math.Float64frombits(binary.LittleEndian.Uint64(raw))}
+	default:
+		return HostCommand{}, fmt.Errorf("reis: unknown journal opcode %#x at offset %d", op, r.pos-1)
+	}
+	return cmd, nil
+}
+
+// journalOffsets returns every valid prefix length of a journal: 0,
+// then the end offset of each record. The crash-recovery tests cut the
+// log at each of these and replay the prefix.
+func journalOffsets(data []byte) ([]int, error) {
+	offs := []int{0}
+	r := &journalReader{data: data}
+	for r.pos < len(data) {
+		if _, err := r.next(); err != nil {
+			return nil, err
+		}
+		offs = append(offs, r.pos)
+	}
+	return offs, nil
+}
+
+// replayJournal re-applies a record-aligned journal prefix through a
+// host's normal command path. Replay is the recovery oracle's second
+// half: fresh deploy + replayJournal(prefix) ≡ the journaling host's
+// state when the prefix was captured.
+func replayJournal(h submitter, data []byte) error {
+	r := &journalReader{data: data}
+	for r.pos < len(data) {
+		cmd, err := r.next()
+		if err != nil {
+			return err
+		}
+		if _, err := h.Submit(cmd); err != nil {
+			return fmt.Errorf("reis: journal replay at offset %d: %w", r.pos, err)
+		}
+	}
+	return nil
+}

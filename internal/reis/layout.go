@@ -152,6 +152,20 @@ func planLayout(cfg *DeployConfig, geo flash.Geometry, overprovisionPct int) (*d
 	lo.int8Cap = withHeadroom(lo.int8Pages, overprovisionPct)
 	lo.docCap = withHeadroom(lo.docPages, overprovisionPct)
 	lo.ppb = geo.PagesPerBlock
+	// The binary region reclaims space at GC-row granularity (one block
+	// per plane), and copy-forward is strictly out-of-place: collecting
+	// a victim row needs a fresh row to relocate its survivors into. An
+	// overprovisioned deployment therefore always reserves at least one
+	// row beyond the deployed extent, even when the configured headroom
+	// is smaller than a row (small databases under coarse geometries).
+	// Immutable deployments (no overprovisioning) reserve nothing, so
+	// exact-fit layouts on small devices still deploy.
+	if overprovisionPct > 0 {
+		rowPages := geo.Planes() * lo.ppb
+		if minCap := (ceilDiv(lo.embPages, rowPages) + 1) * rowPages; lo.embCap < minCap {
+			lo.embCap = minCap
+		}
+	}
 	if len(cfg.Centroids) > 0 {
 		lo.centPages = ceilDiv(len(cfg.Centroids), lo.embPerPage)
 		lo.rivf = buildRIVF(cfg.Assign, order, len(cfg.Centroids))

@@ -9,39 +9,52 @@ import (
 )
 
 // This file implements online mutability: OpcodeAppend writes new
-// items out-of-place into the regions' reserved free blocks (extending
-// the layout's page plan), OpcodeDelete tombstones entries in a
-// controller-DRAM bitmap consulted by the controller tail, and
-// OpcodeCompact is the explicit-quiesce garbage collector — it detects
-// GC rows whose live ratio dropped below a threshold, copies every
-// live entry forward into a canonically rebuilt binary region, erases
-// the old extent via flash.EraseBlock, and commits the coarse-grained
-// FTL remap (region bounds in the R-DB).
+// items out-of-place into wear-selected free GC rows (extending the
+// layout's page plan through the region row map), OpcodeDelete
+// tombstones entries in a controller-DRAM bitmap consulted by the
+// controller tail, and OpcodeCompact is the garbage collector — run
+// either synchronously (replay, direct calls) or split by the queue
+// scheduler into per-GC-row copy-forward steps that interleave with
+// foreground searches (see queue.go). Each step copies the victim
+// row's live entries forward to the region tail, erases the row via
+// flash.EraseBlock, returns its physical row to the append free pool,
+// and commits the coarse-grained FTL remap (region bounds plus the
+// row map in the R-DB), so a search between any two steps sees a
+// fully consistent plan.
+//
+// GC rows are erase rows: planes_global * PagesPerBlock consecutive
+// global binary-region pages — exactly one flash block per plane on
+// every device of the topology. That granularity is what lets one
+// logical reclaim erase the same block index on a single device and
+// on every shard of a sharded deployment, keeping wear accounting
+// bit-identical across topologies.
 //
 // Two-level split, mirroring planLayout/install:
 //
 //   - mutState is the geometry-independent half: per-cluster segment
 //     lists (the scan plan), the tombstone bitmap, the id→position
-//     map, per-GC-row live/dead counts, and the planned region
-//     capacities. Every decision — append placement, victim
-//     detection, the compacted layout — is a pure function of this
-//     state, so the same mutation history yields the same logical
+//     map, per-GC-row live/dead counts, the logical→physical row map
+//     mirror and the free-row pool. Every decision — append placement,
+//     wear-aware row selection, victim detection, each copy-forward
+//     step — is a pure function of this state plus the target's wear
+//     ledger, so the same mutation history yields the same logical
 //     outcome on every topology (single device or any shard count).
-//   - mutTarget is the physical half: page reads/programs, extent
-//     resizes and block erases. The single-device engine applies them
-//     to its own regions; the sharded router routes each global page
-//     to the shard that owns it (page g → shard g mod N, local page
-//     g / N), which makes sharded mutation bit-identical to the
-//     N-times-channels reference device by construction.
+//   - mutTarget is the physical half: page reads/programs, row-map
+//     growth, extent resizes and row reclaims. The single-device
+//     engine applies them to its own regions; the sharded router
+//     routes each global page to the shard that owns it (page g →
+//     shard g mod N, local page g / N), which makes sharded mutation
+//     bit-identical to the N-times-channels reference device by
+//     construction.
 //
-// Order preservation. Appends allocate page-aligned slot runs at the
-// region tail, per cluster in ascending cluster order, so the scan
-// order within every cluster stays ascending by id. Compaction rebuilds
-// the region in exactly that order (clusters ascending, live entries in
-// scan order), so the merged TTL entry sequence a query sees — and
-// therefore every search result — is unchanged by compaction; only
-// page/wave stats shrink. See DESIGN.md, "Mutability and garbage
-// collection".
+// Scan order under GC. Appends allocate page-aligned slot runs at the
+// region tail, per cluster in ascending cluster order. A copy-forward
+// step relocates a victim row's live entries to the tail, so the scan
+// order within a cluster is no longer globally ascending by id — it is
+// the original order with relocated runs moved to the end. Search
+// results are position-invariant anyway: candidate-pool membership
+// ties break on (Dist, DADR) and final ordering is (Dist, ID), neither
+// of which depends on where an entry lives (see search.go, ttlLess).
 
 // AppendConfig is the payload of an OpcodeAppend command: new items
 // written out-of-place into the database's reserved free blocks.
@@ -74,10 +87,14 @@ type DeleteConfig struct {
 	IDs []int
 }
 
-// CompactConfig is the payload of an OpcodeCompact command — the
-// explicit quiesce point at which the garbage collector may run.
+// CompactConfig is the payload of an OpcodeCompact command. Submitted
+// through a queue, compaction runs as a background activity: the
+// scheduler splits it into per-GC-row copy-forward steps whose device
+// time is arbitrated against foreground searches by the stride
+// weights, and completes the command when the last step lands. No
+// quiesce is required anywhere.
 type CompactConfig struct {
-	// MinLiveRatio is the GC trigger: compaction runs when any GC row
+	// MinLiveRatio is the GC trigger: a GC row is collected when it
 	// holds deleted entries and its live/(live+deleted) ratio is below
 	// this threshold. 0 means the default of 0.5; values outside [0, 1]
 	// are rejected with ErrBadThreshold.
@@ -90,7 +107,8 @@ const defaultMinLiveRatio = 0.5
 
 // WearStats reports the flash cost of one mutation command: pages
 // programmed (appends and GC copy-forward), pages read back by the
-// collector, blocks erased, and the device's resulting wear skew.
+// collector, blocks erased, write amplification, and the device's
+// resulting wear skew.
 type WearStats struct {
 	// PagesProgrammed counts flash page programs issued by the command.
 	PagesProgrammed int
@@ -103,13 +121,26 @@ type WearStats struct {
 	// MaxBlockErase is the highest per-block erase count on the device
 	// after the command (the wear-leveling skew figure).
 	MaxBlockErase int64
-	// CompactedRows is the number of GC rows whose live ratio was below
-	// the threshold (0 means the command was a no-op).
+	// CompactedRows is the number of GC rows copied forward and erased
+	// (0 means the command collected nothing).
 	CompactedRows int
 	// CopiedEntries is the number of live entries copied forward.
 	CopiedEntries int
-	// FreedPages is the net shrink of the binary region's live extent.
+	// FreedPages is the net page count returned to the free pool by
+	// collection: pages of reclaimed rows minus pages programmed to
+	// copy their live entries forward.
 	FreedPages int
+	// BytesProgrammed is the database's cumulative flash traffic since
+	// deployment: every page program of every mutation, including GC
+	// copy-forward.
+	BytesProgrammed int64
+	// PayloadBytes is the cumulative user payload accepted since
+	// deployment (embedding slots, INT8 copies and document bytes of
+	// appended items).
+	PayloadBytes int64
+	// WriteAmp is BytesProgrammed / PayloadBytes — the write
+	// amplification factor (0 until the first append).
+	WriteAmp float64
 }
 
 // submitter is the synchronous command surface the convenience
@@ -151,7 +182,8 @@ type mutLayout struct {
 	docsPerPage int
 	pageBytes   int
 	oobBytes    int
-	ppb         int // GC row granularity: pages per flash block
+	ppb         int // flash pages per block
+	rowPages    int // GC row granularity: planes_global * ppb global pages
 	nlist       int // 0 for flat
 	params      vecmath.Int8Params
 }
@@ -163,8 +195,8 @@ type mutState struct {
 	lay mutLayout
 
 	// buckets[c] is cluster c's posting list: the binary-region slot
-	// ranges scanned for the cluster, in scan (ascending-id) order.
-	// nil for flat databases.
+	// ranges scanned for the cluster, in scan order. Nil for flat
+	// databases.
 	buckets [][]SlotRange
 
 	// centCodes[c] / radius[c] are cluster c's binary centroid code and
@@ -178,14 +210,17 @@ type mutState struct {
 
 	// flatPlan is the brute-force scan plan: the live slot ranges of
 	// the whole binary region in position order — the deployed extent
-	// plus one range per append batch (batch ranges bridge the
-	// page-padding gaps between clusters, which scan as skipped
+	// plus one range per append batch or GC relocation (ranges bridge
+	// the page-padding gaps between clusters, which scan as skipped
 	// invalid-DADR slots). Both flat and IVF databases keep one: a
 	// Search command on an IVF database scans everything.
 	flatPlan []SlotRange
 
-	// tailSlots is the first free binary slot; appends allocate
-	// page-aligned runs from here. binPages is the live extent.
+	// tailSlots is the first free binary slot; appends and copy-forward
+	// steps allocate page-aligned runs from here. binPages is the live
+	// logical extent — under churn it may exceed the planned capacity,
+	// because logical rows grow monotonically while their physical rows
+	// recycle through the free pool.
 	tailSlots int
 	binPages  int
 
@@ -196,28 +231,51 @@ type mutState struct {
 	int8Slots, int8Pages int
 	docSlots, docPages   int
 
-	// Planned capacities (global pages) from the layout: the logical
-	// append bound, checked before any physical write so ErrRegionFull
-	// strikes at the same point on every topology.
+	// Planned capacities (global pages) from the layout. The aux
+	// regions gate appends against them (append-only address spaces);
+	// the binary region instead gates on free physical rows, since GC
+	// recycles its extent.
 	capBin, capInt8, capDoc int
 
 	// tomb is the tombstone bitmap, indexed by id; posOf maps ids to
-	// their binary slot position (-1: never issued or compacted away
+	// their binary slot position (-1: never issued or collected away
 	// with its tombstone).
 	tomb  []uint64
 	posOf []int32
 
-	// rowLive/rowDead count live and tombstoned entries per GC row
-	// (ppb consecutive binary-region pages) — the victim detector's
-	// input. Padding slots count in neither.
+	// Per-logical-GC-row accounting (rowPages consecutive global
+	// binary-region pages each). rowLive/rowDead count live and
+	// tombstoned entries (padding slots count in neither) — the victim
+	// detector's input. rowPhys mirrors the region row map: the
+	// physical row each logical row occupies, -1 once reclaimed.
+	// rowGone marks reclaimed rows.
 	rowLive, rowDead []int
+	rowPhys          []int
+	rowGone          []bool
+
+	// freeRows is the append/GC free pool: physical rows of the binary
+	// region's reserved extent that are erased and unmapped. Placement
+	// picks the lowest-wear row (see takeFreeRows); reclaimed rows
+	// return here.
+	freeRows []int
+
+	// firstFit disables wear-aware placement (lowest physical row
+	// index wins) — the PR 5 allocator's behaviour, kept for the wear
+	// experiment's baseline.
+	firstFit bool
+
+	// bytesFlash / bytesUser accumulate flash traffic and user payload
+	// since deployment — the write-amplification inputs.
+	bytesFlash, bytesUser int64
 
 	live      int // live entries
 	deadCount int // tombstoned, not yet collected
 }
 
 // newMutState derives the initial mutable metadata from a layout plan.
-func newMutState(lo *dbLayout, geo flash.Geometry) *mutState {
+// geo must be the global (single-device-equivalent) geometry.
+func newMutState(lo *dbLayout, geo flash.Geometry, firstFit bool) *mutState {
+	rowPages := geo.Planes() * lo.ppb
 	m := &mutState{
 		lay: mutLayout{
 			dim:         lo.dim,
@@ -230,6 +288,7 @@ func newMutState(lo *dbLayout, geo flash.Geometry) *mutState {
 			pageBytes:   geo.PageBytes,
 			oobBytes:    geo.OOBBytes,
 			ppb:         lo.ppb,
+			rowPages:    rowPages,
 			nlist:       len(lo.rivf),
 			params:      lo.params,
 		},
@@ -242,6 +301,7 @@ func newMutState(lo *dbLayout, geo flash.Geometry) *mutState {
 		capBin:    lo.embCap,
 		capInt8:   lo.int8Cap,
 		capDoc:    lo.docCap,
+		firstFit:  firstFit,
 		live:      lo.n,
 	}
 	m.flatPlan = []SlotRange{{First: 0, Last: lo.regionSlots - 1}}
@@ -257,9 +317,23 @@ func newMutState(lo *dbLayout, geo flash.Geometry) *mutState {
 		m.centCodes = lo.centCodes
 		m.radius = append([]int(nil), lo.radius...)
 	}
+	// Deployed rows are identity-mapped; the rest of the reserved
+	// extent is the free pool. Both counts are pure functions of the
+	// plan and the global geometry, so every topology starts with the
+	// same pool.
+	initRows := ceilDiv(lo.embPages, rowPages)
+	physRows := ceilDiv(lo.embCap, rowPages)
+	m.rowLive = make([]int, initRows)
+	m.rowDead = make([]int, initRows)
+	m.rowGone = make([]bool, initRows)
+	m.rowPhys = make([]int, initRows)
+	for r := range m.rowPhys {
+		m.rowPhys[r] = r
+	}
+	for p := initRows; p < physRows; p++ {
+		m.freeRows = append(m.freeRows, p)
+	}
 	m.posOf = make([]int32, lo.n)
-	m.rowLive = make([]int, ceilDiv(lo.embPages, m.lay.ppb))
-	m.rowDead = make([]int, len(m.rowLive))
 	for pos, id := range lo.order {
 		if id < 0 {
 			continue
@@ -271,7 +345,7 @@ func newMutState(lo *dbLayout, geo flash.Geometry) *mutState {
 }
 
 // rowOf returns the GC row of a binary slot position.
-func (m *mutState) rowOf(pos int) int { return pos / m.lay.embPerPage / m.lay.ppb }
+func (m *mutState) rowOf(pos int) int { return pos / m.lay.embPerPage / m.lay.rowPages }
 
 // Live returns the number of live (not tombstoned) entries.
 func (m *mutState) Live() int { return m.live }
@@ -295,9 +369,15 @@ func bitsetSet(b []uint64, i int) []uint64 {
 	return b
 }
 
+func bitsetClear(b []uint64, i int) {
+	if w := i >> 6; w < len(b) {
+		b[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
 // mutTarget is the physical half of a mutation: how pages of the
-// database's regions are read, programmed, resized and erased. Page
-// indices are global (single-device-equivalent) region pages.
+// database's regions are read, programmed, grown and reclaimed. Page
+// and row indices are global (single-device-equivalent).
 type mutTarget interface {
 	// readBinPage senses global binary-region page g through the
 	// conventional path (data and OOB are freshly allocated).
@@ -307,16 +387,64 @@ type mutTarget interface {
 	writeBinPage(g int, data, oob []byte) error
 	writeInt8Page(g int, data []byte) error
 	writeDocPage(g int, data []byte) error
-	// resize commits new live extents (global pages) for the binary,
-	// INT8 and document regions; -1 keeps a region unchanged. Resizing
-	// updates the R-DB record (the coarse FTL remap).
-	resize(binPages, int8Pages, docPages int) error
-	// eraseBinPages erases every block-row covering the first oldPages
-	// of the binary region, returning the number of block erases
-	// performed and the device's max per-block erase count afterwards.
-	// oldPages 0 erases nothing and just reports the current wear —
-	// how non-erasing commands fill WearStats.MaxBlockErase.
-	eraseBinPages(oldPages int) (erases int, maxWear int64, err error)
+	// growBin binds the given physical rows to the next logical rows of
+	// the binary region's row map and commits the new live extent
+	// (global pages) — the per-step coarse FTL remap (R-DB update).
+	growBin(binPages int, phys []int) error
+	// growAux commits new live extents for the INT8 and document
+	// regions; -1 keeps a region unchanged.
+	growAux(int8Pages, docPages int) error
+	// reclaimBinRow erases logical GC row row of the binary region (one
+	// block per plane on every device) and unmaps it, returning the
+	// number of block erases performed.
+	reclaimBinRow(row int) (erases int, err error)
+	// rowWear reports the highest per-block erase count across the
+	// blocks of physical binary-region row phys — the wear-aware
+	// placement key.
+	rowWear(phys int) int64
+	// maxWear reports the device's (or shard set's) highest per-block
+	// erase count.
+	maxWear() int64
+}
+
+// fillWear completes a command's WearStats with the device wear skew
+// and the database's cumulative write-amplification figures.
+func (m *mutState) fillWear(w *WearStats, t mutTarget) {
+	w.MaxBlockErase = t.maxWear()
+	w.BytesProgrammed = m.bytesFlash
+	w.PayloadBytes = m.bytesUser
+	if m.bytesUser > 0 {
+		w.WriteAmp = float64(w.BytesProgrammed) / float64(w.PayloadBytes)
+	}
+}
+
+// takeFreeRows removes and returns k physical rows from the free pool.
+// Wear-leveled placement picks the row with the lowest wear (ties:
+// lowest physical index); firstFit picks the lowest physical index —
+// either way the choice is a deterministic function of the pool's
+// contents and the wear ledger, independent of the pool's order, so
+// every topology picks the same rows.
+func (m *mutState) takeFreeRows(t mutTarget, k int) []int {
+	sel := make([]int, 0, k)
+	for ; k > 0; k-- {
+		best := 0
+		for i := 1; i < len(m.freeRows); i++ {
+			a, b := m.freeRows[i], m.freeRows[best]
+			if m.firstFit {
+				if a < b {
+					best = i
+				}
+				continue
+			}
+			wa, wb := t.rowWear(a), t.rowWear(b)
+			if wa < wb || (wa == wb && a < b) {
+				best = i
+			}
+		}
+		sel = append(sel, m.freeRows[best])
+		m.freeRows = append(m.freeRows[:best], m.freeRows[best+1:]...)
+	}
+	return sel
 }
 
 // mutAppend executes one append: placement and metadata are computed
@@ -363,7 +491,7 @@ func mutAppend(m *mutState, t mutTarget, cfg *AppendConfig) ([]int, *WearStats, 
 
 	// Binary placement: one page-aligned slot run per cluster present
 	// in the batch, clusters ascending, items in batch (= ascending id)
-	// order — which keeps every cluster's scan order ascending by id.
+	// order.
 	type group struct {
 		cluster int
 		items   []int // batch indices
@@ -395,21 +523,47 @@ func mutAppend(m *mutState, t mutTarget, cfg *AppendConfig) ([]int, *WearStats, 
 	newTail := cursor
 	newBinPages := ceilDiv(newTail, lay.embPerPage)
 
-	// Logical capacity gate — before any physical effect, against the
-	// planned (geometry-independent) capacities.
+	// Logical capacity gates — before any physical effect. The aux
+	// regions check their planned (geometry-independent) capacities;
+	// the binary region checks the free-row pool, which GC refills, so
+	// sustained churn never spuriously fills the region while live data
+	// fits.
+	neededRows := ceilDiv(newBinPages, lay.rowPages)
+	growth := neededRows - len(m.rowPhys)
 	switch {
-	case newBinPages > m.capBin:
-		return nil, nil, fmt.Errorf("%w (embedding region: %d pages of %d planned)", ssd.ErrRegionFull, newBinPages, m.capBin)
+	case growth > len(m.freeRows):
+		return nil, nil, fmt.Errorf("%w (embedding region: %d fresh GC rows needed, %d free)", ssd.ErrRegionFull, growth, len(m.freeRows))
 	case newInt8Pages > m.capInt8:
 		return nil, nil, fmt.Errorf("%w (INT8 region: %d pages of %d planned)", ssd.ErrRegionFull, newInt8Pages, m.capInt8)
 	case newDocPages > m.capDoc:
 		return nil, nil, fmt.Errorf("%w (document region: %d pages of %d planned)", ssd.ErrRegionFull, newDocPages, m.capDoc)
 	}
-	if err := t.resize(newBinPages, newInt8Pages, newDocPages); err != nil {
+	var physSel []int
+	if growth > 0 {
+		physSel = m.takeFreeRows(t, growth)
+	}
+	if err := t.growBin(newBinPages, physSel); err != nil {
 		return nil, nil, err
+	}
+	if err := t.growAux(newInt8Pages, newDocPages); err != nil {
+		return nil, nil, err
+	}
+	for _, p := range physSel {
+		m.rowPhys = append(m.rowPhys, p)
+		m.rowGone = append(m.rowGone, false)
+		m.rowLive = append(m.rowLive, 0)
+		m.rowDead = append(m.rowDead, 0)
 	}
 
 	wear := &WearStats{}
+	program := func(write func() error) error {
+		if err := write(); err != nil {
+			return err
+		}
+		wear.PagesProgrammed++
+		m.bytesFlash += int64(lay.pageBytes)
+		return nil
+	}
 	// Document pages.
 	for p := m.docPages; p < newDocPages; p++ {
 		page := make([]byte, lay.pageBytes)
@@ -419,10 +573,9 @@ func mutAppend(m *mutState, t mutTarget, cfg *AppendConfig) ([]int, *WearStats, 
 				copy(page[s*lay.docBytes:(s+1)*lay.docBytes], cfg.Docs[slot-idStart])
 			}
 		}
-		if err := t.writeDocPage(p, page); err != nil {
+		if err := program(func() error { return t.writeDocPage(p, page) }); err != nil {
 			return nil, nil, err
 		}
-		wear.PagesProgrammed++
 	}
 	// INT8 rerank pages.
 	for p := m.int8Pages; p < newInt8Pages; p++ {
@@ -434,10 +587,9 @@ func mutAppend(m *mutState, t mutTarget, cfg *AppendConfig) ([]int, *WearStats, 
 				copy(page[s*lay.int8Bytes:(s+1)*lay.int8Bytes], vecmath.PackInt8Bytes(q8, nil))
 			}
 		}
-		if err := t.writeInt8Page(p, page); err != nil {
+		if err := program(func() error { return t.writeInt8Page(p, page) }); err != nil {
 			return nil, nil, err
 		}
-		wear.PagesProgrammed++
 	}
 	// Binary pages, one run per cluster group.
 	for _, g := range groups {
@@ -460,22 +612,16 @@ func mutAppend(m *mutState, t mutTarget, cfg *AppendConfig) ([]int, *WearStats, 
 				}
 				copy(oob[s*oobBytesPerSlot:(s+1)*oobBytesPerSlot], link)
 			}
-			if err := t.writeBinPage(p, page, oob); err != nil {
+			if err := program(func() error { return t.writeBinPage(p, page, oob) }); err != nil {
 				return nil, nil, err
 			}
-			wear.PagesProgrammed++
 		}
 	}
 
 	// Commit the metadata: posting-list segments, id→position map,
-	// per-row live counts, extents.
+	// per-row live counts, extents, payload accounting.
 	for w := len(m.posOf); w < newDocSlots; w++ {
 		m.posOf = append(m.posOf, -1)
-	}
-	newRows := ceilDiv(newBinPages, lay.ppb)
-	for len(m.rowLive) < newRows {
-		m.rowLive = append(m.rowLive, 0)
-		m.rowDead = append(m.rowDead, 0)
 	}
 	ids := make([]int, n)
 	for _, g := range groups {
@@ -506,9 +652,11 @@ func mutAppend(m *mutState, t mutTarget, cfg *AppendConfig) ([]int, *WearStats, 
 	m.docSlots = newDocSlots
 	m.docPages = newDocPages
 	m.live += n
-	if _, w, err := t.eraseBinPages(0); err == nil {
-		wear.MaxBlockErase = w
+	for _, d := range cfg.Docs {
+		m.bytesUser += int64(len(d))
 	}
+	m.bytesUser += int64(n) * int64(lay.slotBytes+lay.int8Bytes)
+	m.fillWear(wear, t)
 	return ids, wear, nil
 }
 
@@ -545,158 +693,234 @@ type liveEntry struct {
 	tag  uint8
 }
 
-// mutCompact runs the garbage collector at an explicit quiesce point:
-// when any GC row's live ratio is below the threshold, every live
-// entry is copied forward into a canonically rebuilt binary region
-// (clusters ascending, scan order preserved — search results are
-// bit-identical before and after), the old extent's blocks are erased,
-// and tombstones are dropped. The INT8 and document regions are
-// append-only address spaces and are not compacted.
-func mutCompact(m *mutState, t mutTarget, minLiveRatio float64) (*WearStats, error) {
+// mutGCVictims returns the GC rows whose live ratio is below the
+// threshold, in ascending row order — the step plan of one compaction
+// command. Pure function of the geometry-independent state.
+func mutGCVictims(m *mutState, minLiveRatio float64) []int {
 	thr := minLiveRatio
 	if thr == 0 {
 		thr = defaultMinLiveRatio
 	}
-	lay := &m.lay
-	victims := 0
+	var rows []int
 	for r := range m.rowLive {
-		if m.rowDead[r] > 0 && float64(m.rowLive[r]) < thr*float64(m.rowLive[r]+m.rowDead[r]) {
-			victims++
+		if !m.rowGone[r] && m.rowDead[r] > 0 && float64(m.rowLive[r]) < thr*float64(m.rowLive[r]+m.rowDead[r]) {
+			rows = append(rows, r)
 		}
 	}
-	wear := &WearStats{CompactedRows: victims}
-	if victims == 0 {
-		return wear, nil
-	}
+	return rows
+}
 
-	// Gather every live entry, bucket by bucket in scan order, reading
-	// each segment page through the conventional path. A flat database
-	// has a single bucket: its brute-force plan.
+// trimRanges removes the slot interval [first, last] from a segment
+// list, splitting partially overlapping segments.
+func trimRanges(segs []SlotRange, first, last int) []SlotRange {
+	var out []SlotRange
+	for _, sr := range segs {
+		if sr.Last < first || sr.First > last {
+			out = append(out, sr)
+			continue
+		}
+		if sr.First < first {
+			out = append(out, SlotRange{First: sr.First, Last: first - 1})
+		}
+		if sr.Last > last {
+			out = append(out, SlotRange{First: last + 1, Last: sr.Last})
+		}
+	}
+	return out
+}
+
+// mutGCStep collects one GC row: its live entries are copied forward
+// into page-aligned runs at the region tail (per cluster, ascending,
+// preserving their relative scan order), the row's blocks are erased,
+// its physical row returns to the free pool, and the scan plans,
+// position map and tombstones are committed — all under the host's
+// execMu, so a search before or after the step sees a fully consistent
+// state, bit-identical in results to the never-collected one. Rows the
+// victim list named that have since become empty are skipped (nil
+// error, no stats).
+func mutGCStep(m *mutState, t mutTarget, row int, wear *WearStats) error {
+	lay := &m.lay
+	if row < 0 || row >= len(m.rowPhys) || m.rowGone[row] || m.rowDead[row] == 0 {
+		return nil
+	}
+	slotsPerRow := lay.embPerPage * lay.rowPages
+	rowFirst := row * slotsPerRow
+	rowLast := rowFirst + slotsPerRow - 1
+
+	// Gather the row's slots, bucket by bucket in scan order. A flat
+	// database has a single bucket: its brute-force plan. Runs are
+	// page-aligned per cluster, so no page is read twice.
 	plans := m.buckets
 	if m.flat() {
 		plans = [][]SlotRange{m.flatPlan}
 	}
-	gathered := make([][]liveEntry, len(plans))
+	type gcGroup struct {
+		bucket  int
+		entries []liveEntry
+		start   int
+	}
+	var groups []gcGroup
+	var deadIDs []uint32
 	for b, segs := range plans {
+		var es []liveEntry
 		for _, sr := range segs {
-			firstPage, lastPage := sr.First/lay.embPerPage, sr.Last/lay.embPerPage
+			if sr.Last < rowFirst || sr.First > rowLast {
+				continue
+			}
+			first, last := max(sr.First, rowFirst), min(sr.Last, rowLast)
+			firstPage, lastPage := first/lay.embPerPage, last/lay.embPerPage
 			for p := firstPage; p <= lastPage; p++ {
 				data, oob, err := t.readBinPage(p)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				wear.PagesRead++
 				lo, hi := 0, lay.embPerPage-1
 				if p == firstPage {
-					lo = sr.First % lay.embPerPage
+					lo = first % lay.embPerPage
 				}
 				if p == lastPage {
-					hi = sr.Last % lay.embPerPage
+					hi = last % lay.embPerPage
 				}
 				for s := lo; s <= hi; s++ {
 					dadr, radr, tag := decodeLinkage(oob[s*oobBytesPerSlot : (s+1)*oobBytesPerSlot])
-					if dadr == InvalidDADR || bitsetGet(m.tomb, int(dadr)) {
+					if dadr == InvalidDADR {
+						continue
+					}
+					if bitsetGet(m.tomb, int(dadr)) {
+						deadIDs = append(deadIDs, dadr)
 						continue
 					}
 					code := make([]byte, lay.slotBytes)
 					copy(code, data[s*lay.slotBytes:(s+1)*lay.slotBytes])
-					gathered[b] = append(gathered[b], liveEntry{code: code, id: dadr, radr: radr, tag: tag})
+					es = append(es, liveEntry{code: code, id: dadr, radr: radr, tag: tag})
 				}
 			}
 		}
+		if len(es) > 0 {
+			groups = append(groups, gcGroup{bucket: b, entries: es})
+		}
 	}
 
-	// Canonical rebuild plan: clusters ascending, each starting on a
-	// fresh page, entries in gathered (scan) order.
-	starts := make([]int, len(gathered))
-	cursor := 0
-	for b, es := range gathered {
-		if len(es) == 0 {
-			starts[b] = -1
-			continue
-		}
-		starts[b] = alignUp(cursor, lay.embPerPage)
-		cursor = starts[b] + len(es)
+	// Copy-forward placement at the tail. If the victim is the tail row
+	// itself, move the cursor past it: nothing may be programmed into
+	// (or subsequently appended to) the row about to be erased.
+	cursor := m.tailSlots
+	if cursor > rowFirst && cursor <= rowLast+1 {
+		cursor = rowLast + 1
+	}
+	total := 0
+	for gi := range groups {
+		groups[gi].start = alignUp(cursor, lay.embPerPage)
+		cursor = groups[gi].start + len(groups[gi].entries)
+		total += len(groups[gi].entries)
 	}
 	newTail := cursor
 	newBinPages := ceilDiv(newTail, lay.embPerPage)
-	oldPages := m.binPages
-
-	// Physical apply: erase the whole old extent (the copies above are
-	// in controller DRAM), shrink the live extent, program the
-	// compacted pages.
-	erases, maxWear, err := t.eraseBinPages(oldPages)
-	if err != nil {
-		return nil, err
-	}
-	wear.BlockErases = erases
-	wear.MaxBlockErase = maxWear
-	if err := t.resize(newBinPages, -1, -1); err != nil {
-		return nil, err
-	}
-	for b, es := range gathered {
-		if len(es) == 0 {
-			continue
+	neededRows := ceilDiv(newBinPages, lay.rowPages)
+	growth := neededRows - len(m.rowPhys)
+	var physSel []int
+	if growth > 0 {
+		if growth > len(m.freeRows) {
+			return fmt.Errorf("%w (GC copy-forward needs %d fresh rows, %d free)", ssd.ErrRegionFull, growth, len(m.freeRows))
 		}
-		end := starts[b] + len(es)
-		for p := starts[b] / lay.embPerPage; p <= (end-1)/lay.embPerPage; p++ {
+		physSel = m.takeFreeRows(t, growth)
+	}
+	if err := t.growBin(newBinPages, physSel); err != nil {
+		return err
+	}
+	for _, p := range physSel {
+		m.rowPhys = append(m.rowPhys, p)
+		m.rowGone = append(m.rowGone, false)
+		m.rowLive = append(m.rowLive, 0)
+		m.rowDead = append(m.rowDead, 0)
+	}
+
+	// Program the relocated runs (out-of-place: each starts on a fresh
+	// page past the old tail), then erase and unmap the victim row.
+	stepProgrammed := 0
+	for _, g := range groups {
+		end := g.start + len(g.entries)
+		for p := g.start / lay.embPerPage; p <= (end-1)/lay.embPerPage; p++ {
 			page := make([]byte, lay.pageBytes)
 			oob := make([]byte, lay.oobBytes)
 			for s := 0; s < lay.embPerPage; s++ {
 				pos := p*lay.embPerPage + s
 				link := encodeLinkage(InvalidDADR, 0, 0)
-				if pos >= starts[b] && pos < end {
-					e := es[pos-starts[b]]
+				if pos >= g.start && pos < end {
+					e := g.entries[pos-g.start]
 					copy(page[s*lay.slotBytes:(s+1)*lay.slotBytes], e.code)
 					link = encodeLinkage(e.id, e.radr, e.tag)
 				}
 				copy(oob[s*oobBytesPerSlot:(s+1)*oobBytesPerSlot], link)
 			}
 			if err := t.writeBinPage(p, page, oob); err != nil {
-				return nil, err
+				return err
 			}
 			wear.PagesProgrammed++
+			stepProgrammed++
+			m.bytesFlash += int64(lay.pageBytes)
 		}
+	}
+	erases, err := t.reclaimBinRow(row)
+	wear.BlockErases += erases
+	if err != nil {
+		return err
 	}
 
-	// Commit: canonical posting lists, rebuilt position map, cleared
-	// tombstones, reset row accounting.
-	copied := 0
-	for i := range m.posOf {
-		m.posOf[i] = -1
-	}
-	m.rowLive = make([]int, ceilDiv(newBinPages, lay.ppb))
-	m.rowDead = make([]int, len(m.rowLive))
-	for b := range gathered {
-		es := gathered[b]
-		if !m.flat() {
-			if len(es) == 0 {
-				m.buckets[b] = nil
-			} else {
-				m.buckets[b] = []SlotRange{{First: starts[b], Last: starts[b] + len(es) - 1}}
-			}
+	// Commit: trim the victim interval out of every scan plan, append
+	// the relocated runs, rebuild the touched position-map entries,
+	// drop the collected tombstones, return the physical row.
+	m.flatPlan = trimRanges(m.flatPlan, rowFirst, rowLast)
+	if !m.flat() {
+		for b := range m.buckets {
+			m.buckets[b] = trimRanges(m.buckets[b], rowFirst, rowLast)
 		}
-		for j, e := range es {
-			pos := starts[b] + j
+	}
+	for _, g := range groups {
+		if !m.flat() {
+			m.buckets[g.bucket] = append(m.buckets[g.bucket], SlotRange{First: g.start, Last: g.start + len(g.entries) - 1})
+		}
+		for j, e := range g.entries {
+			pos := g.start + j
 			m.posOf[e.id] = int32(pos)
 			m.rowLive[m.rowOf(pos)]++
 		}
-		copied += len(es)
 	}
-	if newTail > 0 {
-		// The compacted region is canonical end to end (every padding
-		// slot carries an invalid DADR), so the brute-force plan is one
-		// range again.
-		m.flatPlan = []SlotRange{{First: 0, Last: newTail - 1}}
-	} else {
-		m.flatPlan = nil
+	if total > 0 {
+		m.flatPlan = append(m.flatPlan, SlotRange{First: groups[0].start, Last: newTail - 1})
 	}
-	m.tomb = nil
-	m.deadCount = 0
+	for _, id := range deadIDs {
+		bitsetClear(m.tomb, int(id))
+		m.posOf[id] = -1
+	}
+	m.deadCount -= len(deadIDs)
+	m.rowLive[row] = 0
+	m.rowDead[row] = 0
+	m.rowGone[row] = true
+	m.freeRows = append(m.freeRows, m.rowPhys[row])
+	m.rowPhys[row] = -1
 	m.tailSlots = newTail
 	m.binPages = newBinPages
-	wear.CopiedEntries = copied
-	wear.FreedPages = oldPages - newBinPages
+	wear.CompactedRows++
+	wear.CopiedEntries += total
+	wear.FreedPages += lay.rowPages - stepProgrammed
+	return nil
+}
+
+// mutCompact runs a whole compaction synchronously: every victim row
+// is collected in ascending order, one copy-forward step each. The
+// queue scheduler runs the same steps interleaved with searches
+// (queue.go); both paths visit the same victims in the same order, so
+// they commit identical state and identical WearStats.
+func mutCompact(m *mutState, t mutTarget, minLiveRatio float64) (*WearStats, error) {
+	wear := &WearStats{}
+	for _, row := range mutGCVictims(m, minLiveRatio) {
+		if err := mutGCStep(m, t, row, wear); err != nil {
+			return nil, err
+		}
+	}
+	m.fillWear(wear, t)
 	return wear, nil
 }
 
@@ -723,55 +947,48 @@ func (t engineMutTarget) writeDocPage(g int, data []byte) error {
 	return t.e.SSD.WriteRegionPage(t.db.rec.Documents, g, data, nil)
 }
 
-func (t engineMutTarget) resize(binPages, int8Pages, docPages int) error {
-	db := t.db
-	if binPages >= 0 {
-		if err := t.e.SSD.ResizeRegion(&db.rec, &db.rec.Embeddings, binPages); err != nil {
+func (t engineMutTarget) growBin(binPages int, phys []int) error {
+	if len(phys) > 0 {
+		if err := t.e.SSD.MapRegionRows(&t.db.rec, &t.db.rec.Embeddings, phys); err != nil {
 			return err
 		}
 	}
+	return t.e.SSD.ResizeRegion(&t.db.rec, &t.db.rec.Embeddings, binPages)
+}
+
+func (t engineMutTarget) growAux(int8Pages, docPages int) error {
 	if int8Pages >= 0 {
-		if err := t.e.SSD.ResizeRegion(&db.rec, &db.rec.Int8s, int8Pages); err != nil {
+		if err := t.e.SSD.ResizeRegion(&t.db.rec, &t.db.rec.Int8s, int8Pages); err != nil {
 			return err
 		}
 	}
 	if docPages >= 0 {
-		if err := t.e.SSD.ResizeRegion(&db.rec, &db.rec.Documents, docPages); err != nil {
+		if err := t.e.SSD.ResizeRegion(&t.db.rec, &t.db.rec.Documents, docPages); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (t engineMutTarget) eraseBinPages(oldPages int) (int, int64, error) {
-	dev := t.e.SSD.Dev
-	if oldPages == 0 {
-		return 0, dev.MaxEraseCount(), nil
-	}
-	geo := t.e.SSD.Cfg.Geo
-	planes := geo.Planes()
-	ppb := geo.PagesPerBlock
-	rows := ceilDiv(ceilDiv(oldPages, planes), ppb)
-	blk0 := t.db.rec.Embeddings.StartStripe / ppb
-	erases := 0
-	for row := 0; row < rows; row++ {
-		for p := 0; p < planes; p++ {
-			a := flash.AddressFromLinear(geo, p*geo.PagesPerPlane()+(blk0+row)*ppb)
-			if err := dev.EraseBlock(a); err != nil {
-				return erases, 0, err
-			}
-			erases++
-		}
-	}
-	return erases, dev.MaxEraseCount(), nil
+func (t engineMutTarget) reclaimBinRow(row int) (int, error) {
+	return t.e.SSD.ReclaimRegionRow(&t.db.rec, &t.db.rec.Embeddings, row)
 }
+
+func (t engineMutTarget) rowWear(phys int) int64 {
+	ppb := t.e.SSD.Cfg.Geo.PagesPerBlock
+	return t.e.SSD.Dev.BlockMaxErase(t.db.rec.Embeddings.StartStripe/ppb + phys)
+}
+
+func (t engineMutTarget) maxWear() int64 { return t.e.SSD.Dev.MaxEraseCount() }
 
 // shardMutTarget routes each global page of a mutation to the shard
 // that owns it (page g → shard g mod N, local page g / N), taking the
 // owning engine's execution lock per call. The router's execMu holder
 // owns it; sharded outcomes are bit-identical to the single-device
 // reference because the logical plan is shared and the striping is the
-// deploy striping.
+// deploy striping. GC rows are topology-aligned by construction: one
+// logical row is block b on every plane of every shard, so reclaiming
+// row r erases the same block set the reference device would.
 type shardMutTarget struct {
 	sh *ShardedEngine
 	db *ShardedDatabase
@@ -812,20 +1029,39 @@ func (t shardMutTarget) writeDocPage(g int, data []byte) error {
 	})
 }
 
-func (t shardMutTarget) resize(binPages, int8Pages, docPages int) error {
+func (t shardMutTarget) growBin(binPages int, phys []int) error {
 	n := len(t.sh.shards)
 	for s, dev := range t.sh.shards {
 		local := t.db.locals[s]
 		dev.e.execMu.Lock()
 		err := func() error {
-			if binPages >= 0 {
-				if err := dev.e.SSD.ResizeRegion(&local.rec, &local.rec.Embeddings, shardPages(binPages, s, n)); err != nil {
+			if len(phys) > 0 {
+				if err := dev.e.SSD.MapRegionRows(&local.rec, &local.rec.Embeddings, phys); err != nil {
 					return err
 				}
-				// The shard serves explicit scan ranges over its owned
-				// pages; keep its addressable slot bound in step.
-				local.regionSlots = local.rec.Embeddings.Pages() * local.embPerPage
 			}
+			if err := dev.e.SSD.ResizeRegion(&local.rec, &local.rec.Embeddings, shardPages(binPages, s, n)); err != nil {
+				return err
+			}
+			// The shard serves explicit scan ranges over its owned
+			// pages; keep its addressable slot bound in step.
+			local.regionSlots = local.rec.Embeddings.Pages() * local.embPerPage
+			return nil
+		}()
+		dev.e.execMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("reis: shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+func (t shardMutTarget) growAux(int8Pages, docPages int) error {
+	n := len(t.sh.shards)
+	for s, dev := range t.sh.shards {
+		local := t.db.locals[s]
+		dev.e.execMu.Lock()
+		err := func() error {
 			if int8Pages >= 0 {
 				if err := dev.e.SSD.ResizeRegion(&local.rec, &local.rec.Int8s, shardPages(int8Pages, s, n)); err != nil {
 					return err
@@ -846,36 +1082,34 @@ func (t shardMutTarget) resize(binPages, int8Pages, docPages int) error {
 	return nil
 }
 
-func (t shardMutTarget) eraseBinPages(oldPages int) (int, int64, error) {
-	if oldPages == 0 {
-		return 0, t.maxEraseCount(), nil
-	}
-	// The global extent's stripes are the same on every shard (global
-	// page g sits at local stripe g / planes_global on its owner), so
-	// each shard erases the same block-rows the reference device would.
-	planesGlobal := t.sh.cfg.Geo.Planes()
-	ppb := t.sh.cfg.Geo.PagesPerBlock
-	rows := ceilDiv(ceilDiv(oldPages, planesGlobal), ppb)
+func (t shardMutTarget) reclaimBinRow(row int) (int, error) {
 	erases := 0
 	for s, dev := range t.sh.shards {
-		geo := dev.e.SSD.Cfg.Geo
-		planes := geo.Planes()
-		blk0 := t.db.locals[s].rec.Embeddings.StartStripe / ppb
+		local := t.db.locals[s]
 		dev.e.execMu.Lock()
-		for row := 0; row < rows; row++ {
-			for p := 0; p < planes; p++ {
-				a := flash.AddressFromLinear(geo, p*geo.PagesPerPlane()+(blk0+row)*ppb)
-				if err := dev.e.SSD.Dev.EraseBlock(a); err != nil {
-					dev.e.execMu.Unlock()
-					return erases, 0, err
-				}
-				erases++
-			}
-		}
+		n, err := dev.e.SSD.ReclaimRegionRow(&local.rec, &local.rec.Embeddings, row)
 		dev.e.execMu.Unlock()
+		erases += n
+		if err != nil {
+			return erases, fmt.Errorf("reis: shard %d: %w", s, err)
+		}
 	}
-	return erases, t.maxEraseCount(), nil
+	return erases, nil
 }
+
+func (t shardMutTarget) rowWear(phys int) int64 {
+	ppb := t.sh.cfg.Geo.PagesPerBlock
+	var m int64
+	for s, dev := range t.sh.shards {
+		blk := t.db.locals[s].rec.Embeddings.StartStripe/ppb + phys
+		if w := dev.e.SSD.Dev.BlockMaxErase(blk); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+func (t shardMutTarget) maxWear() int64 { return t.maxEraseCount() }
 
 func (t shardMutTarget) maxEraseCount() int64 {
 	var m int64

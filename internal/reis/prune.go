@@ -32,10 +32,10 @@ import (
 // Correctness (results bit-identical to the unpruned path): the bound
 // used by any command is the pool-th smallest live distance of a subset
 // of the final entry stream, so it is >= the pool-th smallest (Dist,
-// Pos)-ordered live distance D* of the full stream. Pruning is strict
+// DADR)-ordered live distance D* of the full stream. Pruning is strict
 // (dist > bound), so every entry with dist <= D* — every possible
 // rerank-pool member, ties included — survives. quickselectTTL selects
-// under the (Dist, Pos) total order, making the pool a pure set
+// under the (Dist, DADR) total order, making the pool a pure set
 // function of the surviving stream; identical pool, identical rerank,
 // identical results. Bounds are only fed live (tombstone-filtered)
 // distances: a tombstoned entry's distance could tighten the bound past

@@ -40,6 +40,16 @@ import (
 //     A cancelled member aborts its coalesced group, whose unaffected
 //     members are then re-executed individually — results never change,
 //     only scheduling.
+//   - Background GC. An OpcodeCompact command never runs as one
+//     monolithic dispatch: the queue opens a GC flight that issues one
+//     internal copy-forward step per victim GC row, scheduled under the
+//     reserved gcSchedKey with its own stride weight (GCWeight), so
+//     foreground searches interleave between steps and share device
+//     time proportionally. Searches between steps are bit-identical to
+//     both the never-compacted and fully-compacted states; later
+//     mutations on the database are held back until the flight
+//     completes (which also keeps the mutation journal in application
+//     order). The command completes when its last step lands.
 //
 // Determinism: the engine serializes execution under execMu and a
 // command's results and device events are independent of which group
@@ -60,6 +70,14 @@ type host interface {
 	// per-device stats view of a sharded host (nil for a single
 	// device), indexed [shard][query].
 	execSearchGroup(ctx context.Context, cmd *HostCommand, queries [][]float32) (results [][]DocResult, sts []QueryStats, perShard [][]QueryStats, err error)
+	// gcPlan / gcStep / gcFinish are the background garbage collector's
+	// command surface: plan the victim rows of an OpcodeCompact command,
+	// collect one row (accumulating wear into acc), and complete the
+	// command. Each takes the host's execution lock on its own, so
+	// searches dispatch between steps.
+	gcPlan(cmd *HostCommand) ([]int, error)
+	gcStep(cmd *HostCommand, row int, acc *WearStats) error
+	gcFinish(cmd *HostCommand, acc *WearStats) (HostResponse, error)
 	// registry is the host's queue-pair bookkeeping for Close-time
 	// teardown.
 	registry() *queueRegistry
@@ -196,6 +214,13 @@ type QueueConfig struct {
 	// batched execution. Results are identical either way; coalescing
 	// only changes how much plane-level overlap deep queues recover.
 	NoCoalesce bool
+
+	// GCWeight is the stride weight of background GC steps (the
+	// internal commands a compaction flight issues), arbitrated against
+	// the per-database Weights exactly like another tenant. Zero means
+	// 1; higher values let the collector reclaim faster under load,
+	// lower foreground weights do the opposite. Must not be negative.
+	GCWeight int
 }
 
 // QueueStats counts queue-pair events (monotonic since creation).
@@ -213,11 +238,31 @@ type QueueStats struct {
 	Coalesced uint64
 }
 
-// qcmd is one admitted command awaiting dispatch.
+// qcmd is one admitted command awaiting dispatch, or (gcf != nil) one
+// internal background-GC step of an active compaction flight — step
+// qcmds carry no CommandID and occupy no queue slot; the flight's
+// original command holds both until the flight completes.
 type qcmd struct {
 	id  CommandID
 	ctx context.Context
 	cmd HostCommand
+	gcf *gcFlight
+}
+
+// gcSchedKey is the reserved stride-scheduling key background-GC steps
+// are queued under — far below any real database id, so it never
+// collides and wins exact pass ties deterministically.
+const gcSchedKey = -1 << 30
+
+// gcFlight is one in-progress background compaction: the original
+// OpcodeCompact command, its victim plan, the next step index and the
+// accumulated wear. The dispatcher goroutine is its single owner; the
+// queue mutex guards only its membership in Queue.gc.
+type gcFlight struct {
+	orig    *qcmd
+	victims []int
+	next    int
+	acc     WearStats
 }
 
 // Queue is one NVMe-style submission/completion queue pair bound to an
@@ -234,9 +279,10 @@ type Queue struct {
 	nextID      CommandID
 	outstanding int
 	pendingN    int
-	pending     map[int][]*qcmd // per-database FIFO
-	pass        map[int]float64 // stride-scheduling pass per database
-	completed   []Completion    // the polled CQ (Reap buffer)
+	pending     map[int][]*qcmd   // per-database FIFO (gcSchedKey: GC steps)
+	pass        map[int]float64   // stride-scheduling pass per database
+	gc          map[int]*gcFlight // active compaction flight per database
+	completed   []Completion      // the polled CQ (Reap buffer)
 	waiters     map[CommandID]chan Completion
 	paused      bool // test hook: freeze dispatch to observe scheduling
 	closed      bool
@@ -260,11 +306,15 @@ func newQueue(h host, cfg QueueConfig) (*Queue, error) {
 			return nil, fmt.Errorf("reis: non-positive QoS weight %d for database %d", w, db)
 		}
 	}
+	if cfg.GCWeight < 0 {
+		return nil, fmt.Errorf("reis: negative GC weight %d", cfg.GCWeight)
+	}
 	q := &Queue{
 		h:       h,
 		cfg:     cfg,
 		pending: make(map[int][]*qcmd),
 		pass:    make(map[int]float64),
+		gc:      make(map[int]*gcFlight),
 		waiters: make(map[CommandID]chan Completion),
 		done:    make(chan struct{}),
 	}
@@ -482,14 +532,29 @@ func (q *Queue) dispatch() {
 	defer close(q.done)
 	for {
 		q.mu.Lock()
-		for !q.closed && (q.paused || q.pendingN == 0) {
+		for !q.closed && (q.paused || !q.hasDispatchableLocked()) {
 			q.wake.Wait()
 		}
 		if q.closed {
 			aborted := q.drainPendingLocked()
+			flights := make([]*gcFlight, 0, len(q.gc))
+			for _, f := range q.gc {
+				flights = append(flights, f)
+			}
+			q.gc = make(map[int]*gcFlight)
 			q.mu.Unlock()
 			for _, qc := range aborted {
 				q.complete(qc.id, HostResponse{}, ErrQueueClosed)
+			}
+			// In-flight compactions abort deterministically too: the
+			// rows already collected stay collected (every step commits
+			// a consistent state), the original command reports
+			// ErrQueueClosed. Exactly-once is structural — gcStepExec
+			// runs on this goroutine and removes a flight from q.gc
+			// before completing it.
+			slices.SortFunc(flights, func(a, b *gcFlight) int { return cmp.Compare(a.orig.id, b.orig.id) })
+			for _, f := range flights {
+				q.complete(f.orig.id, HostResponse{}, ErrQueueClosed)
 			}
 			return
 		}
@@ -499,12 +564,47 @@ func (q *Queue) dispatch() {
 	}
 }
 
+// blockedLocked reports whether a pending head must wait: mutations on
+// a database with an active compaction flight are held back until the
+// flight completes, so the journal's record order equals application
+// order and a flight's victim plan stays valid across its steps.
+// Searches, scans and deploys are never blocked — interleaving them is
+// the point — and GC steps themselves never block.
+func (q *Queue) blockedLocked(head *qcmd) bool {
+	if head.gcf != nil || len(q.gc) == 0 {
+		return false
+	}
+	if !isMutationOp(head.cmd.Opcode) {
+		return false
+	}
+	_, busy := q.gc[head.cmd.DBID]
+	return busy
+}
+
+// hasDispatchableLocked reports whether any pending head can dispatch
+// now. Distinct from pendingN > 0: every pending command may be a
+// mutation held back behind an active GC flight whose next step has
+// not been enqueued yet.
+func (q *Queue) hasDispatchableLocked() bool {
+	for _, list := range q.pending {
+		if len(list) > 0 && !q.blockedLocked(list[0]) {
+			return true
+		}
+	}
+	return false
+}
+
 // drainPendingLocked removes every pending command, in submission
-// order.
+// order. Internal GC-step entries are dropped, not returned: their
+// flight's original command is completed by the close path.
 func (q *Queue) drainPendingLocked() []*qcmd {
 	var all []*qcmd
 	for _, list := range q.pending {
-		all = append(all, list...)
+		for _, qc := range list {
+			if qc.gcf == nil {
+				all = append(all, qc)
+			}
+		}
 	}
 	q.pending = make(map[int][]*qcmd)
 	q.pendingN = 0
@@ -520,7 +620,7 @@ func (q *Queue) drainPendingLocked() []*qcmd {
 func (q *Queue) pickGroupLocked() []*qcmd {
 	bestKey, found := 0, false
 	for key, list := range q.pending {
-		if len(list) == 0 {
+		if len(list) == 0 || q.blockedLocked(list[0]) {
 			continue
 		}
 		if !found || q.pass[key] < q.pass[bestKey] ||
@@ -541,7 +641,11 @@ func (q *Queue) pickGroupLocked() []*qcmd {
 	q.pending[bestKey] = append(list[:0], list[n:]...)
 	q.pendingN -= n
 	w := 1
-	if cw, ok := q.cfg.Weights[bestKey]; ok {
+	if bestKey == gcSchedKey {
+		if q.cfg.GCWeight > 0 {
+			w = q.cfg.GCWeight
+		}
+	} else if cw, ok := q.cfg.Weights[bestKey]; ok {
 		w = cw
 	}
 	q.pass[bestKey] += float64(n) / float64(w)
@@ -577,9 +681,14 @@ func coalescible(a, b *qcmd) bool {
 func (q *Queue) execGroup(group []*qcmd) {
 	live := make([]*qcmd, 0, len(group))
 	for _, qc := range group {
-		if err := qc.ctx.Err(); err != nil {
-			q.complete(qc.id, HostResponse{}, err)
-			continue
+		// GC steps have no CommandID of their own; cancellation of the
+		// original command is handled inside gcStepExec, which must also
+		// retire the flight.
+		if qc.gcf == nil {
+			if err := qc.ctx.Err(); err != nil {
+				q.complete(qc.id, HostResponse{}, err)
+				continue
+			}
 		}
 		live = append(live, qc)
 	}
@@ -588,6 +697,14 @@ func (q *Queue) execGroup(group []*qcmd) {
 		return
 	case 1:
 		qc := live[0]
+		if qc.gcf != nil {
+			q.gcStepExec(qc)
+			return
+		}
+		if qc.cmd.Opcode == OpcodeCompact {
+			q.gcStart(qc)
+			return
+		}
 		resp, err := q.h.execCmd(qc.ctx, &qc.cmd)
 		q.complete(qc.id, resp, err)
 		return
@@ -640,6 +757,88 @@ func (q *Queue) execGroup(group []*qcmd) {
 		off += n
 		q.complete(qc.id, resp, nil)
 	}
+}
+
+// gcStart opens a background compaction flight for a dispatched
+// OpcodeCompact command: plan the victim rows once, then (if any) queue
+// the first copy-forward step under gcSchedKey. A database with no
+// victims completes immediately — the fast path a compaction of an
+// already-clean database takes.
+func (q *Queue) gcStart(qc *qcmd) {
+	victims, err := q.h.gcPlan(&qc.cmd)
+	if err != nil {
+		q.complete(qc.id, HostResponse{}, err)
+		return
+	}
+	f := &gcFlight{orig: qc, victims: victims}
+	if len(victims) == 0 {
+		resp, err := q.h.gcFinish(&qc.cmd, &f.acc)
+		q.complete(qc.id, resp, err)
+		return
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.complete(qc.id, HostResponse{}, ErrQueueClosed)
+		return
+	}
+	q.gc[qc.cmd.DBID] = f
+	q.enqueueStepLocked(f)
+	q.mu.Unlock()
+}
+
+// enqueueStepLocked queues a flight's next copy-forward step under the
+// reserved GC scheduling key. Step entries carry no CommandID and no
+// queue slot — the flight's original command holds both.
+func (q *Queue) enqueueStepLocked(f *gcFlight) {
+	step := &qcmd{ctx: f.orig.ctx, cmd: f.orig.cmd, gcf: f}
+	if len(q.pending[gcSchedKey]) == 0 {
+		if m, ok := q.minPassLocked(); ok && q.pass[gcSchedKey] < m {
+			q.pass[gcSchedKey] = m
+		}
+	}
+	q.pending[gcSchedKey] = append(q.pending[gcSchedKey], step)
+	q.pendingN++
+	q.wake.Signal()
+}
+
+// gcStepExec runs one copy-forward step of a flight on the dispatcher
+// goroutine. The flight retires — removed from q.gc, original command
+// completed — on cancellation, step error, or after the last step;
+// otherwise the next step is queued and foreground commands dispatch in
+// between. Running on the dispatcher goroutine makes retirement
+// single-threaded with the close path's flight sweep: a flight is
+// completed exactly once.
+func (q *Queue) gcStepExec(qc *qcmd) {
+	f := qc.gcf
+	finish := func(resp HostResponse, err error) {
+		q.mu.Lock()
+		delete(q.gc, f.orig.cmd.DBID)
+		q.mu.Unlock()
+		q.complete(f.orig.id, resp, err)
+	}
+	if err := f.orig.ctx.Err(); err != nil {
+		finish(HostResponse{}, err)
+		return
+	}
+	if err := q.h.gcStep(&f.orig.cmd, f.victims[f.next], &f.acc); err != nil {
+		finish(HostResponse{}, err)
+		return
+	}
+	f.next++
+	if f.next >= len(f.victims) {
+		resp, err := q.h.gcFinish(&f.orig.cmd, &f.acc)
+		finish(resp, err)
+		return
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		finish(HostResponse{}, ErrQueueClosed)
+		return
+	}
+	q.enqueueStepLocked(f)
+	q.mu.Unlock()
 }
 
 // complete delivers one completion: to a registered waiter first,

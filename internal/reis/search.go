@@ -427,7 +427,7 @@ type planeScan struct {
 // bound > 0 is the query's current top-k pruning threshold: it rides
 // the GEN_DIST_PAGE command into the plane, and slots strictly above
 // it skip the TTL transfer (counted in planeScan.pruned). Ties at the
-// bound always survive, which — together with the (Dist, Pos)
+// bound always survive, which — together with the (Dist, DADR)
 // total-order selection downstream — is what keeps pruned results
 // bit-identical to unpruned ones.
 func (e *Engine) scanPlane(db *Database, region ssd.Region, sc *workerScratch, span ssd.PlaneSpan, first, last int, filter bool, metaTag *uint8, bound int) (planeScan, error) {
@@ -660,13 +660,18 @@ func (e *Engine) finish(db *Database, query []float32, entries []TTLEntry, k int
 }
 
 // quickselectTTL partitions entries so the k smallest occupy
-// entries[:k] under the (Dist, Pos) total order — the quickselect
+// entries[:k] under the (Dist, DADR) total order — the quickselect
 // kernel the embedded core runs. Selecting under a total order (rather
 // than by Dist alone) makes the rerank pool a pure set function of the
 // entry stream: which boundary-tied entries land in the pool no longer
 // depends on array layout. Threshold pruning relies on this — a pruned
 // stream is a subset of the unpruned one that provably retains every
-// pool member, so total-order selection yields the identical pool.
+// pool member, so total-order selection yields the identical pool. The
+// tie-break is the document address rather than the scan position
+// because background GC relocates embeddings (copy-forward changes
+// Pos) while DADR is stable for a document's whole lifetime — so pool
+// membership, and with it every search result, is invariant under
+// compaction.
 func quickselectTTL(es []TTLEntry, k int) {
 	if k <= 0 || k >= len(es) {
 		return
@@ -682,13 +687,14 @@ func quickselectTTL(es []TTLEntry, k int) {
 	}
 }
 
-// ttlLess is the (Dist, Pos) total order of TTL entries (positions are
-// unique within a stream).
+// ttlLess is the (Dist, DADR) total order of TTL entries (document
+// addresses are unique within a stream — every embedding slot owns one
+// doc record — and, unlike Pos, survive GC relocation).
 func ttlLess(a, b *TTLEntry) bool {
 	if a.Dist != b.Dist {
 		return a.Dist < b.Dist
 	}
-	return a.Pos < b.Pos
+	return a.DADR < b.DADR
 }
 
 func partitionTTL(es []TTLEntry, lo, hi int) int {

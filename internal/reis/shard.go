@@ -72,6 +72,15 @@ type ShardedEngine struct {
 	dbs    map[int]*ShardedDatabase
 	closed bool
 
+	// jl is the router's append-only mutation journal (see journal.go);
+	// it records the same byte stream a single-device engine would, so
+	// a journal captured on one topology replays on any other.
+	jl journal
+
+	// testGCStepHook, when set, runs after each committed background GC
+	// step with no locks held — the interleaving tests' probe point.
+	testGCStepHook func()
+
 	// reg tracks the queue pairs created with NewQueue on the router
 	// itself (not the per-shard scatter queues, which belong to the
 	// member engines).
@@ -271,7 +280,7 @@ func (sh *ShardedEngine) deploy(cfg DeployConfig) (*ShardedDatabase, error) {
 		return nil, err
 	}
 	items := lo.buildItems(&cfg)
-	db := &ShardedDatabase{ID: cfg.ID, Dim: lo.dim, N: lo.n, lay: lo, mut: newMutState(lo, sh.cfg.Geo)}
+	db := &ShardedDatabase{ID: cfg.ID, Dim: lo.dim, N: lo.n, lay: lo, mut: newMutState(lo, sh.cfg.Geo, sh.opts.FirstFitPlacement)}
 	if cb := sh.cfg.CacheDRAMBytes; cb > 0 {
 		// Sized from the single-device-equivalent config, so the pin
 		// budget and page cost match the reference device exactly.
@@ -330,6 +339,7 @@ func (sh *ShardedEngine) execCmd(ctx context.Context, cmd *HostCommand) (HostRes
 		if err == nil {
 			db.calib = nil
 			db.cache.invalidate()
+			sh.jl.logCmd(cmd)
 		}
 		return resp, err
 	default:
@@ -337,6 +347,76 @@ func (sh *ShardedEngine) execCmd(ctx context.Context, cmd *HostCommand) (HostRes
 		// member device, never the router itself.
 		return HostResponse{}, fmt.Errorf("%w %#x (not served by a sharded host)", ErrUnknownOpcode, cmd.Opcode)
 	}
+}
+
+// gcPlan, gcStep and gcFinish mirror Engine's background-compaction
+// surface (queue.go's GC flights) on the router: the victim plan, each
+// copy-forward step and the completion all evolve the shared mutState
+// with the same code, so background GC on a sharded topology commits
+// the same state and WearStats as the single-device reference.
+func (sh *ShardedEngine) gcPlan(cmd *HostCommand) ([]int, error) {
+	sh.execMu.Lock()
+	defer sh.execMu.Unlock()
+	if sh.closed {
+		return nil, fmt.Errorf("reis: engine closed: %w", ErrQueueClosed)
+	}
+	db, err := sh.db(cmd.DBID)
+	if err != nil {
+		return nil, err
+	}
+	return mutGCVictims(db.mut, cmd.Compact.MinLiveRatio), nil
+}
+
+func (sh *ShardedEngine) gcStep(cmd *HostCommand, row int, acc *WearStats) error {
+	sh.execMu.Lock()
+	if sh.closed {
+		sh.execMu.Unlock()
+		return fmt.Errorf("reis: engine closed: %w", ErrQueueClosed)
+	}
+	db, err := sh.db(cmd.DBID)
+	if err != nil {
+		sh.execMu.Unlock()
+		return err
+	}
+	err = mutGCStep(db.mut, shardMutTarget{sh: sh, db: db}, row, acc)
+	if err == nil {
+		db.calib = nil
+		db.cache.invalidate()
+	}
+	hook := sh.testGCStepHook
+	sh.execMu.Unlock()
+	if err == nil && hook != nil {
+		hook()
+	}
+	return err
+}
+
+func (sh *ShardedEngine) gcFinish(cmd *HostCommand, acc *WearStats) (HostResponse, error) {
+	sh.execMu.Lock()
+	defer sh.execMu.Unlock()
+	db, err := sh.db(cmd.DBID)
+	if err != nil {
+		return HostResponse{}, err
+	}
+	db.mut.fillWear(acc, shardMutTarget{sh: sh, db: db})
+	sh.jl.logCompact(cmd.DBID, cmd.Compact.MinLiveRatio)
+	w := *acc
+	return HostResponse{Done: true, Wear: &w}, nil
+}
+
+// JournalBytes returns a copy of the router's mutation journal; see
+// Engine.JournalBytes. The byte stream is topology-independent: a
+// journal captured here replays on a single device and vice versa.
+func (sh *ShardedEngine) JournalBytes() []byte {
+	sh.execMu.Lock()
+	defer sh.execMu.Unlock()
+	return append([]byte(nil), sh.jl.buf...)
+}
+
+// ReplayJournal re-applies a record-aligned journal prefix through the
+// router's normal command path; see Engine.ReplayJournal.
+func (sh *ShardedEngine) ReplayJournal(data []byte) error {
+	return replayJournal(sh, data)
 }
 
 // execSearchGroup runs the scatter-gather pipeline for queries — one

@@ -91,6 +91,13 @@ type Config struct {
 	// Seed seeds the routing RNG (zero means 1). Routing randomness
 	// never affects results — only which replica does the work.
 	Seed uint64
+	// BroadcastRetries bounds the roll-forward attempts per replica when
+	// a mutation broadcast fails on some members but succeeds on others:
+	// each failed member is retried up to this many times before the
+	// group declares ErrDiverged (zero means 3). Mutations validate
+	// before applying any state, so a failed attempt leaves the replica
+	// untouched and a retry is safe.
+	BroadcastRetries int
 }
 
 // ReplicaStats is one replica's routing view in a stats snapshot.
@@ -167,6 +174,9 @@ func NewGroup(hosts []Host, cfg Config) (*Group, error) {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
+	}
+	if cfg.BroadcastRetries <= 0 {
+		cfg.BroadcastRetries = 3
 	}
 	g := &Group{cfg: cfg, rng: xrand.New(cfg.Seed)}
 	for i, h := range hosts {
@@ -415,6 +425,16 @@ func (g *Group) noteReject(i int) {
 // verifies the responses are bit-identical before lifting it. Retired
 // replicas are included — retirement is a load signal, not a data
 // state, so readmission never needs catch-up.
+//
+// A mixed first round — some replicas applied the mutation, others
+// failed — is NOT immediately divergence: the group rolls forward,
+// retrying each failed member up to Config.BroadcastRetries times (a
+// failed mutation validates before touching state, so the retry reruns
+// the identical command on unchanged state). Only a member that stays
+// failed after the retry budget, or a member whose response differs
+// from the others', diverges the group. A unanimous failure is a plain
+// command error: no replica changed state and the group is still
+// consistent.
 func (g *Group) broadcast(ctx context.Context, cmd reis.HostCommand) (reis.HostResponse, error) {
 	if err := ctx.Err(); err != nil {
 		return reis.HostResponse{}, err
@@ -441,20 +461,32 @@ func (g *Group) broadcast(ctx context.Context, cmd reis.HostCommand) (reis.HostR
 		}(i, r.host)
 	}
 	wg.Wait()
-	// An error must be unanimous too: replicas run the same validated
-	// command over the same state, so a mixed outcome is divergence.
-	if errs[0] != nil {
-		for i := 1; i < n; i++ {
-			if errs[i] == nil {
-				return reis.HostResponse{}, fmt.Errorf("%w: replica 0 failed (%v), replica %d succeeded", ErrDiverged, errs[0], i)
-			}
+	failed := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			failed++
 		}
+	}
+	if failed == n {
+		// No replica changed state; the command itself failed.
 		return reis.HostResponse{}, errs[0]
 	}
-	for i := 1; i < n; i++ {
-		if errs[i] != nil {
-			return reis.HostResponse{}, fmt.Errorf("%w: replica %d failed (%v), replica 0 succeeded", ErrDiverged, i, errs[i])
+	if failed > 0 {
+		// Roll forward: the succeeded majority has already applied the
+		// mutation, so the only way back to a consistent group is to
+		// drive the failed members to the same state.
+		for i := 0; i < n; i++ {
+			for attempt := 0; errs[i] != nil && attempt < g.cfg.BroadcastRetries; attempt++ {
+				resps[i], errs[i] = g.reps[i].host.Submit(cmd)
+			}
+			if errs[i] != nil {
+				return reis.HostResponse{}, fmt.Errorf(
+					"%w: replica %d still failed after %d roll-forward retries (%v)",
+					ErrDiverged, i, g.cfg.BroadcastRetries, errs[i])
+			}
 		}
+	}
+	for i := 1; i < n; i++ {
 		if !reflect.DeepEqual(resps[i], resps[0]) {
 			return reis.HostResponse{}, fmt.Errorf("%w: opcode %#x response differs between replica 0 and %d", ErrDiverged, cmd.Opcode, i)
 		}

@@ -465,3 +465,153 @@ func TestGroupBroadcastDivergence(t *testing.T) {
 		t.Fatalf("mixed broadcast outcome returned %v, want ErrDiverged", err)
 	}
 }
+
+// flakyHost wraps a replica host, failing Submit with an injected
+// error for selected opcodes a configured number of times (counted per
+// opcode); every other command passes through.
+type flakyHost struct {
+	Host
+	mu    sync.Mutex
+	fails map[uint8]int
+}
+
+var errInjected = errors.New("injected replica fault")
+
+func (f *flakyHost) Submit(cmd reis.HostCommand) (reis.HostResponse, error) {
+	f.mu.Lock()
+	if n := f.fails[cmd.Opcode]; n > 0 {
+		f.fails[cmd.Opcode] = n - 1
+		f.mu.Unlock()
+		return reis.HostResponse{}, errInjected
+	}
+	f.mu.Unlock()
+	return f.Host.Submit(cmd)
+}
+
+// deployFlatGroup deploys the flat base corpus (db 1) through the
+// given submit surface.
+func deployFlatGroup(t *testing.T, submit func(reis.HostCommand) (reis.HostResponse, error)) {
+	t.Helper()
+	if _, err := submit(reis.HostCommand{Opcode: reis.OpcodeDBDeploy, Deploy: &reis.DeployConfig{
+		ID: 1, Vectors: svData.Vectors[:svBase], Docs: svData.Docs[:svBase], DocSlotBytes: 256,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBroadcastRollsForwardReplicaFailure: a mutation broadcast that
+// fails on ONE replica (transiently) is no longer all-or-nothing — the
+// group rolls the failed member forward by retrying it, the command
+// succeeds, and every replica converges to the same state.
+func TestBroadcastRollsForwardReplicaFailure(t *testing.T) {
+	flaky := &flakyHost{Host: newHost(t, 0, 1), fails: map[uint8]int{
+		reis.OpcodeAppend:  1,
+		reis.OpcodeDelete:  1,
+		reis.OpcodeCompact: 1,
+	}}
+	hosts := []Host{newHost(t, 0, 1), flaky, newHost(t, 0, 1)}
+	g, err := NewGroup(hosts, Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	deployFlatGroup(t, g.Submit)
+
+	batch, batchDocs := svData.Vectors[svBase:], svData.Docs[svBase:]
+	resp, err := g.Submit(reis.HostCommand{Opcode: reis.OpcodeAppend, DBID: 1,
+		Append: &reis.AppendConfig{Vectors: batch, Docs: batchDocs}})
+	if err != nil {
+		t.Fatalf("append with one transiently failing replica: %v", err)
+	}
+	if len(resp.AppendedIDs) != len(batch) {
+		t.Fatalf("append assigned %d ids, want %d", len(resp.AppendedIDs), len(batch))
+	}
+	if _, err := g.Submit(reis.HostCommand{Opcode: reis.OpcodeDelete, DBID: 1,
+		Del: &reis.DeleteConfig{IDs: []int{3, resp.AppendedIDs[0]}}}); err != nil {
+		t.Fatalf("delete with one transiently failing replica: %v", err)
+	}
+	if _, err := g.Submit(reis.HostCommand{Opcode: reis.OpcodeCompact, DBID: 1,
+		Compact: &reis.CompactConfig{MinLiveRatio: 0.9}}); err != nil {
+		t.Fatalf("compact with one transiently failing replica: %v", err)
+	}
+
+	// Convergence: every replica answers a direct probe identically.
+	probe := reis.HostCommand{Opcode: reis.OpcodeSearch, DBID: 1, Queries: svData.Queries, K: 10}
+	first, err := g.Host(0).Submit(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(hosts); i++ {
+		got, err := g.Host(i).Submit(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Results, first.Results) {
+			t.Fatalf("replica %d diverged after roll-forward", i)
+		}
+	}
+}
+
+// TestBroadcastDivergedAfterRetriesExhausted: a replica that keeps
+// failing a mutation after every roll-forward retry leaves the group
+// divergent, and the group says so with ErrDiverged instead of
+// pretending the mutation half-applied cleanly.
+func TestBroadcastDivergedAfterRetriesExhausted(t *testing.T) {
+	flaky := &flakyHost{Host: newHost(t, 0, 1), fails: map[uint8]int{
+		reis.OpcodeAppend: 1 << 20, // permanent
+	}}
+	hosts := []Host{newHost(t, 0, 1), flaky}
+	g, err := NewGroup(hosts, Config{Seed: 11, BroadcastRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	deployFlatGroup(t, g.Submit)
+
+	_, err = g.Submit(reis.HostCommand{Opcode: reis.OpcodeAppend, DBID: 1,
+		Append: &reis.AppendConfig{Vectors: svData.Vectors[svBase:], Docs: svData.Docs[svBase:]}})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("permanently failing replica: error %v, want ErrDiverged", err)
+	}
+}
+
+// TestBroadcastUnanimousFailureIsPlainError: when EVERY replica
+// rejects a mutation identically, no state changed anywhere — that is
+// not divergence, and the underlying error surfaces unwrapped.
+func TestBroadcastUnanimousFailureIsPlainError(t *testing.T) {
+	mk := func() Host {
+		return &flakyHost{Host: newHost(t, 0, 1), fails: map[uint8]int{reis.OpcodeAppend: 1 << 20}}
+	}
+	hosts := []Host{mk(), mk(), mk()}
+	g, err := NewGroup(hosts, Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	deployFlatGroup(t, g.Submit)
+
+	before, err := g.Do(context.Background(), reis.HostCommand{
+		Opcode: reis.OpcodeSearch, DBID: 1, Queries: svData.Queries, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = g.Submit(reis.HostCommand{Opcode: reis.OpcodeAppend, DBID: 1,
+		Append: &reis.AppendConfig{Vectors: svData.Vectors[svBase:], Docs: svData.Docs[svBase:]}})
+	if err == nil {
+		t.Fatal("unanimous failure reported success")
+	}
+	if errors.Is(err, ErrDiverged) {
+		t.Fatalf("unanimous failure misreported as divergence: %v", err)
+	}
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("unanimous failure hid the replica error: %v", err)
+	}
+	after, err := g.Do(context.Background(), reis.HostCommand{
+		Opcode: reis.OpcodeSearch, DBID: 1, Queries: svData.Queries, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after.Results, before.Results) {
+		t.Fatal("unanimous broadcast failure changed replica state")
+	}
+}

@@ -79,6 +79,22 @@ type Region struct {
 	// Appends grow PageCount toward CapPages; zero (a hand-built
 	// Region) means the capacity equals PageCount.
 	CapPages int
+
+	// RowStripes, when non-zero, turns on row-mapped addressing: the
+	// region's logical stripes are grouped into rows of RowStripes
+	// stripes each, and logical row r resolves through RowMap[r] to a
+	// physical row inside the reserved extent. This one extra level of
+	// indirection — still a handful of integers per erase row, not a
+	// page-level map — lets background GC recycle erased rows into the
+	// append tail: the logical address space grows monotonically while
+	// the physical extent is reused. Zero keeps the direct arithmetic
+	// mapping.
+	RowStripes int
+	// RowMap binds logical row index to physical row index within the
+	// reserved extent (physical row p starts at stripe
+	// StartStripe + p*RowStripes). -1 marks a reclaimed (erased,
+	// unmapped) logical row whose pages can no longer be addressed.
+	RowMap []int32
 }
 
 // Pages returns the live page count of the region.
@@ -88,13 +104,40 @@ func (r Region) Pages() int { return r.PageCount }
 func (r Region) Cap() int { return max(r.CapPages, r.PageCount) }
 
 // SetLive resizes the live extent within the reserved capacity; an
-// append beyond it fails with ErrRegionFull.
-func (r *Region) SetLive(pages int) error {
-	if pages < 0 || pages > r.Cap() {
-		return fmt.Errorf("%w (%d pages of %d reserved)", ErrRegionFull, pages, r.Cap())
+// append beyond it fails with ErrRegionFull. For a row-mapped region
+// the bound is the mapped logical capacity (every live page must fall
+// in a mapped row), not CapPages: recycling lets the logical tail grow
+// past the physical reservation.
+func (r *Region) SetLive(planes, pages int) error {
+	bound := r.Cap()
+	if r.RowStripes > 0 {
+		bound = len(r.RowMap) * r.RowStripes * planes
+	}
+	if pages < 0 || pages > bound {
+		return fmt.Errorf("%w (%d pages of %d reserved)", ErrRegionFull, pages, bound)
 	}
 	r.PageCount = pages
 	return nil
+}
+
+// EnableRowMap switches the region to row-mapped addressing with rows
+// of rowStripes stripes, identity-mapping the first rows logical rows.
+// The caller guarantees the region's live pages fit in those rows.
+func (r *Region) EnableRowMap(rowStripes, rows int) {
+	r.RowStripes = rowStripes
+	r.RowMap = make([]int32, rows)
+	for i := range r.RowMap {
+		r.RowMap[i] = int32(i)
+	}
+}
+
+// PhysRows returns how many physical rows the reserved extent holds
+// (0 for a direct-mapped region).
+func (r Region) PhysRows(planes int) int {
+	if r.RowStripes == 0 {
+		return 0
+	}
+	return r.Cap() / (planes * r.RowStripes)
 }
 
 // Stripes returns how many page offsets the region spans per plane.
@@ -120,14 +163,23 @@ func (r Region) CapEndStripe(planes int) int {
 }
 
 // AddressOf resolves page i of the region under the geometry by pure
-// arithmetic (no mapping table).
+// arithmetic (no mapping table); a row-mapped region adds one RowMap
+// lookup to redirect the page's row to its physical slot.
 func (r Region) AddressOf(g flash.Geometry, i int) (flash.Address, error) {
 	if i < 0 || i >= r.PageCount {
 		return flash.Address{}, fmt.Errorf("ssd: page %d outside region of %d pages", i, r.PageCount)
 	}
 	planes := g.Planes()
 	plane := i % planes
-	off := r.StartStripe + i/planes
+	stripe := i / planes
+	if r.RowStripes > 0 {
+		row := stripe / r.RowStripes
+		if row >= len(r.RowMap) || r.RowMap[row] < 0 {
+			return flash.Address{}, fmt.Errorf("ssd: region page %d in unmapped row %d", i, row)
+		}
+		stripe = int(r.RowMap[row])*r.RowStripes + stripe%r.RowStripes
+	}
+	off := r.StartStripe + stripe
 	if off >= g.PagesPerPlane() {
 		return flash.Address{}, fmt.Errorf("ssd: region page %d exceeds plane capacity", i)
 	}

@@ -108,10 +108,62 @@ func (s *SSD) AllocateRegion(pages, capPages int, mode flash.CellMode) (Region, 
 // bounds in the R-DB are the only mapping state REIS keeps after
 // deployment). rec must be registered; r must point into it.
 func (s *SSD) ResizeRegion(rec *DBRecord, r *Region, pages int) error {
-	if err := r.SetLive(pages); err != nil {
+	if err := r.SetLive(s.Cfg.Geo.Planes(), pages); err != nil {
 		return err
 	}
 	return s.RDB.Update(*rec)
+}
+
+// MapRegionRows appends physical row assignments to a row-mapped
+// region: logical rows len(RowMap)... are bound to the given physical
+// rows of the reserved extent, making their pages addressable again.
+// The physical rows must have been reclaimed (or never mapped) and are
+// assumed erased. The R-DB record is refreshed — row-map growth is
+// part of the coarse FTL remap a mutation commits.
+func (s *SSD) MapRegionRows(rec *DBRecord, r *Region, phys []int) error {
+	if r.RowStripes == 0 {
+		return fmt.Errorf("ssd: MapRegionRows on direct-mapped region")
+	}
+	bound := r.PhysRows(s.Cfg.Geo.Planes())
+	for _, p := range phys {
+		if p < 0 || p >= bound {
+			return fmt.Errorf("ssd: physical row %d outside extent of %d rows", p, bound)
+		}
+		r.RowMap = append(r.RowMap, int32(p))
+	}
+	return s.RDB.Update(*rec)
+}
+
+// ReclaimRegionRow erases the blocks of one logical row of a
+// row-mapped region (its RowStripes must equal PagesPerBlock, so a row
+// is exactly one block per plane) and unmaps it, returning the number
+// of block erases issued. The freed physical row may later be re-bound
+// to a new logical row via MapRegionRows — this is how GC recycles
+// compacted rows into the append free pool.
+func (s *SSD) ReclaimRegionRow(rec *DBRecord, r *Region, row int) (int, error) {
+	g := s.Cfg.Geo
+	if r.RowStripes != g.PagesPerBlock || r.StartStripe%g.PagesPerBlock != 0 {
+		return 0, fmt.Errorf("ssd: ReclaimRegionRow needs block-row mapping (stripes %d, start %d)",
+			r.RowStripes, r.StartStripe)
+	}
+	if row < 0 || row >= len(r.RowMap) || r.RowMap[row] < 0 {
+		return 0, fmt.Errorf("ssd: reclaim of unmapped row %d", row)
+	}
+	blk := r.StartStripe/g.PagesPerBlock + int(r.RowMap[row])
+	erases := 0
+	for ch := 0; ch < g.Channels; ch++ {
+		for die := 0; die < g.DiesPerChannel; die++ {
+			for pl := 0; pl < g.PlanesPerDie; pl++ {
+				a := flash.Address{Channel: ch, Die: die, Plane: pl, Block: blk}
+				if err := s.Dev.EraseBlock(a); err != nil {
+					return erases, err
+				}
+				erases++
+			}
+		}
+	}
+	r.RowMap[row] = -1
+	return erases, s.RDB.Update(*rec)
 }
 
 // FreeStripes reports the number of unallocated stripes remaining.

@@ -294,19 +294,20 @@ func TestRegionSetLiveBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.SetLive(r.Cap()); err != nil {
+	planes := s.Cfg.Geo.Planes()
+	if err := r.SetLive(planes, r.Cap()); err != nil {
 		t.Fatalf("grow to capacity: %v", err)
 	}
 	if _, err := r.AddressOf(s.Cfg.Geo, r.Cap()-1); err != nil {
 		t.Fatalf("grown page unaddressable: %v", err)
 	}
-	if err := r.SetLive(r.Cap() + 1); !errors.Is(err, ErrRegionFull) {
+	if err := r.SetLive(planes, r.Cap()+1); !errors.Is(err, ErrRegionFull) {
 		t.Fatalf("growth beyond capacity: error %v, want ErrRegionFull", err)
 	}
-	if err := r.SetLive(-1); err == nil {
+	if err := r.SetLive(planes, -1); err == nil {
 		t.Fatal("negative live extent accepted")
 	}
-	if err := r.SetLive(0); err != nil {
+	if err := r.SetLive(planes, 0); err != nil {
 		t.Fatalf("shrink to zero: %v", err)
 	}
 }
