@@ -5,9 +5,16 @@
 //
 //   - ModelQPS (the timing model's throughput — a pure function of the
 //     bit-identical device stats, so machine-independent) dropping more
-//     than -max-regress percent, or
+//     than -max-regress percent,
+//   - ModelP99Ms (the SLO gate: modeled p99 latency under the pinned
+//     arrival schedule — deterministic like ModelQPS) increasing by
+//     more than -max-regress percent, or
 //   - AllocsPerOp (the zero-alloc query-path contract) increasing by
 //     more than -allocs-slack.
+//
+// The remaining latency quantiles (ModelP50Ms, ModelP95Ms,
+// ModelP999Ms) and the frontier latencies are report-only, like the
+// other informational metrics.
 //
 // Wall-clock metrics (WallQPS, NsPerOp) are reported but not enforced
 // by default — shared CI runners make them noisy; pass -wall to gate
@@ -55,6 +62,29 @@ var metricFields = map[string]bool{
 	// skew from the churn experiment.
 	"WriteAmp": true, "MaxBlockErase": true, "CompactedRows": true,
 	"BlockErases": true,
+	// Latency-distribution metrics from the SLO sweep and the tail
+	// columns of qdepth/shards. ModelP99Ms is enforced (increase is a
+	// regression); the rest are report-only.
+	"ModelP50Ms": true, "ModelP95Ms": true, "ModelP99Ms": true,
+	"ModelP999Ms": true, "ArrivalQPS": true, "MeanBatch": true,
+	"MaxBacklog": true,
+	// Frontier metrics (report-only): recall and modeled latency of
+	// the DRAM-side rivals and the flash configurations.
+	"Recall": true, "ServeMs": true, "TotalMs": true,
+}
+
+// latencyFields are metrics where an *increase* is the regression;
+// only ModelP99Ms — the SLO — is enforced.
+var latencyFields = []struct {
+	name    string
+	enforce bool
+}{
+	{"ModelP99Ms", true},
+	{"ModelP50Ms", false},
+	{"ModelP95Ms", false},
+	{"ModelP999Ms", false},
+	{"ServeMs", false},
+	{"TotalMs", false},
 }
 
 // rowKey builds the match key of a row: the experiment id plus every
@@ -134,8 +164,30 @@ func diff(baseline, current *report, opt options) (violations, notes []string) {
 					}
 				}
 			}
+			// Latency direction: the SLO gate fires when a quantile
+			// *rises* past the bound (mirroring the ModelQPS drop gate).
+			checkRise := func(field string, enforce bool) {
+				cv, ok1 := num(row, field)
+				bv, ok2 := num(b, field)
+				if !ok1 || !ok2 || bv <= 0 {
+					return
+				}
+				risePct := (cv - bv) / bv * 100
+				if risePct > opt.maxRegressPct {
+					msg := fmt.Sprintf("%s: %s %.3f -> %.3f (+%.1f%%, limit %.0f%%) — tail-latency regression",
+						key, field, bv, cv, risePct, opt.maxRegressPct)
+					if enforce {
+						violations = append(violations, msg)
+					} else {
+						notes = append(notes, msg)
+					}
+				}
+			}
 			check("ModelQPS", true)
 			check("WallQPS", opt.gateWall)
+			for _, lf := range latencyFields {
+				checkRise(lf.name, lf.enforce)
+			}
 			if ca, ok1 := num(row, "AllocsPerOp"); ok1 {
 				if ba, ok2 := num(b, "AllocsPerOp"); ok2 && ca > ba+opt.allocsSlack {
 					violations = append(violations, fmt.Sprintf(

@@ -110,6 +110,69 @@ func TestDiffSkewSectionAbsentFromBaseline(t *testing.T) {
 	}
 }
 
+// sloReport builds a report with one slo-sweep row at the given p99.
+func sloReport(p99 float64) *report {
+	var r report
+	r.Experiments = []struct {
+		ID   string           `json:"id"`
+		Rows []map[string]any `json:"rows"`
+	}{
+		{ID: "slo", Rows: []map[string]any{{
+			"Dataset": "NQ", "Mode": "IVF@np2", "Shards": float64(1),
+			"Depth": float64(8), "Load": "0.80",
+			"ArrivalQPS": 800.0, "ModelQPS": 1000.0,
+			"ModelP50Ms": 1.0, "ModelP95Ms": 2.0, "ModelP99Ms": p99,
+			"ModelP999Ms": p99 * 1.5, "MeanBatch": 2.5, "MaxBacklog": float64(6),
+		}}},
+	}
+	return &r
+}
+
+// TestDiffSLOGateCatchesP99Regression pins the SLO gate: a p99 rise
+// past -max-regress fails, while the report-only quantiles (and p99
+// improvements) never do.
+func TestDiffSLOGateCatchesP99Regression(t *testing.T) {
+	base := sloReport(10)
+	v, _ := diff(base, sloReport(14), options{maxRegressPct: 25}) // +40%
+	if len(v) != 1 || !strings.Contains(v[0], "ModelP99Ms") {
+		t.Fatalf("p99 regression not gated: %v", v)
+	}
+	// Within tolerance: +20% passes.
+	if v, _ := diff(base, sloReport(12), options{maxRegressPct: 25}); len(v) != 0 {
+		t.Fatalf("p99 within tolerance violated: %v", v)
+	}
+	// Getting faster is never a violation.
+	if v, _ := diff(base, sloReport(2), options{maxRegressPct: 25}); len(v) != 0 {
+		t.Fatalf("p99 improvement violated: %v", v)
+	}
+	// Report-only quantiles note but never violate.
+	cur := sloReport(10)
+	cur.Experiments[0].Rows[0]["ModelP999Ms"] = 100.0
+	v, notes := diff(base, cur, options{maxRegressPct: 25})
+	if len(v) != 0 {
+		t.Fatalf("report-only quantile violated: %v", v)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "ModelP999Ms") {
+		t.Fatalf("notes: %v", notes)
+	}
+}
+
+// TestDiffSLOSectionAbsentFromBaseline pins the report-only behaviour
+// for new sections: a baseline that predates the slo sweep gets one
+// note and no violations, however bad the current quantiles look.
+func TestDiffSLOSectionAbsentFromBaseline(t *testing.T) {
+	base := mkReport(1000, 2000, 24.5)
+	cur := mkReport(1000, 2000, 24.5)
+	cur.Experiments = append(cur.Experiments, sloReport(1e9).Experiments...)
+	v, notes := diff(base, cur, options{maxRegressPct: 25})
+	if len(v) != 0 {
+		t.Fatalf("slo section absent from baseline must not violate: %v", v)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "slo") {
+		t.Fatalf("notes: %v", notes)
+	}
+}
+
 func TestDiffNotesMissingExperimentOnce(t *testing.T) {
 	base := mkReport(1000, 2000, 24.5)
 	cur := mkReport(1000, 2000, 24.5)

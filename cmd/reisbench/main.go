@@ -18,7 +18,12 @@
 // commands routed over a replica group, with and without one member
 // slowed by QoS-weighted ballast), churn (GC wear under sustained
 // append/delete/compact churn: wear-leveled vs first-fit placement of
-// recycled rows, with write amplification and max-erase skew).
+// recycled rows, with write amplification and max-erase skew), slo
+// (modeled latency quantiles p50/p95/p99/p999 under a deterministic
+// Poisson arrival schedule, swept over arrival rate x queue depth x
+// shard count), frontier (recall vs modeled latency: live HNSW/LSH/
+// PQ-IVF indexes served from host DRAM against the flash engine with
+// pruning, with and without the DRAM caching tier).
 //
 // Profiling and machine-readable output:
 //
@@ -70,7 +75,7 @@ func main() {
 }
 
 func realMain() error {
-	exp := flag.String("exp", "all", "experiment id (fig2|fig3|table4|fig5|fig7|fig8|fig9|asic|fig10|fig11|throughput|qdepth|shards|prune|skew|replicas|churn|all)")
+	exp := flag.String("exp", "all", "experiment id (fig2|fig3|table4|fig5|fig7|fig8|fig9|asic|fig10|fig11|throughput|qdepth|shards|prune|skew|replicas|churn|slo|frontier|all)")
 	scale := flag.Int("scale", 16, "workload scale divisor (larger = smaller functional datasets)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
@@ -91,7 +96,7 @@ func realMain() error {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"fig2", "fig5", "fig7", "fig9", "asic", "fig10", "fig11", "throughput", "qdepth", "shards", "prune", "skew", "replicas", "churn"}
+		ids = []string{"fig2", "fig5", "fig7", "fig9", "asic", "fig10", "fig11", "throughput", "qdepth", "shards", "prune", "skew", "replicas", "churn", "slo", "frontier"}
 	}
 	report := jsonReport{
 		Tool:        "reisbench",
@@ -240,6 +245,20 @@ func run(id string, scale int) (any, error) {
 			return nil, err
 		}
 		fmt.Print(experiments.FormatReplicas(rows))
+		return rows, nil
+	case "slo":
+		rows, err := experiments.RunSLO(scale, nil, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(experiments.FormatSLO(rows))
+		return rows, nil
+	case "frontier":
+		rows, err := experiments.RunFrontier(scale)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(experiments.FormatFrontier(rows))
 		return rows, nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", id)

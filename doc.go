@@ -54,12 +54,27 @@
 // 503 + Retry-After backpressure, and graceful drain (DESIGN.md,
 // "Replicated serving and gateway").
 //
+// The timing model extends past averages into distributions:
+// Engine.RunLoad / ShardedEngine.RunLoad replay a deterministic
+// Poisson arrival schedule through a queue pair in virtual time and
+// accumulate per-command modeled latency into a streaming quantile
+// sketch (reis.LatencySketch, DDSketch-style with a guaranteed
+// relative-error bound), so p50/p95/p99/p999 are bit-identical run to
+// run and gate CI: cmd/benchdiff fails when modeled p99 under the
+// pinned arrival rate regresses against the committed BENCH_*.json
+// baseline (DESIGN.md, "Latency distributions and SLOs"). The
+// recall-vs-latency frontier (reisbench -exp frontier) runs live
+// HNSW/LSH/PQ-IVF indexes from internal/ann over the engine's own
+// corpus and prices them with the DRAM cost models of internal/rivals
+// against the flash engine's pruned and cached configurations.
+//
 // Runnable entry points are cmd/reisbench (regenerates every table and
 // figure of the paper, plus the throughput, queue-depth, shard
-// scale-out and replicated-serving sweeps), cmd/reisctl (deploy +
-// async search against a simulated device, a -shards topology, or a
-// -replicas group), and the examples/ directory (examples/ragserver is
-// the gateway over a replica group). The root-level benchmarks in
-// bench_test.go drive the same experiment runners through
-// `go test -bench`.
+// scale-out, replicated-serving, SLO and frontier sweeps), cmd/reisctl
+// (deploy + async search against a simulated device, a -shards
+// topology, or a -replicas group), and the examples/ directory
+// (examples/ragserver is the gateway over a replica group). The
+// root-level benchmarks in bench_test.go drive the same experiment
+// runners through `go test -bench`. README.md has the quickstart and
+// the current results table.
 package reis

@@ -52,13 +52,19 @@ func main() {
 		fmt.Printf("deployed %-8s as database %d (%d entries)\n", name, i+1, data.Len())
 	}
 
-	// Route a query to each domain database.
+	// Route a query to each domain database through the host-command
+	// interface — DBID is the routing operand, exactly as a driver
+	// multiplexing tenants over one device would submit it.
 	for i, name := range domains {
 		data := corpora[name]
-		results, _, err := engine.IVFSearch(i+1, data.Queries[0], 2, reis.SearchOptions{NProbe: 4})
+		resp, err := engine.Submit(reis.HostCommand{
+			Opcode: reis.OpcodeIVFSearch, DBID: i + 1,
+			Queries: data.Queries[:1], K: 2, NProbe: 4,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		results := resp.Results[0]
 		fmt.Printf("\n%s query -> %d hits:\n", name, len(results))
 		for _, r := range results {
 			fmt.Printf("  id=%-5d %q...\n", r.ID, r.Doc[:32])
@@ -67,13 +73,18 @@ func main() {
 
 	// Metadata filtering: restrict the medical search to timestamp
 	// bucket 2, as a real-time pipeline would restrict to a freshness
-	// window (Sec 7.1).
+	// window (Sec 7.1). The filter rides in the command's search
+	// options.
 	bucket := uint8(2)
-	results, _, err := engine.IVFSearch(1, corpora["medical"].Queries[1], 3,
-		reis.SearchOptions{NProbe: 8, MetaTag: &bucket})
+	resp, err := engine.Submit(reis.HostCommand{
+		Opcode: reis.OpcodeIVFSearch, DBID: 1,
+		Queries: corpora["medical"].Queries[1:2], K: 3, NProbe: 8,
+		Opt: reis.SearchOptions{MetaTag: &bucket},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	results := resp.Results[0]
 	fmt.Printf("\nmedical query restricted to timestamp bucket %d -> %d hits:\n", bucket, len(results))
 	for _, r := range results {
 		fmt.Printf("  id=%-5d (id mod 4 = %d) %q...\n", r.ID, r.ID%4, r.Doc[:32])

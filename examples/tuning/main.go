@@ -41,43 +41,50 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("nprobe  recall@10  scanned  survivors  device-latency")
+	fmt.Println("nprobe  recall@10  scanned  survivors  batch-makespan")
 	for _, nprobe := range []int{1, 2, 4, 8, 16, 32, 96} {
-		got := make([][]int, len(data.Queries))
-		var agg reis.QueryStats
-		for qi, q := range data.Queries {
-			res, st, err := engine.IVFSearch(1, q, 10, reis.SearchOptions{NProbe: nprobe, SkipDocs: true})
-			if err != nil {
-				log.Fatal(err)
-			}
+		// One batched IVF_Search host command per operating point — the
+		// same admission path the async queue pair and the serving tier
+		// use, with results bit-identical to sequential calls.
+		resp, err := engine.Submit(reis.HostCommand{
+			Opcode: reis.OpcodeIVFSearch, DBID: 1, Queries: data.Queries,
+			K: 10, NProbe: nprobe, Opt: reis.SearchOptions{SkipDocs: true},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := make([][]int, len(resp.Results))
+		for qi, res := range resp.Results {
 			ids := make([]int, len(res))
 			for i, r := range res {
 				ids[i] = r.ID
 			}
 			got[qi] = ids
-			agg.Add(st)
 		}
 		recall := dataset.Recall(data.GroundTruth, got, 10)
-		// Mean per-query stats for the latency model.
 		n := len(data.Queries)
-		agg.EntriesScanned /= n
-		agg.Survivors /= n
-		agg.CoarsePages /= n
-		agg.FinePages /= n
-		agg.CoarseEntries /= n
-		agg.RerankCount /= n
-		agg.SortedEntries /= n
-		bd := engine.Latency(db, agg, reis.UnitScale())
+		bb := engine.BatchLatency(db, resp.QueryStats, reis.UnitScale())
 		fmt.Printf("%5d %9.3f %8d %10d %14v\n",
-			nprobe, recall, agg.EntriesScanned, agg.Survivors, bd.Total)
+			nprobe, recall, resp.Stats.EntriesScanned/n, resp.Stats.Survivors/n, bb.Makespan)
 	}
 
-	// And the automatic calibration the experiments use:
+	// The automatic calibration the experiments use, and the resulting
+	// TargetRecall operand: once calibrated, a host command can carry
+	// the accuracy target R instead of an explicit nprobe and the
+	// device resolves it.
 	for _, target := range []float64{0.90, 0.95} {
 		nprobe, err := engine.CalibrateNProbe(1, data.Queries, data.GroundTruth, 10, target)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("calibrated nprobe for Recall@10 >= %.2f: %d\n", target, nprobe)
+		resp, err := engine.Submit(reis.HostCommand{
+			Opcode: reis.OpcodeIVFSearch, DBID: 1, Queries: data.Queries,
+			K: 10, TargetRecall: target, Opt: reis.SearchOptions{SkipDocs: true},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("calibrated nprobe for Recall@10 >= %.2f: %d (%d results via TargetRecall operand)\n",
+			target, nprobe, len(resp.Results))
 	}
 }

@@ -7,6 +7,13 @@
 //
 // The selection kernel is quickselect (Hoare's FIND), the same kernel
 // the paper runs on the SSD's embedded cores (Sec 4.3.1).
+//
+// Beyond results, the indexes expose the per-query work their search
+// actually did — HNSW.HopCount accumulates neighbor evaluations,
+// LSH.CandidateCount sizes the rescored union — which the frontier
+// experiment (internal/experiments) feeds to the DRAM-side cost
+// models of internal/rivals to price each operating point at paper
+// scale.
 package ann
 
 import "sort"

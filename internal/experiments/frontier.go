@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"reis/internal/ann"
+	"reis/internal/dataset"
+	"reis/internal/host"
+	"reis/internal/reis"
+	"reis/internal/rivals"
+	"reis/internal/ssd"
+)
+
+// This file runs the recall-vs-model-latency frontier — the repo's
+// headline comparison, reproducing the shape of the paper's rival
+// evaluation. Live HNSW/LSH/PQ-IVF indexes (internal/ann) are built
+// over the same corpus the flash engine deploys; the identical query
+// set runs through every system; recall is measured functionally and
+// latency is costed at paper scale — rivals through the DRAM models
+// of internal/rivals on the calibrated host baseline, the flash
+// engine through its occupancy timing model (pruned, and pruned with
+// the DRAM caching tier enabled).
+//
+// Two latency columns tell the two stories: ServeMs assumes the
+// rival's dataset is already resident in DRAM (the rival's best
+// case), TotalMs adds the QueryBatch-amortized load of the full-scale
+// FP32 dataset — the term Sec 3.2 shows dominating CPU serving and
+// the one the flash engine never pays.
+
+// FrontierScale is the minimum workload scale divisor of the frontier
+// run: RunFrontier clamps smaller (= larger-corpus) requests up to it
+// so the index builds stay tractable in CI.
+const FrontierScale = 64
+
+// frontierCacheBudget is ssd.Config.CacheDRAMBytes for the cached
+// flash configuration: enough to pin the probed clusters' binary
+// pages at functional scale. The timing model charges the pinned
+// fraction at scaled serialized DRAM-scan cost, so on this uniform
+// single-pass query set the cached rows sit at or above the pruned
+// curve — in-flash scanning parallelizes across planes while the
+// controller core does not, and with no repeats the result cache
+// never fires. The cache's wins live in the skewed/repeating regime
+// the skew experiment sweeps; the frontier rows pin the other half of
+// that claim.
+const frontierCacheBudget = 1 << 20
+
+// FrontierRow is one operating point of one system on the frontier.
+type FrontierRow struct {
+	Dataset string
+	System  string
+	Param   string
+	// Recall is Recall@10 measured functionally on the shared corpus
+	// and query set.
+	Recall float64
+	// ServeMs is the modeled per-query latency at paper scale with
+	// the dataset resident (DRAM rivals) or on flash (REIS rows).
+	ServeMs float64
+	// TotalMs adds the QueryBatch-amortized dataset load for DRAM
+	// rivals; for REIS rows it equals ServeMs.
+	TotalMs float64
+}
+
+// RunFrontier builds the frontier over wiki_en at the given scale
+// divisor (clamped to at least FrontierScale). Every system sweeps
+// its accuracy knob: HNSW the search beam ef, LSH the hash width,
+// PQ-IVF and the flash configurations nprobe.
+func RunFrontier(scale int) ([]FrontierRow, error) {
+	if scale < FrontierScale {
+		scale = FrontierScale
+	}
+	w := LoadWorkload("wiki_en", scale)
+	d := w.Data
+	const k = 10
+	dram := rivals.DRAMANN{B: host.NewBaseline(host.CPUReal()), Dim: d.Dim}
+	loadSec := dram.LoadSecondsPerQuery(w.PaperN(), QueryBatch)
+
+	var rows []FrontierRow
+	add := func(system, param string, recall, serveSec float64, resident bool) {
+		total := serveSec
+		if resident {
+			total += loadSec
+		}
+		rows = append(rows, FrontierRow{
+			Dataset: w.Name, System: system, Param: param,
+			Recall: recall, ServeMs: serveSec * 1e3, TotalMs: total * 1e3,
+		})
+	}
+
+	// HNSW: hops are measured on the functional graph and stretched by
+	// the log of the size ratio — at fixed M and ef the greedy search
+	// path length grows logarithmically with N (the index's own
+	// scaling argument).
+	hnsw := ann.NewHNSW(d.Vectors, ann.HNSWConfig{M: 24, EfConstruction: 160, Seed: 5})
+	hopScale := math.Log(float64(w.PaperN())) / math.Log(float64(d.Len()))
+	for _, ef := range []int{16, 64, 256} {
+		hnsw.SetEfSearch(ef)
+		hnsw.HopCount = 0
+		_, recall := measureSearcher(d, hnsw, k)
+		hops := float64(hnsw.HopCount) / float64(len(d.Queries))
+		add("HNSW", fmt.Sprintf("ef=%d", ef), recall, dram.HNSWSeconds(hops*hopScale), true)
+	}
+
+	// LSH: at a fixed hash width the per-bucket occupancy — and so the
+	// rescored candidate union — grows linearly with N; scaling the
+	// measured candidate count by ScaleFine keeps the scanned fraction
+	// of the database fixed (the fixed-structure extrapolation). More
+	// bits means smaller buckets: fewer candidates, lower recall.
+	const lshTables = 16
+	for _, bits := range []int{16, 14, 12} {
+		lsh := ann.NewLSH(d.Vectors, ann.LSHConfig{Tables: lshTables, Bits: bits, Seed: 5})
+		_, recall := measureSearcher(d, lsh, k)
+		var cand float64
+		for _, q := range d.Queries {
+			cand += float64(lsh.CandidateCount(q))
+		}
+		cand /= float64(len(d.Queries))
+		add("LSH", fmt.Sprintf("bits=%d", bits), recall, dram.LSHSeconds(cand*w.ScaleFine, lshTables), true)
+	}
+
+	// PQ-IVF: probed-list candidates extrapolate exactly like the
+	// engine's own IVF fine scan (ScaleIVF — cluster-size ratio times
+	// the sqrt nprobe-retuning term), and the coarse scan covers the
+	// paper's full nlist.
+	nlist := max(8, isqrt(d.Len()))
+	const pqM, pqKS = 16, 64
+	pqivf := ann.NewPQIVF(d.Vectors,
+		ann.IVFConfig{NList: nlist, Seed: 5},
+		ann.PQConfig{M: pqM, KS: pqKS, Seed: 5, TrainIters: 6})
+	scIVF := w.ScaleIVF()
+	for _, nprobe := range []int{1, 2, 4, 8} {
+		np := nprobe
+		_, recall := measureSearcher(d, searchFunc(func(q []float32, kk int) []ann.Result {
+			return pqivf.SearchNProbe(q, kk, np)
+		}), k)
+		cand := float64(d.Len()) * float64(np) / float64(nlist) * scIVF.Fine
+		add("PQ-IVF", fmt.Sprintf("np=%d", np), recall, dram.PQSeconds(cand, pqM, pqKS, PaperNList), true)
+	}
+
+	// Flash configurations: the same corpus deployed on REIS-SSD1,
+	// searched with threshold pruning, without and with the DRAM
+	// caching tier.
+	for _, cached := range []bool{false, true} {
+		fr, err := frontierREIS(w, k, cached)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, fr...)
+	}
+	return rows, nil
+}
+
+// frontierREIS measures the flash engine's frontier points: recall
+// from the functional results, latency from the occupancy timing
+// model at ScaleIVF. With cached set, the deployment carries a
+// controller-DRAM cache; warm-up passes build the probe counters so
+// the measured pass scans pinned clusters from DRAM. The measured
+// pass uses the sequential IVFSearch API, which shares the scan path
+// (including pins) but bypasses the Submit-side result cache — repeats
+// must not be served for free.
+func frontierREIS(w *Workload, k int, cached bool) ([]FrontierRow, error) {
+	cfg := ssd.SSD1()
+	if cached {
+		cfg.CacheDRAMBytes = frontierCacheBudget
+	}
+	s, err := NewSetup(cfg, w, reis.AllOptions())
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	system := "REIS-pruned"
+	if cached {
+		system = "REIS-pruned+cached"
+	}
+	sc := w.ScaleIVF()
+	queries := w.Data.Queries
+	var rows []FrontierRow
+	for _, nprobe := range []int{1, 2, 4, 8} {
+		opt := reis.SearchOptions{NProbe: nprobe, Prune: true, SkipDocs: true}
+		if cached {
+			for warm := 0; warm < 2; warm++ {
+				for _, q := range queries {
+					if _, _, err := s.Engine.IVFSearch(1, q, k, opt); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		got := make([][]int, len(queries))
+		var serveSec float64
+		for qi, q := range queries {
+			res, st, err := s.Engine.IVFSearch(1, q, k, opt)
+			if err != nil {
+				return nil, err
+			}
+			ids := make([]int, len(res))
+			for i, r := range res {
+				ids[i] = r.ID
+			}
+			got[qi] = ids
+			serveSec += s.Engine.Latency(s.DB, st, sc).Total.Seconds()
+		}
+		serveSec /= float64(len(queries))
+		rows = append(rows, FrontierRow{
+			Dataset: w.Name, System: system, Param: fmt.Sprintf("np=%d", nprobe),
+			Recall:  dataset.Recall(w.Data.GroundTruth, got, k),
+			ServeMs: serveSec * 1e3, TotalMs: serveSec * 1e3,
+		})
+	}
+	return rows, nil
+}
+
+// FormatFrontier renders the frontier table.
+func FormatFrontier(rows []FrontierRow) string {
+	var sb strings.Builder
+	sb.WriteString("Recall vs model latency: DRAM-side ANN rivals vs the flash engine (wiki_en, paper scale)\n")
+	fmt.Fprintf(&sb, "%-10s %-18s %-10s %7s %12s %12s\n",
+		"dataset", "system", "param", "recall", "serve ms", "total ms")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %-18s %-10s %7.3f %12.4f %12.4f\n",
+			r.Dataset, r.System, r.Param, r.Recall, r.ServeMs, r.TotalMs)
+	}
+	return sb.String()
+}

@@ -33,6 +33,15 @@ type QDepthRow struct {
 	NsPerOp     float64
 	AllocsPerOp float64
 	BytesPerOp  float64
+	// ModelQPS is the modeled saturation throughput at this depth
+	// (every command arrived at once, dispatcher coalescing up to the
+	// depth bound) — deterministic, unlike WallQPS.
+	ModelQPS float64
+	// ModelP50Ms/P95/P99 are modeled per-command latency quantiles at
+	// LoadUtilization of ModelQPS (see slo.go).
+	ModelP50Ms float64
+	ModelP95Ms float64
+	ModelP99Ms float64
 }
 
 // QDepthDepths is the default queue-depth sweep.
@@ -61,6 +70,18 @@ func RunQDepth(scale int, datasets []string, depths []int) ([]QDepthRow, error) 
 			return nil, err
 		}
 		queries := w.Data.Queries
+		// One batched pass collects the per-query device stats behind
+		// the modeled tail columns; queue coalescing never changes
+		// stats (the determinism contract), so these stand for every
+		// depth row below.
+		statsResp, err := s.Engine.Submit(reis.HostCommand{
+			Opcode: reis.OpcodeIVFSearch, DBID: 1,
+			Queries: queries, K: 10, NProbe: nprobe,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sc := w.ScaleIVF()
 		for _, depth := range depths {
 			ch := make(chan reis.Completion, depth)
 			q, err := s.Engine.NewQueue(reis.QueueConfig{Depth: depth, Completions: ch})
@@ -111,6 +132,14 @@ func RunQDepth(scale int, datasets []string, depths []int) ([]QDepthRow, error) 
 			if st.Dispatches > 0 {
 				avg = float64(st.Submitted) / float64(st.Dispatches)
 			}
+			cost := func(first, cn int) time.Duration {
+				window := make([]reis.QueryStats, cn)
+				for k := range window {
+					window[k] = statsResp.QueryStats[(first+k)%len(statsResp.QueryStats)]
+				}
+				return s.Engine.BatchLatency(s.DB, window, sc).Makespan
+			}
+			tail := modelTail(cost, depth)
 			rows = append(rows, QDepthRow{
 				Dataset: name, Mode: fmt.Sprintf("IVF@np%d", nprobe), Depth: depth,
 				WallQPS:     n / wall.Seconds(),
@@ -118,6 +147,10 @@ func RunQDepth(scale int, datasets []string, depths []int) ([]QDepthRow, error) 
 				NsPerOp:     float64(wall.Nanoseconds()) / n,
 				AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / n,
 				BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+				ModelQPS:    tail.SaturationQPS,
+				ModelP50Ms:  ms(tail.P50),
+				ModelP95Ms:  ms(tail.P95),
+				ModelP99Ms:  ms(tail.P99),
 			})
 		}
 	}
@@ -128,11 +161,13 @@ func RunQDepth(scale int, datasets []string, depths []int) ([]QDepthRow, error) 
 func FormatQDepth(rows []QDepthRow) string {
 	var sb strings.Builder
 	sb.WriteString("Queue-depth sweep: single-query commands through one async queue pair (REIS-SSD1)\n")
-	fmt.Fprintf(&sb, "%-10s %-10s %6s %10s %10s %10s %10s\n",
-		"dataset", "mode", "depth", "wall QPS", "avg batch", "ns/op", "allocs/op")
+	fmt.Fprintf(&sb, "%-10s %-10s %6s %10s %10s %10s %10s %10s %9s %9s %9s\n",
+		"dataset", "mode", "depth", "wall QPS", "avg batch", "ns/op", "allocs/op",
+		"model QPS", "p50 ms", "p95 ms", "p99 ms")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-10s %-10s %6d %10.1f %10.2f %10.0f %10.1f\n",
-			r.Dataset, r.Mode, r.Depth, r.WallQPS, r.AvgBatch, r.NsPerOp, r.AllocsPerOp)
+		fmt.Fprintf(&sb, "%-10s %-10s %6d %10.1f %10.2f %10.0f %10.1f %10.1f %9.3f %9.3f %9.3f\n",
+			r.Dataset, r.Mode, r.Depth, r.WallQPS, r.AvgBatch, r.NsPerOp, r.AllocsPerOp,
+			r.ModelQPS, r.ModelP50Ms, r.ModelP95Ms, r.ModelP99Ms)
 	}
 	return sb.String()
 }

@@ -34,6 +34,12 @@ type ShardRow struct {
 	NsPerOp     float64
 	AllocsPerOp float64
 	BytesPerOp  float64
+	// ModelP50Ms/P95/P99 are modeled per-command latency quantiles at
+	// LoadUtilization of the depth-DefaultQueueDepth saturation
+	// throughput of this topology (see slo.go).
+	ModelP50Ms float64
+	ModelP95Ms float64
+	ModelP99Ms float64
 }
 
 // ShardCounts is the default scale-out sweep; every count divides the
@@ -131,6 +137,33 @@ func runShardRow(sh *reis.ShardedEngine, w *Workload, dataset, mode string, op u
 	if err != nil {
 		return ShardRow{}, err
 	}
+	// Tail columns: replay the cycled query stats through the
+	// virtual-time dispatcher model over this topology.
+	n := len(resp.QueryStats)
+	var costErr error
+	cost := func(first, cn int) time.Duration {
+		sts := make([]reis.QueryStats, cn)
+		group := make([][]reis.QueryStats, shards)
+		for s := range group {
+			group[s] = make([]reis.QueryStats, cn)
+		}
+		for k := 0; k < cn; k++ {
+			qi := (first + k) % n
+			sts[k] = resp.QueryStats[qi]
+			for s := 0; s < shards; s++ {
+				group[s][k] = resp.PerShard[s][qi]
+			}
+		}
+		gb, err := sh.BatchLatency(1, sts, group, sc)
+		if err != nil && costErr == nil {
+			costErr = err
+		}
+		return gb.Makespan
+	}
+	tail := modelTail(cost, reis.DefaultQueueDepth)
+	if costErr != nil {
+		return ShardRow{}, costErr
+	}
 	nq := float64(len(queries))
 	return ShardRow{
 		Dataset: dataset, Mode: mode, Shards: shards,
@@ -139,6 +172,9 @@ func runShardRow(sh *reis.ShardedEngine, w *Workload, dataset, mode string, op u
 		NsPerOp:     float64(wall.Nanoseconds()) / nq,
 		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / nq,
 		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / nq,
+		ModelP50Ms:  ms(tail.P50),
+		ModelP95Ms:  ms(tail.P95),
+		ModelP99Ms:  ms(tail.P99),
 	}, nil
 }
 
@@ -146,11 +182,13 @@ func runShardRow(sh *reis.ShardedEngine, w *Workload, dataset, mode string, op u
 func FormatShards(rows []ShardRow) string {
 	var sb strings.Builder
 	sb.WriteString("Shard scale-out: one batched command over N devices (REIS-SSD1 class)\n")
-	fmt.Fprintf(&sb, "%-10s %-10s %6s %10s %10s %8s %10s %10s\n",
-		"dataset", "mode", "shards", "wall QPS", "model QPS", "speedup", "ns/op", "allocs/op")
+	fmt.Fprintf(&sb, "%-10s %-10s %6s %10s %10s %8s %10s %10s %9s %9s %9s\n",
+		"dataset", "mode", "shards", "wall QPS", "model QPS", "speedup", "ns/op", "allocs/op",
+		"p50 ms", "p95 ms", "p99 ms")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-10s %-10s %6d %10.1f %10.1f %7.2fx %10.0f %10.1f\n",
-			r.Dataset, r.Mode, r.Shards, r.WallQPS, r.ModelQPS, r.ModelSpeedup, r.NsPerOp, r.AllocsPerOp)
+		fmt.Fprintf(&sb, "%-10s %-10s %6d %10.1f %10.1f %7.2fx %10.0f %10.1f %9.3f %9.3f %9.3f\n",
+			r.Dataset, r.Mode, r.Shards, r.WallQPS, r.ModelQPS, r.ModelSpeedup, r.NsPerOp, r.AllocsPerOp,
+			r.ModelP50Ms, r.ModelP95Ms, r.ModelP99Ms)
 	}
 	return sb.String()
 }

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"reis/internal/reis"
+	"reis/internal/ssd"
+)
+
+// This file runs the SLO sweep: per-command latency distributions
+// under an open-loop arrival schedule, across arrival rate × queue
+// depth × shard count. Where the throughput sweeps ask "how many
+// queries per second can the device absorb", the SLO sweep asks what a
+// single command experiences while the queue is loaded — the p99 here
+// is the number a serving tier would put in its latency SLO, and
+// cmd/benchdiff gates on it (see DESIGN.md, "Latency distributions and
+// SLOs").
+
+// LoadUtilization is the pinned operating point of the tail columns on
+// the qdepth and shards sweeps: the arrival rate is this fraction of
+// the row's saturation throughput. Pinning utilization instead of an
+// absolute rate keeps rows comparable across model changes — a faster
+// model is probed proportionally harder — while still exposing
+// service-time regressions directly in the quantiles.
+const LoadUtilization = 0.8
+
+// LoadCommands is the command-stream length behind every modeled tail;
+// long enough that p99 rests on real samples.
+const LoadCommands = 256
+
+// loadSeed seeds every arrival schedule in the sweeps; a fixed seed is
+// what makes the reported quantiles reproducible bit for bit.
+const loadSeed = 0x510ad
+
+// SLO sweep axes: every (depth, load) cell runs on every shard count.
+var (
+	SLODepths      = []int{1, 8, 32}
+	SLOLoads       = []float64{0.5, 0.8, 0.95}
+	SLOShardCounts = []int{1, 2}
+)
+
+// SLORow is one cell of the SLO sweep. Dataset/Mode/Shards/Depth/Load
+// identify the cell; everything else is a deterministic function of
+// the timing model, so benchdiff can gate on it.
+type SLORow struct {
+	Dataset string
+	Mode    string
+	Shards  int
+	Depth   int
+	// Load is the utilization label ("0.50", "0.80", "0.95"): the
+	// arrival rate as a fraction of this cell's saturation throughput.
+	Load string
+	// ArrivalQPS is the resolved arrival rate of the schedule.
+	ArrivalQPS float64
+	// ModelQPS is the saturation throughput at this depth and shard
+	// count (every command arrived at once, full coalescing) — the
+	// ceiling the Load fraction is taken of.
+	ModelQPS float64
+	// ModelP50Ms..ModelP999Ms are modeled per-command latency
+	// quantiles (completion minus arrival) under the schedule.
+	ModelP50Ms  float64
+	ModelP95Ms  float64
+	ModelP99Ms  float64
+	ModelP999Ms float64
+	// MeanBatch is the mean commands per dispatch the replay achieved;
+	// MaxBacklog is the peak arrived-but-unserved command count.
+	MeanBatch  float64
+	MaxBacklog int
+}
+
+// RunSLO sweeps arrival rate × queue depth × shard count on
+// REIS-SSD1-class devices. Every cell drives LoadCommands single-query
+// IVF commands (the workload's query set, cycled) through a real queue
+// pair of the given depth, then replays the seeded Poisson schedule
+// through the virtual-time dispatcher model. nil axes select the
+// defaults.
+func RunSLO(scale int, datasets []string, depths []int, loads []float64) ([]SLORow, error) {
+	if datasets == nil {
+		datasets = []string{"NQ"}
+	}
+	if depths == nil {
+		depths = SLODepths
+	}
+	if loads == nil {
+		loads = SLOLoads
+	}
+	var rows []SLORow
+	for _, name := range datasets {
+		w := LoadWorkload(name, scale)
+		nprobe := 0
+		for _, shards := range SLOShardCounts {
+			cfg := ssd.SSD1()
+			cfg.Geo.BlocksPerPlane = 8
+			cfg.Geo.PagesPerBlock = 16
+			need := int64(w.Data.Len()) * int64(w.Data.Dim*3)
+			sh, err := reis.NewSharded(cfg, shards, need*4+64<<20, reis.AllOptions())
+			if err != nil {
+				return nil, err
+			}
+			_, err = sh.IVFDeploy(reis.DeployConfig{
+				ID: 1, Vectors: w.Data.Vectors, Docs: w.Data.Docs,
+				DocSlotBytes: docSlot(w.Data), Centroids: w.Centroids, Assign: w.Assign,
+			})
+			if err != nil {
+				sh.Close()
+				return nil, err
+			}
+			if nprobe == 0 {
+				// Sharded results are bit-identical to a single device's,
+				// so one calibration serves every shard count.
+				if nprobe, err = sh.CalibrateNProbe(1, w.Data.Queries, w.Data.GroundTruth, 10, 0.94); err != nil {
+					sh.Close()
+					return nil, err
+				}
+			}
+			tmpl := reis.HostCommand{
+				Opcode: reis.OpcodeIVFSearch, DBID: 1,
+				Queries: w.Data.Queries, K: 10, NProbe: nprobe,
+			}
+			for _, depth := range depths {
+				for _, load := range loads {
+					res, err := sh.RunLoad(tmpl, w.ScaleIVF(), reis.LoadConfig{
+						Utilization: load, Commands: LoadCommands,
+						Depth: depth, Seed: loadSeed,
+					})
+					if err != nil {
+						sh.Close()
+						return nil, err
+					}
+					rows = append(rows, SLORow{
+						Dataset: name, Mode: fmt.Sprintf("IVF@np%d", nprobe),
+						Shards: shards, Depth: depth, Load: fmt.Sprintf("%.2f", load),
+						ArrivalQPS:  res.Rate,
+						ModelQPS:    res.SaturationQPS,
+						ModelP50Ms:  ms(res.P50),
+						ModelP95Ms:  ms(res.P95),
+						ModelP99Ms:  ms(res.P99),
+						ModelP999Ms: ms(res.P999),
+						MeanBatch:   res.MeanBatch,
+						MaxBacklog:  res.MaxBacklog,
+					})
+				}
+			}
+			sh.Close()
+		}
+	}
+	return rows, nil
+}
+
+// ms converts a modeled duration to milliseconds for row reporting.
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// modelTail computes the tail columns of a throughput-sweep row: the
+// saturation throughput of the cycled command stream at the given
+// depth, then the latency quantiles at LoadUtilization of that rate.
+// cost must be the timing model's makespan of commands [first,
+// first+n) — a pure function, so the result is deterministic.
+func modelTail(cost func(first, n int) time.Duration, depth int) reis.LoadResult {
+	sat := reis.SimulateLoad(make([]time.Duration, LoadCommands), depth, cost, 0)
+	rate := LoadUtilization * sat.ModelQPS
+	res := reis.SimulateLoad(reis.PoissonArrivals(LoadCommands, rate, loadSeed), depth, cost, 0)
+	res.Rate = rate
+	res.SaturationQPS = sat.ModelQPS
+	return res
+}
+
+// FormatSLO renders the SLO sweep.
+func FormatSLO(rows []SLORow) string {
+	var sb strings.Builder
+	sb.WriteString("SLO sweep: open-loop arrivals through one async queue pair (REIS-SSD1 class)\n")
+	fmt.Fprintf(&sb, "%-10s %-10s %6s %6s %5s %10s %10s %9s %9s %9s %9s %7s %8s\n",
+		"dataset", "mode", "shards", "depth", "load", "arrive/s", "sat QPS",
+		"p50 ms", "p95 ms", "p99 ms", "p999 ms", "batch", "backlog")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %-10s %6d %6d %5s %10.1f %10.1f %9.3f %9.3f %9.3f %9.3f %7.2f %8d\n",
+			r.Dataset, r.Mode, r.Shards, r.Depth, r.Load, r.ArrivalQPS, r.ModelQPS,
+			r.ModelP50Ms, r.ModelP95Ms, r.ModelP99Ms, r.ModelP999Ms, r.MeanBatch, r.MaxBacklog)
+	}
+	return sb.String()
+}

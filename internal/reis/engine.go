@@ -683,9 +683,23 @@ func (e *Engine) gcFinish(cmd *HostCommand, acc *WearStats) (HostResponse, error
 
 // JournalBytes returns a copy of the mutation journal: the byte-exact
 // record of every committed append, delete and compact since the
-// engine started. Persist it (at any prefix ending on a record
-// boundary) and replay it on a freshly deployed engine to reconstruct
-// the pre-crash state.
+// engine started, in application order. Persist it (at any prefix
+// ending on a record boundary) and replay it on a freshly deployed
+// engine to reconstruct the pre-crash state.
+//
+// The wire format is a flat record sequence (integers little-endian,
+// uvarint as in encoding/binary):
+//
+//	record  := opcode:u8 dbid:uvarint body
+//	append  := n:uvarint dim:uvarint vec[n*dim]:f32bits
+//	           { doclen:uvarint docbytes }*n
+//	           nassign:uvarint { cluster:uvarint }*nassign
+//	           tags:u8 { tag:u8 }*n        (tags=1 iff MetaTags present)
+//	delete  := nids:uvarint { id:uvarint }*nids
+//	compact := minLiveRatio:f64bits
+//
+// Deploys are not journaled: recovery re-deploys from the immutable
+// deploy configuration first, then replays (see ReplayJournal).
 func (e *Engine) JournalBytes() []byte {
 	e.execMu.Lock()
 	defer e.execMu.Unlock()

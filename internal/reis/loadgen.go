@@ -1,0 +1,328 @@
+package reis
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"reis/internal/xrand"
+)
+
+// This file implements the open-loop load generator of the
+// latency-distribution layer (DESIGN.md, "Latency distributions and
+// SLOs"). QPS summarizes a batch; what a user feels is the latency of
+// their own command while it queues behind everyone else's. RunLoad
+// measures that: it drives single-query commands through a real queue
+// pair to collect each command's bit-identical device stats, then
+// replays a deterministic arrival schedule through a virtual-time
+// model of the dispatcher — commands arrive at a configured rate,
+// coalesce up to the pair's depth exactly as the live dispatcher
+// would, and are served for the makespan the occupancy timing model
+// assigns the coalesced batch. Per-command latency (completion minus
+// arrival) streams into a LatencySketch for p50/p95/p99/p999.
+//
+// Nothing in the pipeline consults a wall clock: the schedule is
+// SplitMix64-seeded, the per-command stats are bit-identical by the
+// engine's determinism contract, and the replay is a pure function of
+// both — so a load run's quantiles are identical across runs, hosts
+// and GOMAXPROCS settings, which is what lets cmd/benchdiff gate on
+// p99.
+
+// DefaultLoadCommands is the command-stream length of a load run when
+// LoadConfig.Commands is zero: long enough that p99 rests on real
+// samples, short enough for CI smoke runs.
+const DefaultLoadCommands = 256
+
+// PoissonArrivals returns n arrival offsets of a Poisson process with
+// the given mean rate (commands per second of modeled time):
+// exponential interarrival gaps drawn from a SplitMix64 stream, summed
+// into a sorted schedule starting near zero. The schedule depends only
+// on (n, rate, seed).
+func PoissonArrivals(n int, rate float64, seed uint64) []time.Duration {
+	if n <= 0 || rate <= 0 {
+		return nil
+	}
+	rng := xrand.New(seed)
+	arrivals := make([]time.Duration, n)
+	t := 0.0
+	for i := range arrivals {
+		// Inverse-CDF sample; Float64 is in [0,1), so the log argument
+		// stays in (0,1] and the gap is finite and non-negative.
+		t += -math.Log(1-rng.Float64()) / rate
+		arrivals[i] = time.Duration(t * float64(time.Second))
+	}
+	return arrivals
+}
+
+// LoadConfig configures one load-generator run.
+type LoadConfig struct {
+	// Rate is the mean arrival rate in commands per second of modeled
+	// time. Zero selects Utilization-based pacing.
+	Rate float64
+	// Utilization, when Rate is zero, sets the arrival rate to this
+	// fraction of the run's saturation throughput (the modeled QPS of
+	// the same command stream with every arrival at t=0). Values
+	// around 0.8 probe the steady regime; near 1.0 the backlog grows
+	// and tails stretch.
+	Utilization float64
+	// Commands is the command-stream length (default
+	// DefaultLoadCommands). The template command's queries are cycled
+	// to fill the stream.
+	Commands int
+	// Depth is the queue-pair depth (default DefaultQueueDepth): both
+	// the admission bound of the functional pass and the coalescing
+	// bound of the virtual-time replay.
+	Depth int
+	// Seed seeds the arrival schedule.
+	Seed uint64
+	// Accuracy is the quantile sketch's relative-error bound (default
+	// DefaultSketchAccuracy).
+	Accuracy float64
+}
+
+func (cfg *LoadConfig) normalize() error {
+	if cfg.Commands <= 0 {
+		cfg.Commands = DefaultLoadCommands
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = DefaultQueueDepth
+	}
+	if cfg.Accuracy <= 0 {
+		cfg.Accuracy = DefaultSketchAccuracy
+	}
+	if cfg.Rate <= 0 && (cfg.Utilization <= 0 || cfg.Utilization > 1) {
+		return fmt.Errorf("reis: load config needs Rate > 0 or Utilization in (0,1], got rate %v utilization %v", cfg.Rate, cfg.Utilization)
+	}
+	return nil
+}
+
+// LoadResult is the outcome of one load-generator run.
+type LoadResult struct {
+	// Commands is the served command count.
+	Commands int
+	// Rate is the effective arrival rate (resolved from Utilization
+	// when LoadConfig.Rate was zero).
+	Rate float64
+	// SaturationQPS is the modeled throughput ceiling of the same
+	// command stream at this depth: every arrival at t=0, dispatcher
+	// always coalescing full groups.
+	SaturationQPS float64
+	// Makespan is the modeled time from the start of the schedule to
+	// the last completion; ModelQPS is Commands / Makespan.
+	Makespan time.Duration
+	ModelQPS float64
+	// MeanBatch is the mean commands per dispatch of the replay; at
+	// low rates it sits near 1 (no queueing, nothing to coalesce) and
+	// grows toward Depth as the arrival rate approaches saturation.
+	MeanBatch float64
+	// MaxBacklog is the peak number of arrived-but-unserved commands.
+	MaxBacklog int
+	// P50/P95/P99/P999 are latency quantiles (completion minus
+	// arrival) from Sketch, within its relative-accuracy bound.
+	P50, P95, P99, P999 time.Duration
+	// Sketch is the full latency distribution.
+	Sketch *LatencySketch
+}
+
+// SimulateLoad replays an arrival schedule through a virtual-time
+// model of one queue pair's dispatcher: a single server that, whenever
+// it frees up, coalesces every command that has already arrived — up
+// to depth, in arrival order, exactly like the live dispatcher's group
+// picking — and serves the group for cost(first, n), the timing
+// model's makespan of commands [first, first+n). Arrivals beyond the
+// depth wait, modeling a host that retries ErrQueueFull immediately.
+//
+// The replay is a pure function of (arrivals, depth, cost): no clocks,
+// no goroutines, no randomness.
+func SimulateLoad(arrivals []time.Duration, depth int, cost func(first, n int) time.Duration, accuracy float64) LoadResult {
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	sketch := NewLatencySketch(accuracy)
+	res := LoadResult{Commands: len(arrivals), Sketch: sketch}
+	if len(arrivals) == 0 {
+		return res
+	}
+	var busyUntil, last time.Duration
+	dispatches := 0
+	for i := 0; i < len(arrivals); {
+		start := arrivals[i]
+		if busyUntil > start {
+			start = busyUntil
+		}
+		// Backlog at dispatch time: everything that arrived while the
+		// server was busy, including beyond the coalescing bound.
+		backlog := 0
+		for k := i; k < len(arrivals) && arrivals[k] <= start; k++ {
+			backlog++
+		}
+		if backlog > res.MaxBacklog {
+			res.MaxBacklog = backlog
+		}
+		j := i + 1
+		for j < len(arrivals) && j-i < depth && arrivals[j] <= start {
+			j++
+		}
+		done := start + cost(i, j-i)
+		for k := i; k < j; k++ {
+			sketch.Observe(done - arrivals[k])
+		}
+		busyUntil, last = done, done
+		dispatches++
+		i = j
+	}
+	res.Makespan = last
+	if last > 0 {
+		res.ModelQPS = float64(res.Commands) / last.Seconds()
+	}
+	res.MeanBatch = float64(res.Commands) / float64(dispatches)
+	res.P50 = sketch.Quantile(0.50)
+	res.P95 = sketch.Quantile(0.95)
+	res.P99 = sketch.Quantile(0.99)
+	res.P999 = sketch.Quantile(0.999)
+	return res
+}
+
+// RunLoad runs the load generator against this engine: cfg.Commands
+// single-query commands derived from the template (its queries cycled,
+// everything else kept) are driven through a fresh queue pair of
+// cfg.Depth to collect per-command device stats, then replayed under
+// the configured arrival schedule. See the file comment for the
+// determinism argument.
+func (e *Engine) RunLoad(tmpl HostCommand, sc Scale, cfg LoadConfig) (LoadResult, error) {
+	if err := (&cfg).normalize(); err != nil {
+		return LoadResult{}, err
+	}
+	db, err := e.DB(tmpl.DBID)
+	if err != nil {
+		return LoadResult{}, err
+	}
+	sts, _, err := collectLoadStats(e, tmpl, cfg)
+	if err != nil {
+		return LoadResult{}, err
+	}
+	cost := func(first, n int) time.Duration {
+		return e.BatchLatency(db, sts[first:first+n], sc).Makespan
+	}
+	return finishLoad(cfg, cost)
+}
+
+// RunLoad is the sharded counterpart of Engine.RunLoad: the stats pass
+// runs through a queue pair over the scatter-gather router, and the
+// replay costs each coalesced group with the sharded batch model
+// (per-shard occupancy bottleneck plus the gather tail).
+func (sh *ShardedEngine) RunLoad(tmpl HostCommand, sc Scale, cfg LoadConfig) (LoadResult, error) {
+	if err := (&cfg).normalize(); err != nil {
+		return LoadResult{}, err
+	}
+	sts, perShard, err := collectLoadStats(sh, tmpl, cfg)
+	if err != nil {
+		return LoadResult{}, err
+	}
+	shards := sh.Shards()
+	var costErr error
+	cost := func(first, n int) time.Duration {
+		group := make([][]QueryStats, shards)
+		for s := 0; s < shards; s++ {
+			group[s] = make([]QueryStats, n)
+			for k := 0; k < n; k++ {
+				group[s][k] = perShard[first+k][s][0]
+			}
+		}
+		bb, err := sh.BatchLatency(tmpl.DBID, sts[first:first+n], group, sc)
+		if err != nil && costErr == nil {
+			costErr = err
+		}
+		return bb.Makespan
+	}
+	res, err := finishLoad(cfg, cost)
+	if err == nil && costErr != nil {
+		err = costErr
+	}
+	return res, err
+}
+
+// loadHost is the queue-pair surface shared by Engine and
+// ShardedEngine that the stats pass needs.
+type loadHost interface {
+	NewQueue(cfg QueueConfig) (*Queue, error)
+}
+
+// collectLoadStats drives cfg.Commands single-query commands through a
+// fresh queue pair and returns their stats indexed by submission
+// order. perShard[i] is nil on a single-device host. Completion order
+// may vary with scheduling, but the stats themselves are bit-identical
+// to solo execution (the queue's coalescing contract), so the returned
+// slices are deterministic.
+func collectLoadStats(h loadHost, tmpl HostCommand, cfg LoadConfig) ([]QueryStats, [][][]QueryStats, error) {
+	if len(tmpl.Queries) == 0 {
+		return nil, nil, fmt.Errorf("reis: load template carries no queries")
+	}
+	ch := make(chan Completion, cfg.Depth)
+	q, err := h.NewQueue(QueueConfig{Depth: cfg.Depth, Completions: ch})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer q.Close()
+
+	sts := make([]QueryStats, cfg.Commands)
+	perShard := make([][][]QueryStats, cfg.Commands)
+	ids := make(map[CommandID]int, cfg.Commands)
+	served := 0
+	drain := func() error {
+		c := <-ch
+		if c.Err != nil {
+			return c.Err
+		}
+		i := ids[c.ID]
+		sts[i] = c.Resp.QueryStats[0]
+		perShard[i] = c.Resp.PerShard
+		served++
+		return nil
+	}
+	for i := 0; i < cfg.Commands; i++ {
+		cmd := tmpl
+		cmd.Queries = [][]float32{tmpl.Queries[i%len(tmpl.Queries)]}
+		for {
+			id, err := q.SubmitAsync(context.Background(), cmd)
+			if errors.Is(err, ErrQueueFull) {
+				if err := drain(); err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			ids[id] = i
+			break
+		}
+	}
+	for served < cfg.Commands {
+		if err := drain(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return sts, perShard, nil
+}
+
+// finishLoad resolves the arrival rate (saturation probe, then
+// Utilization if Rate was not pinned) and runs the paced replay.
+func finishLoad(cfg LoadConfig, cost func(first, n int) time.Duration) (LoadResult, error) {
+	// Saturation probe: the same commands, all arrived at t=0, served
+	// in full coalesced groups — the depth-d throughput ceiling.
+	sat := SimulateLoad(make([]time.Duration, cfg.Commands), cfg.Depth, cost, cfg.Accuracy)
+	rate := cfg.Rate
+	if rate <= 0 {
+		rate = cfg.Utilization * sat.ModelQPS
+	}
+	if rate <= 0 {
+		return LoadResult{}, fmt.Errorf("reis: load run resolved a non-positive arrival rate")
+	}
+	res := SimulateLoad(PoissonArrivals(cfg.Commands, rate, cfg.Seed), cfg.Depth, cost, cfg.Accuracy)
+	res.Rate = rate
+	res.SaturationQPS = sat.ModelQPS
+	return res, nil
+}

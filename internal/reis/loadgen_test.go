@@ -1,0 +1,149 @@
+package reis
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestPoissonArrivalsDeterministic pins the arrival schedule: sorted,
+// seed-reproducible, and with the configured mean rate to within a few
+// percent over a long stream.
+func TestPoissonArrivalsDeterministic(t *testing.T) {
+	a := PoissonArrivals(4096, 1000, 0x5eed)
+	b := PoissonArrivals(4096, 1000, 0x5eed)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across runs: %v vs %v", i, a[i], b[i])
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("arrivals not sorted at %d: %v < %v", i, a[i], a[i-1])
+		}
+	}
+	if c := PoissonArrivals(4096, 1000, 1); c[4095] == a[4095] {
+		t.Fatal("different seeds produced the same schedule")
+	}
+	mean := a[len(a)-1].Seconds() / float64(len(a))
+	if mean < 0.0009 || mean > 0.0011 {
+		t.Fatalf("mean interarrival %.6fs, want ~0.001s", mean)
+	}
+}
+
+// TestSimulateLoadShape checks the queueing model against behaviour
+// that must hold for any work-conserving single server: a slow trickle
+// sees bare service time with no coalescing, and a saturating rate
+// drives MeanBatch toward the depth bound while tails stretch.
+func TestSimulateLoadShape(t *testing.T) {
+	const service = time.Millisecond
+	cost := func(first, n int) time.Duration { return time.Duration(n) * service }
+	// 100/s against a 1000/s server: essentially no queueing.
+	trickle := SimulateLoad(PoissonArrivals(512, 100, 1), 8, cost, 0.01)
+	if trickle.MeanBatch > 1.2 {
+		t.Fatalf("trickle coalesced %.2f commands/dispatch, want ~1", trickle.MeanBatch)
+	}
+	if trickle.P50 > 2*service {
+		t.Fatalf("trickle p50 %v, want ~%v", trickle.P50, service)
+	}
+	// 5000/s against the same server: overload — the backlog grows and
+	// dispatches run at the coalescing bound.
+	overload := SimulateLoad(PoissonArrivals(512, 5000, 1), 8, cost, 0.01)
+	if overload.MeanBatch < 6 {
+		t.Fatalf("overload coalesced %.2f commands/dispatch, want near depth 8", overload.MeanBatch)
+	}
+	if overload.P99 <= trickle.P99 {
+		t.Fatalf("overload p99 %v not above trickle p99 %v", overload.P99, trickle.P99)
+	}
+	if overload.MaxBacklog <= 8 {
+		t.Fatalf("overload max backlog %d, want > depth", overload.MaxBacklog)
+	}
+}
+
+// runLoadOnce builds a fresh engine + IVF deployment and runs one
+// fixed load configuration against it.
+func runLoadOnce(t *testing.T) LoadResult {
+	t.Helper()
+	e := newEngine(t, AllOptions())
+	deployIVF(t, e, 1, 16)
+	res, err := e.RunLoad(HostCommand{
+		Opcode: OpcodeIVFSearch, DBID: 1, Queries: testData.Queries, K: 10, NProbe: 4,
+	}, Scale{Fine: 100, Coarse: 10, SurvivorRate: 0.01}, LoadConfig{
+		Utilization: 0.8, Commands: 96, Depth: 8, Seed: 0x10ad,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRunLoadDeterministicAcrossGOMAXPROCS pins the SLO sweep's
+// determinism contract: the load generator's quantiles, rates and
+// batch shape are bit-identical across repeated runs at GOMAXPROCS 1
+// and 4, because per-command device stats are independent of queue
+// scheduling and the replay is a pure function of the seeded schedule.
+func TestRunLoadDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	ref := runLoadOnce(t)
+	if ref.Commands != 96 || ref.Sketch.Count() != 96 {
+		t.Fatalf("served %d commands, sketch saw %d, want 96", ref.Commands, ref.Sketch.Count())
+	}
+	if ref.P50 <= 0 || ref.P99 < ref.P95 || ref.P95 < ref.P50 {
+		t.Fatalf("implausible quantiles: p50 %v p95 %v p99 %v", ref.P50, ref.P95, ref.P99)
+	}
+	if ref.Rate <= 0 || ref.SaturationQPS <= 0 || ref.Rate >= ref.SaturationQPS {
+		t.Fatalf("rate %v should sit below saturation %v", ref.Rate, ref.SaturationQPS)
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for rep := 0; rep < 2; rep++ {
+			got := runLoadOnce(t)
+			ref.Sketch, got.Sketch = nil, nil
+			if got != ref {
+				t.Fatalf("GOMAXPROCS=%d rep=%d: load result diverged:\nwant %+v\ngot  %+v",
+					procs, rep, ref, got)
+			}
+		}
+	}
+}
+
+// TestShardedRunLoadMatchesShape pins the sharded load generator: the
+// run completes with per-shard costing and reports the same command
+// count and a deterministic result across repeats.
+func TestShardedRunLoadMatchesShape(t *testing.T) {
+	run := func() LoadResult {
+		sh := newSharded(t, 2)
+		deployBoth(t, sh.Submit)
+		res, err := sh.RunLoad(HostCommand{
+			Opcode: OpcodeIVFSearch, DBID: 2, Queries: testData.Queries, K: 10, NProbe: 4,
+		}, Scale{Fine: 100, Coarse: 10, SurvivorRate: 0.01}, LoadConfig{
+			Utilization: 0.8, Commands: 64, Depth: 4, Seed: 0x10ad,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Commands != 64 || a.P99 <= 0 {
+		t.Fatalf("implausible sharded load result: %+v", a)
+	}
+	a.Sketch, b.Sketch = nil, nil
+	if a != b {
+		t.Fatalf("sharded load result diverged:\nwant %+v\ngot  %+v", a, b)
+	}
+}
+
+// TestRunLoadValidation pins the config errors: no pacing information
+// and an unknown database both fail fast.
+func TestRunLoadValidation(t *testing.T) {
+	e := newEngine(t, AllOptions())
+	deployIVF(t, e, 1, 16)
+	cmd := HostCommand{Opcode: OpcodeIVFSearch, DBID: 1, Queries: testData.Queries, K: 10, NProbe: 4}
+	if _, err := e.RunLoad(cmd, UnitScale(), LoadConfig{}); err == nil {
+		t.Fatal("want error for a config with neither Rate nor Utilization")
+	}
+	bad := cmd
+	bad.DBID = 99
+	if _, err := e.RunLoad(bad, UnitScale(), LoadConfig{Rate: 100}); err == nil {
+		t.Fatal("want error for unknown database")
+	}
+}

@@ -13,6 +13,13 @@ import (
 // TTLEntry is one Temporal Top List record (Sec 4.2.1, structure C in
 // Fig 4): the distance, the embedding's mini-page position, and the
 // linkage addresses picked up from the OOB area during the scan.
+//
+// Candidate selection ranks TTL entries under the (Dist, DADR) total
+// order: Hamming distance first, document address as the tie-break.
+// DADR is stable for a document's whole lifetime (unlike Pos, which
+// compaction rewrites), so the order — and with it every selection
+// boundary, pruning decision and final result — is deterministic
+// across scan topologies, queue schedules and GC interleavings.
 type TTLEntry struct {
 	Dist int
 	Pos  int // embedding position in the binary region (mini-page address)
@@ -110,7 +117,10 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.ResultCacheHits += o.ResultCacheHits
 }
 
-// DocResult is one retrieved document chunk.
+// DocResult is one retrieved document chunk. Result slices are sorted
+// by (Dist, ID) — the post-rerank analogue of the scan-side
+// (Dist, DADR) order on TTLEntry, and deterministic for the same
+// reason.
 type DocResult struct {
 	// ID is the original database entry id (decoded from DADR).
 	ID int

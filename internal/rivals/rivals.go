@@ -1,5 +1,9 @@
-// Package rivals models the two state-of-the-art ISP-based ANNS
-// accelerators the paper compares REIS against in Sec 6.4:
+// Package rivals models the systems the paper compares REIS against:
+// the DRAM-side ANN baselines of the headline evaluation (HNSW, LSH
+// and PQ-IVF served from host memory — see DRAMANN in dram.go, fed by
+// the live index structures of internal/ann through the frontier
+// experiment) and the two state-of-the-art ISP-based ANNS accelerators
+// of Sec 6.4:
 //
 //   - ICE (Hu et al., MICRO'22): in-flash vector similarity search
 //     that computes inside NAND dies on data stored in an
